@@ -1,0 +1,104 @@
+// Experiment A3 — the §7 extensions: MinDist and MaxSum variants of the
+// efficient approach vs their brute-force oracles on synthetic Melbourne
+// Central, across client sizes. Shows the single-pass machinery carries
+// over to the other objectives at similar cost.
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/benchlib/harness.h"
+#include "src/benchlib/table.h"
+#include "src/core/brute_force.h"
+#include "src/core/maxsum.h"
+#include "src/core/mindist.h"
+
+namespace {
+
+template <typename Solver>
+ifls::SolverAggregate Measure(const ifls::Venue& venue,
+                              const ifls::VipTree& tree,
+                              const ifls::WorkloadSpec& spec, int repeats,
+                              Solver solver) {
+  using namespace ifls;
+  SolverAggregate agg;
+  for (int r = 0; r < repeats; ++r) {
+    Rng rng(1 + static_cast<std::uint64_t>(r));
+    IflsContext ctx;
+    ctx.tree = &tree;
+    Result<FacilitySets> sets = MakeFacilities(venue, spec, &rng);
+    IFLS_CHECK(sets.ok()) << sets.status().ToString();
+    ctx.existing = sets->existing;
+    ctx.candidates = sets->candidates;
+    ctx.clients = MakeClients(venue, spec, &rng);
+    Result<IflsResult> result = solver(ctx);
+    IFLS_CHECK(result.ok()) << result.status().ToString();
+    agg.mean_time_seconds += result->stats.elapsed_seconds;
+    agg.mean_memory_mb +=
+        static_cast<double>(result->stats.peak_memory_bytes) / (1 << 20);
+    agg.mean_objective += result->objective;
+    agg.mean_distance_computations += result->stats.distance_computations;
+  }
+  agg.mean_time_seconds /= repeats;
+  agg.mean_memory_mb /= repeats;
+  agg.mean_objective /= repeats;
+  agg.mean_distance_computations /= repeats;
+  return agg;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ifls;
+  const BenchScale scale = BenchScale::FromEnv();
+  std::printf(
+      "# A3: MinDist / MaxSum extensions vs brute force (MC synthetic, "
+      "scale=%s, %d repeats)\n\n",
+      scale.name.c_str(), scale.repeats);
+
+  VenueCache cache;
+  const Venue& venue = cache.venue(VenuePreset::kMelbourneCentral, false);
+  const VipTree& tree = cache.tree(VenuePreset::kMelbourneCentral, false);
+  const ParameterGrid grid =
+      PresetParameterGrid(VenuePreset::kMelbourneCentral);
+
+  for (const char* objective : {"MinDist", "MaxSum"}) {
+    std::printf("-- %s --\n", objective);
+    TextTable table({"|C|", "EA time (s)", "BF time (s)", "speedup",
+                     "EA mem (MB)", "objective"});
+    for (std::size_t clients : ClientSizeSweep()) {
+      WorkloadSpec spec;
+      spec.preset = VenuePreset::kMelbourneCentral;
+      spec.num_existing = grid.default_existing;
+      spec.num_candidates = grid.default_candidates;
+      spec.num_clients = scale.Clients(clients);
+      SolverAggregate ea, bf;
+      if (std::string(objective) == "MinDist") {
+        ea = Measure(venue, tree, spec, scale.repeats,
+                     [](const IflsContext& ctx) { return SolveMinDist(ctx); });
+        bf = Measure(venue, tree, spec, scale.repeats,
+                     [](const IflsContext& ctx) {
+                       return SolveBruteForceMinDist(ctx);
+                     });
+      } else {
+        ea = Measure(venue, tree, spec, scale.repeats,
+                     [](const IflsContext& ctx) { return SolveMaxSum(ctx); });
+        bf = Measure(venue, tree, spec, scale.repeats,
+                     [](const IflsContext& ctx) {
+                       return SolveBruteForceMaxSum(ctx);
+                     });
+      }
+      table.AddRow({TextTable::Int(static_cast<long long>(spec.num_clients)),
+                    TextTable::Num(ea.mean_time_seconds),
+                    TextTable::Num(bf.mean_time_seconds),
+                    TextTable::Num(ea.mean_time_seconds > 0
+                                       ? bf.mean_time_seconds /
+                                             ea.mean_time_seconds
+                                       : 0.0),
+                    TextTable::Num(ea.mean_memory_mb),
+                    TextTable::Num(ea.mean_objective)});
+    }
+    table.Print(&std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}

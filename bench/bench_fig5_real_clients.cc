@@ -1,0 +1,53 @@
+// Experiment E1 — paper Figure 5: effect of client size |C| in the *real
+// setting* (Melbourne Central, Fe/Fn from the tenant-category split).
+// One sub-table per category (Fig. 5a-5e), reporting query processing time
+// and memory for the efficient approach and the modified MinMax baseline.
+//
+// Scale via IFLS_BENCH_SCALE=smoke|default|full (full = paper scale).
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/benchlib/harness.h"
+#include "src/benchlib/table.h"
+
+int main() {
+  using namespace ifls;
+  const BenchScale scale = BenchScale::FromEnv();
+  std::printf(
+      "# E1 / Figure 5: real setting (MC), effect of |C| "
+      "(scale=%s, clients/%zu, %d repeats)\n\n",
+      scale.name.c_str(), scale.client_divisor, scale.repeats);
+
+  VenueCache cache;
+  const Venue& venue = cache.venue(VenuePreset::kMelbourneCentral, true);
+  const VipTree& tree = cache.tree(VenuePreset::kMelbourneCentral, true);
+
+  const char* categories[] = {"fashion & accessories",
+                              "dining & entertainment", "health & beauty",
+                              "fresh food", "banks & services"};
+  for (const char* category : categories) {
+    std::printf("-- Fe = %s --\n", category);
+    TextTable table({"|C|", "EA time (s)", "Base time (s)", "speedup",
+                     "EA mem (MB)", "Base mem (MB)"});
+    for (std::size_t clients : ClientSizeSweep()) {
+      WorkloadSpec spec;
+      spec.preset = VenuePreset::kMelbourneCentral;
+      spec.real_setting = true;
+      spec.existing_category = category;
+      spec.num_clients = scale.RealClients(clients);
+      spec.client_options.distribution = ClientDistribution::kUniform;
+      const PairedAggregate agg =
+          RunPaired(venue, tree, spec, scale.repeats);
+      table.AddRow({TextTable::Int(static_cast<long long>(spec.num_clients)),
+                    TextTable::Num(agg.efficient.mean_time_seconds),
+                    TextTable::Num(agg.baseline.mean_time_seconds),
+                    TextTable::Num(agg.speedup),
+                    TextTable::Num(agg.efficient.mean_memory_mb),
+                    TextTable::Num(agg.baseline.mean_memory_mb)});
+    }
+    table.Print(&std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}

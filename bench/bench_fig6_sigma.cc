@@ -1,0 +1,63 @@
+// Experiment E2 — paper Figure 6: effect of the normal distribution's
+// standard deviation sigma on query time and memory. Five sub-plots:
+// (i) MC real setting, (ii)-(v) MC/CH/CPH/MZB synthetic setting. Clients are
+// normal-distributed; facilities come from the category split (real) or
+// uniform draws at the Table-2 defaults (synthetic).
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/benchlib/harness.h"
+#include "src/benchlib/table.h"
+
+namespace {
+
+void RunSweep(ifls::VenueCache* cache, ifls::VenuePreset preset,
+              bool real_setting, const ifls::BenchScale& scale) {
+  using namespace ifls;
+  const Venue& venue = cache->venue(preset, real_setting);
+  const VipTree& tree = cache->tree(preset, real_setting);
+  const ParameterGrid grid = PresetParameterGrid(preset);
+  std::printf("-- %s (%s) --\n", VenuePresetName(preset),
+              real_setting ? "real" : "synthetic");
+  TextTable table({"sigma", "EA time (s)", "Base time (s)", "speedup",
+                   "EA mem (MB)", "Base mem (MB)"});
+  for (double sigma : SigmaSweep()) {
+    WorkloadSpec spec;
+    spec.preset = preset;
+    spec.real_setting = real_setting;
+    spec.num_existing = grid.default_existing;
+    spec.num_candidates = grid.default_candidates;
+    spec.num_clients = real_setting ? scale.RealClients(kDefaultClients)
+                                    : scale.Clients(kDefaultClients);
+    spec.client_options.distribution = ClientDistribution::kNormal;
+    spec.client_options.sigma = sigma;
+    const PairedAggregate agg = RunPaired(venue, tree, spec, scale.repeats);
+    table.AddRow({TextTable::Num(sigma),
+                  TextTable::Num(agg.efficient.mean_time_seconds),
+                  TextTable::Num(agg.baseline.mean_time_seconds),
+                  TextTable::Num(agg.speedup),
+                  TextTable::Num(agg.efficient.mean_memory_mb),
+                  TextTable::Num(agg.baseline.mean_memory_mb)});
+  }
+  table.Print(&std::cout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace ifls;
+  const BenchScale scale = BenchScale::FromEnv();
+  std::printf(
+      "# E2 / Figure 6: effect of sigma (scale=%s, clients/%zu, %d "
+      "repeats)\n\n",
+      scale.name.c_str(), scale.client_divisor, scale.repeats);
+  VenueCache cache;
+  RunSweep(&cache, VenuePreset::kMelbourneCentral, /*real_setting=*/true,
+           scale);
+  for (VenuePreset preset : AllVenuePresets()) {
+    RunSweep(&cache, preset, /*real_setting=*/false, scale);
+  }
+  return 0;
+}

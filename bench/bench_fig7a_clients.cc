@@ -1,0 +1,45 @@
+// Experiment E3 — paper Figure 7a (time) + Figure 8a (memory): effect of
+// client size |C| in the synthetic setting on all four venues, with Fe/Fn
+// at their Table-2 defaults and uniform clients.
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/benchlib/harness.h"
+#include "src/benchlib/table.h"
+
+int main() {
+  using namespace ifls;
+  const BenchScale scale = BenchScale::FromEnv();
+  std::printf(
+      "# E3 / Figures 7a+8a: synthetic setting, effect of |C| "
+      "(scale=%s, clients/%zu, %d repeats)\n\n",
+      scale.name.c_str(), scale.client_divisor, scale.repeats);
+  VenueCache cache;
+  for (VenuePreset preset : AllVenuePresets()) {
+    const Venue& venue = cache.venue(preset, false);
+    const VipTree& tree = cache.tree(preset, false);
+    const ParameterGrid grid = PresetParameterGrid(preset);
+    std::printf("-- %s (|Fe|=%zu, |Fn|=%zu) --\n", VenuePresetName(preset),
+                grid.default_existing, grid.default_candidates);
+    TextTable table({"|C|", "EA time (s)", "Base time (s)", "speedup",
+                     "EA mem (MB)", "Base mem (MB)"});
+    for (std::size_t clients : ClientSizeSweep()) {
+      WorkloadSpec spec;
+      spec.preset = preset;
+      spec.num_existing = grid.default_existing;
+      spec.num_candidates = grid.default_candidates;
+      spec.num_clients = scale.Clients(clients);
+      const PairedAggregate agg = RunPaired(venue, tree, spec, scale.repeats);
+      table.AddRow({TextTable::Int(static_cast<long long>(spec.num_clients)),
+                    TextTable::Num(agg.efficient.mean_time_seconds),
+                    TextTable::Num(agg.baseline.mean_time_seconds),
+                    TextTable::Num(agg.speedup),
+                    TextTable::Num(agg.efficient.mean_memory_mb),
+                    TextTable::Num(agg.baseline.mean_memory_mb)});
+    }
+    table.Print(&std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}

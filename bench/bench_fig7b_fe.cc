@@ -1,0 +1,47 @@
+// Experiment E4 — paper Figure 7b (time) + Figure 8b (memory): effect of
+// the existing facility size |Fe| in the synthetic setting, per venue, with
+// |Fn| and |C| at their defaults. The paper's signature shape: baseline
+// time *rises* with |Fe| (more NN work per client) while the efficient
+// approach *falls* (denser existing facilities prune more clients).
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/benchlib/harness.h"
+#include "src/benchlib/table.h"
+
+int main() {
+  using namespace ifls;
+  const BenchScale scale = BenchScale::FromEnv();
+  std::printf(
+      "# E4 / Figures 7b+8b: synthetic setting, effect of |Fe| "
+      "(scale=%s, clients/%zu, %d repeats)\n\n",
+      scale.name.c_str(), scale.client_divisor, scale.repeats);
+  VenueCache cache;
+  for (VenuePreset preset : AllVenuePresets()) {
+    const Venue& venue = cache.venue(preset, false);
+    const VipTree& tree = cache.tree(preset, false);
+    const ParameterGrid grid = PresetParameterGrid(preset);
+    std::printf("-- %s (|Fn|=%zu, |C|=%zu) --\n", VenuePresetName(preset),
+                grid.default_candidates, scale.Clients(kDefaultClients));
+    TextTable table({"|Fe|", "EA time (s)", "Base time (s)", "speedup",
+                     "EA mem (MB)", "Base mem (MB)"});
+    for (std::size_t fe : grid.existing_sizes) {
+      WorkloadSpec spec;
+      spec.preset = preset;
+      spec.num_existing = fe;
+      spec.num_candidates = grid.default_candidates;
+      spec.num_clients = scale.Clients(kDefaultClients);
+      const PairedAggregate agg = RunPaired(venue, tree, spec, scale.repeats);
+      table.AddRow({TextTable::Int(static_cast<long long>(fe)),
+                    TextTable::Num(agg.efficient.mean_time_seconds),
+                    TextTable::Num(agg.baseline.mean_time_seconds),
+                    TextTable::Num(agg.speedup),
+                    TextTable::Num(agg.efficient.mean_memory_mb),
+                    TextTable::Num(agg.baseline.mean_memory_mb)});
+    }
+    table.Print(&std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}

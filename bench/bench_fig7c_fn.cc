@@ -1,0 +1,46 @@
+// Experiment E5 — paper Figure 7c (time) + Figure 8c (memory): effect of
+// the candidate location size |Fn| in the synthetic setting, per venue,
+// with |Fe| and |C| at their defaults. Both algorithms slow down as |Fn|
+// grows; the efficient approach keeps its lead.
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/benchlib/harness.h"
+#include "src/benchlib/table.h"
+
+int main() {
+  using namespace ifls;
+  const BenchScale scale = BenchScale::FromEnv();
+  std::printf(
+      "# E5 / Figures 7c+8c: synthetic setting, effect of |Fn| "
+      "(scale=%s, clients/%zu, %d repeats)\n\n",
+      scale.name.c_str(), scale.client_divisor, scale.repeats);
+  VenueCache cache;
+  for (VenuePreset preset : AllVenuePresets()) {
+    const Venue& venue = cache.venue(preset, false);
+    const VipTree& tree = cache.tree(preset, false);
+    const ParameterGrid grid = PresetParameterGrid(preset);
+    std::printf("-- %s (|Fe|=%zu, |C|=%zu) --\n", VenuePresetName(preset),
+                grid.default_existing, scale.Clients(kDefaultClients));
+    TextTable table({"|Fn|", "EA time (s)", "Base time (s)", "speedup",
+                     "EA mem (MB)", "Base mem (MB)"});
+    for (std::size_t fn : grid.candidate_sizes) {
+      WorkloadSpec spec;
+      spec.preset = preset;
+      spec.num_existing = grid.default_existing;
+      spec.num_candidates = fn;
+      spec.num_clients = scale.Clients(kDefaultClients);
+      const PairedAggregate agg = RunPaired(venue, tree, spec, scale.repeats);
+      table.AddRow({TextTable::Int(static_cast<long long>(fn)),
+                    TextTable::Num(agg.efficient.mean_time_seconds),
+                    TextTable::Num(agg.baseline.mean_time_seconds),
+                    TextTable::Num(agg.speedup),
+                    TextTable::Num(agg.efficient.mean_memory_mb),
+                    TextTable::Num(agg.baseline.mean_memory_mb)});
+    }
+    table.Print(&std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,171 @@
+// Experiment A2 — index micro-benchmarks (google-benchmark): the distance
+// oracles behind every IFLS query. Compares VIP-tree lookups, IP-tree chain
+// composition and raw door-graph Dijkstra (via the memoised oracle, cold
+// and warm), plus NN search and index construction per venue.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/graph/accessibility_model.h"
+#include "src/datasets/client_generator.h"
+#include "src/datasets/facility_selector.h"
+#include "src/datasets/presets.h"
+#include "src/datasets/workload.h"
+#include "src/graph/dijkstra.h"
+#include "src/graph/door_graph.h"
+#include "src/index/graph_oracle.h"
+#include "src/index/nn_search.h"
+#include "src/index/vip_tree.h"
+
+namespace ifls {
+namespace {
+
+/// Shared per-venue state, built once.
+struct MicroEnv {
+  Venue venue;
+  std::unique_ptr<VipTree> vip;
+  std::unique_ptr<VipTree> ip;
+  std::unique_ptr<GraphDistanceOracle> oracle;
+  std::vector<Client> clients;
+  std::vector<PartitionId> targets;
+
+  explicit MicroEnv(VenuePreset preset) {
+    Result<Venue> v = BuildPresetVenue(preset);
+    IFLS_CHECK(v.ok()) << v.status().ToString();
+    venue = std::move(v).value();
+    Result<VipTree> vip_built = VipTree::Build(&venue);
+    IFLS_CHECK(vip_built.ok()) << vip_built.status().ToString();
+    vip = std::make_unique<VipTree>(std::move(vip_built).value());
+    VipTreeOptions ip_options;
+    ip_options.build_leaf_to_ancestor = false;
+    Result<VipTree> ip_built = VipTree::Build(&venue, ip_options);
+    IFLS_CHECK(ip_built.ok()) << ip_built.status().ToString();
+    ip = std::make_unique<VipTree>(std::move(ip_built).value());
+    oracle = std::make_unique<GraphDistanceOracle>(&venue);
+    Rng rng(42);
+    ClientGeneratorOptions copts;
+    clients = GenerateClients(venue, 512, copts, &rng);
+    for (int i = 0; i < 512; ++i) {
+      targets.push_back(static_cast<PartitionId>(
+          rng.NextBounded(venue.num_partitions())));
+    }
+  }
+};
+
+MicroEnv& Env(int preset_index) {
+  static MicroEnv* envs[4] = {nullptr, nullptr, nullptr, nullptr};
+  if (envs[preset_index] == nullptr) {
+    envs[preset_index] = new MicroEnv(AllVenuePresets()[preset_index]);
+  }
+  return *envs[preset_index];
+}
+
+void BM_VipTreePointToPartition(benchmark::State& state) {
+  MicroEnv& env = Env(static_cast<int>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Client& c = env.clients[i % env.clients.size()];
+    const PartitionId t = env.targets[i % env.targets.size()];
+    benchmark::DoNotOptimize(
+        env.vip->PointToPartition(c.position, c.partition, t));
+    ++i;
+  }
+}
+BENCHMARK(BM_VipTreePointToPartition)->DenseRange(0, 3)->Name(
+    "PointToPartition/VIP-tree");
+
+void BM_IpTreePointToPartition(benchmark::State& state) {
+  MicroEnv& env = Env(static_cast<int>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Client& c = env.clients[i % env.clients.size()];
+    const PartitionId t = env.targets[i % env.targets.size()];
+    benchmark::DoNotOptimize(
+        env.ip->PointToPartition(c.position, c.partition, t));
+    ++i;
+  }
+}
+BENCHMARK(BM_IpTreePointToPartition)->DenseRange(0, 3)->Name(
+    "PointToPartition/IP-tree");
+
+void BM_WarmGraphOracle(benchmark::State& state) {
+  MicroEnv& env = Env(static_cast<int>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Client& c = env.clients[i % env.clients.size()];
+    const PartitionId t = env.targets[i % env.targets.size()];
+    benchmark::DoNotOptimize(
+        env.oracle->PointToPartition(c.position, c.partition, t));
+    ++i;
+  }
+}
+BENCHMARK(BM_WarmGraphOracle)->DenseRange(0, 3)->Name(
+    "PointToPartition/graph-oracle-warm");
+
+void BM_AccessibilityModel(benchmark::State& state) {
+  // The Lu et al. graph model the paper's §4 argues against: a fresh graph
+  // expansion per distance query.
+  MicroEnv& env = Env(static_cast<int>(state.range(0)));
+  AccessibilityModel model(&env.venue);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Client& c = env.clients[i % env.clients.size()];
+    const PartitionId t = env.targets[i % env.targets.size()];
+    benchmark::DoNotOptimize(
+        model.PointToPartition(c.position, c.partition, t));
+    ++i;
+  }
+}
+BENCHMARK(BM_AccessibilityModel)->DenseRange(0, 3)->Name(
+    "PointToPartition/accessibility-graph");
+
+void BM_ColdDijkstra(benchmark::State& state) {
+  MicroEnv& env = Env(static_cast<int>(state.range(0)));
+  DoorGraph graph(env.venue);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const DoorId source = static_cast<DoorId>(i % env.venue.num_doors());
+    benchmark::DoNotOptimize(SingleSourceShortestPaths(graph, source));
+    ++i;
+  }
+}
+BENCHMARK(BM_ColdDijkstra)->DenseRange(0, 3)->Name(
+    "SingleSourceDijkstra/cold");
+
+void BM_NearestFacility(benchmark::State& state) {
+  MicroEnv& env = Env(static_cast<int>(state.range(0)));
+  Rng rng(7);
+  const ParameterGrid grid =
+      PresetParameterGrid(AllVenuePresets()[static_cast<int>(
+          state.range(0))]);
+  Result<FacilitySets> sets = SelectUniformFacilities(
+      env.venue, grid.default_existing, 0, &rng);
+  IFLS_CHECK(sets.ok());
+  FacilityIndex index(env.vip.get(), sets->existing);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Client& c = env.clients[i % env.clients.size()];
+    benchmark::DoNotOptimize(NearestFacility(
+        index, c.position, c.partition, FacilityFilter::kAny, nullptr));
+    ++i;
+  }
+}
+BENCHMARK(BM_NearestFacility)->DenseRange(0, 3)->Name(
+    "NearestFacility/VIP-tree");
+
+void BM_VipTreeBuild(benchmark::State& state) {
+  MicroEnv& env = Env(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(VipTree::Build(&env.venue));
+  }
+}
+BENCHMARK(BM_VipTreeBuild)
+    ->DenseRange(0, 3)
+    ->Name("IndexBuild/VIP-tree")
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ifls

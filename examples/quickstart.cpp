@@ -1,0 +1,99 @@
+// Quickstart: build a small indoor venue by hand, index it with a VIP-tree,
+// and answer an Indoor Facility Location Selection (IFLS) query.
+//
+// The venue is a single floor with a corridor, four rooms and a kitchen:
+//
+//         +-------+-------+-------+
+//         | room0 | room1 | room2 |
+//         +---d0--+--d1---+--d2---+
+//         |        corridor       |
+//         +---d3--+--d4---+--d5---+
+//         | room3 | kitchen| room4|
+//         +-------+-------+-------+
+//
+// One coffee machine already exists in the kitchen; we pick the best of the
+// candidate rooms for a second one so that the farthest client is as close
+// as possible to a machine (the MinMax objective).
+
+#include <cstdio>
+
+#include "src/core/efficient.h"
+#include "src/index/vip_tree.h"
+#include "src/indoor/venue_builder.h"
+
+int main() {
+  using namespace ifls;
+
+  // 1. Describe the venue: partitions (axis-aligned rooms) and doors.
+  VenueBuilder builder("quickstart-office");
+  const PartitionId room0 = builder.AddPartition(Rect(0, 8, 10, 16));
+  const PartitionId room1 = builder.AddPartition(Rect(10, 8, 20, 16));
+  const PartitionId room2 = builder.AddPartition(Rect(20, 8, 30, 16));
+  const PartitionId corridor = builder.AddPartition(
+      Rect(0, 4, 30, 8), PartitionKind::kCorridor);
+  const PartitionId room3 = builder.AddPartition(Rect(0, 0, 10, 4));
+  const PartitionId kitchen = builder.AddPartition(Rect(10, 0, 20, 4));
+  const PartitionId room4 = builder.AddPartition(Rect(20, 0, 30, 4));
+  builder.AddDoor(room0, corridor, Point(5, 8));
+  builder.AddDoor(room1, corridor, Point(15, 8));
+  builder.AddDoor(room2, corridor, Point(25, 8));
+  builder.AddDoor(room3, corridor, Point(5, 4));
+  builder.AddDoor(kitchen, corridor, Point(15, 4));
+  builder.AddDoor(room4, corridor, Point(25, 4));
+  Result<Venue> venue = builder.Build();
+  if (!venue.ok()) {
+    std::fprintf(stderr, "venue error: %s\n",
+                 venue.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("venue: %s\n", venue->ToString().c_str());
+
+  // 2. Index it (offline step).
+  Result<VipTree> tree = VipTree::Build(&venue.value());
+  if (!tree.ok()) {
+    std::fprintf(stderr, "index error: %s\n",
+                 tree.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("index: %s\n", tree->ToString().c_str());
+
+  // 3. Pose the query: clients at desks, one existing machine, three
+  //    candidate rooms.
+  IflsContext ctx;
+  ctx.tree = &tree.value();
+  ctx.existing = {kitchen};
+  ctx.candidates = {room0, room2, room3};
+  int next_id = 0;
+  auto desk = [&](double x, double y, PartitionId p) {
+    Client c;
+    c.id = next_id++;
+    c.position = Point(x, y);
+    c.partition = p;
+    ctx.clients.push_back(c);
+  };
+  desk(1, 15, room0);
+  desk(9, 15, room0);
+  desk(15, 15, room1);
+  desk(29, 15, room2);
+  desk(2, 1, room3);
+  desk(29, 1, room4);
+
+  // 4. Solve with the efficient single-pass algorithm.
+  Result<IflsResult> result = SolveEfficient(ctx);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query error: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  if (!result->found) {
+    std::printf("no candidate improves the current worst-case distance\n");
+    return 0;
+  }
+  const char* names[] = {"room0", "room1", "room2", "corridor",
+                         "room3", "kitchen", "room4"};
+  std::printf("place the new machine in %s\n", names[result->answer]);
+  std::printf("worst client-to-machine distance becomes %.2f m\n",
+              result->objective);
+  std::printf("stats: %s\n", result->stats.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "src/benchlib/harness.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "src/common/logging.h"
+#include "src/core/efficient.h"
+#include "src/core/minmax_baseline.h"
+
+namespace ifls {
+
+BenchScale BenchScale::FromEnv() {
+  BenchScale scale;
+  const char* env = std::getenv("IFLS_BENCH_SCALE");
+  const std::string value = env != nullptr ? env : "default";
+  if (value == "smoke") {
+    scale = {"smoke", /*client_divisor=*/100, /*real_client_divisor=*/20,
+             /*repeats=*/1};
+  } else if (value == "full") {
+    scale = {"full", /*client_divisor=*/1, /*real_client_divisor=*/1,
+             /*repeats=*/10};
+  } else {
+    scale = {"default", /*client_divisor=*/20, /*real_client_divisor=*/2,
+             /*repeats=*/1};
+    if (value != "default") {
+      IFLS_LOG(WARNING) << "unknown IFLS_BENCH_SCALE '" << value
+                        << "', using default";
+    }
+  }
+  return scale;
+}
+
+VenueCache::Entry& VenueCache::GetOrBuild(VenuePreset preset,
+                                          bool real_setting) {
+  const auto key = std::make_pair(static_cast<int>(preset), real_setting);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  Entry entry;
+  Result<Venue> venue = BuildPresetVenue(preset);
+  IFLS_CHECK(venue.ok()) << venue.status().ToString();
+  entry.venue = std::make_unique<Venue>(std::move(venue).value());
+  if (real_setting) {
+    IFLS_CHECK_OK(AssignMelbourneCentralCategories(entry.venue.get()));
+  }
+  Result<VipTree> tree = VipTree::Build(entry.venue.get());
+  IFLS_CHECK(tree.ok()) << tree.status().ToString();
+  entry.tree = std::make_unique<VipTree>(std::move(tree).value());
+  return cache_.emplace(key, std::move(entry)).first->second;
+}
+
+const Venue& VenueCache::venue(VenuePreset preset, bool real_setting) {
+  return *GetOrBuild(preset, real_setting).venue;
+}
+
+const VipTree& VenueCache::tree(VenuePreset preset, bool real_setting) {
+  return *GetOrBuild(preset, real_setting).tree;
+}
+
+PairedAggregate RunPaired(const Venue& venue, const VipTree& tree,
+                          const WorkloadSpec& spec, int repeats,
+                          std::uint64_t seed, bool verify_agreement) {
+  PairedAggregate agg;
+  agg.repeats = repeats;
+  for (int r = 0; r < repeats; ++r) {
+    Rng rng(seed + static_cast<std::uint64_t>(r));
+    IflsContext ctx;
+    ctx.tree = &tree;
+    Result<FacilitySets> facilities = MakeFacilities(venue, spec, &rng);
+    IFLS_CHECK(facilities.ok()) << facilities.status().ToString();
+    ctx.existing = facilities->existing;
+    ctx.candidates = facilities->candidates;
+    ctx.clients = MakeClients(venue, spec, &rng);
+
+    // Fe is indexed offline in the paper's setup: build it outside the
+    // timed solver and hand it to the baseline.
+    FacilityIndex offline(&tree, ctx.existing);
+    MinMaxBaselineOptions baseline_options;
+    baseline_options.offline_existing_index = &offline;
+
+    Result<IflsResult> efficient = SolveEfficient(ctx);
+    IFLS_CHECK(efficient.ok()) << efficient.status().ToString();
+    Result<IflsResult> baseline = SolveModifiedMinMax(ctx, baseline_options);
+    IFLS_CHECK(baseline.ok()) << baseline.status().ToString();
+
+    agg.efficient.mean_time_seconds += efficient->stats.elapsed_seconds;
+    agg.efficient.mean_memory_mb +=
+        static_cast<double>(efficient->stats.peak_memory_bytes) / (1 << 20);
+    agg.efficient.mean_objective += efficient->objective;
+    agg.efficient.mean_distance_computations +=
+        efficient->stats.distance_computations;
+    agg.baseline.mean_time_seconds += baseline->stats.elapsed_seconds;
+    agg.baseline.mean_memory_mb +=
+        static_cast<double>(baseline->stats.peak_memory_bytes) / (1 << 20);
+    agg.baseline.mean_objective += baseline->objective;
+    agg.baseline.mean_distance_computations +=
+        baseline->stats.distance_computations;
+
+    if (verify_agreement) {
+      // Certify by exact re-evaluation: a no-answer result scores the
+      // no-new-facility objective (no candidate can beat it).
+      auto achieved = [&](const IflsResult& r) {
+        return r.found ? EvaluateMinMax(ctx, r.answer)
+                       : NoFacilityMinMax(ctx);
+      };
+      const double e = achieved(*efficient);
+      const double b = achieved(*baseline);
+      if (std::abs(e - b) <= 1e-6 * std::max(1.0, std::abs(b))) {
+        ++agg.agreements;
+      } else {
+        IFLS_LOG(WARNING) << "solver disagreement: efficient=" << e
+                          << " baseline=" << b;
+      }
+    }
+  }
+  const double n = repeats > 0 ? repeats : 1;
+  agg.efficient.mean_time_seconds /= n;
+  agg.efficient.mean_memory_mb /= n;
+  agg.efficient.mean_objective /= n;
+  agg.efficient.mean_distance_computations /= repeats > 0 ? repeats : 1;
+  agg.baseline.mean_time_seconds /= n;
+  agg.baseline.mean_memory_mb /= n;
+  agg.baseline.mean_objective /= n;
+  agg.baseline.mean_distance_computations /= repeats > 0 ? repeats : 1;
+  agg.speedup = agg.efficient.mean_time_seconds > 0
+                    ? agg.baseline.mean_time_seconds /
+                          agg.efficient.mean_time_seconds
+                    : 0.0;
+  return agg;
+}
+
+}  // namespace ifls

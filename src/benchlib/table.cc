@@ -1,0 +1,55 @@
+#include "src/benchlib/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace ifls {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Num(double value) {
+  std::ostringstream os;
+  if (std::isinf(value)) return "inf";
+  if (value != 0.0 && (std::abs(value) < 1e-3 || std::abs(value) >= 1e6)) {
+    os << std::scientific << std::setprecision(3) << value;
+  } else {
+    os << std::fixed << std::setprecision(4) << value;
+  }
+  return os.str();
+}
+
+std::string TextTable::Int(long long value) { return std::to_string(value); }
+
+void TextTable::Print(std::ostream* out) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : "";
+      *out << std::left << std::setw(static_cast<int>(widths[i]) + 2) << cell;
+    }
+    *out << "\n";
+  };
+  print_row(header_);
+  std::string rule;
+  for (std::size_t w : widths) rule += std::string(w + 2, '-');
+  *out << rule << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace ifls

@@ -1,0 +1,32 @@
+#ifndef IFLS_BENCHLIB_TABLE_H_
+#define IFLS_BENCHLIB_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ifls {
+
+/// Minimal fixed-width table printer for the experiment binaries: one header
+/// row, numeric cells formatted to a sensible precision, aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with 4 significant digits.
+  static std::string Num(double value);
+  /// Integer-style cell.
+  static std::string Int(long long value);
+
+  void Print(std::ostream* out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ifls
+
+#endif  // IFLS_BENCHLIB_TABLE_H_

@@ -1,0 +1,21 @@
+#include "src/common/memory_tracker.h"
+
+namespace ifls {
+namespace {
+
+thread_local MemoryTracker* g_active_tracker = nullptr;
+
+}  // namespace
+
+MemoryTracker* ActiveMemoryTracker() { return g_active_tracker; }
+
+ScopedMemoryTracking::ScopedMemoryTracking(MemoryTracker* tracker)
+    : previous_(g_active_tracker) {
+  g_active_tracker = tracker;
+}
+
+ScopedMemoryTracking::~ScopedMemoryTracking() {
+  g_active_tracker = previous_;
+}
+
+}  // namespace ifls

@@ -1,0 +1,97 @@
+#ifndef IFLS_COMMON_MEMORY_TRACKER_H_
+#define IFLS_COMMON_MEMORY_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ifls {
+
+/// Tracks logical bytes held by a query's data structures, recording the
+/// high-water mark. This reproduces the paper's "memory cost" metric: each
+/// algorithm charges the tracker when its key structures (priority queue,
+/// retrieved-facility lists, candidate answer sets, ...) grow and releases
+/// when they shrink. Deterministic and allocator-independent, so the memory
+/// benchmarks are stable across platforms.
+class MemoryTracker {
+ public:
+  MemoryTracker() = default;
+
+  void Charge(std::int64_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+
+  void Release(std::int64_t bytes) { current_ -= bytes; }
+
+  /// Currently-held logical bytes.
+  std::int64_t current_bytes() const { return current_; }
+  /// High-water mark since construction / last Reset().
+  std::int64_t peak_bytes() const { return peak_; }
+
+  void Reset() {
+    current_ = 0;
+    peak_ = 0;
+  }
+
+ private:
+  std::int64_t current_ = 0;
+  std::int64_t peak_ = 0;
+};
+
+/// Thread-local active tracker used by TrackingAllocator. Null when no scope
+/// is active (allocations then go untracked).
+MemoryTracker* ActiveMemoryTracker();
+
+/// Installs `tracker` as the thread's active tracker for the scope lifetime;
+/// restores the previous tracker on destruction. Scopes nest.
+class ScopedMemoryTracking {
+ public:
+  explicit ScopedMemoryTracking(MemoryTracker* tracker);
+  ~ScopedMemoryTracking();
+
+  ScopedMemoryTracking(const ScopedMemoryTracking&) = delete;
+  ScopedMemoryTracking& operator=(const ScopedMemoryTracking&) = delete;
+
+ private:
+  MemoryTracker* previous_;
+};
+
+/// STL-compatible allocator charging the thread's active MemoryTracker.
+/// Containers that dominate a query's footprint can be declared with this
+/// allocator so their growth is captured without manual Charge calls.
+template <typename T>
+class TrackingAllocator {
+ public:
+  using value_type = T;
+
+  TrackingAllocator() = default;
+  template <typename U>
+  TrackingAllocator(const TrackingAllocator<U>&) {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    if (MemoryTracker* t = ActiveMemoryTracker(); t != nullptr) {
+      t->Charge(static_cast<std::int64_t>(n * sizeof(T)));
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) {
+    if (MemoryTracker* t = ActiveMemoryTracker(); t != nullptr) {
+      t->Release(static_cast<std::int64_t>(n * sizeof(T)));
+    }
+    ::operator delete(p);
+  }
+
+  template <typename U>
+  bool operator==(const TrackingAllocator<U>&) const {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const TrackingAllocator<U>&) const {
+    return false;
+  }
+};
+
+}  // namespace ifls
+
+#endif  // IFLS_COMMON_MEMORY_TRACKER_H_

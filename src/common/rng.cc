@@ -1,0 +1,100 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/common/logging.h"
+
+namespace ifls {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+  // All-zero state would be a fixed point of xoshiro; SplitMix64 cannot
+  // produce four zeros from any seed, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  IFLS_CHECK(bound > 0);
+  // Rejection sampling over the largest multiple of bound.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextUniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - NextDouble();
+  double u2 = NextDouble();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = radius * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(theta);
+}
+
+std::int64_t Rng::NextInt(std::int64_t lo, std::int64_t hi) {
+  IFLS_CHECK(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 2^64 range (lo = INT64_MIN, hi = INT64_MAX).
+  if (span == 0) return static_cast<std::int64_t>(Next());
+  return lo + static_cast<std::int64_t>(NextBounded(span));
+}
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
+                                                       std::size_t k) {
+  IFLS_CHECK(k <= n) << "sample size " << k << " exceeds population " << n;
+  // Partial Fisher-Yates over an index vector: O(n) setup, O(k) swaps.
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + static_cast<std::size_t>(NextBounded(n - i));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+}  // namespace ifls

@@ -1,0 +1,67 @@
+#ifndef IFLS_COMMON_RNG_H_
+#define IFLS_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ifls {
+
+/// Deterministic PRNG (xoshiro256**). Workload generation must be exactly
+/// reproducible across platforms and standard-library versions, so we do not
+/// use std::mt19937 + std::*_distribution (distributions are
+/// implementation-defined). All sampling helpers below are hand-rolled.
+class Rng {
+ public:
+  /// Seeds via SplitMix64 expansion so nearby seeds give unrelated streams.
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform in [0, bound). Precondition: bound > 0. Uses rejection sampling,
+  /// so the result is exactly uniform.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (deterministic; caches the pair).
+  double NextGaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi);
+
+  /// True with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (std::size_t i = v->size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBounded(i));
+      using std::swap;
+      swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n,
+                                                    std::size_t k);
+
+ private:
+  std::uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace ifls
+
+#endif  // IFLS_COMMON_RNG_H_

@@ -1,0 +1,167 @@
+#ifndef IFLS_COMMON_STATUS_H_
+#define IFLS_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ifls {
+
+/// Error categories used across the library. Mirrors the Arrow/RocksDB idiom:
+/// recoverable failures travel as Status values, never as exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIOError,
+  kAlreadyExists,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic success/error carrier. Ok statuses are cheap (no message
+/// allocation). Non-ok statuses carry a code plus a message describing the
+/// failure site.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Status-or-value, the return type of fallible factories. Holds either a
+/// value of T or a non-ok Status; accessing the wrong alternative aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return some_t;` inside a Result-returning function.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status. Constructing from an OK status is a bug and
+  /// is converted to an Internal error so it surfaces loudly.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Aborts otherwise.
+  const T& value() const& {
+    AbortIfNotOk();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfNotOk();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfNotOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Moves the value out, or returns `alt` when holding an error.
+  T ValueOr(T alt) && { return ok() ? std::move(*value_) : std::move(alt); }
+
+ private:
+  void AbortIfNotOk() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfNotOk() const {
+  if (!ok()) internal::DieOnBadResultAccess(status_);
+}
+
+/// Propagates a non-ok Status out of the enclosing function.
+#define IFLS_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::ifls::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+#define IFLS_CONCAT_IMPL(x, y) x##y
+#define IFLS_CONCAT(x, y) IFLS_CONCAT_IMPL(x, y)
+
+/// Unwraps a Result into `lhs`, propagating the error status on failure.
+#define IFLS_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  IFLS_ASSIGN_OR_RETURN_IMPL(IFLS_CONCAT(_result_, __LINE__), lhs, \
+                             rexpr)
+
+#define IFLS_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                               \
+  if (!result_name.ok()) return result_name.status();       \
+  lhs = std::move(result_name).value()
+
+}  // namespace ifls
+
+#endif  // IFLS_COMMON_STATUS_H_

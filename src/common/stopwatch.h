@@ -1,0 +1,34 @@
+#ifndef IFLS_COMMON_STOPWATCH_H_
+#define IFLS_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ifls {
+
+/// Monotonic wall-clock stopwatch used by the bench harness.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  std::int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ifls
+
+#endif  // IFLS_COMMON_STOPWATCH_H_

@@ -1,0 +1,31 @@
+#ifndef IFLS_CORE_BRUTE_FORCE_H_
+#define IFLS_CORE_BRUTE_FORCE_H_
+
+#include "src/core/query.h"
+
+namespace ifls {
+
+/// Exhaustive MinMax solver: evaluates every candidate against every client
+/// (O(|C| * (|Fe| + |Fn|)) exact indoor distances) and returns the argmin.
+/// The answer is always optimal; used as the correctness oracle for the
+/// baseline and the efficient approach, and as the "no pruning at all"
+/// comparator in ablation benches. Returns found=false only when Fn is
+/// empty; ties with the no-new-facility objective still return the argmin.
+Result<IflsResult> SolveBruteForceMinMax(const IflsContext& ctx);
+
+/// Exhaustive top-k MinMax: the k candidates with the smallest exact MinMax
+/// objectives, ascending, in `ranked` (fewer when |Fn| < k). Candidates
+/// provably outside the top k are skipped via incumbent pruning, so ranked
+/// entries always carry exact objectives.
+Result<IflsResult> SolveBruteForceTopKMinMax(const IflsContext& ctx, int k);
+
+/// Exhaustive MinDist solver (paper §7 extension oracle).
+Result<IflsResult> SolveBruteForceMinDist(const IflsContext& ctx);
+
+/// Exhaustive MaxSum solver (paper §7 extension oracle). `objective` is the
+/// maximized client count.
+Result<IflsResult> SolveBruteForceMaxSum(const IflsContext& ctx);
+
+}  // namespace ifls
+
+#endif  // IFLS_CORE_BRUTE_FORCE_H_

@@ -1,0 +1,168 @@
+#include "src/core/continuous.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/index/nn_search.h"
+
+namespace ifls {
+
+ContinuousIfls::ContinuousIfls(const VipTree* tree,
+                               std::vector<PartitionId> existing,
+                               std::vector<PartitionId> candidates,
+                               Options options)
+    : tree_(tree),
+      existing_(std::move(existing)),
+      candidates_(std::move(candidates)),
+      options_(options),
+      existing_index_(tree, existing_),
+      candidate_index_(tree, {}) {
+  IFLS_CHECK(tree != nullptr);
+  candidate_index_.AddCandidates(candidates_);
+}
+
+void ContinuousIfls::RefreshStaticBounds(ClientRecord* record) {
+  const Client& c = record->client;
+  const auto nef = NearestFacility(existing_index_, c.position, c.partition,
+                                   FacilityFilter::kExistingOnly, nullptr);
+  record->nef = nef.has_value() ? nef->distance : kInfDistance;
+  const auto nc = NearestFacility(candidate_index_, c.position, c.partition,
+                                  FacilityFilter::kCandidateOnly, nullptr);
+  record->floor = std::min(record->nef,
+                           nc.has_value() ? nc->distance : kInfDistance);
+}
+
+void ContinuousIfls::RefreshCertificate(ClientRecord* record) {
+  if (!has_cached_ || !cached_.found) {
+    record->certificate = record->nef;
+    return;
+  }
+  const Client& c = record->client;
+  record->certificate =
+      std::min(record->nef,
+               tree_->PointToPartition(c.position, c.partition,
+                                       cached_.answer));
+}
+
+void ContinuousIfls::InsertBounds(const ClientRecord& record) {
+  certificates_.insert(record.certificate);
+  floors_.insert(record.floor);
+}
+
+void ContinuousIfls::EraseBounds(const ClientRecord& record) {
+  auto cert = certificates_.find(record.certificate);
+  if (cert != certificates_.end()) certificates_.erase(cert);
+  auto floor = floors_.find(record.floor);
+  if (floor != floors_.end()) floors_.erase(floor);
+}
+
+ClientId ContinuousIfls::AddClient(const Point& position,
+                                   PartitionId partition) {
+  IFLS_CHECK(partition >= 0 &&
+             static_cast<std::size_t>(partition) <
+                 tree_->venue().num_partitions());
+  IFLS_CHECK(tree_->venue().partition(partition).rect.Contains(position))
+      << "client position outside its partition";
+  ClientRecord record;
+  record.client.id = next_id_++;
+  record.client.position = position;
+  record.client.partition = partition;
+  RefreshStaticBounds(&record);
+  RefreshCertificate(&record);
+  InsertBounds(record);
+  const ClientId id = record.client.id;
+  clients_.emplace(id, std::move(record));
+  dirty_ = true;
+  return id;
+}
+
+Status ContinuousIfls::RemoveClient(ClientId id) {
+  auto it = clients_.find(id);
+  if (it == clients_.end()) {
+    return Status::NotFound("no client with id " + std::to_string(id));
+  }
+  EraseBounds(it->second);
+  clients_.erase(it);
+  dirty_ = true;
+  return Status::OK();
+}
+
+Status ContinuousIfls::MoveClient(ClientId id, const Point& position,
+                                  PartitionId partition) {
+  auto it = clients_.find(id);
+  if (it == clients_.end()) {
+    return Status::NotFound("no client with id " + std::to_string(id));
+  }
+  if (partition < 0 ||
+      static_cast<std::size_t>(partition) >=
+          tree_->venue().num_partitions() ||
+      !tree_->venue().partition(partition).rect.Contains(position)) {
+    return Status::InvalidArgument("new position outside the partition");
+  }
+  ClientRecord& record = it->second;
+  EraseBounds(record);
+  record.client.position = position;
+  record.client.partition = partition;
+  RefreshStaticBounds(&record);
+  RefreshCertificate(&record);
+  InsertBounds(record);
+  dirty_ = true;
+  return Status::OK();
+}
+
+Result<IflsResult> ContinuousIfls::Resolve() {
+  IflsContext ctx;
+  ctx.tree = tree_;
+  ctx.existing = existing_;
+  ctx.candidates = candidates_;
+  ctx.clients.reserve(clients_.size());
+  for (const auto& [id, record] : clients_) {
+    ctx.clients.push_back(record.client);
+  }
+  IFLS_ASSIGN_OR_RETURN(cached_, SolveEfficient(ctx, options_.solver));
+  has_cached_ = true;
+  ++solve_count_;
+  dirty_ = false;
+  // Rebuild the certificates against the new answer.
+  certificates_.clear();
+  floors_.clear();
+  for (auto& [id, record] : clients_) {
+    RefreshCertificate(&record);
+    InsertBounds(record);
+  }
+  return cached_;
+}
+
+Result<IflsResult> ContinuousIfls::Answer() {
+  if (!dirty_ && has_cached_) return cached_;
+  return Resolve();
+}
+
+Result<ContinuousIfls::MonitorAnswer> ContinuousIfls::AnswerWithin(
+    double tolerance) {
+  if (tolerance < 0.0) {
+    return Status::InvalidArgument("tolerance must be non-negative");
+  }
+  MonitorAnswer answer;
+  if (!dirty_ && has_cached_) {
+    answer.result = cached_;
+    answer.refreshed = false;
+    return answer;
+  }
+  if (has_cached_ && cached_.found && !clients_.empty()) {
+    const double current = *certificates_.rbegin();  // exact f(cached A)
+    const double lower = *floors_.rbegin();          // <= any f(n)
+    if (current <= (1.0 + tolerance) * lower) {
+      ++skip_count_;
+      answer.result = cached_;
+      answer.result.objective = current;
+      answer.refreshed = false;
+      return answer;
+    }
+  }
+  IFLS_ASSIGN_OR_RETURN(answer.result, Resolve());
+  answer.refreshed = true;
+  return answer;
+}
+
+}  // namespace ifls

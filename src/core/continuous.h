@@ -1,0 +1,124 @@
+#ifndef IFLS_CORE_CONTINUOUS_H_
+#define IFLS_CORE_CONTINUOUS_H_
+
+#include <map>
+#include <set>
+
+#include "src/core/efficient.h"
+#include "src/core/query.h"
+
+namespace ifls {
+
+/// Continuous IFLS over a *moving* client crowd — the paper's §8 future
+/// work. The monitor owns the client set, accepts position updates and
+/// keeps the MinMax answer fresh:
+///
+///  * `Answer()` is always exact: it re-solves (single-pass efficient
+///    algorithm) whenever any update occurred since the last solve.
+///  * `AnswerWithin(tolerance)` may keep the cached answer: the monitor
+///    maintains, per client, the exact distance certificate to the cached
+///    answer, min(NEF(c), iDist(c, A)), and the *every-candidate-open*
+///    floor, min(NEF(c), iDist(c, NN(c, Fn))). The maximum floor L lower-
+///    bounds any candidate's objective, so whenever
+///        f(A) = max certificate <= (1 + tolerance) * L
+///    the cached answer is provably within `tolerance` of optimal and no
+///    re-solve is needed. Updates cost two NN searches plus one distance
+///    evaluation each; a skip costs O(1).
+///
+/// Facilities are fixed for the monitor's lifetime (facility updates are a
+/// different maintenance problem); clients are dynamic.
+class ContinuousIfls {
+ public:
+  struct Options {
+    EfficientOptions solver;
+  };
+
+  /// Per-call outcome of AnswerWithin.
+  struct MonitorAnswer {
+    IflsResult result;
+    /// True when this call ran a full solve; false when the cached answer
+    /// was certified fresh (result.objective then holds the *current* exact
+    /// objective of the cached answer).
+    bool refreshed = false;
+  };
+
+  /// The tree must outlive the monitor.
+  ContinuousIfls(const VipTree* tree, std::vector<PartitionId> existing,
+                 std::vector<PartitionId> candidates, Options options = {});
+
+  // ---- Crowd updates ----------------------------------------------------
+
+  /// Adds a client; returns its id. The position must lie inside the
+  /// partition (IFLS_CHECKed).
+  ClientId AddClient(const Point& position, PartitionId partition);
+
+  Status RemoveClient(ClientId id);
+
+  /// Moves a client to a new position/partition.
+  Status MoveClient(ClientId id, const Point& position,
+                    PartitionId partition);
+
+  std::size_t num_clients() const { return clients_.size(); }
+
+  // ---- Answers ------------------------------------------------------------
+
+  /// Exact current answer; re-solves when dirty.
+  Result<IflsResult> Answer();
+
+  /// Possibly cached answer, guaranteed within `tolerance` (relative) of
+  /// the optimal objective. tolerance = 0 forces exactness (still skips
+  /// when the cached answer provably remains optimal).
+  Result<MonitorAnswer> AnswerWithin(double tolerance);
+
+  // ---- Introspection -------------------------------------------------------
+
+  /// Full solves performed so far.
+  std::int64_t solve_count() const { return solve_count_; }
+  /// AnswerWithin calls served from the certified cache.
+  std::int64_t skip_count() const { return skip_count_; }
+
+ private:
+  struct ClientRecord {
+    Client client;
+    /// Exact nearest-existing-facility distance.
+    double nef = 0.0;
+    /// min(nef, distance to the nearest candidate): this client's
+    /// contribution floor when every candidate is open.
+    double floor = 0.0;
+    /// min(nef, distance to the cached answer); only meaningful while an
+    /// answer is cached.
+    double certificate = 0.0;
+  };
+
+  /// Recomputes nef/floor for one record (two NN searches).
+  void RefreshStaticBounds(ClientRecord* record);
+  /// Recomputes the record's certificate against the cached answer.
+  void RefreshCertificate(ClientRecord* record);
+  void InsertBounds(const ClientRecord& record);
+  void EraseBounds(const ClientRecord& record);
+
+  Result<IflsResult> Resolve();
+
+  const VipTree* tree_;
+  std::vector<PartitionId> existing_;
+  std::vector<PartitionId> candidates_;
+  Options options_;
+  FacilityIndex existing_index_;
+  FacilityIndex candidate_index_;
+
+  std::map<ClientId, ClientRecord> clients_;
+  ClientId next_id_ = 0;
+  /// Multisets over all clients for O(log n) max maintenance.
+  std::multiset<double> certificates_;
+  std::multiset<double> floors_;
+
+  bool dirty_ = true;
+  bool has_cached_ = false;
+  IflsResult cached_;
+  std::int64_t solve_count_ = 0;
+  std::int64_t skip_count_ = 0;
+};
+
+}  // namespace ifls
+
+#endif  // IFLS_CORE_CONTINUOUS_H_

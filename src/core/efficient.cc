@@ -1,0 +1,560 @@
+#include "src/core/efficient.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/memory_tracker.h"
+
+namespace ifls {
+namespace {
+
+template <typename T>
+using TrackedVector = std::vector<T, TrackingAllocator<T>>;
+
+using CandidateMap =
+    std::unordered_map<PartitionId, double, std::hash<PartitionId>,
+                       std::equal_to<PartitionId>,
+                       TrackingAllocator<std::pair<const PartitionId, double>>>;
+
+using VisitedSet =
+    std::unordered_set<std::int64_t, std::hash<std::int64_t>,
+                       std::equal_to<std::int64_t>,
+                       TrackingAllocator<std::int64_t>>;
+
+/// A group of clients sharing one partition (or a singleton when grouping is
+/// disabled). The traversal enqueues one entry stream per group.
+struct Group {
+  PartitionId partition = kInvalidPartition;
+  TrackedVector<std::uint32_t> clients;
+  std::int32_t alive = 0;
+  VisitedSet visited;
+};
+
+/// Priority-queue entry of the bottom-up traversal: (group's partition,
+/// indoor entity I, iMinD) — paper Algorithm 3.
+struct TraversalEntry {
+  double key = 0.0;
+  std::uint32_t group = 0;
+  std::int32_t entity = -1;  // NodeId, or PartitionId when is_partition
+  bool is_partition = false;
+  bool operator>(const TraversalEntry& other) const {
+    return key > other.key;
+  }
+};
+
+/// A retrieved (client, facility, distance) triple, processed in ascending
+/// distance order once the global distance Gd passes it. Existing-facility
+/// events prune their client (Lemma 5.1); candidate events raise coverage.
+struct FacilityEvent {
+  double dist = 0.0;
+  std::uint32_t client = 0;
+  PartitionId facility = kInvalidPartition;
+  bool existing = false;
+  // Candidate events sort before existing events at equal distance so a
+  // prune's coverage rollback (entries with dist <= d_low) matches exactly
+  // the set of already-processed events.
+  bool operator>(const FacilityEvent& other) const {
+    if (dist != other.dist) return dist > other.dist;
+    return existing && !other.existing;
+  }
+};
+
+struct ClientState {
+  /// Counts toward answer detection (not yet covered by Lemma 5.1).
+  bool alive = true;
+  /// Still receives distance computations. With pruning enabled this flips
+  /// together with `alive`; the no-pruning ablation keeps clients active so
+  /// the answer stays correct while the saved work is measured.
+  bool active = true;
+  double best_existing = kInfDistance;
+  double best_any = kInfDistance;
+  std::uint32_t group = 0;
+  CandidateMap candidates;
+};
+
+std::int64_t EncodeEntity(std::int32_t entity, bool is_partition) {
+  return is_partition ? (static_cast<std::int64_t>(1) << 32) + entity
+                      : entity;
+}
+
+class EfficientSolver {
+ public:
+  EfficientSolver(const IflsContext& ctx, const EfficientOptions& options,
+                  IflsResult* result)
+      : ctx_(ctx),
+        options_(options),
+        tree_(*ctx.tree),
+        venue_(ctx.venue()),
+        result_(result),
+        stats_(result->stats),
+        index_(ctx.tree, ctx.existing) {}
+
+  void Run() {
+    index_.AddCandidates(ctx_.candidates);
+    candidate_ordinal_.assign(venue_.num_partitions(), -1);
+    for (std::size_t i = 0; i < ctx_.candidates.size(); ++i) {
+      candidate_ordinal_[static_cast<std::size_t>(ctx_.candidates[i])] =
+          static_cast<std::int32_t>(i);
+    }
+    coverage_.assign(ctx_.candidates.size(), 0);
+
+    candidate_collected_.assign(ctx_.candidates.size(), 0);
+
+    InitClients();
+    if (alive_count_ == 0) {
+      FinishNoAnswer();
+      return;
+    }
+    // Paper Algorithm 2 lines 1-10: clients located inside facilities are
+    // served (and possibly pruned) before the traversal starts.
+    ProcessEvents(0.0);
+    if (done_) return;
+
+    BuildGroups();
+    SeedQueue();
+
+    // Paper Algorithm 3 main loop.
+    while (!done_ && !queue_.empty()) {
+      const TraversalEntry top = queue_.top();
+      queue_.pop();
+      ++stats_.queue_pops;
+      gd_ = top.key;
+      Group& group = groups_[top.group];
+      if (group.alive > 0) {
+        if (top.is_partition) {
+          // Non-facility partitions can be dequeued when subtree skipping is
+          // disabled (paper line 19 enqueues every child); they carry no
+          // work (paper line 10 guards on "I is a facility").
+          if (index_.IsFacility(top.entity)) {
+            AddFacilityToGroup(group, top.entity);
+          }
+        } else {
+          ExpandNode(top.group, top.entity);
+        }
+      }
+      UpdateIsFirst();
+      ProcessEvents(gd_);
+    }
+    if (!done_) {
+      // Queue exhausted: every facility has been retrieved for every
+      // surviving client. Flush the remaining events.
+      gd_ = kInfDistance;
+      ProcessEvents(kInfDistance);
+    }
+    if (!done_) FinishNoAnswer();
+  }
+
+ private:
+  // ---- Setup -----------------------------------------------------------
+
+  void InitClients() {
+    clients_.resize(ctx_.clients.size());
+    pending_first_.reserve(ctx_.clients.size());
+    for (std::size_t i = 0; i < ctx_.clients.size(); ++i) {
+      pending_first_.push_back(static_cast<std::uint32_t>(i));
+    }
+    alive_count_ = static_cast<std::int64_t>(ctx_.clients.size());
+    for (std::size_t i = 0; i < ctx_.clients.size(); ++i) {
+      const Client& c = ctx_.clients[i];
+      if (index_.IsFacility(c.partition)) {
+        RecordRetrieval(static_cast<std::uint32_t>(i), c.partition, 0.0);
+      }
+    }
+  }
+
+  void BuildGroups() {
+    if (options_.group_clients) {
+      std::unordered_map<PartitionId, std::uint32_t> group_of_partition;
+      for (std::size_t i = 0; i < ctx_.clients.size(); ++i) {
+        if (!clients_[i].active) continue;
+        const PartitionId p = ctx_.clients[i].partition;
+        auto [it, inserted] = group_of_partition.try_emplace(
+            p, static_cast<std::uint32_t>(groups_.size()));
+        if (inserted) {
+          groups_.emplace_back();
+          groups_.back().partition = p;
+        }
+        Group& g = groups_[it->second];
+        g.clients.push_back(static_cast<std::uint32_t>(i));
+        ++g.alive;
+        clients_[i].group = it->second;
+      }
+    } else {
+      for (std::size_t i = 0; i < ctx_.clients.size(); ++i) {
+        if (!clients_[i].active) continue;
+        groups_.emplace_back();
+        Group& g = groups_.back();
+        g.partition = ctx_.clients[i].partition;
+        g.clients.push_back(static_cast<std::uint32_t>(i));
+        g.alive = 1;
+        clients_[i].group = static_cast<std::uint32_t>(groups_.size() - 1);
+      }
+    }
+  }
+
+  void SeedQueue() {
+    for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+      Group& g = groups_[gi];
+      const NodeId leaf = tree_.LeafOf(g.partition);
+      // iMinD(p, leaf(p)) == 0 by containment.
+      Push(static_cast<std::uint32_t>(gi), leaf, false, 0.0);
+    }
+  }
+
+  // ---- Traversal -------------------------------------------------------
+
+  void Push(std::uint32_t group_index, std::int32_t entity, bool is_partition,
+            double key) {
+    Group& g = groups_[group_index];
+    if (!g.visited.insert(EncodeEntity(entity, is_partition)).second) return;
+    queue_.push({key, group_index, entity, is_partition});
+    ++stats_.queue_pushes;
+  }
+
+  bool Visited(const Group& g, std::int32_t entity, bool is_partition) const {
+    return g.visited.contains(EncodeEntity(entity, is_partition));
+  }
+
+  void ExpandNode(std::uint32_t group_index, NodeId node_id) {
+    Group& g = groups_[group_index];
+    const VipNode& n = tree_.node(node_id);
+    if (n.parent != kInvalidNode && !Visited(g, n.parent, false)) {
+      const double key = tree_.PartitionToNode(g.partition, n.parent);
+      ++stats_.lower_bound_computations;
+      Push(group_index, n.parent, false, key);
+    }
+    if (n.is_leaf()) {
+      for (PartitionId q : n.partitions) {
+        if (q == g.partition) continue;
+        if (options_.skip_empty_subtrees && !index_.IsFacility(q)) continue;
+        if (Visited(g, q, true)) continue;
+        const double key = tree_.PartitionToPartition(g.partition, q);
+        ++stats_.lower_bound_computations;
+        Push(group_index, q, true, key);
+      }
+    } else {
+      for (NodeId ch : n.children) {
+        if (options_.skip_empty_subtrees && index_.SubtreeCount(ch) == 0) {
+          continue;
+        }
+        if (Visited(g, ch, false)) continue;
+        const double key = tree_.PartitionToNode(g.partition, ch);
+        ++stats_.lower_bound_computations;
+        Push(group_index, ch, false, key);
+      }
+    }
+  }
+
+  void AddFacilityToGroup(Group& g, PartitionId facility) {
+    const Partition& home = venue_.partition(g.partition);
+    const bool reuse =
+        options_.reuse_group_distances && g.partition != facility;
+    if (reuse) {
+      // Generalized Case-1 reuse: one door-to-facility base distance per
+      // home door serves every client of the group; a client's distance is
+      // min over doors of (local leg + base). Identical to the per-client
+      // formula, with the door-to-door compositions hoisted out.
+      base_distances_.clear();
+      base_distances_.reserve(home.doors.size());
+      for (DoorId d : home.doors) {
+        base_distances_.push_back(tree_.DoorToPartition(d, facility));
+      }
+      ++stats_.distance_computations;
+      for (std::uint32_t ci : g.clients) {
+        if (!clients_[ci].active) continue;
+        const Client& c = ctx_.clients[ci];
+        double dist = kInfDistance;
+        for (std::size_t i = 0; i < home.doors.size(); ++i) {
+          const double cand =
+              PointToDoorDistance(c.position, venue_.door(home.doors[i])) +
+              base_distances_[i];
+          if (cand < dist) dist = cand;
+        }
+        RecordRetrieval(ci, facility, dist);
+      }
+      return;
+    }
+    for (std::uint32_t ci : g.clients) {
+      if (!clients_[ci].active) continue;
+      const Client& c = ctx_.clients[ci];
+      const double dist =
+          tree_.PointToPartition(c.position, c.partition, facility);
+      ++stats_.distance_computations;
+      RecordRetrieval(ci, facility, dist);
+    }
+  }
+
+  // ---- Retrieval lists and events ---------------------------------------
+
+  void RecordRetrieval(std::uint32_t ci, PartitionId facility, double dist) {
+    ClientState& state = clients_[ci];
+    const bool existing = index_.IsExisting(facility);
+    if (existing) {
+      state.best_existing = std::min(state.best_existing, dist);
+    } else {
+      state.candidates.emplace(facility, dist);
+    }
+    state.best_any = std::min(state.best_any, dist);
+    events_.push({dist, ci, facility, existing});
+    ++stats_.facilities_retrieved;
+  }
+
+  /// Drains events with distance <= bound, in ascending order, advancing
+  /// d_low, pruning clients on existing-facility events (Lemma 5.1), and
+  /// checking for a common candidate after each step (paper lines 23-37).
+  void ProcessEvents(double bound) {
+    while (!done_ && !events_.empty() && events_.top().dist <= bound) {
+      const FacilityEvent e = events_.top();
+      events_.pop();
+      if (!clients_[e.client].alive) continue;
+      d_low_ = std::max(d_low_, e.dist);
+      if (e.existing) {
+        PruneClient(e.client);
+        if (done_) return;
+        // A prune removes constraints: several candidates may become
+        // common simultaneously.
+        CheckAnswerFullScan();
+      } else {
+        const std::int32_t ord =
+            candidate_ordinal_[static_cast<std::size_t>(e.facility)];
+        IFLS_DCHECK(ord >= 0);
+        if (++coverage_[static_cast<std::size_t>(ord)] == alive_count_ &&
+            !candidate_collected_[static_cast<std::size_t>(ord)]) {
+          CheckAnswerSingle(e.facility);
+        }
+      }
+      ++stats_.check_answer_calls;
+    }
+  }
+
+  void PruneClient(std::uint32_t ci) {
+    ClientState& state = clients_[ci];
+    IFLS_DCHECK(state.alive);
+    state.alive = false;
+    ++stats_.clients_pruned;
+    pruned_floor_ = std::max(pruned_floor_, state.best_existing);
+    pruned_clients_.push_back(ci);
+    --alive_count_;
+    if (options_.prune_clients) {
+      state.active = false;
+      if (!groups_.empty()) {
+        Group& g = groups_[state.group];
+        if (g.alive > 0) --g.alive;
+      }
+    }
+    // Remove the client's counted coverage contributions.
+    for (const auto& [facility, dist] : state.candidates) {
+      if (dist <= d_low_) {
+        const std::int32_t ord =
+            candidate_ordinal_[static_cast<std::size_t>(facility)];
+        --coverage_[static_cast<std::size_t>(ord)];
+      }
+    }
+    if (alive_count_ == 0) FinishNoAnswer();
+  }
+
+  // ---- Answer detection --------------------------------------------------
+
+  void CheckAnswerSingle(PartitionId candidate) {
+    FinishWithCommonCandidates({candidate});
+  }
+
+  void CheckAnswerFullScan() {
+    if (alive_count_ == 0) return;
+    std::vector<PartitionId> common;
+    for (std::size_t i = 0; i < ctx_.candidates.size(); ++i) {
+      if (coverage_[i] == alive_count_ && !candidate_collected_[i]) {
+        common.push_back(ctx_.candidates[i]);
+      }
+    }
+    if (!common.empty()) FinishWithCommonCandidates(common);
+  }
+
+  /// max distance from the candidate to the surviving clients (all within
+  /// d_low by construction).
+  double AliveMaxDistance(PartitionId candidate) const {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      if (!clients_[i].alive) continue;
+      const auto it = clients_[i].candidates.find(candidate);
+      IFLS_DCHECK(it != clients_[i].candidates.end());
+      worst = std::max(worst, it->second);
+    }
+    return worst;
+  }
+
+  void FinishWithCommonCandidates(const std::vector<PartitionId>& common) {
+    IFLS_DCHECK(!common.empty());
+    if (options_.top_k > 1) {
+      CollectForTopK(common);
+      return;
+    }
+    PartitionId best = common.front();
+    double best_alive_max = AliveMaxDistance(best);
+    if (common.size() > 1) {
+      // Exact tie-break: candidates that became common at the same d_low
+      // step are compared on their full objective, including the pruned
+      // clients' min(NEF, distance) contributions.
+      double best_obj = ExactObjective(best, best_alive_max);
+      for (std::size_t i = 1; i < common.size(); ++i) {
+        const double alive_max = AliveMaxDistance(common[i]);
+        const double obj = ExactObjective(common[i], alive_max);
+        if (obj < best_obj) {
+          best_obj = obj;
+          best = common[i];
+          best_alive_max = alive_max;
+        }
+      }
+    }
+    result_->found = true;
+    result_->answer = best;
+    result_->objective = std::max(best_alive_max, pruned_floor_);
+    done_ = true;
+  }
+
+  /// Top-k mode: record the newly common candidates with their exact
+  /// objectives and finish once k are collected. Every collected objective
+  /// is <= the d_low at its collection, and every uncollected candidate's
+  /// objective exceeds the current d_low, so k collected candidates are
+  /// exactly the top k.
+  void CollectForTopK(const std::vector<PartitionId>& common) {
+    for (PartitionId n : common) {
+      const auto ord = static_cast<std::size_t>(
+          candidate_ordinal_[static_cast<std::size_t>(n)]);
+      if (candidate_collected_[ord]) continue;
+      candidate_collected_[ord] = 1;
+      collected_.emplace_back(n, ExactObjective(n, AliveMaxDistance(n)));
+    }
+    if (collected_.size() >= static_cast<std::size_t>(options_.top_k)) {
+      FinishRanked();
+    }
+  }
+
+  /// Sorts the collected candidates, truncates to k and publishes them.
+  void FinishRanked() {
+    std::sort(collected_.begin(), collected_.end(),
+              [](const auto& a, const auto& b) { return a.second < b.second; });
+    if (collected_.size() > static_cast<std::size_t>(options_.top_k)) {
+      collected_.resize(static_cast<std::size_t>(options_.top_k));
+    }
+    result_->ranked.assign(collected_.begin(), collected_.end());
+    result_->found = !collected_.empty();
+    if (result_->found) {
+      result_->answer = collected_.front().first;
+      result_->objective = collected_.front().second;
+    }
+    done_ = true;
+  }
+
+  double ExactObjective(PartitionId candidate, double alive_max) {
+    double worst = alive_max;
+    for (std::uint32_t ci : pruned_clients_) {
+      const Client& c = ctx_.clients[ci];
+      const double dn =
+          tree_.PointToPartition(c.position, c.partition, candidate);
+      ++stats_.distance_computations;
+      worst = std::max(worst, std::min(clients_[ci].best_existing, dn));
+    }
+    return worst;
+  }
+
+  void FinishNoAnswer() {
+    if (options_.top_k > 1) {
+      // Rank whatever became common; when every client is covered the
+      // remaining candidates' objectives are fully determined by the
+      // pruned clients, so the ranking can be completed exactly.
+      if (alive_count_ == 0) {
+        for (std::size_t i = 0; i < ctx_.candidates.size(); ++i) {
+          if (candidate_collected_[i]) continue;
+          collected_.emplace_back(ctx_.candidates[i],
+                                  ExactObjective(ctx_.candidates[i], 0.0));
+        }
+      }
+      FinishRanked();
+      return;
+    }
+    // Either every client was pruned (no candidate can improve the
+    // objective) or there are no candidates at all.
+    double objective = pruned_floor_;
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      if (clients_[i].alive) {
+        objective = std::max(objective, clients_[i].best_existing);
+      }
+    }
+    result_->found = false;
+    result_->answer = kInvalidPartition;
+    result_->objective = objective;
+    done_ = true;
+  }
+
+  // ---- checkList bookkeeping (paper lines 23-25) -------------------------
+
+  void UpdateIsFirst() {
+    if (is_first_) return;
+    ++stats_.check_list_calls;
+    std::size_t i = 0;
+    while (i < pending_first_.size()) {
+      const std::uint32_t ci = pending_first_[i];
+      if (!clients_[ci].alive || clients_[ci].best_any <= gd_) {
+        pending_first_[i] = pending_first_.back();
+        pending_first_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    is_first_ = pending_first_.empty();
+  }
+
+  // ---- Members -----------------------------------------------------------
+
+  const IflsContext& ctx_;
+  const EfficientOptions& options_;
+  const VipTree& tree_;
+  const Venue& venue_;
+  IflsResult* result_;
+  QueryStats& stats_;
+  FacilityIndex index_;
+
+  TrackedVector<ClientState> clients_;
+  std::vector<Group, TrackingAllocator<Group>> groups_;
+  std::priority_queue<TraversalEntry,
+                      TrackedVector<TraversalEntry>,
+                      std::greater<TraversalEntry>>
+      queue_;
+  std::priority_queue<FacilityEvent, TrackedVector<FacilityEvent>,
+                      std::greater<FacilityEvent>>
+      events_;
+  std::vector<std::int32_t> candidate_ordinal_;  // partition -> Fn ordinal
+  TrackedVector<std::int32_t> coverage_;         // per Fn ordinal
+  std::vector<char> candidate_collected_;        // top-k bookkeeping
+  std::vector<std::pair<PartitionId, double>> collected_;
+  std::vector<double> base_distances_;           // AddFacilityToGroup scratch
+  TrackedVector<std::uint32_t> pending_first_;
+  TrackedVector<std::uint32_t> pruned_clients_;
+
+  double gd_ = 0.0;
+  double d_low_ = 0.0;
+  double pruned_floor_ = 0.0;
+  std::int64_t alive_count_ = 0;
+  bool is_first_ = false;
+  bool done_ = false;
+};
+
+}  // namespace
+
+Result<IflsResult> SolveEfficient(const IflsContext& ctx,
+                                  const EfficientOptions& options) {
+  IFLS_RETURN_NOT_OK(ValidateContext(ctx));
+  IflsResult result;
+  SolverScope scope(*ctx.tree, &result.stats);
+  EfficientSolver solver(ctx, options, &result);
+  solver.Run();
+  scope.Finish();
+  return result;
+}
+
+}  // namespace ifls

@@ -1,0 +1,57 @@
+#ifndef IFLS_CORE_EFFICIENT_H_
+#define IFLS_CORE_EFFICIENT_H_
+
+#include "src/core/query.h"
+
+namespace ifls {
+
+/// Tuning knobs for the efficient approach. Defaults reproduce the paper;
+/// the toggles exist for the ablation benchmarks.
+struct EfficientOptions {
+  /// Group clients by partition (paper §5: the priority queue holds
+  /// partitions, not clients). When false every client becomes its own
+  /// group, reproducing the ungrouped traversal for the ablation.
+  bool group_clients = true;
+  /// Prune clients per Lemma 5.1. When false clients stay alive until a
+  /// common candidate covers them all.
+  bool prune_clients = true;
+  /// Skip subtrees / partitions that contain no facility (object-layer
+  /// counts). The paper's pseudocode enqueues all children; skipping
+  /// facility-free ones is behaviour-preserving and is what the VIP-tree NN
+  /// machinery does as well.
+  bool skip_empty_subtrees = true;
+  /// Share distance work across the clients of a group (the generalization
+  /// of the paper's §5.3.1 Case 1): per (group, facility), door-to-facility
+  /// base distances are computed once and every client adds only its local
+  /// point-to-door legs. Exactly equivalent to per-client computation;
+  /// kills the per-client door-to-door compositions entirely.
+  bool reuse_group_distances = true;
+  /// Return the k best candidates (ascending exact objective) in
+  /// IflsResult::ranked instead of just the argmin. The single pass simply
+  /// keeps running after the first common candidate until the k-th best
+  /// collected objective drops below d_low — an extension beyond the paper
+  /// (several related works return k optimal locations).
+  int top_k = 1;
+};
+
+/// The paper's efficient approach (Algorithms 2 + 3): a single bottom-up
+/// best-first traversal of the VIP-tree over Fe ∪ Fn that incrementally
+/// retrieves the nearest facilities of *all* clients at once, prunes clients
+/// via Lemma 5.1 as the global distance Gd grows, and raises the answer
+/// bound d_low through retrieved-facility distances until a candidate is
+/// common to every surviving client.
+///
+/// Contract: when `found`, `answer` minimizes the MinMax objective over Fn
+/// (ties among candidates that become common at the same d_low step are
+/// broken exactly, computing the pruned clients' distances). `objective` is
+/// max(answer's max distance to surviving clients, pruned-client NEF floor):
+/// an upper bound on the true objective that is tight unless the floor
+/// client would itself be improved by the answer; tests certify answers with
+/// EvaluateMinMax. found == false means no candidate improves the objective
+/// (all clients pruned) or Fn is empty.
+Result<IflsResult> SolveEfficient(const IflsContext& ctx,
+                                  const EfficientOptions& options = {});
+
+}  // namespace ifls
+
+#endif  // IFLS_CORE_EFFICIENT_H_

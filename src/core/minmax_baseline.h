@@ -1,0 +1,35 @@
+#ifndef IFLS_CORE_MINMAX_BASELINE_H_
+#define IFLS_CORE_MINMAX_BASELINE_H_
+
+#include "src/core/query.h"
+
+namespace ifls {
+
+/// Tuning knobs for the baseline (defaults reproduce the paper's setup).
+struct MinMaxBaselineOptions {
+  /// Reuse a caller-provided Fe facility index ("indexed once offline",
+  /// paper §4). When null the solver builds one itself inside the timed
+  /// region.
+  const FacilityIndex* offline_existing_index = nullptr;
+};
+
+/// The paper's baseline (Algorithm 1): the MinMax road-network algorithm of
+/// Chen et al. (SIGMOD'14) modified for indoor venues. Per client it finds
+/// the nearest existing facility via VIP-tree NN search, sorts clients by
+/// that distance descending, generates the candidate answer set from the
+/// worst-off client, and refines it per client with the paper's pruning
+/// rules 3(a)/3(b) until at most one candidate survives or all clients are
+/// considered.
+///
+/// Contract: when `found`, `answer` minimizes the MinMax objective over Fn
+/// and `objective` equals max(considered-client distance, next unconsidered
+/// client's NEF) — an upper bound that is tight except when refinement
+/// terminates early with |CA| == 1 (tests certify answers by re-evaluating
+/// with EvaluateMinMax). found == false means Fn is empty or no candidate
+/// improves the worst-off client.
+Result<IflsResult> SolveModifiedMinMax(const IflsContext& ctx,
+                                       const MinMaxBaselineOptions& options = {});
+
+}  // namespace ifls
+
+#endif  // IFLS_CORE_MINMAX_BASELINE_H_

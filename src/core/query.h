@@ -1,0 +1,138 @@
+#ifndef IFLS_CORE_QUERY_H_
+#define IFLS_CORE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/memory_tracker.h"
+#include "src/common/status.h"
+#include "src/index/facility_index.h"
+#include "src/index/nn_search.h"
+#include "src/index/vip_tree.h"
+
+namespace ifls {
+
+/// Immutable inputs of one IFLS query: the indexed venue, the existing
+/// facility set Fe, the candidate location set Fn and the client set C.
+/// Facilities are partitions (paper §3); the two sets must be disjoint.
+struct IflsContext {
+  const VipTree* tree = nullptr;
+  std::vector<PartitionId> existing;
+  std::vector<PartitionId> candidates;
+  std::vector<Client> clients;
+
+  const Venue& venue() const { return tree->venue(); }
+};
+
+/// Checks ids, ranges, client/partition consistency and Fe/Fn disjointness.
+Status ValidateContext(const IflsContext& ctx);
+
+/// Work and memory counters recorded by every solver. Memory is the logical
+/// high-water mark of the query's data structures (DESIGN.md §2, item 2),
+/// reproducing the paper's "memory cost" metric deterministically.
+struct QueryStats {
+  double elapsed_seconds = 0.0;
+  /// Exact point-based indoor distance evaluations (paper: "indoor distance
+  /// computations").
+  std::int64_t distance_computations = 0;
+  /// iMinD lower-bound evaluations.
+  std::int64_t lower_bound_computations = 0;
+  std::int64_t queue_pushes = 0;
+  std::int64_t queue_pops = 0;
+  /// Complete NN searches issued (baseline only).
+  std::int64_t nn_searches = 0;
+  std::int64_t clients_pruned = 0;
+  /// Facility-to-client list insertions (EA) / candidate retrievals.
+  std::int64_t facilities_retrieved = 0;
+  std::int64_t check_list_calls = 0;
+  std::int64_t check_answer_calls = 0;
+  std::int64_t peak_memory_bytes = 0;
+  /// Index-level counters attributed to this query.
+  std::uint64_t door_distance_evals = 0;
+  std::uint64_t matrix_lookups = 0;
+
+  void AddNnStats(const NnSearchStats& nn) {
+    queue_pushes += nn.queue_pushes;
+    queue_pops += nn.queue_pops;
+    distance_computations += nn.distance_computations;
+  }
+
+  std::string ToString() const;
+};
+
+/// Answer of an IFLS query.
+///
+/// `found == true`: `answer` is an optimal candidate and `objective` is the
+/// solver's reported objective value for it (MinMax: the minimized maximum
+/// distance; MinDist: the minimized total distance; MaxSum: the maximized
+/// client count — see each solver's contract for reporting caveats).
+///
+/// `found == false`: no candidate location can improve the objective over
+/// the existing facilities alone (paper: "no answer exists"); `objective`
+/// then holds the no-new-facility value.
+struct IflsResult {
+  PartitionId answer = kInvalidPartition;
+  bool found = false;
+  double objective = 0.0;
+  /// Filled by top-k requests (EfficientOptions::top_k > 1 or
+  /// SolveBruteForceTopKMinMax): up to k candidates ascending by *exact*
+  /// objective value. `answer`/`objective` mirror the first entry.
+  std::vector<std::pair<PartitionId, double>> ranked;
+  QueryStats stats;
+};
+
+/// RAII helper every solver uses: installs memory tracking, snapshots the
+/// tree counters, and on Finish() stamps elapsed time, peak memory and the
+/// tree-counter deltas into the stats.
+class SolverScope {
+ public:
+  explicit SolverScope(const VipTree& tree, QueryStats* stats);
+  ~SolverScope();
+
+  SolverScope(const SolverScope&) = delete;
+  SolverScope& operator=(const SolverScope&) = delete;
+
+  MemoryTracker* tracker() { return &tracker_; }
+
+  /// Call once, at solver exit.
+  void Finish();
+
+ private:
+  const VipTree& tree_;
+  QueryStats* stats_;
+  MemoryTracker tracker_;
+  ScopedMemoryTracking scope_;
+  VipTreeCounters before_;
+  double start_seconds_;
+  bool finished_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Objective evaluation helpers (exact, index-backed; used by the brute-force
+// solver and by tests to certify the optimized solvers' answers).
+// ---------------------------------------------------------------------------
+
+/// iDist(c, NN(c, Fe)) for one client; kInfDistance when Fe is empty.
+double NearestExistingDistance(const IflsContext& ctx, const Client& c);
+
+/// MinMax objective of candidate `n`:
+///   max_c min(NEF(c), iDist(c, n)).
+double EvaluateMinMax(const IflsContext& ctx, PartitionId n);
+
+/// MinMax objective with no new facility: max_c NEF(c).
+double NoFacilityMinMax(const IflsContext& ctx);
+
+/// MinDist objective of candidate `n`: sum_c min(NEF(c), iDist(c, n)).
+double EvaluateMinDist(const IflsContext& ctx, PartitionId n);
+
+/// MinDist objective with no new facility: sum_c NEF(c).
+double NoFacilityMinDist(const IflsContext& ctx);
+
+/// MaxSum objective of candidate `n`: number of clients whose nearest
+/// facility becomes `n`, i.e. #{c : iDist(c, n) < NEF(c)}.
+double EvaluateMaxSum(const IflsContext& ctx, PartitionId n);
+
+}  // namespace ifls
+
+#endif  // IFLS_CORE_QUERY_H_

@@ -1,0 +1,184 @@
+#include "src/datasets/bsp_venue.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/indoor/venue_builder.h"
+
+namespace ifls {
+namespace {
+
+/// Minimum shared-wall length that can host a door.
+constexpr double kDoorWidth = 1.2;
+
+/// Union-find for the spanning-tree door placement.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Union(std::size_t a, std::size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+/// If `a` and `b` share a wall segment long enough for a door, writes a
+/// door position drawn from the central 60% of the shared segment.
+bool SharedWallDoor(const Rect& a, const Rect& b, Rng* rng, Point* door) {
+  constexpr double kTol = 1e-9;
+  auto pick = [&](double lo, double hi) {
+    return lo + (hi - lo) * rng->NextUniform(0.2, 0.8);
+  };
+  if (std::abs(a.max_x - b.min_x) <= kTol || std::abs(b.max_x - a.min_x) <= kTol) {
+    const double wall_x = std::abs(a.max_x - b.min_x) <= kTol ? a.max_x : b.max_x;
+    const double lo = std::max(a.min_y, b.min_y);
+    const double hi = std::min(a.max_y, b.max_y);
+    if (hi - lo >= kDoorWidth) {
+      *door = Point(wall_x, pick(lo, hi), a.level);
+      return true;
+    }
+  }
+  if (std::abs(a.max_y - b.min_y) <= kTol || std::abs(b.max_y - a.min_y) <= kTol) {
+    const double wall_y = std::abs(a.max_y - b.min_y) <= kTol ? a.max_y : b.max_y;
+    const double lo = std::max(a.min_x, b.min_x);
+    const double hi = std::min(a.max_x, b.max_x);
+    if (hi - lo >= kDoorWidth) {
+      *door = Point(pick(lo, hi), wall_y, a.level);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Randomized BSP of one floor into ~target rooms.
+std::vector<Rect> SplitFloor(const BspVenueSpec& spec, Level level,
+                             Rng* rng) {
+  // Largest-area-first splitting keeps room sizes balanced-but-varied.
+  auto cmp = [](const Rect& a, const Rect& b) { return a.area() < b.area(); };
+  std::priority_queue<Rect, std::vector<Rect>, decltype(cmp)> open(cmp);
+  open.push(Rect(0, 0, spec.width, spec.height, level));
+  std::vector<Rect> done;
+  while (!open.empty() &&
+         open.size() + done.size() <
+             static_cast<std::size_t>(spec.rooms_per_level)) {
+    Rect r = open.top();
+    open.pop();
+    const bool split_x = r.width() >= r.height();
+    const double len = split_x ? r.width() : r.height();
+    if (len < 2 * spec.min_room_side) {
+      done.push_back(r);
+      continue;
+    }
+    const double cut =
+        rng->NextUniform(spec.min_room_side, len - spec.min_room_side);
+    if (split_x) {
+      open.push(Rect(r.min_x, r.min_y, r.min_x + cut, r.max_y, level));
+      open.push(Rect(r.min_x + cut, r.min_y, r.max_x, r.max_y, level));
+    } else {
+      open.push(Rect(r.min_x, r.min_y, r.max_x, r.min_y + cut, level));
+      open.push(Rect(r.min_x, r.min_y + cut, r.max_x, r.max_y, level));
+    }
+  }
+  while (!open.empty()) {
+    done.push_back(open.top());
+    open.pop();
+  }
+  return done;
+}
+
+}  // namespace
+
+Result<Venue> GenerateBspVenue(const BspVenueSpec& spec, Rng* rng) {
+  if (spec.levels < 1 || spec.rooms_per_level < 2 || spec.width <= 0 ||
+      spec.height <= 0 || spec.min_room_side <= 0) {
+    return Status::InvalidArgument("bsp venue spec must be positive");
+  }
+  if (spec.width < 2 * spec.min_room_side ||
+      spec.height < 2 * spec.min_room_side) {
+    return Status::InvalidArgument("floor too small for min_room_side");
+  }
+  IFLS_CHECK(rng != nullptr);
+
+  VenueBuilder builder(spec.name);
+  std::vector<std::vector<PartitionId>> rooms_by_level(
+      static_cast<std::size_t>(spec.levels));
+  for (int level = 0; level < spec.levels; ++level) {
+    const std::vector<Rect> rects =
+        SplitFloor(spec, static_cast<Level>(level), rng);
+    std::vector<PartitionId>& rooms =
+        rooms_by_level[static_cast<std::size_t>(level)];
+    for (const Rect& r : rects) {
+      rooms.push_back(builder.AddPartition(r, PartitionKind::kRoom));
+    }
+    // Adjacent pairs that can host a door.
+    struct Candidate {
+      std::size_t a, b;
+      Point door;
+    };
+    std::vector<Candidate> candidates;
+    for (std::size_t i = 0; i < rooms.size(); ++i) {
+      for (std::size_t j = i + 1; j < rooms.size(); ++j) {
+        Point door;
+        if (SharedWallDoor(builder.partition(rooms[i]).rect,
+                           builder.partition(rooms[j]).rect, rng, &door)) {
+          candidates.push_back({i, j, door});
+        }
+      }
+    }
+    // Random spanning tree first (connectivity), then extra doors.
+    rng->Shuffle(&candidates);
+    DisjointSets sets(rooms.size());
+    std::size_t connected = 1;
+    for (const Candidate& c : candidates) {
+      if (sets.Union(c.a, c.b)) {
+        builder.AddDoor(rooms[c.a], rooms[c.b], c.door);
+        ++connected;
+      } else if (rng->NextBernoulli(spec.extra_door_fraction)) {
+        builder.AddDoor(rooms[c.a], rooms[c.b], c.door);
+      }
+    }
+    if (connected != rooms.size()) {
+      return Status::Internal(
+          "BSP floor not connectable (min_room_side too large for door "
+          "width?)");
+    }
+  }
+
+  // Stairs: on each pair of adjacent levels, join the rooms containing the
+  // floor's centre point (they overlap there by construction).
+  const Point centre(spec.width / 2, spec.height / 2, 0);
+  for (int level = 0; level + 1 < spec.levels; ++level) {
+    auto room_at_centre = [&](int l) -> PartitionId {
+      for (PartitionId p : rooms_by_level[static_cast<std::size_t>(l)]) {
+        Rect r = builder.partition(p).rect;
+        r.level = 0;  // compare planar only
+        if (r.Contains(centre)) return p;
+      }
+      return rooms_by_level[static_cast<std::size_t>(l)].front();
+    };
+    const PartitionId lower = room_at_centre(level);
+    const PartitionId upper = room_at_centre(level + 1);
+    builder.AddStairDoor(lower, upper,
+                         Point(centre.x, centre.y, static_cast<Level>(level)),
+                         spec.stair_length);
+  }
+  return builder.Build();
+}
+
+}  // namespace ifls

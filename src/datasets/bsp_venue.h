@@ -1,0 +1,43 @@
+#ifndef IFLS_DATASETS_BSP_VENUE_H_
+#define IFLS_DATASETS_BSP_VENUE_H_
+
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/indoor/venue.h"
+
+namespace ifls {
+
+/// Irregular venue generation by randomized binary space partitioning:
+/// each floor is a rectangle recursively split by random axis-aligned cuts
+/// into rooms of organic, varied sizes — no corridors, movement flows
+/// room-to-room like in exhibition halls or open-plan markets. Doors are
+/// placed on a random spanning tree of the room-adjacency graph
+/// (guaranteeing connectivity) plus a configurable fraction of extra doors
+/// for alternative routes; stairwells link adjacent floors.
+///
+/// This deliberately violates every structural assumption of the corridor
+/// generator (long hub partitions, door-per-room), making it the
+/// adversarial topology for the VIP-tree's node formation in the
+/// robustness tests.
+struct BspVenueSpec {
+  std::string name = "bsp";
+  int levels = 1;
+  /// Approximate rooms per level (splitting stops around this count).
+  int rooms_per_level = 32;
+  double width = 100.0;
+  double height = 80.0;
+  /// Rooms narrower than this are never split further.
+  double min_room_side = 4.0;
+  /// Fraction of non-tree adjacent room pairs that also get a door.
+  double extra_door_fraction = 0.3;
+  double stair_length = 10.0;
+};
+
+/// Generates the venue deterministically from `rng`.
+Result<Venue> GenerateBspVenue(const BspVenueSpec& spec, Rng* rng);
+
+}  // namespace ifls
+
+#endif  // IFLS_DATASETS_BSP_VENUE_H_

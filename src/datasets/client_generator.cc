@@ -1,0 +1,123 @@
+#include "src/datasets/client_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/indoor/point_location.h"
+
+namespace ifls {
+namespace {
+
+bool Eligible(const Partition& p, const ClientGeneratorOptions& options) {
+  if (p.kind == PartitionKind::kStairwell) return false;
+  if (p.kind == PartitionKind::kCorridor) return options.allow_corridors;
+  return true;
+}
+
+Point UniformPointInside(const Rect& r, Rng* rng) {
+  return Point(rng->NextUniform(r.min_x, r.max_x),
+               rng->NextUniform(r.min_y, r.max_y), r.level);
+}
+
+}  // namespace
+
+const char* ClientDistributionName(ClientDistribution d) {
+  switch (d) {
+    case ClientDistribution::kUniform:
+      return "uniform";
+    case ClientDistribution::kNormal:
+      return "normal";
+  }
+  return "?";
+}
+
+std::vector<Client> GenerateClients(const Venue& venue, std::size_t count,
+                                    const ClientGeneratorOptions& options,
+                                    Rng* rng) {
+  IFLS_CHECK(rng != nullptr);
+  std::vector<const Partition*> eligible;
+  double total_area = 0.0;
+  for (const Partition& p : venue.partitions()) {
+    if (Eligible(p, options)) {
+      eligible.push_back(&p);
+      total_area += p.rect.area();
+    }
+  }
+  IFLS_CHECK(!eligible.empty()) << "no client-eligible partitions";
+
+  std::vector<Client> clients;
+  clients.reserve(count);
+
+  if (options.distribution == ClientDistribution::kUniform) {
+    // Area-weighted partition choice via cumulative areas, then a uniform
+    // point inside.
+    std::vector<double> cumulative;
+    cumulative.reserve(eligible.size());
+    double acc = 0.0;
+    for (const Partition* p : eligible) {
+      acc += p->rect.area();
+      cumulative.push_back(acc);
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      const double r = rng->NextUniform(0.0, total_area);
+      const auto it =
+          std::lower_bound(cumulative.begin(), cumulative.end(), r);
+      const std::size_t idx = std::min(
+          static_cast<std::size_t>(it - cumulative.begin()),
+          eligible.size() - 1);
+      const Partition* p = eligible[idx];
+      Client c;
+      c.id = static_cast<ClientId>(i);
+      c.position = UniformPointInside(p->rect, rng);
+      c.partition = p->id;
+      clients.push_back(c);
+    }
+    return clients;
+  }
+
+  // Normal distribution around the venue centre. sigma is relative to the
+  // half extent of a level's bounds; levels are drawn from a discretized
+  // normal around the middle level with the same relative sigma. Rejected
+  // samples (walls, stairwells, out of bounds) are redrawn; a bounded retry
+  // count guards against pathological sigma values, falling back to the
+  // nearest eligible partition's clamped interior point.
+  PointLocator locator(&venue);
+  const int levels = venue.num_levels();
+  const double mid_level = (levels - 1) / 2.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    Client c;
+    c.id = static_cast<ClientId>(i);
+    bool placed = false;
+    for (int attempt = 0; attempt < 256 && !placed; ++attempt) {
+      const Level level = static_cast<Level>(std::lround(rng->NextGaussian(
+          mid_level, std::max(0.25, options.sigma * levels / 2.0))));
+      if (level < 0 || level >= levels) continue;
+      const Rect bounds = venue.LevelBounds(level);
+      if (!bounds.IsValid()) continue;
+      const Point centre = bounds.center();
+      const Point sample(
+          rng->NextGaussian(centre.x, options.sigma * bounds.width() / 2.0),
+          rng->NextGaussian(centre.y, options.sigma * bounds.height() / 2.0),
+          level);
+      const PartitionId pid = locator.Locate(sample);
+      if (pid == kInvalidPartition) continue;
+      const Partition& p = venue.partition(pid);
+      if (!Eligible(p, options)) continue;
+      c.position = sample;
+      c.partition = pid;
+      placed = true;
+    }
+    if (!placed) {
+      // Fallback: uniform-eligible partition, clamped toward the centre.
+      const Partition* p = eligible[static_cast<std::size_t>(
+          rng->NextBounded(eligible.size()))];
+      c.position = p->rect.center();
+      c.partition = p->id;
+    }
+    clients.push_back(c);
+  }
+  return clients;
+}
+
+}  // namespace ifls

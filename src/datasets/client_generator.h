@@ -1,0 +1,42 @@
+#ifndef IFLS_DATASETS_CLIENT_GENERATOR_H_
+#define IFLS_DATASETS_CLIENT_GENERATOR_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/indoor/types.h"
+#include "src/indoor/venue.h"
+
+namespace ifls {
+
+/// Spatial distribution of generated clients (paper §6.1.1).
+enum class ClientDistribution {
+  /// Uniform over walkable area: partitions weighted by area, uniform point
+  /// inside.
+  kUniform,
+  /// 2D normal centred on the venue centre; sigma is relative to the half
+  /// extent of the venue (the paper's sigma in {0.125, 0.25, 0.5, 1, 2}).
+  /// Levels follow a discretized normal around the middle level.
+  kNormal,
+};
+
+const char* ClientDistributionName(ClientDistribution d);
+
+/// Parameters for client generation.
+struct ClientGeneratorOptions {
+  ClientDistribution distribution = ClientDistribution::kUniform;
+  /// Relative standard deviation for kNormal (paper default 1.0).
+  double sigma = 1.0;
+  /// Clients spawn in rooms and corridors, never in stairwells.
+  bool allow_corridors = true;
+};
+
+/// Generates `count` clients inside the venue, deterministically from `rng`.
+/// Client ids are 0..count-1 and each client's partition is set.
+std::vector<Client> GenerateClients(const Venue& venue, std::size_t count,
+                                    const ClientGeneratorOptions& options,
+                                    Rng* rng);
+
+}  // namespace ifls
+
+#endif  // IFLS_DATASETS_CLIENT_GENERATOR_H_

@@ -1,0 +1,57 @@
+#include "src/datasets/facility_selector.h"
+
+#include "src/common/logging.h"
+
+namespace ifls {
+
+Result<FacilitySets> SelectUniformFacilities(const Venue& venue,
+                                             std::size_t num_existing,
+                                             std::size_t num_candidates,
+                                             Rng* rng) {
+  IFLS_CHECK(rng != nullptr);
+  std::vector<PartitionId> rooms;
+  for (const Partition& p : venue.partitions()) {
+    if (p.kind == PartitionKind::kRoom) rooms.push_back(p.id);
+  }
+  if (rooms.size() < num_existing + num_candidates) {
+    return Status::InvalidArgument(
+        "venue has only " + std::to_string(rooms.size()) +
+        " rooms; cannot draw " + std::to_string(num_existing) + " + " +
+        std::to_string(num_candidates) + " facilities");
+  }
+  const std::vector<std::size_t> picks =
+      rng->SampleWithoutReplacement(rooms.size(),
+                                    num_existing + num_candidates);
+  FacilitySets sets;
+  sets.existing.reserve(num_existing);
+  sets.candidates.reserve(num_candidates);
+  for (std::size_t i = 0; i < num_existing; ++i) {
+    sets.existing.push_back(rooms[picks[i]]);
+  }
+  for (std::size_t i = num_existing; i < picks.size(); ++i) {
+    sets.candidates.push_back(rooms[picks[i]]);
+  }
+  return sets;
+}
+
+Result<FacilitySets> SelectCategoryFacilities(
+    const Venue& venue, const std::string& existing_category) {
+  FacilitySets sets;
+  bool category_seen = false;
+  for (const Partition& p : venue.partitions()) {
+    if (p.category.empty()) continue;
+    if (p.category == existing_category) {
+      sets.existing.push_back(p.id);
+      category_seen = true;
+    } else {
+      sets.candidates.push_back(p.id);
+    }
+  }
+  if (!category_seen) {
+    return Status::NotFound("no partitions carry category '" +
+                            existing_category + "'");
+  }
+  return sets;
+}
+
+}  // namespace ifls

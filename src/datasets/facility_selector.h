@@ -1,0 +1,35 @@
+#ifndef IFLS_DATASETS_FACILITY_SELECTOR_H_
+#define IFLS_DATASETS_FACILITY_SELECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/indoor/venue.h"
+
+namespace ifls {
+
+/// A disjoint (Fe, Fn) pair of facility partitions.
+struct FacilitySets {
+  std::vector<PartitionId> existing;
+  std::vector<PartitionId> candidates;
+};
+
+/// Synthetic setting (paper §6.1.1): draws |Fe| existing facilities and
+/// |Fn| candidate locations uniformly at random from the venue's rooms,
+/// without replacement and mutually disjoint.
+Result<FacilitySets> SelectUniformFacilities(const Venue& venue,
+                                             std::size_t num_existing,
+                                             std::size_t num_candidates,
+                                             Rng* rng);
+
+/// Real setting (paper §6.1.2): partitions of `existing_category` become Fe
+/// and every other *categorized* partition becomes Fn. Requires categories
+/// assigned (AssignMelbourneCentralCategories).
+Result<FacilitySets> SelectCategoryFacilities(
+    const Venue& venue, const std::string& existing_category);
+
+}  // namespace ifls
+
+#endif  // IFLS_DATASETS_FACILITY_SELECTOR_H_

@@ -1,0 +1,130 @@
+#include "src/datasets/presets.h"
+
+#include "src/common/logging.h"
+
+namespace ifls {
+
+const char* VenuePresetName(VenuePreset preset) {
+  switch (preset) {
+    case VenuePreset::kMelbourneCentral:
+      return "MC";
+    case VenuePreset::kChadstone:
+      return "CH";
+    case VenuePreset::kCopenhagenAirport:
+      return "CPH";
+    case VenuePreset::kMenziesBuilding:
+      return "MZB";
+  }
+  return "?";
+}
+
+std::vector<VenuePreset> AllVenuePresets() {
+  return {VenuePreset::kMelbourneCentral, VenuePreset::kChadstone,
+          VenuePreset::kCopenhagenAirport, VenuePreset::kMenziesBuilding};
+}
+
+VenueGeneratorSpec PresetSpec(VenuePreset preset) {
+  VenueGeneratorSpec spec;
+  switch (preset) {
+    case VenuePreset::kMelbourneCentral:
+      // 298 rooms / 299 doors / 7 levels: one long double-loaded corridor
+      // per level.
+      spec.name = "MC";
+      spec.levels = 7;
+      spec.total_rooms = 298;
+      spec.rooms_per_corridor_side = 22;
+      spec.room_width = 8.0;
+      spec.room_depth = 10.0;
+      spec.corridor_width = 5.0;
+      spec.stairwells = 1;
+      spec.stair_length = 14.0;
+      break;
+    case VenuePreset::kChadstone:
+      // 679 rooms / 678 doors / 4 levels: Australia's largest mall.
+      spec.name = "CH";
+      spec.levels = 4;
+      spec.total_rooms = 679;
+      spec.rooms_per_corridor_side = 40;
+      spec.room_width = 9.0;
+      spec.room_depth = 12.0;
+      spec.corridor_width = 6.0;
+      spec.stairwells = 2;
+      spec.stair_length = 16.0;
+      break;
+    case VenuePreset::kCopenhagenAirport:
+      // 76 rooms / 118 doors, single 2000 m x 600 m floor. Extra
+      // room-to-room doors hit the published door count exactly
+      // (76 + 2 corridors + 40 extra = 118).
+      spec.name = "CPH";
+      spec.levels = 1;
+      spec.total_rooms = 76;
+      spec.rooms_per_corridor_side = 19;
+      spec.room_width = 100.0;
+      spec.room_depth = 130.0;
+      spec.corridor_width = 40.0;
+      spec.stairwells = 0;
+      spec.extra_room_doors_per_level = 40;
+      break;
+    case VenuePreset::kMenziesBuilding:
+      // 1344 rooms / 1375 doors / 16 levels: an office/teaching tower.
+      spec.name = "MZB";
+      spec.levels = 16;
+      spec.total_rooms = 1344;
+      spec.rooms_per_corridor_side = 21;
+      spec.room_width = 5.0;
+      spec.room_depth = 6.0;
+      spec.corridor_width = 3.0;
+      spec.stairwells = 2;
+      spec.stair_length = 11.0;
+      break;
+  }
+  return spec;
+}
+
+Result<Venue> BuildPresetVenue(VenuePreset preset) {
+  return GenerateVenue(PresetSpec(preset));
+}
+
+std::vector<McCategory> MelbourneCentralCategories() {
+  // The five categories the paper names, with its exact cardinalities, plus
+  // "general retail" absorbing the rest of the 291 categorized partitions
+  // (Fe + Fn always total 291 in the paper's Table 2).
+  return {
+      {"fashion & accessories", 101}, {"dining & entertainment", 54},
+      {"health & beauty", 39},        {"fresh food", 19},
+      {"banks & services", 14},       {"general retail", 64},
+  };
+}
+
+Status AssignMelbourneCentralCategories(Venue* venue) {
+  if (venue == nullptr) {
+    return Status::InvalidArgument("venue must not be null");
+  }
+  // Rooms in id order follow the generator's level -> corridor -> row -> x
+  // sweep, so contiguous id blocks are spatially clustered, matching how
+  // mall tenants of one category co-locate.
+  std::vector<PartitionId> rooms;
+  for (const Partition& p : venue->partitions()) {
+    if (p.kind == PartitionKind::kRoom) rooms.push_back(p.id);
+  }
+  const auto categories = MelbourneCentralCategories();
+  std::size_t needed = 0;
+  for (const McCategory& c : categories) {
+    needed += static_cast<std::size_t>(c.count);
+  }
+  if (rooms.size() < needed) {
+    return Status::InvalidArgument(
+        "venue has too few rooms for the MC category map (need " +
+        std::to_string(needed) + ", have " + std::to_string(rooms.size()) +
+        ")");
+  }
+  std::size_t next = 0;
+  for (const McCategory& c : categories) {
+    for (int i = 0; i < c.count; ++i) {
+      venue->SetCategory(rooms[next++], c.name);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ifls

@@ -1,0 +1,64 @@
+#ifndef IFLS_DATASETS_PRESETS_H_
+#define IFLS_DATASETS_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/datasets/venue_generator.h"
+#include "src/indoor/venue.h"
+
+namespace ifls {
+
+/// The four evaluation venues of the paper (§6.1.1), rebuilt synthetically
+/// to the published statistics (rooms / doors / levels / footprint); see
+/// DESIGN.md §4 for the substitution rationale.
+enum class VenuePreset {
+  /// Melbourne Central: 298 rooms, 299 doors, 7 levels.
+  kMelbourneCentral,
+  /// Chadstone: 679 rooms, 678 doors, 4 levels.
+  kChadstone,
+  /// Copenhagen Airport ground floor: 76 rooms, 118 doors, 1 level,
+  /// ~2000 m x 600 m.
+  kCopenhagenAirport,
+  /// Menzies Building: 1344 rooms, 1375 doors, 16 levels.
+  kMenziesBuilding,
+};
+
+/// Stable short names used by benches and IO: "MC", "CH", "CPH", "MZB".
+const char* VenuePresetName(VenuePreset preset);
+
+/// All four presets, in the paper's order.
+std::vector<VenuePreset> AllVenuePresets();
+
+/// Generator spec for a preset (exposed so tests can assert the mapping).
+VenueGeneratorSpec PresetSpec(VenuePreset preset);
+
+/// Builds the preset venue. Room counts match the paper exactly; door
+/// counts match within a small tolerance (the generator adds
+/// corridor/stair doors the floor-plan statistics fold into their totals).
+Result<Venue> BuildPresetVenue(VenuePreset preset);
+
+/// Melbourne Central tenant categories used by the real-setting experiments
+/// (§6.1.2), with the paper's exact cardinalities. Partitions of one
+/// category form Fe; the remaining categorized partitions form Fn.
+struct McCategory {
+  std::string name;
+  int count = 0;
+};
+
+/// The five named categories (fashion & accessories 101, dining &
+/// entertainment 54, health & beauty 39, fresh food 19, banks & services
+/// 14) plus "general retail" absorbing the rest of the 291 categorized
+/// partitions.
+std::vector<McCategory> MelbourneCentralCategories();
+
+/// Assigns categories to the MC venue's rooms in spatially clustered blocks
+/// (mall tenants of a category cluster together), with exactly the
+/// cardinalities above; the remaining rooms stay uncategorized. Requires a
+/// venue built from kMelbourneCentral.
+Status AssignMelbourneCentralCategories(Venue* venue);
+
+}  // namespace ifls
+
+#endif  // IFLS_DATASETS_PRESETS_H_

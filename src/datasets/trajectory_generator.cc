@@ -1,0 +1,186 @@
+#include "src/datasets/trajectory_generator.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace ifls {
+namespace {
+
+/// A straight walkable piece of a route: from `from` to `to` inside
+/// `partition`, of walking length `length` (vertical stair pieces keep
+/// from == to planar but consume stair length and switch levels).
+struct RoutePiece {
+  Point from;
+  Point to;
+  /// Partition of the first half of the piece and of the second half; they
+  /// differ only for stair dwell pieces (the level flips mid-climb).
+  PartitionId partition_from = kInvalidPartition;
+  PartitionId partition_to = kInvalidPartition;
+  double length = 0.0;
+};
+
+PartitionId CommonPartition(const Door& a, const Door& b) {
+  if (b.Connects(a.partition_a)) return a.partition_a;
+  if (b.Connects(a.partition_b)) return a.partition_b;
+  return kInvalidPartition;
+}
+
+/// Expands an IndoorPath into consecutive route pieces covering its whole
+/// length (planar legs inside partitions plus stair-door dwell pieces).
+std::vector<RoutePiece> ExpandPath(const Venue& venue,
+                                   const IndoorPath& path) {
+  std::vector<RoutePiece> pieces;
+  if (path.doors.empty()) {
+    pieces.push_back({path.start, path.end, path.start_partition,
+                      path.start_partition,
+                      PlanarDistance(path.start, path.end)});
+    return pieces;
+  }
+  Point cursor = path.start;
+  PartitionId current = path.start_partition;
+  for (std::size_t i = 0; i < path.doors.size(); ++i) {
+    const Door& door = venue.door(path.doors[i]);
+    // Planar approach to the door inside the current partition.
+    Point door_point = door.position;
+    door_point.level = cursor.level;
+    pieces.push_back({cursor, door_point, current, current,
+                      PlanarDistance(cursor, door_point)});
+    // The partition on the far side: shared with the next door, or the
+    // path's end partition at the last door.
+    PartitionId next;
+    if (i + 1 < path.doors.size()) {
+      next = CommonPartition(door, venue.door(path.doors[i + 1]));
+      if (next == kInvalidPartition) next = door.Other(current);
+    } else {
+      next = path.end_partition;
+    }
+    IFLS_DCHECK(next != kInvalidPartition);
+    Point exit_point = door.position;
+    exit_point.level = venue.partition(next).level();
+    if (door.is_stair_door()) {
+      // Dwell on the stairs for the vertical walking length.
+      pieces.push_back(
+          {door_point, exit_point, current, next, door.vertical_cost});
+    }
+    cursor = exit_point;
+    current = next;
+  }
+  pieces.push_back({cursor, path.end, path.end_partition,
+                    path.end_partition, PlanarDistance(cursor, path.end)});
+  return pieces;
+}
+
+TrajectoryPoint Sample(const RoutePiece& piece, double along) {
+  if (piece.length <= 0.0) return {piece.to, piece.partition_to};
+  const double t = std::clamp(along / piece.length, 0.0, 1.0);
+  // Stair dwell pieces keep the planar position; the level (and stairwell
+  // partition) flips at the half-way point of the climb.
+  if (piece.from.x == piece.to.x && piece.from.y == piece.to.y &&
+      piece.partition_from != piece.partition_to) {
+    return t < 0.5 ? TrajectoryPoint{piece.from, piece.partition_from}
+                   : TrajectoryPoint{piece.to, piece.partition_to};
+  }
+  return {Point(piece.from.x + (piece.to.x - piece.from.x) * t,
+                piece.from.y + (piece.to.y - piece.from.y) * t,
+                piece.from.level),
+          piece.partition_from};
+}
+
+Client RandomPoint(const std::vector<const Partition*>& eligible,
+                   Rng* rng) {
+  const Partition* p =
+      eligible[static_cast<std::size_t>(rng->NextBounded(eligible.size()))];
+  Client c;
+  c.partition = p->id;
+  c.position = Point(rng->NextUniform(p->rect.min_x, p->rect.max_x),
+                     rng->NextUniform(p->rect.min_y, p->rect.max_y),
+                     p->level());
+  return c;
+}
+
+}  // namespace
+
+Result<std::vector<Trajectory>> GenerateTrajectories(
+    const VipTree& tree, std::size_t num_agents,
+    const TrajectoryOptions& options, Rng* rng) {
+  if (options.speed_mps <= 0 || options.tick_seconds <= 0 ||
+      options.ticks == 0) {
+    return Status::InvalidArgument("trajectory options must be positive");
+  }
+  IFLS_CHECK(rng != nullptr);
+  const Venue& venue = tree.venue();
+  std::vector<const Partition*> eligible;
+  for (const Partition& p : venue.partitions()) {
+    if (p.kind != PartitionKind::kStairwell) eligible.push_back(&p);
+  }
+  if (eligible.empty()) {
+    return Status::InvalidArgument("venue has no walkable partitions");
+  }
+  PathReconstructor reconstructor(&tree);
+  const double tick_length = options.speed_mps * options.tick_seconds;
+
+  std::vector<Trajectory> trajectories;
+  trajectories.reserve(num_agents);
+  for (std::size_t agent = 0; agent < num_agents; ++agent) {
+    Trajectory trajectory;
+    trajectory.reserve(options.ticks);
+    Client at = RandomPoint(eligible, rng);
+    trajectory.push_back({at.position, at.partition});
+    std::vector<RoutePiece> route;
+    std::size_t piece_index = 0;
+    double along = 0.0;
+    int pause = 0;
+    while (trajectory.size() < options.ticks) {
+      if (pause > 0) {
+        --pause;
+        trajectory.push_back(trajectory.back());
+        continue;
+      }
+      if (piece_index >= route.size()) {
+        // Arrived (or fresh agent): maybe pause, then pick a new target.
+        if (options.max_pause_ticks > 0 && rng->NextBernoulli(0.5)) {
+          pause = static_cast<int>(rng->NextBounded(
+              static_cast<std::uint64_t>(options.max_pause_ticks) + 1));
+        }
+        const Client target = RandomPoint(eligible, rng);
+        IFLS_ASSIGN_OR_RETURN(
+            IndoorPath path,
+            reconstructor.PointToPoint(at.position, at.partition,
+                                       target.position, target.partition));
+        route = ExpandPath(venue, path);
+        piece_index = 0;
+        along = 0.0;
+        continue;
+      }
+      // Advance one tick of walking along the route.
+      double remaining = tick_length;
+      while (remaining > 0 && piece_index < route.size()) {
+        const RoutePiece& piece = route[piece_index];
+        const double left = piece.length - along;
+        if (remaining < left) {
+          along += remaining;
+          remaining = 0;
+        } else {
+          remaining -= left;
+          along = 0.0;
+          ++piece_index;
+        }
+      }
+      if (piece_index < route.size()) {
+        const TrajectoryPoint sample = Sample(route[piece_index], along);
+        at.position = sample.position;
+        at.partition = sample.partition;
+      } else {
+        const RoutePiece& last = route.back();
+        at.position = last.to;
+        at.partition = last.partition_to;
+      }
+      trajectory.push_back({at.position, at.partition});
+    }
+    trajectories.push_back(std::move(trajectory));
+  }
+  return trajectories;
+}
+
+}  // namespace ifls

@@ -1,0 +1,47 @@
+#ifndef IFLS_DATASETS_TRAJECTORY_GENERATOR_H_
+#define IFLS_DATASETS_TRAJECTORY_GENERATOR_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/index/path.h"
+#include "src/index/vip_tree.h"
+
+namespace ifls {
+
+/// Random-waypoint mobility over a venue: each agent repeatedly picks a
+/// random destination (uniform over rooms and corridors), walks there along
+/// the exact shortest indoor route at constant speed — through doors, along
+/// stairs — and picks the next destination. Positions are sampled at fixed
+/// tick intervals. Feeds the continuous-IFLS monitor and the dynamic-crowd
+/// example with physically plausible movement.
+struct TrajectoryOptions {
+  /// Walking speed (default: average pedestrian).
+  double speed_mps = 1.4;
+  /// Sampling interval.
+  double tick_seconds = 1.0;
+  /// Samples per agent (the first is the start position).
+  std::size_t ticks = 60;
+  /// Agents may pause at a reached destination for up to this many ticks.
+  int max_pause_ticks = 3;
+};
+
+/// One sampled position. The partition is always consistent with the
+/// position (inside it, stair dwells included).
+struct TrajectoryPoint {
+  Point position;
+  PartitionId partition = kInvalidPartition;
+};
+
+using Trajectory = std::vector<TrajectoryPoint>;
+
+/// Generates `num_agents` trajectories of `options.ticks` samples each,
+/// deterministically from `rng`.
+Result<std::vector<Trajectory>> GenerateTrajectories(
+    const VipTree& tree, std::size_t num_agents,
+    const TrajectoryOptions& options, Rng* rng);
+
+}  // namespace ifls
+
+#endif  // IFLS_DATASETS_TRAJECTORY_GENERATOR_H_

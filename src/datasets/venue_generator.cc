@@ -1,0 +1,139 @@
+#include "src/datasets/venue_generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/indoor/venue_builder.h"
+
+namespace ifls {
+namespace {
+
+/// Door placement along a wall segment [lo, hi]: midpoint, or jittered into
+/// the central 60% of the wall when a jitter RNG is provided.
+double PlaceOnWall(double lo, double hi, Rng* jitter) {
+  if (jitter == nullptr) return (lo + hi) / 2.0;
+  return lo + (hi - lo) * jitter->NextUniform(0.2, 0.8);
+}
+
+}  // namespace
+
+Result<Venue> GenerateVenue(const VenueGeneratorSpec& spec) {
+  if (spec.levels < 1 || spec.rooms_per_corridor_side < 1 ||
+      (spec.total_rooms <= 0 && spec.rooms_per_level < 1)) {
+    return Status::InvalidArgument("venue spec counts must be positive");
+  }
+  if (spec.total_rooms > 0 && spec.total_rooms < spec.levels) {
+    return Status::InvalidArgument("total_rooms must cover every level");
+  }
+  if (spec.room_width <= 0 || spec.room_depth <= 0 ||
+      spec.corridor_width <= 0 || spec.stair_length <= 0) {
+    return Status::InvalidArgument("venue spec dimensions must be positive");
+  }
+  if (spec.levels > 1 && spec.stairwells < 1) {
+    return Status::InvalidArgument(
+        "multi-level venues need at least one stairwell");
+  }
+
+  Rng jitter_rng(spec.door_jitter_seed);
+  Rng* jitter = spec.door_jitter_seed != 0 ? &jitter_rng : nullptr;
+
+  const double rw = spec.room_width;
+  const double rd = spec.room_depth;
+  const double cw = spec.corridor_width;
+  const int side = spec.rooms_per_corridor_side;
+  const int corridors = spec.CorridorsPerLevel();
+  const int stairwells =
+      spec.levels > 1 ? std::min(spec.stairwells, corridors) : 0;
+  const double block_height = 2.0 * rd + cw;  // rooms + corridor + rooms
+  const double wing_x0 = cw;                  // rooms start right of spine
+  const double wing_x1 = cw + side * rw;
+  const double stair_w = cw;
+
+  VenueBuilder builder(spec.name);
+
+  // Per-level bookkeeping for stair linkage.
+  std::vector<std::vector<PartitionId>> stairs_by_level(
+      static_cast<std::size_t>(spec.levels));
+
+  for (int level = 0; level < spec.levels; ++level) {
+    const Level lv = static_cast<Level>(level);
+    const double total_height = corridors * block_height;
+    const PartitionId spine = builder.AddPartition(
+        Rect(0.0, 0.0, cw, total_height, lv), PartitionKind::kCorridor);
+
+    int rooms_left = spec.RoomsOnLevel(level);
+    for (int c = 0; c < corridors; ++c) {
+      const double y0 = c * block_height;
+      const double cy0 = y0 + rd;
+      const double cy1 = cy0 + cw;
+      const PartitionId corridor = builder.AddPartition(
+          Rect(wing_x0, cy0, wing_x1, cy1, lv), PartitionKind::kCorridor);
+      // Spine <-> corridor door on the shared wall x = cw.
+      builder.AddDoor(spine, corridor,
+                      Point(cw, PlaceOnWall(cy0, cy1, jitter), lv));
+
+      // Bottom row, then top row, left to right.
+      std::vector<PartitionId> bottom_row;
+      std::vector<PartitionId> top_row;
+      for (int row = 0; row < 2 && rooms_left > 0; ++row) {
+        for (int j = 0; j < side && rooms_left > 0; ++j, --rooms_left) {
+          const double x0 = wing_x0 + j * rw;
+          const double x1 = x0 + rw;
+          Rect rect = row == 0 ? Rect(x0, y0, x1, cy0, lv)
+                               : Rect(x0, cy1, x1, y0 + block_height, lv);
+          const PartitionId room =
+              builder.AddPartition(rect, PartitionKind::kRoom);
+          const double wall_y = row == 0 ? cy0 : cy1;
+          builder.AddDoor(room, corridor,
+                          Point(PlaceOnWall(x0, x1, jitter), wall_y, lv));
+          (row == 0 ? bottom_row : top_row).push_back(room);
+        }
+      }
+
+      // Extra room-to-room doors (shared vertical walls), round-robin over
+      // both rows until the per-level budget is spent; budget is split
+      // evenly across corridors.
+      int extra = spec.extra_room_doors_per_level / corridors +
+                  (c < spec.extra_room_doors_per_level % corridors ? 1 : 0);
+      for (const auto* row : {&bottom_row, &top_row}) {
+        for (std::size_t j = 0; extra > 0 && j + 1 < row->size();
+             ++j, --extra) {
+          const Rect& a = builder.partition((*row)[j]).rect;
+          builder.AddDoor(
+              (*row)[j], (*row)[j + 1],
+              Point(a.max_x, PlaceOnWall(a.min_y, a.max_y, jitter), lv));
+        }
+      }
+
+      // Stairwell hanging off the right end of the first `stairwells`
+      // corridors.
+      if (c < stairwells) {
+        const PartitionId stair = builder.AddPartition(
+            Rect(wing_x1, cy0, wing_x1 + stair_w, cy1, lv),
+            PartitionKind::kStairwell);
+        builder.AddDoor(stair, corridor,
+                        Point(wing_x1, PlaceOnWall(cy0, cy1, jitter), lv));
+        stairs_by_level[static_cast<std::size_t>(level)].push_back(stair);
+      }
+    }
+    IFLS_CHECK(rooms_left == 0)
+        << "corridor capacity too small for rooms_per_level";
+  }
+
+  // Vertical stair doors between stacked stairwells of adjacent levels.
+  for (int level = 0; level + 1 < spec.levels; ++level) {
+    const auto& lower = stairs_by_level[static_cast<std::size_t>(level)];
+    const auto& upper = stairs_by_level[static_cast<std::size_t>(level + 1)];
+    IFLS_CHECK(lower.size() == upper.size());
+    for (std::size_t s = 0; s < lower.size(); ++s) {
+      const Rect& r = builder.partition(lower[s]).rect;
+      builder.AddStairDoor(lower[s], upper[s], r.center(), spec.stair_length);
+    }
+  }
+
+  return builder.Build();
+}
+
+}  // namespace ifls

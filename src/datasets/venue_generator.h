@@ -1,0 +1,69 @@
+#ifndef IFLS_DATASETS_VENUE_GENERATOR_H_
+#define IFLS_DATASETS_VENUE_GENERATOR_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/indoor/venue.h"
+
+namespace ifls {
+
+/// Parameters of the synthetic venue generator. The generator lays out each
+/// level as a set of double-loaded corridors (rooms on both sides) hanging
+/// off a vertical spine corridor, with stairwell partitions connecting
+/// adjacent levels — the standard abstraction of mall / office floor plans
+/// used by the indoor-index literature. Every venue it emits is connected
+/// and passes Venue::Validate.
+///
+/// This substitutes for the paper's proprietary floor plans: the presets in
+/// presets.h instantiate it with the published room/door/level counts of the
+/// four evaluation venues (see DESIGN.md §4).
+struct VenueGeneratorSpec {
+  std::string name = "synthetic";
+  /// Number of floors.
+  int levels = 1;
+  /// Exact number of room partitions per level (the last corridor is
+  /// partially filled to hit it). Ignored when total_rooms > 0.
+  int rooms_per_level = 40;
+  /// When > 0, the exact number of rooms across the whole venue; levels get
+  /// ceil/floor(total_rooms / levels) rooms so the total matches exactly
+  /// (the published venue statistics are totals, e.g. MC's 298 rooms over 7
+  /// levels).
+  int total_rooms = 0;
+  /// Rooms on one side of one corridor.
+  int rooms_per_corridor_side = 10;
+  double room_width = 6.0;
+  double room_depth = 8.0;
+  double corridor_width = 4.0;
+  /// Walking length of one staircase between adjacent levels (metres).
+  double stair_length = 12.0;
+  /// Stairwells connecting each pair of adjacent levels.
+  int stairwells = 2;
+  /// Extra room-to-room doors added per level between horizontally adjacent
+  /// rooms (raises the door/room ratio; CPH needs this).
+  int extra_room_doors_per_level = 0;
+  /// Seed for door-position jitter along shared walls; 0 = exact midpoints.
+  std::uint64_t door_jitter_seed = 0;
+
+  /// Rooms on level `level` (0-based) under the total_rooms distribution.
+  int RoomsOnLevel(int level) const {
+    if (total_rooms <= 0) return rooms_per_level;
+    const int base = total_rooms / levels;
+    const int remainder = total_rooms % levels;
+    return base + (level < remainder ? 1 : 0);
+  }
+
+  /// Derived: corridors needed per level (sized for the fullest level).
+  int CorridorsPerLevel() const {
+    const int per_corridor = 2 * rooms_per_corridor_side;
+    const int max_rooms = RoomsOnLevel(0);
+    return (max_rooms + per_corridor - 1) / per_corridor;
+  }
+};
+
+/// Generates the venue. Fails on non-positive dimensions/counts.
+Result<Venue> GenerateVenue(const VenueGeneratorSpec& spec);
+
+}  // namespace ifls
+
+#endif  // IFLS_DATASETS_VENUE_GENERATOR_H_

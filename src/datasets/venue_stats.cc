@@ -1,0 +1,85 @@
+#include "src/datasets/venue_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace ifls {
+namespace {
+
+/// Uniform random point in a random non-stairwell partition.
+Client SamplePoint(const Venue& venue, Rng* rng) {
+  for (;;) {
+    const auto pid = static_cast<PartitionId>(
+        rng->NextBounded(venue.num_partitions()));
+    const Partition& p = venue.partition(pid);
+    if (p.kind == PartitionKind::kStairwell) continue;
+    Client c;
+    c.partition = pid;
+    c.position = Point(rng->NextUniform(p.rect.min_x, p.rect.max_x),
+                       rng->NextUniform(p.rect.min_y, p.rect.max_y),
+                       p.level());
+    return c;
+  }
+}
+
+}  // namespace
+
+VenueStats ComputeVenueStats(const VipTree& tree, std::size_t samples,
+                             std::uint64_t seed) {
+  const Venue& venue = tree.venue();
+  VenueStats stats;
+  stats.partitions = venue.num_partitions();
+  stats.doors = venue.num_doors();
+  stats.levels = venue.num_levels();
+  for (const Partition& p : venue.partitions()) {
+    switch (p.kind) {
+      case PartitionKind::kRoom:
+        ++stats.rooms;
+        stats.walkable_area += p.rect.area();
+        break;
+      case PartitionKind::kCorridor:
+        ++stats.corridors;
+        stats.walkable_area += p.rect.area();
+        break;
+      case PartitionKind::kStairwell:
+        ++stats.stairwells;
+        break;
+    }
+    stats.max_degree =
+        std::max(stats.max_degree, static_cast<int>(p.doors.size()));
+    stats.mean_degree += static_cast<double>(p.doors.size());
+  }
+  if (stats.partitions > 0) {
+    stats.mean_degree /= static_cast<double>(stats.partitions);
+  }
+  for (const Door& d : venue.doors()) {
+    if (d.is_stair_door()) ++stats.stair_doors;
+  }
+  Rng rng(seed);
+  double total = 0.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const Client a = SamplePoint(venue, &rng);
+    const Client b = SamplePoint(venue, &rng);
+    const double dist =
+        tree.PointToPoint(a.position, a.partition, b.position, b.partition);
+    total += dist;
+    stats.max_distance = std::max(stats.max_distance, dist);
+  }
+  if (samples > 0) stats.mean_distance = total / static_cast<double>(samples);
+  return stats;
+}
+
+std::string VenueStats::ToString() const {
+  std::ostringstream os;
+  os << partitions << " partitions (" << rooms << " rooms, " << corridors
+     << " corridors, " << stairwells << " stairwells), " << doors
+     << " doors (" << stair_doors << " stairs), " << levels
+     << " levels; degree mean " << mean_degree << " max " << max_degree
+     << "; walkable " << walkable_area << " m^2; pairwise distance mean "
+     << mean_distance << " m max " << max_distance << " m";
+  return os.str();
+}
+
+}  // namespace ifls

@@ -1,0 +1,45 @@
+#ifndef IFLS_DATASETS_VENUE_STATS_H_
+#define IFLS_DATASETS_VENUE_STATS_H_
+
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/indoor/venue.h"
+#include "src/index/vip_tree.h"
+
+namespace ifls {
+
+/// Descriptive statistics of a venue's topology and metric space; printed
+/// by the Table-2 bench and used in DESIGN.md to argue the synthetic
+/// replicas behave like the published venues.
+struct VenueStats {
+  std::size_t partitions = 0;
+  std::size_t rooms = 0;
+  std::size_t corridors = 0;
+  std::size_t stairwells = 0;
+  std::size_t doors = 0;
+  std::size_t stair_doors = 0;
+  int levels = 0;
+
+  /// Doors per partition.
+  double mean_degree = 0.0;
+  int max_degree = 0;
+
+  /// Walkable area (rooms + corridors), m^2.
+  double walkable_area = 0.0;
+
+  /// Pairwise indoor distance over `samples` random point pairs.
+  double mean_distance = 0.0;
+  double max_distance = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Computes the stats. Distance moments use `samples` random pairs drawn
+/// deterministically from `seed` via the tree's exact distances.
+VenueStats ComputeVenueStats(const VipTree& tree, std::size_t samples = 200,
+                             std::uint64_t seed = 1);
+
+}  // namespace ifls
+
+#endif  // IFLS_DATASETS_VENUE_STATS_H_

@@ -1,0 +1,70 @@
+#include "src/datasets/workload.h"
+
+#include "src/common/logging.h"
+
+namespace ifls {
+
+Result<Workload> BuildWorkload(const WorkloadSpec& spec) {
+  Workload w;
+  IFLS_ASSIGN_OR_RETURN(w.venue, BuildPresetVenue(spec.preset));
+  if (spec.real_setting) {
+    if (spec.preset != VenuePreset::kMelbourneCentral) {
+      return Status::InvalidArgument(
+          "the real setting is defined on Melbourne Central only");
+    }
+    IFLS_RETURN_NOT_OK(AssignMelbourneCentralCategories(&w.venue));
+  }
+  Rng rng(spec.seed);
+  IFLS_ASSIGN_OR_RETURN(w.facilities, MakeFacilities(w.venue, spec, &rng));
+  w.clients = MakeClients(w.venue, spec, &rng);
+  return w;
+}
+
+Result<FacilitySets> MakeFacilities(const Venue& venue,
+                                    const WorkloadSpec& spec, Rng* rng) {
+  if (spec.real_setting) {
+    return SelectCategoryFacilities(venue, spec.existing_category);
+  }
+  return SelectUniformFacilities(venue, spec.num_existing,
+                                 spec.num_candidates, rng);
+}
+
+std::vector<Client> MakeClients(const Venue& venue, const WorkloadSpec& spec,
+                                Rng* rng) {
+  return GenerateClients(venue, spec.num_clients, spec.client_options, rng);
+}
+
+ParameterGrid PresetParameterGrid(VenuePreset preset) {
+  ParameterGrid grid;
+  switch (preset) {
+    case VenuePreset::kMelbourneCentral:
+      grid.existing_sizes = {25, 50, 75, 100, 125};
+      grid.candidate_sizes = {100, 125, 150, 175, 200};
+      break;
+    case VenuePreset::kChadstone:
+      grid.existing_sizes = {50, 75, 100, 125, 150};
+      grid.candidate_sizes = {100, 200, 300, 400, 500};
+      break;
+    case VenuePreset::kCopenhagenAirport:
+      grid.existing_sizes = {10, 15, 20, 25, 30};
+      grid.candidate_sizes = {25, 30, 35, 40, 45};
+      break;
+    case VenuePreset::kMenziesBuilding:
+      grid.existing_sizes = {100, 200, 300, 400, 500};
+      grid.candidate_sizes = {300, 400, 500, 600, 700};
+      break;
+  }
+  // Paper: "the mean of these values are used as the default value".
+  grid.default_existing = grid.existing_sizes[grid.existing_sizes.size() / 2];
+  grid.default_candidates =
+      grid.candidate_sizes[grid.candidate_sizes.size() / 2];
+  return grid;
+}
+
+std::vector<std::size_t> ClientSizeSweep() {
+  return {1000, 5000, 10000, 15000, 20000};
+}
+
+std::vector<double> SigmaSweep() { return {0.125, 0.25, 0.5, 1.0, 2.0}; }
+
+}  // namespace ifls

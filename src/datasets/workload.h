@@ -1,0 +1,74 @@
+#ifndef IFLS_DATASETS_WORKLOAD_H_
+#define IFLS_DATASETS_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/datasets/client_generator.h"
+#include "src/datasets/facility_selector.h"
+#include "src/datasets/presets.h"
+#include "src/indoor/venue.h"
+
+namespace ifls {
+
+/// Full description of one experiment workload (paper Table 2 row).
+struct WorkloadSpec {
+  VenuePreset preset = VenuePreset::kMelbourneCentral;
+  /// Real setting: Fe/Fn from the MC category split; num_existing /
+  /// num_candidates are ignored.
+  bool real_setting = false;
+  std::string existing_category = "dining & entertainment";
+  /// Synthetic setting: uniform-random facility draws of these sizes.
+  std::size_t num_existing = 75;
+  std::size_t num_candidates = 150;
+  std::size_t num_clients = 10000;
+  ClientGeneratorOptions client_options;
+  std::uint64_t seed = 1;
+};
+
+/// A materialized workload. The venue is owned; index it with VipTree::Build
+/// and assemble an IflsContext from the parts.
+struct Workload {
+  Venue venue;
+  FacilitySets facilities;
+  std::vector<Client> clients;
+};
+
+/// Builds venue + facilities + clients from scratch (examples, one-shot
+/// runs). Benches that share a venue across repeats should instead call
+/// MakeFacilities / MakeClients on a venue they keep.
+Result<Workload> BuildWorkload(const WorkloadSpec& spec);
+
+/// Draws the facility sets for `spec` on an existing venue. For the real
+/// setting the venue must carry MC categories.
+Result<FacilitySets> MakeFacilities(const Venue& venue,
+                                    const WorkloadSpec& spec, Rng* rng);
+
+/// Draws the client set for `spec` on an existing venue.
+std::vector<Client> MakeClients(const Venue& venue, const WorkloadSpec& spec,
+                                Rng* rng);
+
+/// Paper Table 2: per-venue synthetic parameter grid. Defaults are the
+/// range means, as the paper prescribes.
+struct ParameterGrid {
+  std::vector<std::size_t> existing_sizes;
+  std::vector<std::size_t> candidate_sizes;
+  std::size_t default_existing = 0;
+  std::size_t default_candidates = 0;
+};
+
+ParameterGrid PresetParameterGrid(VenuePreset preset);
+
+/// The paper's client-size sweep {1k, 5k, 10k, 15k, 20k} (default 10k) and
+/// sigma sweep {0.125, 0.25, 0.5, 1, 2} (default 1).
+std::vector<std::size_t> ClientSizeSweep();
+std::vector<double> SigmaSweep();
+inline constexpr std::size_t kDefaultClients = 10000;
+inline constexpr double kDefaultSigma = 1.0;
+
+}  // namespace ifls
+
+#endif  // IFLS_DATASETS_WORKLOAD_H_

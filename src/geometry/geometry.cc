@@ -1,0 +1,113 @@
+#include "src/geometry/geometry.h"
+
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace ifls {
+
+std::string Point::ToString() const {
+  std::ostringstream os;
+  os << "(" << x << ", " << y << ", L" << level << ")";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << p.ToString();
+}
+
+double PlanarDistance(const Point& a, const Point& b) {
+  return std::sqrt(PlanarDistanceSquared(a, b));
+}
+
+double PlanarDistanceSquared(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+Rect Rect::Union(const Rect& other) const {
+  IFLS_DCHECK(level == other.level);
+  return Rect(std::min(min_x, other.min_x), std::min(min_y, other.min_y),
+              std::max(max_x, other.max_x), std::max(max_y, other.max_y),
+              level);
+}
+
+double Rect::MinDistance(const Point& p) const {
+  IFLS_DCHECK(p.level == level);
+  const double dx = std::max({min_x - p.x, 0.0, p.x - max_x});
+  const double dy = std::max({min_y - p.y, 0.0, p.y - max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::string Rect::ToString() const {
+  std::ostringstream os;
+  os << "[" << min_x << ", " << min_y << " .. " << max_x << ", " << max_y
+     << " @L" << level << "]";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << r.ToString();
+}
+
+bool IntervalsOverlap(double a0, double a1, double b0, double b1,
+                      double min_overlap) {
+  const double lo = std::max(a0, b0);
+  const double hi = std::min(a1, b1);
+  return hi - lo >= min_overlap;
+}
+
+std::uint64_t HilbertIndex(std::uint32_t order, std::uint32_t x,
+                           std::uint32_t y) {
+  IFLS_DCHECK(order <= 31);
+  std::uint64_t d = 0;
+  for (std::uint32_t s = order == 0 ? 0 : (1u << (order - 1)); s > 0;
+       s /= 2) {
+    const std::uint32_t rx = (x & s) > 0 ? 1 : 0;
+    const std::uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += static_cast<std::uint64_t>(s) * s * ((3 * rx) ^ ry);
+    // Rotate the quadrant.
+    if (ry == 0) {
+      if (rx == 1) {
+        x = s - 1 - x;
+        y = s - 1 - y;
+      }
+      std::swap(x, y);
+    }
+  }
+  return d;
+}
+
+bool SharedWallMidpoint(const Rect& a, const Rect& b, double min_shared_wall,
+                        Point* door_point) {
+  if (a.level != b.level) return false;
+  constexpr double kWallTol = 1e-9;
+  // Vertical shared wall: a's right edge on b's left edge (or vice versa).
+  if (std::abs(a.max_x - b.min_x) <= kWallTol ||
+      std::abs(b.max_x - a.min_x) <= kWallTol) {
+    const double wall_x =
+        std::abs(a.max_x - b.min_x) <= kWallTol ? a.max_x : b.max_x;
+    const double lo = std::max(a.min_y, b.min_y);
+    const double hi = std::min(a.max_y, b.max_y);
+    if (hi - lo >= min_shared_wall) {
+      *door_point = Point(wall_x, (lo + hi) / 2.0, a.level);
+      return true;
+    }
+  }
+  // Horizontal shared wall.
+  if (std::abs(a.max_y - b.min_y) <= kWallTol ||
+      std::abs(b.max_y - a.min_y) <= kWallTol) {
+    const double wall_y =
+        std::abs(a.max_y - b.min_y) <= kWallTol ? a.max_y : b.max_y;
+    const double lo = std::max(a.min_x, b.min_x);
+    const double hi = std::min(a.max_x, b.max_x);
+    if (hi - lo >= min_shared_wall) {
+      *door_point = Point((lo + hi) / 2.0, wall_y, a.level);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ifls

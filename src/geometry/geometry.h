@@ -1,0 +1,128 @@
+#ifndef IFLS_GEOMETRY_GEOMETRY_H_
+#define IFLS_GEOMETRY_GEOMETRY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace ifls {
+
+/// Floor index inside a venue; 0 = ground floor.
+using Level = std::int32_t;
+
+/// A 2D point on a specific floor. Indoor coordinates are metres; the level
+/// separates floors, and horizontal movement between levels is only possible
+/// through stair partitions.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+  Level level = 0;
+
+  Point() = default;
+  Point(double px, double py, Level plevel = 0) : x(px), y(py), level(plevel) {}
+
+  bool operator==(const Point& other) const {
+    return x == other.x && y == other.y && level == other.level;
+  }
+
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+
+/// Euclidean distance between two points. Points on different levels have no
+/// direct planar distance; callers must route through stair doors. This
+/// function asserts same-level usage in debug builds and returns the planar
+/// distance (documented behaviour for distance-matrix composition where the
+/// caller already accounted for vertical travel).
+double PlanarDistance(const Point& a, const Point& b);
+
+/// Squared planar distance; avoids the sqrt on hot comparison paths.
+double PlanarDistanceSquared(const Point& a, const Point& b);
+
+/// Axis-aligned rectangle on a single floor. Partitions (rooms, corridors,
+/// stair wells) are rectangles: real venues are modelled by the generator as
+/// unions of rectangular partitions, which is exactly how the VIP-tree paper
+/// abstracts floor plans.
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+  Level level = 0;
+
+  Rect() = default;
+  Rect(double x0, double y0, double x1, double y1, Level rlevel = 0)
+      : min_x(x0), min_y(y0), max_x(x1), max_y(y1), level(rlevel) {}
+
+  double width() const { return max_x - min_x; }
+  double height() const { return max_y - min_y; }
+  double area() const { return width() * height(); }
+  Point center() const {
+    return Point((min_x + max_x) / 2.0, (min_y + max_y) / 2.0, level);
+  }
+
+  /// True when the rect is non-degenerate (positive area).
+  bool IsValid() const { return max_x > min_x && max_y > min_y; }
+
+  /// Closed containment test; boundary points count as inside. Level must
+  /// match.
+  bool Contains(const Point& p) const {
+    return p.level == level && p.x >= min_x && p.x <= max_x && p.y >= min_y &&
+           p.y <= max_y;
+  }
+
+  /// True when the rectangles overlap or touch on the same level.
+  bool TouchesOrIntersects(const Rect& other) const {
+    return level == other.level && min_x <= other.max_x &&
+           other.min_x <= max_x && min_y <= other.max_y && other.min_y <= max_y;
+  }
+
+  /// Smallest rect covering both. Requires same level.
+  Rect Union(const Rect& other) const;
+
+  /// Minimum planar distance from `p` to this rect (0 when contained).
+  /// Requires same level.
+  double MinDistance(const Point& p) const;
+
+  /// Point inside the rect nearest to `p` (== p when contained).
+  Point Clamp(const Point& p) const {
+    return Point(std::clamp(p.x, min_x, max_x), std::clamp(p.y, min_y, max_y),
+                 level);
+  }
+
+  bool operator==(const Rect& other) const {
+    return min_x == other.min_x && min_y == other.min_y &&
+           max_x == other.max_x && max_y == other.max_y &&
+           level == other.level;
+  }
+
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+/// True when two closed 1D intervals [a0,a1] and [b0,b1] share at least
+/// `min_overlap` of length.
+bool IntervalsOverlap(double a0, double a1, double b0, double b1,
+                      double min_overlap);
+
+/// Position of grid cell (x, y) along the Hilbert space-filling curve of a
+/// 2^order x 2^order grid. Used to order partitions so that consecutive
+/// chunks are spatially coherent (VIP-tree node formation). Precondition:
+/// order <= 31 and x, y < 2^order.
+std::uint64_t HilbertIndex(std::uint32_t order, std::uint32_t x,
+                           std::uint32_t y);
+
+/// If `a` and `b` are adjacent rectangles sharing a wall segment of length at
+/// least `min_shared_wall`, writes the midpoint of the shared segment to
+/// `*door_point` and returns true. Used by the venue generator to place
+/// doors on shared walls.
+bool SharedWallMidpoint(const Rect& a, const Rect& b, double min_shared_wall,
+                        Point* door_point);
+
+}  // namespace ifls
+
+#endif  // IFLS_GEOMETRY_GEOMETRY_H_

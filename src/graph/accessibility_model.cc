@@ -1,0 +1,94 @@
+#include "src/graph/accessibility_model.h"
+
+#include <queue>
+
+#include "src/common/logging.h"
+
+namespace ifls {
+
+AccessibilityModel::AccessibilityModel(const Venue* venue)
+    : venue_(venue), graph_(*venue) {
+  IFLS_CHECK(venue != nullptr);
+}
+
+double AccessibilityModel::Expand(const Point& a, PartitionId pa,
+                                  const std::vector<DoorId>& targets,
+                                  const std::vector<double>& target_legs) const {
+  ++num_expansions_;
+  const std::size_t n = graph_.num_doors();
+  std::vector<double> dist(n, kInfDistance);
+  std::vector<char> settled(n, 0);
+
+  struct Entry {
+    double dist;
+    DoorId door;
+    bool operator>(const Entry& other) const { return dist > other.dist; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  for (DoorId d : venue_->partition(pa).doors) {
+    const double leg = PointToDoorDistance(a, venue_->door(d));
+    if (leg < dist[static_cast<std::size_t>(d)]) {
+      dist[static_cast<std::size_t>(d)] = leg;
+      queue.push({leg, d});
+    }
+  }
+  std::vector<char> is_target(n, 0);
+  std::size_t remaining = 0;
+  double best = kInfDistance;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const auto t = static_cast<std::size_t>(targets[i]);
+    if (!is_target[t]) {
+      is_target[t] = 1;
+      ++remaining;
+    }
+  }
+  while (!queue.empty() && remaining > 0) {
+    const Entry top = queue.top();
+    queue.pop();
+    const auto u = static_cast<std::size_t>(top.door);
+    if (settled[u]) continue;
+    settled[u] = 1;
+    if (is_target[u]) --remaining;
+    for (const DoorGraph::Edge* e = graph_.EdgesBegin(top.door);
+         e != graph_.EdgesEnd(top.door); ++e) {
+      const auto v = static_cast<std::size_t>(e->to);
+      const double cand = top.dist + e->weight;
+      if (cand < dist[v]) {
+        dist[v] = cand;
+        queue.push({cand, e->to});
+      }
+    }
+  }
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const auto t = static_cast<std::size_t>(targets[i]);
+    best = std::min(best, dist[t] + target_legs[i]);
+  }
+  return best;
+}
+
+double AccessibilityModel::PointToPoint(const Point& a, PartitionId pa,
+                                        const Point& b,
+                                        PartitionId pb) const {
+  if (pa == pb) return PlanarDistance(a, b);
+  std::vector<DoorId> targets;
+  std::vector<double> legs;
+  for (DoorId d : venue_->partition(pb).doors) {
+    targets.push_back(d);
+    legs.push_back(PointToDoorDistance(b, venue_->door(d)));
+  }
+  return Expand(a, pa, targets, legs);
+}
+
+double AccessibilityModel::PointToPartition(const Point& a, PartitionId pa,
+                                            PartitionId target) const {
+  if (pa == target) return 0.0;
+  std::vector<DoorId> targets;
+  std::vector<double> legs;
+  for (DoorId d : venue_->partition(target).doors) {
+    targets.push_back(d);
+    legs.push_back(0.0);
+  }
+  return Expand(a, pa, targets, legs);
+}
+
+}  // namespace ifls

@@ -1,0 +1,52 @@
+#ifndef IFLS_GRAPH_ACCESSIBILITY_MODEL_H_
+#define IFLS_GRAPH_ACCESSIBILITY_MODEL_H_
+
+#include "src/graph/dijkstra.h"
+#include "src/graph/door_graph.h"
+#include "src/indoor/venue.h"
+
+namespace ifls {
+
+/// The distance-aware accessibility model of Lu, Cao and Jensen (ICDE'12),
+/// which the paper's §4 adapts and argues against: the indoor topology is a
+/// graph (partitions connected through doors, with door-to-door distance
+/// mappings) and every distance query runs a fresh graph expansion — no
+/// materialized matrices. This is the "model the indoor space as a graph"
+/// comparator for the index micro benchmarks; it answers exactly the same
+/// distances as the VIP-tree, just slower per query (expansions instead of
+/// lookups) and with no build cost.
+class AccessibilityModel {
+ public:
+  /// The venue must outlive the model.
+  explicit AccessibilityModel(const Venue* venue);
+
+  const Venue& venue() const { return *venue_; }
+
+  /// Exact indoor distance between two points: a Dijkstra expansion from
+  /// the source partition's doors, early-terminated at the target's doors.
+  double PointToPoint(const Point& a, PartitionId pa, const Point& b,
+                      PartitionId pb) const;
+
+  /// Exact indoor distance from a point to partition `target`.
+  double PointToPartition(const Point& a, PartitionId pa,
+                          PartitionId target) const;
+
+  /// Graph expansions run so far (each is one Dijkstra).
+  std::size_t num_expansions() const { return num_expansions_; }
+
+ private:
+  /// Multi-source expansion: seeds every door of `pa` with the point's
+  /// local leg, stops when all of `targets` are settled, and returns the
+  /// best total over `targets` plus their point legs.
+  double Expand(const Point& a, PartitionId pa,
+                const std::vector<DoorId>& targets,
+                const std::vector<double>& target_legs) const;
+
+  const Venue* venue_;
+  DoorGraph graph_;
+  mutable std::size_t num_expansions_ = 0;
+};
+
+}  // namespace ifls
+
+#endif  // IFLS_GRAPH_ACCESSIBILITY_MODEL_H_

@@ -1,0 +1,101 @@
+#include "src/graph/dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/common/logging.h"
+
+namespace ifls {
+namespace {
+
+struct QueueEntry {
+  double dist;
+  DoorId door;
+  bool operator>(const QueueEntry& other) const { return dist > other.dist; }
+};
+
+ShortestPaths RunDijkstra(const DoorGraph& graph, DoorId source,
+                          const std::vector<DoorId>* targets) {
+  const std::size_t n = graph.num_doors();
+  IFLS_CHECK(source >= 0 && static_cast<std::size_t>(source) < n);
+
+  ShortestPaths out;
+  out.distance.assign(n, kInfDistance);
+  out.first_hop.assign(n, kInvalidDoor);
+  out.predecessor.assign(n, kInvalidDoor);
+
+  std::vector<char> settled(n, 0);
+  std::size_t remaining_targets = 0;
+  std::vector<char> is_target;
+  if (targets != nullptr) {
+    is_target.assign(n, 0);
+    for (DoorId t : *targets) {
+      if (!is_target[static_cast<std::size_t>(t)]) {
+        is_target[static_cast<std::size_t>(t)] = 1;
+        ++remaining_targets;
+      }
+    }
+  }
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  out.distance[static_cast<std::size_t>(source)] = 0.0;
+  queue.push({0.0, source});
+
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    const std::size_t u = static_cast<std::size_t>(top.door);
+    if (settled[u]) continue;
+    settled[u] = 1;
+    if (targets != nullptr && is_target[u]) {
+      if (--remaining_targets == 0) break;
+    }
+    for (const DoorGraph::Edge* e = graph.EdgesBegin(top.door);
+         e != graph.EdgesEnd(top.door); ++e) {
+      const std::size_t v = static_cast<std::size_t>(e->to);
+      const double cand = top.dist + e->weight;
+      if (cand < out.distance[v]) {
+        out.distance[v] = cand;
+        out.predecessor[v] = top.door;
+        out.first_hop[v] =
+            top.door == source ? e->to : out.first_hop[u];
+        queue.push({cand, e->to});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ShortestPaths SingleSourceShortestPaths(const DoorGraph& graph,
+                                        DoorId source) {
+  return RunDijkstra(graph, source, nullptr);
+}
+
+ShortestPaths ShortestPathsToTargets(const DoorGraph& graph, DoorId source,
+                                     const std::vector<DoorId>& targets) {
+  return RunDijkstra(graph, source, &targets);
+}
+
+std::vector<DoorId> ReconstructPath(const ShortestPaths& paths, DoorId source,
+                                    DoorId target) {
+  std::vector<DoorId> path;
+  if (target < 0 ||
+      static_cast<std::size_t>(target) >= paths.distance.size() ||
+      paths.distance[static_cast<std::size_t>(target)] == kInfDistance) {
+    return path;
+  }
+  for (DoorId cur = target; cur != kInvalidDoor;
+       cur = paths.predecessor[static_cast<std::size_t>(cur)]) {
+    path.push_back(cur);
+    if (cur == source) break;
+  }
+  std::reverse(path.begin(), path.end());
+  if (path.empty() || path.front() != source) return {};
+  return path;
+}
+
+}  // namespace ifls

@@ -1,0 +1,43 @@
+#ifndef IFLS_GRAPH_DIJKSTRA_H_
+#define IFLS_GRAPH_DIJKSTRA_H_
+
+#include <limits>
+#include <vector>
+
+#include "src/graph/door_graph.h"
+
+namespace ifls {
+
+inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+/// Result of a single-source shortest-path run over the door graph.
+struct ShortestPaths {
+  /// distance[d] = shortest walking distance source -> d; kInfDistance when
+  /// unreachable.
+  std::vector<double> distance;
+  /// first_hop[d] = first door after the source on a shortest path to d
+  /// (== d when d is the source's direct neighbor; kInvalidDoor for the
+  /// source itself and unreachable doors). This is what VIP-tree matrices
+  /// store alongside every distance entry.
+  std::vector<DoorId> first_hop;
+  /// predecessor[d] = previous door on the shortest path (kInvalidDoor for
+  /// source/unreachable). Enables full path reconstruction.
+  std::vector<DoorId> predecessor;
+};
+
+/// Full single-source Dijkstra from `source` over all doors.
+ShortestPaths SingleSourceShortestPaths(const DoorGraph& graph, DoorId source);
+
+/// Dijkstra that stops once every door in `targets` is settled (or the
+/// frontier is exhausted). Useful for sparse matrix rows.
+ShortestPaths ShortestPathsToTargets(const DoorGraph& graph, DoorId source,
+                                     const std::vector<DoorId>& targets);
+
+/// Reconstructs the door sequence source -> target (inclusive) from a
+/// ShortestPaths result; empty when unreachable.
+std::vector<DoorId> ReconstructPath(const ShortestPaths& paths, DoorId source,
+                                    DoorId target);
+
+}  // namespace ifls
+
+#endif  // IFLS_GRAPH_DIJKSTRA_H_

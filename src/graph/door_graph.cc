@@ -1,0 +1,37 @@
+#include "src/graph/door_graph.h"
+
+#include "src/common/logging.h"
+
+namespace ifls {
+
+DoorGraph::DoorGraph(const Venue& venue) {
+  const std::size_t n = venue.num_doors();
+  std::vector<std::size_t> degree(n, 0);
+  for (const Partition& p : venue.partitions()) {
+    const std::size_t k = p.doors.size();
+    if (k < 2) continue;
+    for (DoorId d : p.doors) degree[static_cast<std::size_t>(d)] += k - 1;
+  }
+  offsets_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) offsets_[i + 1] = offsets_[i] + degree[i];
+  edges_.resize(offsets_[n]);
+
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Partition& p : venue.partitions()) {
+    const auto& doors = p.doors;
+    for (std::size_t i = 0; i < doors.size(); ++i) {
+      for (std::size_t j = 0; j < doors.size(); ++j) {
+        if (i == j) continue;
+        const Door& from = venue.door(doors[i]);
+        const Door& to = venue.door(doors[j]);
+        Edge e;
+        e.to = to.id;
+        e.via = p.id;
+        e.weight = DoorToDoorIntraDistance(from, to);
+        edges_[cursor[static_cast<std::size_t>(from.id)]++] = e;
+      }
+    }
+  }
+}
+
+}  // namespace ifls

@@ -1,0 +1,44 @@
+#ifndef IFLS_GRAPH_DOOR_GRAPH_H_
+#define IFLS_GRAPH_DOOR_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/indoor/venue.h"
+
+namespace ifls {
+
+/// Door-to-door graph of a venue (Yang et al.'s doors graph): vertices are
+/// doors; an undirected edge joins two doors that lie on the same partition,
+/// weighted by the intra-partition walking distance (planar leg plus stair
+/// vertical costs). Stored as CSR for cache-friendly Dijkstra.
+class DoorGraph {
+ public:
+  struct Edge {
+    DoorId to = kInvalidDoor;
+    /// Partition crossed by this edge (both doors belong to it).
+    PartitionId via = kInvalidPartition;
+    double weight = 0.0;
+  };
+
+  explicit DoorGraph(const Venue& venue);
+
+  std::size_t num_doors() const { return offsets_.size() - 1; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// Outgoing edges of door `d`.
+  const Edge* EdgesBegin(DoorId d) const {
+    return edges_.data() + offsets_[static_cast<std::size_t>(d)];
+  }
+  const Edge* EdgesEnd(DoorId d) const {
+    return edges_.data() + offsets_[static_cast<std::size_t>(d) + 1];
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;  // size num_doors + 1
+  std::vector<Edge> edges_;
+};
+
+}  // namespace ifls
+
+#endif  // IFLS_GRAPH_DOOR_GRAPH_H_

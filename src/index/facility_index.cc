@@ -1,0 +1,52 @@
+#include "src/index/facility_index.h"
+
+#include "src/common/logging.h"
+
+namespace ifls {
+
+FacilityIndex::FacilityIndex(const VipTree* tree,
+                             const std::vector<PartitionId>& existing)
+    : tree_(tree) {
+  IFLS_CHECK(tree != nullptr);
+  kinds_.assign(tree->venue().num_partitions(), FacilityKind::kNone);
+  subtree_counts_.assign(tree->num_nodes(), 0);
+  for (PartitionId p : existing) Register(p, FacilityKind::kExisting);
+}
+
+void FacilityIndex::AddCandidates(const std::vector<PartitionId>& candidates) {
+  for (PartitionId p : candidates) {
+    Register(p, FacilityKind::kCandidate);
+    candidate_list_.push_back(p);
+  }
+}
+
+void FacilityIndex::ClearCandidates() {
+  for (PartitionId p : candidate_list_) {
+    kinds_[static_cast<std::size_t>(p)] = FacilityKind::kNone;
+    --num_candidates_;
+    for (NodeId n = tree_->LeafOf(p); n != kInvalidNode;
+         n = tree_->node(n).parent) {
+      --subtree_counts_[static_cast<std::size_t>(n)];
+    }
+  }
+  candidate_list_.clear();
+}
+
+void FacilityIndex::Register(PartitionId p, FacilityKind kind) {
+  IFLS_CHECK(p >= 0 && static_cast<std::size_t>(p) < kinds_.size())
+      << "facility partition " << p << " out of range";
+  IFLS_CHECK(kinds_[static_cast<std::size_t>(p)] == FacilityKind::kNone)
+      << "partition " << p << " registered twice (existing/candidate overlap)";
+  kinds_[static_cast<std::size_t>(p)] = kind;
+  if (kind == FacilityKind::kExisting) {
+    ++num_existing_;
+  } else {
+    ++num_candidates_;
+  }
+  for (NodeId n = tree_->LeafOf(p); n != kInvalidNode;
+       n = tree_->node(n).parent) {
+    ++subtree_counts_[static_cast<std::size_t>(n)];
+  }
+}
+
+}  // namespace ifls

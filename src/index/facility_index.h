@@ -1,0 +1,70 @@
+#ifndef IFLS_INDEX_FACILITY_INDEX_H_
+#define IFLS_INDEX_FACILITY_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/index/vip_tree.h"
+
+namespace ifls {
+
+/// Whether a facility partition is an existing facility (Fe) or a candidate
+/// location (Fn).
+enum class FacilityKind : std::uint8_t { kNone = 0, kExisting = 1, kCandidate = 2 };
+
+/// The "object layer" over a VIP-tree: marks which partitions host
+/// facilities and maintains per-node subtree facility counts so searches can
+/// skip facility-free subtrees in O(1). Mirrors the paper's split between
+/// offline indexing of Fe and query-time indexing of Fn: construct with the
+/// existing set, then AddCandidates at query time (O(|Fn| * tree height)).
+class FacilityIndex {
+ public:
+  /// Builds with only the existing facilities registered. The tree must
+  /// outlive the index.
+  FacilityIndex(const VipTree* tree, const std::vector<PartitionId>& existing);
+
+  /// Registers candidate locations. A partition cannot be both existing and
+  /// candidate; duplicates are checked (IFLS_CHECK).
+  void AddCandidates(const std::vector<PartitionId>& candidates);
+
+  /// Removes every candidate registration, keeping the existing set. Lets a
+  /// caller reuse the offline Fe index across queries with different Fn.
+  void ClearCandidates();
+
+  const VipTree& tree() const { return *tree_; }
+
+  FacilityKind kind(PartitionId p) const {
+    return kinds_[static_cast<std::size_t>(p)];
+  }
+  bool IsFacility(PartitionId p) const {
+    return kind(p) != FacilityKind::kNone;
+  }
+  bool IsExisting(PartitionId p) const {
+    return kind(p) == FacilityKind::kExisting;
+  }
+  bool IsCandidate(PartitionId p) const {
+    return kind(p) == FacilityKind::kCandidate;
+  }
+
+  /// Number of facilities (existing + candidate) in the subtree of `n`.
+  std::int32_t SubtreeCount(NodeId n) const {
+    return subtree_counts_[static_cast<std::size_t>(n)];
+  }
+
+  std::int32_t num_existing() const { return num_existing_; }
+  std::int32_t num_candidates() const { return num_candidates_; }
+
+ private:
+  void Register(PartitionId p, FacilityKind kind);
+
+  const VipTree* tree_;
+  std::vector<FacilityKind> kinds_;          // per partition
+  std::vector<std::int32_t> subtree_counts_; // per node
+  std::vector<PartitionId> candidate_list_;
+  std::int32_t num_existing_ = 0;
+  std::int32_t num_candidates_ = 0;
+};
+
+}  // namespace ifls
+
+#endif  // IFLS_INDEX_FACILITY_INDEX_H_

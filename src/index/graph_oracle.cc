@@ -1,0 +1,75 @@
+#include "src/index/graph_oracle.h"
+
+#include "src/common/logging.h"
+
+namespace ifls {
+
+GraphDistanceOracle::GraphDistanceOracle(const Venue* venue)
+    : venue_(venue), graph_(*venue) {
+  IFLS_CHECK(venue != nullptr);
+  cache_.resize(venue->num_doors());
+}
+
+const ShortestPaths& GraphDistanceOracle::PathsFrom(DoorId source) const {
+  auto& slot = cache_[static_cast<std::size_t>(source)];
+  if (slot == nullptr) {
+    slot = std::make_unique<ShortestPaths>(
+        SingleSourceShortestPaths(graph_, source));
+    ++num_runs_;
+  }
+  return *slot;
+}
+
+double GraphDistanceOracle::DoorToDoor(DoorId a, DoorId b) const {
+  if (a == b) return 0.0;
+  return PathsFrom(a).distance[static_cast<std::size_t>(b)];
+}
+
+double GraphDistanceOracle::PointToPoint(const Point& a, PartitionId pa,
+                                         const Point& b,
+                                         PartitionId pb) const {
+  if (pa == pb) return PlanarDistance(a, b);
+  double best = kInfDistance;
+  for (DoorId d1 : venue_->partition(pa).doors) {
+    const double leg_a = PointToDoorDistance(a, venue_->door(d1));
+    const ShortestPaths& paths = PathsFrom(d1);
+    for (DoorId d2 : venue_->partition(pb).doors) {
+      const double leg_b = PointToDoorDistance(b, venue_->door(d2));
+      const double cand =
+          leg_a + paths.distance[static_cast<std::size_t>(d2)] + leg_b;
+      if (cand < best) best = cand;
+    }
+  }
+  return best;
+}
+
+double GraphDistanceOracle::PointToPartition(const Point& a, PartitionId pa,
+                                             PartitionId target) const {
+  if (pa == target) return 0.0;
+  double best = kInfDistance;
+  for (DoorId d1 : venue_->partition(pa).doors) {
+    const double leg = PointToDoorDistance(a, venue_->door(d1));
+    const ShortestPaths& paths = PathsFrom(d1);
+    for (DoorId d2 : venue_->partition(target).doors) {
+      const double cand = leg + paths.distance[static_cast<std::size_t>(d2)];
+      if (cand < best) best = cand;
+    }
+  }
+  return best;
+}
+
+double GraphDistanceOracle::PartitionToPartition(PartitionId p,
+                                                 PartitionId q) const {
+  if (p == q) return 0.0;
+  double best = kInfDistance;
+  for (DoorId d1 : venue_->partition(p).doors) {
+    const ShortestPaths& paths = PathsFrom(d1);
+    for (DoorId d2 : venue_->partition(q).doors) {
+      const double cand = paths.distance[static_cast<std::size_t>(d2)];
+      if (cand < best) best = cand;
+    }
+  }
+  return best;
+}
+
+}  // namespace ifls

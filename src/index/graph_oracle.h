@@ -1,0 +1,52 @@
+#ifndef IFLS_INDEX_GRAPH_ORACLE_H_
+#define IFLS_INDEX_GRAPH_ORACLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/graph/dijkstra.h"
+#include "src/graph/door_graph.h"
+#include "src/indoor/venue.h"
+
+namespace ifls {
+
+/// Exact indoor-distance oracle answering straight from the door graph, with
+/// lazily memoized single-source Dijkstra runs (one per queried source
+/// door). Serves two roles: ground truth the VIP-tree is tested against, and
+/// the "no index" comparator in the micro benchmarks.
+class GraphDistanceOracle {
+ public:
+  explicit GraphDistanceOracle(const Venue* venue);
+
+  const Venue& venue() const { return *venue_; }
+
+  /// Global shortest walking distance between two doors.
+  double DoorToDoor(DoorId a, DoorId b) const;
+
+  /// Exact indoor distance between two points.
+  double PointToPoint(const Point& a, PartitionId pa, const Point& b,
+                      PartitionId pb) const;
+
+  /// Exact indoor distance from a point to partition `target`'s nearest
+  /// reachable door (0 when pa == target).
+  double PointToPartition(const Point& a, PartitionId pa,
+                          PartitionId target) const;
+
+  /// min over door pairs, zero intra offsets (iMinD for partitions).
+  double PartitionToPartition(PartitionId p, PartitionId q) const;
+
+  /// Number of Dijkstra runs performed so far (memoization hit rate probe).
+  std::size_t num_sssp_runs() const { return num_runs_; }
+
+ private:
+  const ShortestPaths& PathsFrom(DoorId source) const;
+
+  const Venue* venue_;
+  DoorGraph graph_;
+  mutable std::vector<std::unique_ptr<ShortestPaths>> cache_;
+  mutable std::size_t num_runs_ = 0;
+};
+
+}  // namespace ifls
+
+#endif  // IFLS_INDEX_GRAPH_ORACLE_H_

@@ -1,0 +1,59 @@
+#ifndef IFLS_INDEX_NN_SEARCH_H_
+#define IFLS_INDEX_NN_SEARCH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/index/facility_index.h"
+
+namespace ifls {
+
+/// One nearest-neighbor answer: a facility partition and the exact indoor
+/// distance from the query point to it.
+struct NnResult {
+  PartitionId facility = kInvalidPartition;
+  double distance = 0.0;
+};
+
+/// Work counters for a search, aggregated into QueryStats by callers.
+struct NnSearchStats {
+  std::int64_t queue_pushes = 0;
+  std::int64_t queue_pops = 0;
+  std::int64_t distance_computations = 0;
+};
+
+/// Restricts which facility kinds a search may return.
+enum class FacilityFilter : std::uint8_t { kAny, kExistingOnly, kCandidateOnly };
+
+/// Top-down best-first nearest-facility search (the traditional VIP-tree NN
+/// of Shao et al. §Queries): descend from the root with PointToNode lower
+/// bounds, skipping facility-free subtrees, and settle facility partitions
+/// by exact PointToPartition distance.
+///
+/// Returns nullopt when no facility matches the filter. `stats` may be null.
+std::optional<NnResult> NearestFacility(const FacilityIndex& index,
+                                        const Point& query,
+                                        PartitionId query_partition,
+                                        FacilityFilter filter,
+                                        NnSearchStats* stats);
+
+/// k nearest facilities in ascending distance order (fewer when the venue
+/// has fewer matching facilities).
+std::vector<NnResult> KNearestFacilities(const FacilityIndex& index,
+                                         const Point& query,
+                                         PartitionId query_partition, int k,
+                                         FacilityFilter filter,
+                                         NnSearchStats* stats);
+
+/// Every facility within `radius` of the query point (ascending distance).
+std::vector<NnResult> FacilitiesWithinRadius(const FacilityIndex& index,
+                                             const Point& query,
+                                             PartitionId query_partition,
+                                             double radius,
+                                             FacilityFilter filter,
+                                             NnSearchStats* stats);
+
+}  // namespace ifls
+
+#endif  // IFLS_INDEX_NN_SEARCH_H_

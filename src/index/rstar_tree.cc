@@ -1,0 +1,226 @@
+#include "src/index/rstar_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "src/common/logging.h"
+
+namespace ifls {
+namespace {
+
+/// Planar-only geometry: node MBRs span levels, so the level-aware Rect
+/// helpers do not apply.
+Rect PlanarUnion(const Rect& a, const Rect& b) {
+  return Rect(std::min(a.min_x, b.min_x), std::min(a.min_y, b.min_y),
+              std::max(a.max_x, b.max_x), std::max(a.max_y, b.max_y),
+              a.level);
+}
+
+double PlanarMinDistance(const Rect& r, const Point& p) {
+  const double dx = std::max({r.min_x - p.x, 0.0, p.x - r.max_x});
+  const double dy = std::max({r.min_y - p.y, 0.0, p.y - r.max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+bool PlanarIntersects(const Rect& a, const Rect& b) {
+  return a.min_x <= b.max_x && b.min_x <= a.max_x && a.min_y <= b.max_y &&
+         b.min_y <= a.max_y;
+}
+
+bool PlanarContains(const Rect& r, const Point& p) {
+  return p.x >= r.min_x && p.x <= r.max_x && p.y >= r.min_y && p.y <= r.max_y;
+}
+
+}  // namespace
+
+Rect RStarTree::MbrOf(const std::vector<Entry>& entries,
+                      const std::vector<std::int32_t>& indices) {
+  IFLS_DCHECK(!indices.empty());
+  Rect mbr = entries[static_cast<std::size_t>(indices[0])].rect;
+  for (std::size_t i = 1; i < indices.size(); ++i) {
+    mbr = PlanarUnion(mbr, entries[static_cast<std::size_t>(indices[i])].rect);
+  }
+  return mbr;
+}
+
+RStarTree::RStarTree(std::vector<Entry> entries, int node_capacity)
+    : entries_(std::move(entries)), num_entries_(entries_.size()) {
+  IFLS_CHECK(node_capacity >= 2);
+  if (entries_.empty()) return;
+
+  // ---- Sort-tile-recursive leaf packing. ---------------------------------
+  std::vector<std::int32_t> order(entries_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<std::int32_t>(i);
+  }
+  auto center_x = [&](std::int32_t i) {
+    const Rect& r = entries_[static_cast<std::size_t>(i)].rect;
+    return (r.min_x + r.max_x) / 2;
+  };
+  auto center_y = [&](std::int32_t i) {
+    const Rect& r = entries_[static_cast<std::size_t>(i)].rect;
+    return (r.min_y + r.max_y) / 2;
+  };
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    return center_x(a) < center_x(b);
+  });
+  const std::size_t n = order.size();
+  const auto cap = static_cast<std::size_t>(node_capacity);
+  const std::size_t num_leaves = (n + cap - 1) / cap;
+  const auto slabs = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const std::size_t slab_size = (n + slabs - 1) / slabs;
+
+  std::vector<std::int32_t> level_nodes;
+  for (std::size_t s = 0; s < slabs; ++s) {
+    const std::size_t begin = s * slab_size;
+    if (begin >= n) break;
+    const std::size_t end = std::min(begin + slab_size, n);
+    std::sort(order.begin() + static_cast<std::ptrdiff_t>(begin),
+              order.begin() + static_cast<std::ptrdiff_t>(end),
+              [&](std::int32_t a, std::int32_t b) {
+                return center_y(a) < center_y(b);
+              });
+    for (std::size_t i = begin; i < end; i += cap) {
+      Node leaf;
+      leaf.is_leaf = true;
+      for (std::size_t j = i; j < std::min(i + cap, end); ++j) {
+        leaf.children.push_back(order[j]);
+      }
+      leaf.mbr = MbrOf(entries_, leaf.children);
+      level_nodes.push_back(static_cast<std::int32_t>(nodes_.size()));
+      nodes_.push_back(std::move(leaf));
+    }
+  }
+
+  // ---- Pack upper levels until a single root. ----------------------------
+  height_ = 1;
+  while (level_nodes.size() > 1) {
+    ++height_;
+    std::sort(level_nodes.begin(), level_nodes.end(),
+              [&](std::int32_t a, std::int32_t b) {
+                const Rect& ra = nodes_[static_cast<std::size_t>(a)].mbr;
+                const Rect& rb = nodes_[static_cast<std::size_t>(b)].mbr;
+                const double ax = (ra.min_x + ra.max_x) / 2;
+                const double bx = (rb.min_x + rb.max_x) / 2;
+                if (ax != bx) return ax < bx;
+                return (ra.min_y + ra.max_y) < (rb.min_y + rb.max_y);
+              });
+    std::vector<std::int32_t> next;
+    for (std::size_t i = 0; i < level_nodes.size(); i += cap) {
+      Node parent;
+      parent.is_leaf = false;
+      Rect mbr;
+      for (std::size_t j = i; j < std::min(i + cap, level_nodes.size());
+           ++j) {
+        parent.children.push_back(level_nodes[j]);
+        const Rect& child =
+            nodes_[static_cast<std::size_t>(level_nodes[j])].mbr;
+        mbr = j == i ? child : PlanarUnion(mbr, child);
+      }
+      parent.mbr = mbr;
+      next.push_back(static_cast<std::int32_t>(nodes_.size()));
+      nodes_.push_back(std::move(parent));
+    }
+    level_nodes = std::move(next);
+  }
+  root_ = level_nodes.front();
+}
+
+std::vector<std::int32_t> RStarTree::Contains(const Point& p) const {
+  std::vector<std::int32_t> results;
+  if (root_ < 0) return results;
+  std::vector<std::int32_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<std::size_t>(stack.back())];
+    stack.pop_back();
+    if (!PlanarContains(node.mbr, p)) continue;
+    for (std::int32_t child : node.children) {
+      if (node.is_leaf) {
+        const Entry& e = entries_[static_cast<std::size_t>(child)];
+        if (e.rect.level == p.level && PlanarContains(e.rect, p)) {
+          results.push_back(e.id);
+        }
+      } else {
+        stack.push_back(child);
+      }
+    }
+  }
+  return results;
+}
+
+std::vector<std::int32_t> RStarTree::Intersects(const Rect& window) const {
+  std::vector<std::int32_t> results;
+  if (root_ < 0) return results;
+  std::vector<std::int32_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<std::size_t>(stack.back())];
+    stack.pop_back();
+    if (!PlanarIntersects(node.mbr, window)) continue;
+    for (std::int32_t child : node.children) {
+      if (node.is_leaf) {
+        const Entry& e = entries_[static_cast<std::size_t>(child)];
+        if (e.rect.level == window.level &&
+            PlanarIntersects(e.rect, window)) {
+          results.push_back(e.id);
+        }
+      } else {
+        stack.push_back(child);
+      }
+    }
+  }
+  return results;
+}
+
+std::vector<std::int32_t> RStarTree::NearestNeighbors(const Point& p,
+                                                      int k) const {
+  std::vector<std::int32_t> results;
+  if (root_ < 0 || k <= 0) return results;
+  struct QueueEntry {
+    double dist;
+    std::int32_t index;  // node index, or ~entry index for settled entries
+    bool is_entry;
+    bool operator>(const QueueEntry& other) const {
+      return dist > other.dist;
+    }
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  queue.push({0.0, root_, false});
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    if (top.is_entry) {
+      results.push_back(entries_[static_cast<std::size_t>(top.index)].id);
+      if (static_cast<int>(results.size()) == k) break;
+      continue;
+    }
+    const Node& node = nodes_[static_cast<std::size_t>(top.index)];
+    for (std::int32_t child : node.children) {
+      if (node.is_leaf) {
+        const Entry& e = entries_[static_cast<std::size_t>(child)];
+        if (e.rect.level != p.level) continue;
+        queue.push({PlanarMinDistance(e.rect, p), child, true});
+      } else {
+        queue.push(
+            {PlanarMinDistance(nodes_[static_cast<std::size_t>(child)].mbr,
+                               p),
+             child, false});
+      }
+    }
+  }
+  return results;
+}
+
+std::size_t RStarTree::MemoryFootprintBytes() const {
+  std::size_t total = sizeof(RStarTree);
+  total += entries_.capacity() * sizeof(Entry);
+  for (const Node& n : nodes_) {
+    total += sizeof(Node) + n.children.capacity() * sizeof(std::int32_t);
+  }
+  return total;
+}
+
+}  // namespace ifls

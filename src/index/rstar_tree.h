@@ -1,0 +1,70 @@
+#ifndef IFLS_INDEX_RSTAR_TREE_H_
+#define IFLS_INDEX_RSTAR_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geometry/geometry.h"
+
+namespace ifls {
+
+/// A compact R*-tree over rectangles — the *geometric layer* of the
+/// composite indoor index of Xie, Lu and Pedersen (ICDE'13), which the
+/// paper's related work discusses: it indexes the partitions of a venue for
+/// geometric lookups (point location, window queries, planar proximity),
+/// complementing the topological VIP-tree. Built by bulk loading (sort-tile
+/// -recursive, level-major) which yields the packed, low-overlap nodes
+/// R*-style forced reinsertion aims for.
+///
+/// Entries are (rect, id) pairs; ids are opaque to the tree (partition ids
+/// in the library's use).
+class RStarTree {
+ public:
+  struct Entry {
+    Rect rect;
+    std::int32_t id = -1;
+  };
+
+  /// Bulk loads the entries. `node_capacity` children per node.
+  explicit RStarTree(std::vector<Entry> entries, int node_capacity = 16);
+
+  std::size_t size() const { return num_entries_; }
+  int height() const { return height_; }
+
+  /// Ids of entries whose rect contains `p` (closed; same level only).
+  std::vector<std::int32_t> Contains(const Point& p) const;
+
+  /// Ids of entries whose rect intersects-or-touches `window`.
+  std::vector<std::int32_t> Intersects(const Rect& window) const;
+
+  /// Ids of the k entries with the smallest planar min-distance to `p`
+  /// among entries on p's level, ascending (fewer when the level has fewer
+  /// entries). Best-first over node MBR distances.
+  std::vector<std::int32_t> NearestNeighbors(const Point& p, int k) const;
+
+  /// Total bytes held.
+  std::size_t MemoryFootprintBytes() const;
+
+ private:
+  struct Node {
+    Rect mbr;
+    /// Children: node indices for internal nodes, entry indices for leaves.
+    std::vector<std::int32_t> children;
+    bool is_leaf = false;
+  };
+
+  /// Smallest rect covering all entries on any level (level field of the
+  /// MBR is unused; filtering is done per entry).
+  static Rect MbrOf(const std::vector<Entry>& entries,
+                    const std::vector<std::int32_t>& indices);
+
+  std::vector<Entry> entries_;
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+  std::size_t num_entries_ = 0;
+  int height_ = 0;
+};
+
+}  // namespace ifls
+
+#endif  // IFLS_INDEX_RSTAR_TREE_H_

@@ -1,0 +1,289 @@
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/index/vip_tree.h"
+
+namespace ifls {
+namespace {
+
+/// Appends the (up to two) distinct leaves containing door `d`.
+void LeavesOfDoor(const VipTree& tree, const Door& d, NodeId out[2],
+                  int* count) {
+  out[0] = tree.LeafOf(d.partition_a);
+  const NodeId other = tree.LeafOf(d.partition_b);
+  *count = 1;
+  if (other != out[0]) {
+    out[1] = other;
+    *count = 2;
+  }
+}
+
+}  // namespace
+
+void VipTree::DistancesToAncestorAccessDoors(DoorId a, NodeId leaf,
+                                             NodeId ancestor,
+                                             std::vector<double>* out) const {
+  const VipNode& leaf_node = node(leaf);
+  const VipNode& anc_node = node(ancestor);
+  out->clear();
+  if (ancestor == leaf) {
+    const int row = leaf_node.matrix.RowIndex(a);
+    IFLS_DCHECK(row >= 0);
+    out->reserve(leaf_node.access_door_idx.size());
+    for (std::int32_t col : leaf_node.access_door_idx) {
+      out->push_back(leaf_node.matrix.At(row, col));
+    }
+    counters_.matrix_lookups += leaf_node.access_door_idx.size();
+    return;
+  }
+  if (options_.build_leaf_to_ancestor) {
+    // VIP mode: direct lookup in the materialized leaf->ancestor matrix.
+    const int k = leaf_node.depth - anc_node.depth - 1;
+    IFLS_DCHECK(k >= 0 &&
+                static_cast<std::size_t>(k) < leaf_node.ancestor_matrices.size());
+    const DoorMatrix& m =
+        leaf_node.ancestor_matrices[static_cast<std::size_t>(k)];
+    const int row = m.RowIndex(a);
+    IFLS_DCHECK(row >= 0);
+    out->reserve(m.num_cols());
+    for (std::size_t c = 0; c < m.num_cols(); ++c) {
+      out->push_back(m.At(row, static_cast<int>(c)));
+      ++counters_.matrix_lookups;
+    }
+    return;
+  }
+  // IP mode: compose along the node chain leaf -> ... -> ancestor. At each
+  // step, distances to the current node's access doors are folded through
+  // the parent's matrix into distances to the parent's access doors.
+  std::vector<double> dist;
+  DistancesToAncestorAccessDoors(a, leaf, leaf, &dist);  // over AD(leaf)
+  NodeId cur = leaf;
+  while (cur != ancestor) {
+    const NodeId parent_id = node(cur).parent;
+    IFLS_CHECK(parent_id != kInvalidNode)
+        << "ancestor is not on the leaf's root chain";
+    const VipNode& parent = node(parent_id);
+    // Position of `cur` among the parent's children (fanout is small).
+    std::size_t child_pos = 0;
+    while (parent.children[child_pos] != cur) ++child_pos;
+    const auto& rows = parent.child_access_idx[child_pos];
+    const auto& cols = parent.access_door_idx;
+    std::vector<double> next(cols.size(), kInfDistance);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      for (std::size_t j = 0; j < cols.size(); ++j) {
+        const double cand = dist[i] + parent.matrix.At(rows[i], cols[j]);
+        if (cand < next[j]) next[j] = cand;
+      }
+    }
+    counters_.matrix_lookups += rows.size() * cols.size();
+    dist = std::move(next);
+    cur = parent_id;
+  }
+  *out = std::move(dist);
+}
+
+double VipTree::DoorToDoor(DoorId a, DoorId b) const {
+  if (a == b) return 0.0;
+  const std::uint64_t cache_key =
+      (static_cast<std::uint64_t>(std::min(a, b)) << 32) |
+      static_cast<std::uint32_t>(std::max(a, b));
+  if (options_.enable_door_distance_cache) {
+    const auto it = door_cache_.find(cache_key);
+    if (it != door_cache_.end()) {
+      ++counters_.cache_hits;
+      return it->second;
+    }
+  }
+  ++counters_.door_distance_evals;
+  const Door& door_a = venue_->door(a);
+
+  // Fast path: both doors incident to one leaf -> direct matrix lookup.
+  NodeId leaves_a[2];
+  int count_a = 0;
+  LeavesOfDoor(*this, door_a, leaves_a, &count_a);
+  for (int i = 0; i < count_a; ++i) {
+    const VipNode& leaf = node(leaves_a[i]);
+    const int row = leaf.matrix.RowIndex(a);
+    const int col = leaf.matrix.ColIndex(b);
+    if (row >= 0 && col >= 0) {
+      ++counters_.matrix_lookups;
+      const double result = leaf.matrix.At(row, col);
+      if (options_.enable_door_distance_cache) {
+        door_cache_.emplace(cache_key, result);
+      }
+      return result;
+    }
+  }
+
+  // General case: compose through the LCA of the two home leaves.
+  const Door& door_b = venue_->door(b);
+  const NodeId la = LeafOf(door_a.partition_a);
+  const NodeId lb = LeafOf(door_b.partition_a);
+  IFLS_DCHECK(la != lb);  // same leaf was handled by the fast path
+
+  // Walk both sides up to the children of the LCA.
+  NodeId ca = la;
+  NodeId cb = lb;
+  while (node(ca).depth > node(cb).depth) ca = node(ca).parent;
+  while (node(cb).depth > node(ca).depth) cb = node(cb).parent;
+  while (node(ca).parent != node(cb).parent) {
+    ca = node(ca).parent;
+    cb = node(cb).parent;
+  }
+  IFLS_DCHECK(ca != cb);
+  const VipNode& lca = node(node(ca).parent);
+
+  std::vector<double> dist_a;
+  std::vector<double> dist_b;
+  DistancesToAncestorAccessDoors(a, la, ca, &dist_a);
+  DistancesToAncestorAccessDoors(b, lb, cb, &dist_b);
+
+  // Positions of the two children among the LCA's children (small fanout).
+  std::size_t pos_a = 0;
+  while (lca.children[pos_a] != ca) ++pos_a;
+  std::size_t pos_b = 0;
+  while (lca.children[pos_b] != cb) ++pos_b;
+  const auto& rows = lca.child_access_idx[pos_a];
+  const auto& cols = lca.child_access_idx[pos_b];
+
+  double best = kInfDistance;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (dist_a[i] == kInfDistance) continue;
+    const std::int32_t row = rows[i];
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      const double cand = dist_a[i] + lca.matrix.At(row, cols[j]) + dist_b[j];
+      if (cand < best) best = cand;
+    }
+  }
+  counters_.matrix_lookups += rows.size() * cols.size();
+  if (options_.enable_door_distance_cache) {
+    door_cache_.emplace(cache_key, best);
+  }
+  return best;
+}
+
+double VipTree::PointToDoor(const Point& a, PartitionId pa, DoorId d) const {
+  const Partition& part = venue_->partition(pa);
+  double best = kInfDistance;
+  for (DoorId d1 : part.doors) {
+    const double leg = PointToDoorDistance(a, venue_->door(d1));
+    if (leg >= best) continue;
+    const double cand = leg + DoorToDoor(d1, d);
+    if (cand < best) best = cand;
+  }
+  return best;
+}
+
+double VipTree::PointToPoint(const Point& a, PartitionId pa, const Point& b,
+                             PartitionId pb) const {
+  if (pa == pb) return PlanarDistance(a, b);
+  const Partition& part_a = venue_->partition(pa);
+  const Partition& part_b = venue_->partition(pb);
+  double best = kInfDistance;
+  for (DoorId d1 : part_a.doors) {
+    const double leg_a = PointToDoorDistance(a, venue_->door(d1));
+    if (leg_a >= best) continue;
+    for (DoorId d2 : part_b.doors) {
+      const double leg_b = PointToDoorDistance(b, venue_->door(d2));
+      if (leg_a + leg_b >= best) continue;
+      const double cand = leg_a + DoorToDoor(d1, d2) + leg_b;
+      if (cand < best) best = cand;
+    }
+  }
+  return best;
+}
+
+double VipTree::DoorToPartition(DoorId d, PartitionId target) const {
+  const Partition& part = venue_->partition(target);
+  double best = kInfDistance;
+  for (DoorId d2 : part.doors) {
+    const double cand = DoorToDoor(d, d2);
+    if (cand < best) best = cand;
+  }
+  return best;
+}
+
+double VipTree::PointToPartition(const Point& a, PartitionId pa,
+                                 PartitionId target) const {
+  if (pa == target) return 0.0;
+  const Partition& part_a = venue_->partition(pa);
+  if (options_.single_door_optimization && part_a.doors.size() == 1) {
+    // Paper §5.3.1 Case 1: the single exit door makes the partition-level
+    // distance reusable; only the local leg differs per point.
+    const Door& only = venue_->door(part_a.doors[0]);
+    return PointToDoorDistance(a, only) +
+           DoorToPartition(only.id, target);
+  }
+  const Partition& part_t = venue_->partition(target);
+  double best = kInfDistance;
+  for (DoorId d1 : part_a.doors) {
+    const double leg = PointToDoorDistance(a, venue_->door(d1));
+    if (leg >= best) continue;
+    for (DoorId d2 : part_t.doors) {
+      const double cand = leg + DoorToDoor(d1, d2);
+      if (cand < best) best = cand;
+    }
+  }
+  return best;
+}
+
+double VipTree::PartitionToPartition(PartitionId p, PartitionId q) const {
+  if (p == q) return 0.0;
+  const Partition& part_p = venue_->partition(p);
+  const Partition& part_q = venue_->partition(q);
+  double best = kInfDistance;
+  for (DoorId d1 : part_p.doors) {
+    for (DoorId d2 : part_q.doors) {
+      const double cand = DoorToDoor(d1, d2);
+      if (cand < best) best = cand;
+    }
+  }
+  return best;
+}
+
+double VipTree::PartitionToNode(PartitionId p, NodeId n) const {
+  if (NodeContainsPartition(n, p)) return 0.0;
+  const VipNode& target = node(n);
+  const Partition& part = venue_->partition(p);
+  double best = kInfDistance;
+  for (DoorId d1 : part.doors) {
+    for (DoorId ad : target.access_doors) {
+      const double cand = DoorToDoor(d1, ad);
+      if (cand < best) best = cand;
+    }
+  }
+  return best;
+}
+
+double VipTree::PointToNode(const Point& a, PartitionId pa, NodeId n) const {
+  if (NodeContainsPartition(n, pa)) return 0.0;
+  const VipNode& target = node(n);
+  const Partition& part = venue_->partition(pa);
+  double best = kInfDistance;
+  for (DoorId d1 : part.doors) {
+    const double leg = PointToDoorDistance(a, venue_->door(d1));
+    if (leg >= best) continue;
+    for (DoorId ad : target.access_doors) {
+      const double cand = leg + DoorToDoor(d1, ad);
+      if (cand < best) best = cand;
+    }
+  }
+  return best;
+}
+
+DoorId VipTree::FirstHop(DoorId a, DoorId b) const {
+  if (a == b || !options_.store_first_hop) return kInvalidDoor;
+  const Door& door_a = venue_->door(a);
+  NodeId leaves_a[2];
+  int count_a = 0;
+  LeavesOfDoor(*this, door_a, leaves_a, &count_a);
+  for (int i = 0; i < count_a; ++i) {
+    const VipNode& leaf = node(leaves_a[i]);
+    const int row = leaf.matrix.RowIndex(a);
+    const int col = leaf.matrix.ColIndex(b);
+    if (row >= 0 && col >= 0) return leaf.matrix.FirstHopAt(row, col);
+  }
+  return kInvalidDoor;
+}
+
+}  // namespace ifls

@@ -1,0 +1,486 @@
+#include "src/index/vip_tree.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/graph/door_graph.h"
+
+namespace ifls {
+namespace {
+
+/// Sorted, deduplicated copy.
+std::vector<DoorId> SortedUnique(std::vector<DoorId> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+/// An item to be clustered: a representative point plus its original index.
+struct SpatialItem {
+  double x = 0.0;
+  double y = 0.0;
+  double level = 0.0;
+  std::size_t index = 0;
+};
+
+/// Orders items spatially — level-major, Hilbert curve within the level —
+/// and cuts the order into consecutive chunks of at most `capacity`
+/// members. Adjacent rooms along a corridor land in the same chunk, giving
+/// the compact, few-access-door nodes the VIP-tree relies on. Chunks also
+/// break at level boundaries, so whole floors congeal into single nodes
+/// whose only access doors are stair doors — the topology-aware clustering
+/// the VIP-tree paper emphasizes for multi-level venues. When level breaks
+/// would prevent the level from shrinking (e.g. one node per level already),
+/// the function falls back to plain capacity chunking, guaranteeing
+/// progress. Returns the cluster index per original item index.
+std::vector<int> ChunkBySpatialOrder(std::vector<SpatialItem> items,
+                                     int capacity,
+                                     bool break_on_level_change = true) {
+  double min_x = 0, max_x = 0, min_y = 0, max_y = 0;
+  bool first = true;
+  for (const SpatialItem& it : items) {
+    if (first) {
+      min_x = max_x = it.x;
+      min_y = max_y = it.y;
+      first = false;
+    } else {
+      min_x = std::min(min_x, it.x);
+      max_x = std::max(max_x, it.x);
+      min_y = std::min(min_y, it.y);
+      max_y = std::max(max_y, it.y);
+    }
+  }
+  constexpr std::uint32_t kOrder = 16;
+  const double span_x = std::max(max_x - min_x, 1e-9);
+  const double span_y = std::max(max_y - min_y, 1e-9);
+  const double cells = static_cast<double>((1u << kOrder) - 1);
+  struct Keyed {
+    std::int64_t level_key;
+    std::uint64_t hilbert;
+    std::size_t index;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(items.size());
+  for (const SpatialItem& it : items) {
+    const auto gx =
+        static_cast<std::uint32_t>((it.x - min_x) / span_x * cells);
+    const auto gy =
+        static_cast<std::uint32_t>((it.y - min_y) / span_y * cells);
+    keyed.push_back({static_cast<std::int64_t>(std::llround(it.level)),
+                     HilbertIndex(kOrder, gx, gy), it.index});
+  }
+  std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
+    if (a.level_key != b.level_key) return a.level_key < b.level_key;
+    if (a.hilbert != b.hilbert) return a.hilbert < b.hilbert;
+    return a.index < b.index;
+  });
+  std::vector<int> cluster(items.size(), -1);
+  int current = 0;
+  int members = 0;
+  for (std::size_t i = 0; i < keyed.size(); ++i) {
+    const bool level_break = break_on_level_change && i > 0 &&
+                             keyed[i].level_key != keyed[i - 1].level_key;
+    if (members >= capacity || level_break) {
+      ++current;
+      members = 0;
+    }
+    cluster[keyed[i].index] = current;
+    ++members;
+  }
+  if (break_on_level_change &&
+      static_cast<std::size_t>(current) + 1 >= items.size() &&
+      items.size() > 1) {
+    // Level breaks stalled the merge (one item per level); merge across
+    // levels instead.
+    return ChunkBySpatialOrder(std::move(items), capacity, false);
+  }
+  return cluster;
+}
+
+}  // namespace
+
+Result<VipTree> VipTree::Build(const Venue* venue, VipTreeOptions options) {
+  if (venue == nullptr) {
+    return Status::InvalidArgument("venue must not be null");
+  }
+  if (options.leaf_capacity < 1 || options.internal_fanout < 2) {
+    return Status::InvalidArgument(
+        "leaf_capacity must be >= 1 and internal_fanout >= 2");
+  }
+  IFLS_RETURN_NOT_OK(venue->Validate());
+
+  VipTree tree;
+  tree.venue_ = venue;
+  tree.options_ = options;
+
+  const std::size_t num_partitions = venue->num_partitions();
+
+  // ---- Leaf formation: spatially chunk the partitions. ------------------
+  std::vector<SpatialItem> partition_items;
+  partition_items.reserve(num_partitions);
+  for (std::size_t i = 0; i < num_partitions; ++i) {
+    const Partition& p = venue->partition(static_cast<PartitionId>(i));
+    const Point c = p.rect.center();
+    partition_items.push_back(
+        {c.x, c.y, static_cast<double>(p.level()), i});
+  }
+  std::vector<int> leaf_cluster =
+      ChunkBySpatialOrder(std::move(partition_items), options.leaf_capacity);
+  const int num_leaves =
+      1 + *std::max_element(leaf_cluster.begin(), leaf_cluster.end());
+
+  tree.leaf_of_partition_.assign(num_partitions, kInvalidNode);
+  tree.num_leaves_ = static_cast<std::size_t>(num_leaves);
+  tree.nodes_.resize(static_cast<std::size_t>(num_leaves));
+  for (int l = 0; l < num_leaves; ++l) {
+    VipNode& node = tree.nodes_[static_cast<std::size_t>(l)];
+    node.id = static_cast<NodeId>(l);
+  }
+  for (std::size_t p = 0; p < num_partitions; ++p) {
+    const NodeId leaf = static_cast<NodeId>(leaf_cluster[p]);
+    tree.nodes_[static_cast<std::size_t>(leaf)].partitions.push_back(
+        static_cast<PartitionId>(p));
+    tree.leaf_of_partition_[p] = leaf;
+  }
+
+  // ---- Upper levels: spatially chunk nodes until a single root. ---------
+  // Each node carries a centroid (partition-count weighted) used as its
+  // clustering representative.
+  struct Centroid {
+    double sum_x = 0, sum_y = 0, sum_level = 0;
+    double count = 0;
+  };
+  std::vector<Centroid> centroids(static_cast<std::size_t>(num_leaves));
+  for (std::size_t p = 0; p < num_partitions; ++p) {
+    const Partition& part = venue->partition(static_cast<PartitionId>(p));
+    const Point c = part.rect.center();
+    Centroid& cen = centroids[static_cast<std::size_t>(leaf_cluster[p])];
+    cen.sum_x += c.x;
+    cen.sum_y += c.y;
+    cen.sum_level += part.level();
+    cen.count += 1;
+  }
+
+  std::vector<NodeId> level;
+  level.reserve(static_cast<std::size_t>(num_leaves));
+  for (int l = 0; l < num_leaves; ++l) level.push_back(static_cast<NodeId>(l));
+
+  while (level.size() > 1) {
+    const std::size_t k = level.size();
+    std::vector<SpatialItem> items;
+    items.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      const Centroid& c = centroids[i];
+      items.push_back({c.sum_x / c.count, c.sum_y / c.count,
+                       c.sum_level / c.count, i});
+    }
+    const std::vector<int> groups =
+        ChunkBySpatialOrder(std::move(items), options.internal_fanout);
+    const int num_groups = 1 + *std::max_element(groups.begin(), groups.end());
+    IFLS_CHECK(static_cast<std::size_t>(num_groups) < k);
+    std::vector<NodeId> next_level;
+    next_level.reserve(static_cast<std::size_t>(num_groups));
+    std::vector<Centroid> next_centroids(
+        static_cast<std::size_t>(num_groups));
+    for (int g = 0; g < num_groups; ++g) {
+      VipNode parent;
+      parent.id = static_cast<NodeId>(tree.nodes_.size());
+      next_level.push_back(parent.id);
+      tree.nodes_.push_back(std::move(parent));
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto g = static_cast<std::size_t>(groups[i]);
+      const NodeId parent_id = next_level[g];
+      tree.nodes_[static_cast<std::size_t>(level[i])].parent = parent_id;
+      tree.nodes_[static_cast<std::size_t>(parent_id)].children.push_back(
+          level[i]);
+      next_centroids[g].sum_x += centroids[i].sum_x;
+      next_centroids[g].sum_y += centroids[i].sum_y;
+      next_centroids[g].sum_level += centroids[i].sum_level;
+      next_centroids[g].count += centroids[i].count;
+    }
+    level = std::move(next_level);
+    centroids = std::move(next_centroids);
+  }
+  tree.root_ = level.front();
+
+  // ---- Depths (needed for the access-door containment checks below). ----
+  {
+    std::queue<NodeId> bfs;
+    bfs.push(tree.root_);
+    tree.nodes_[static_cast<std::size_t>(tree.root_)].depth = 0;
+    while (!bfs.empty()) {
+      const NodeId cur = bfs.front();
+      bfs.pop();
+      VipNode& n = tree.nodes_[static_cast<std::size_t>(cur)];
+      for (NodeId ch : n.children) {
+        tree.nodes_[static_cast<std::size_t>(ch)].depth = n.depth + 1;
+        bfs.push(ch);
+      }
+    }
+  }
+
+  // ---- Door sets and access doors. ---------------------------------------
+  for (VipNode& n : tree.nodes_) {
+    if (!n.is_leaf()) continue;
+    std::vector<DoorId> doors;
+    for (PartitionId p : n.partitions) {
+      const auto& pd = venue->partition(p).doors;
+      doors.insert(doors.end(), pd.begin(), pd.end());
+    }
+    n.doors = SortedUnique(std::move(doors));
+    std::vector<DoorId> access;
+    for (DoorId d : n.doors) {
+      const Door& door = venue->door(d);
+      const bool a_in = tree.leaf_of_partition_[static_cast<std::size_t>(
+                            door.partition_a)] == n.id;
+      const bool b_in = tree.leaf_of_partition_[static_cast<std::size_t>(
+                            door.partition_b)] == n.id;
+      if (a_in != b_in) access.push_back(d);
+    }
+    n.access_doors = std::move(access);  // subset of sorted -> sorted
+  }
+  // Internal nodes in ascending id order (children first).
+  for (VipNode& n : tree.nodes_) {
+    if (n.is_leaf()) continue;
+    std::vector<DoorId> doors;
+    for (NodeId ch : n.children) {
+      const auto& cad = tree.nodes_[static_cast<std::size_t>(ch)].access_doors;
+      doors.insert(doors.end(), cad.begin(), cad.end());
+    }
+    n.doors = SortedUnique(std::move(doors));
+    std::vector<DoorId> access;
+    for (DoorId d : n.doors) {
+      const Door& door = venue->door(d);
+      const bool a_in = tree.NodeContainsPartition(n.id, door.partition_a);
+      const bool b_in = tree.NodeContainsPartition(n.id, door.partition_b);
+      if (a_in != b_in) access.push_back(d);
+    }
+    n.access_doors = std::move(access);
+  }
+
+  IFLS_RETURN_NOT_OK(tree.ComputeDerivedState());
+
+  // ---- Matrices: one global Dijkstra per door fills every row. -----------
+  DoorGraph graph(*venue);
+  // door -> nodes whose square matrix has it as a row.
+  std::vector<std::vector<NodeId>> matrix_rows(venue->num_doors());
+  for (VipNode& n : tree.nodes_) {
+    n.matrix = DoorMatrix(n.doors, n.doors, options.store_first_hop);
+    for (DoorId d : n.doors) {
+      matrix_rows[static_cast<std::size_t>(d)].push_back(n.id);
+    }
+    if (n.is_leaf() && options.build_leaf_to_ancestor) {
+      for (NodeId anc = n.parent; anc != kInvalidNode;
+           anc = tree.nodes_[static_cast<std::size_t>(anc)].parent) {
+        n.ancestor_matrices.emplace_back(
+            n.doors, tree.nodes_[static_cast<std::size_t>(anc)].access_doors,
+            options.store_first_hop);
+      }
+    }
+  }
+  for (std::size_t d = 0; d < venue->num_doors(); ++d) {
+    const DoorId door = static_cast<DoorId>(d);
+    const ShortestPaths paths = SingleSourceShortestPaths(graph, door);
+    for (NodeId nid : matrix_rows[d]) {
+      VipNode& n = tree.nodes_[static_cast<std::size_t>(nid)];
+      n.matrix.FillRowFromShortestPaths(door, paths);
+      if (n.is_leaf()) {
+        for (DoorMatrix& anc : n.ancestor_matrices) {
+          if (!anc.empty()) anc.FillRowFromShortestPaths(door, paths);
+        }
+      }
+    }
+  }
+
+  return tree;
+}
+
+Status VipTree::ComputeDerivedState() {
+  // Root: the unique parentless node.
+  root_ = kInvalidNode;
+  for (const VipNode& n : nodes_) {
+    if (n.parent == kInvalidNode) {
+      if (root_ != kInvalidNode) {
+        return Status::InvalidArgument("tree has multiple roots");
+      }
+      root_ = n.id;
+    }
+  }
+  if (root_ == kInvalidNode) {
+    return Status::InvalidArgument("tree has no root");
+  }
+
+  // Partition -> leaf mapping; leaf count.
+  leaf_of_partition_.assign(venue_->num_partitions(), kInvalidNode);
+  num_leaves_ = 0;
+  for (const VipNode& n : nodes_) {
+    if (!n.is_leaf()) continue;
+    ++num_leaves_;
+    for (PartitionId p : n.partitions) {
+      if (p < 0 ||
+          static_cast<std::size_t>(p) >= leaf_of_partition_.size()) {
+        return Status::InvalidArgument("leaf references unknown partition");
+      }
+      if (leaf_of_partition_[static_cast<std::size_t>(p)] != kInvalidNode) {
+        return Status::InvalidArgument("partition assigned to two leaves");
+      }
+      leaf_of_partition_[static_cast<std::size_t>(p)] = n.id;
+    }
+  }
+  for (std::size_t p = 0; p < leaf_of_partition_.size(); ++p) {
+    if (leaf_of_partition_[p] == kInvalidNode) {
+      return Status::InvalidArgument("partition " + std::to_string(p) +
+                                     " is in no leaf");
+    }
+  }
+
+  // Depths, height, subtree sizes via BFS from the root.
+  {
+    std::size_t visited = 0;
+    std::queue<NodeId> bfs;
+    bfs.push(root_);
+    nodes_[static_cast<std::size_t>(root_)].depth = 0;
+    height_ = 0;
+    std::vector<NodeId> order;
+    order.reserve(nodes_.size());
+    while (!bfs.empty()) {
+      const NodeId cur = bfs.front();
+      bfs.pop();
+      ++visited;
+      order.push_back(cur);
+      VipNode& n = nodes_[static_cast<std::size_t>(cur)];
+      height_ = std::max(height_, n.depth);
+      for (NodeId ch : n.children) {
+        if (ch < 0 || static_cast<std::size_t>(ch) >= nodes_.size() ||
+            nodes_[static_cast<std::size_t>(ch)].parent != cur) {
+          return Status::InvalidArgument("broken parent/child link");
+        }
+        nodes_[static_cast<std::size_t>(ch)].depth = n.depth + 1;
+        bfs.push(ch);
+      }
+    }
+    if (visited != nodes_.size()) {
+      return Status::InvalidArgument("tree contains unreachable nodes");
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      VipNode& n = nodes_[static_cast<std::size_t>(*it)];
+      if (n.is_leaf()) {
+        n.subtree_partitions = static_cast<std::int32_t>(n.partitions.size());
+      } else {
+        std::int32_t total = 0;
+        for (NodeId ch : n.children) {
+          total += nodes_[static_cast<std::size_t>(ch)].subtree_partitions;
+        }
+        n.subtree_partitions = total;
+      }
+    }
+  }
+
+  // Matrix index maps (no searches at query time).
+  for (VipNode& n : nodes_) {
+    n.access_door_idx.clear();
+    n.child_access_idx.clear();
+    auto index_in_doors = [&n](DoorId d) -> std::int32_t {
+      const auto it = std::lower_bound(n.doors.begin(), n.doors.end(), d);
+      if (it == n.doors.end() || *it != d) return -1;
+      return static_cast<std::int32_t>(it - n.doors.begin());
+    };
+    n.access_door_idx.reserve(n.access_doors.size());
+    for (DoorId d : n.access_doors) {
+      const std::int32_t idx = index_in_doors(d);
+      if (idx < 0) {
+        return Status::InvalidArgument(
+            "access door missing from its node's door set");
+      }
+      n.access_door_idx.push_back(idx);
+    }
+    if (!n.is_leaf()) {
+      n.child_access_idx.resize(n.children.size());
+      for (std::size_t i = 0; i < n.children.size(); ++i) {
+        const VipNode& child =
+            nodes_[static_cast<std::size_t>(n.children[i])];
+        n.child_access_idx[i].reserve(child.access_doors.size());
+        for (DoorId d : child.access_doors) {
+          const std::int32_t idx = index_in_doors(d);
+          if (idx < 0) {
+            return Status::InvalidArgument(
+                "child access door missing from parent door set");
+          }
+          n.child_access_idx[i].push_back(idx);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+const VipNode& VipTree::node(NodeId id) const {
+  IFLS_CHECK(id >= 0 && static_cast<std::size_t>(id) < nodes_.size())
+      << "node id " << id << " out of range";
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+NodeId VipTree::LeafOf(PartitionId p) const {
+  IFLS_CHECK(p >= 0 &&
+             static_cast<std::size_t>(p) < leaf_of_partition_.size());
+  return leaf_of_partition_[static_cast<std::size_t>(p)];
+}
+
+bool VipTree::NodeContainsPartition(NodeId n, PartitionId p) const {
+  const int target_depth = node(n).depth;
+  NodeId cur = LeafOf(p);
+  while (cur != kInvalidNode && node(cur).depth > target_depth) {
+    cur = node(cur).parent;
+  }
+  return cur == n;
+}
+
+NodeId VipTree::LowestCommonAncestor(NodeId a, NodeId b) const {
+  while (node(a).depth > node(b).depth) a = node(a).parent;
+  while (node(b).depth > node(a).depth) b = node(b).parent;
+  while (a != b) {
+    a = node(a).parent;
+    b = node(b).parent;
+  }
+  return a;
+}
+
+std::size_t VipTree::MemoryFootprintBytes() const {
+  std::size_t total = sizeof(VipTree);
+  for (const VipNode& n : nodes_) {
+    total += sizeof(VipNode);
+    total += n.children.capacity() * sizeof(NodeId);
+    total += n.partitions.capacity() * sizeof(PartitionId);
+    total += n.doors.capacity() * sizeof(DoorId);
+    total += n.access_doors.capacity() * sizeof(DoorId);
+    total += n.matrix.MemoryFootprintBytes();
+    for (const DoorMatrix& m : n.ancestor_matrices) {
+      total += m.MemoryFootprintBytes();
+    }
+    total += n.access_door_idx.capacity() * sizeof(std::int32_t);
+    for (const auto& v : n.child_access_idx) {
+      total += v.capacity() * sizeof(std::int32_t);
+    }
+  }
+  total += leaf_of_partition_.capacity() * sizeof(NodeId);
+  // Memoized door distances (conceptually part of the index; grows with
+  // query traffic up to doors^2 entries).
+  total += door_cache_.size() *
+           (sizeof(std::uint64_t) + sizeof(double) + 2 * sizeof(void*));
+  return total;
+}
+
+std::string VipTree::ToString() const {
+  std::ostringstream os;
+  os << (options_.build_leaf_to_ancestor ? "VIP-tree" : "IP-tree") << "{"
+     << nodes_.size() << " nodes, " << num_leaves_ << " leaves, height "
+     << height_ << ", "
+     << MemoryFootprintBytes() / 1024.0 / 1024.0 << " MiB}";
+  return os.str();
+}
+
+}  // namespace ifls

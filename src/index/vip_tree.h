@@ -1,0 +1,223 @@
+#ifndef IFLS_INDEX_VIP_TREE_H_
+#define IFLS_INDEX_VIP_TREE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/index/door_matrix.h"
+#include "src/indoor/venue.h"
+
+namespace ifls {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Build parameters for IP-tree / VIP-tree construction.
+struct VipTreeOptions {
+  /// Maximum partitions merged into one leaf node.
+  int leaf_capacity = 8;
+  /// Maximum children per internal node. The default lets a typical floor's
+  /// leaves merge into one node, leaving only stair doors as access doors.
+  int internal_fanout = 8;
+  /// When true (VIP-tree), leaves additionally materialize door-to-ancestor-
+  /// access-door matrices; when false (IP-tree), those distances are composed
+  /// through the node chain at query time.
+  bool build_leaf_to_ancestor = true;
+  /// Store first-hop doors alongside distances (path reconstruction).
+  bool store_first_hop = true;
+  /// Use the paper's single-door shortcut (§5.3.1 Case 1): clients in a
+  /// one-door partition reuse the partition-level distance plus their local
+  /// leg. Toggleable for the ablation benchmark.
+  bool single_door_optimization = true;
+  /// Memoize DoorToDoor results in a hash table owned by the index (the
+  /// door-graph distances are static, so the cache is conceptually part of
+  /// the materialized index, like Yang et al.'s door-to-door hash table).
+  /// OFF by default: the paper's cost model recomputes matrix compositions
+  /// per iDist call, and the redundancy across clients of one partition is
+  /// precisely what the efficient approach's grouping exploits — a global
+  /// memo would hand that advantage to the baseline too. The ablation bench
+  /// measures the memoized configuration separately.
+  bool enable_door_distance_cache = false;
+};
+
+/// One tree node. Leaves own a contiguous group of adjacent partitions;
+/// internal nodes own adjacent child nodes. In the IFLS algorithms the
+/// "children" of a leaf are its partitions (paper Algorithm 3 line 19).
+struct VipNode {
+  NodeId id = kInvalidNode;
+  NodeId parent = kInvalidNode;
+  /// Root has depth 0.
+  int depth = 0;
+  /// Child node ids; empty for leaves.
+  std::vector<NodeId> children;
+  /// Partitions directly owned (leaves only).
+  std::vector<PartitionId> partitions;
+  /// Door universe of this node, sorted: leaf = every door incident to an
+  /// owned partition; internal = union of children's access doors.
+  std::vector<DoorId> doors;
+  /// Doors with exactly one side inside this node's partition set, sorted.
+  /// Empty for the root of a closed venue.
+  std::vector<DoorId> access_doors;
+  /// Global shortest distances over `doors` x `doors`.
+  DoorMatrix matrix;
+  /// VIP extension (leaves only): ancestor_matrices[k] has rows = this
+  /// leaf's doors and cols = access doors of the k-th ancestor
+  /// (k = 0 -> parent, k = depth-1 -> root).
+  std::vector<DoorMatrix> ancestor_matrices;
+  /// Number of partitions in the subtree (leaf: partitions.size()).
+  std::int32_t subtree_partitions = 0;
+  /// Positions of `access_doors[i]` within `doors` (hence within `matrix`
+  /// rows/cols). Precomputed so query-time composition needs no searches.
+  std::vector<std::int32_t> access_door_idx;
+  /// Internal nodes: child_access_idx[i][j] = position of
+  /// children[i]'s access_doors[j] within `doors`.
+  std::vector<std::vector<std::int32_t>> child_access_idx;
+
+  bool is_leaf() const { return children.empty(); }
+};
+
+/// Counters the tree updates on its own query paths; algorithms snapshot
+/// them around calls to attribute index work per query.
+struct VipTreeCounters {
+  std::uint64_t door_distance_evals = 0;  // DoorToDoor compositions
+  std::uint64_t matrix_lookups = 0;       // individual matrix cell reads
+  std::uint64_t cache_hits = 0;           // memoized DoorToDoor answers
+};
+
+/// The VIP-tree (Shao et al., PVLDB'16): a bottom-up hierarchical
+/// partitioning of an indoor venue with materialized door-to-door distance
+/// matrices, supporting O(small) indoor distance queries without graph
+/// expansion. With `build_leaf_to_ancestor = false` this degrades to the
+/// IP-tree. Matrices are built with *global* Dijkstra runs so every distance
+/// the tree returns is exactly the door-graph shortest distance (see
+/// DESIGN.md §3.2).
+class VipTree {
+ public:
+  /// Builds the index over `venue`. The venue must outlive the tree.
+  static Result<VipTree> Build(const Venue* venue, VipTreeOptions options = {});
+
+  VipTree(VipTree&&) = default;
+  VipTree& operator=(VipTree&&) = default;
+  VipTree(const VipTree&) = delete;
+  VipTree& operator=(const VipTree&) = delete;
+
+  const Venue& venue() const { return *venue_; }
+  const VipTreeOptions& options() const { return options_; }
+
+  // ---- Structure -----------------------------------------------------
+
+  NodeId root() const { return root_; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_leaves() const { return num_leaves_; }
+  int height() const { return height_; }
+  const VipNode& node(NodeId id) const;
+
+  /// Leaf node owning partition `p`.
+  NodeId LeafOf(PartitionId p) const;
+
+  /// True when partition `p` lies inside node `n`'s subtree.
+  bool NodeContainsPartition(NodeId n, PartitionId p) const;
+
+  /// Lowest common ancestor of two nodes.
+  NodeId LowestCommonAncestor(NodeId a, NodeId b) const;
+
+  // ---- Distances (implemented in vip_distance.cc) ---------------------
+
+  /// Exact global door-to-door walking distance, composed from the stored
+  /// matrices (leaf lookup, or leaf->LCA-access-door->leaf composition).
+  double DoorToDoor(DoorId a, DoorId b) const;
+
+  /// Exact walking distance from a point in partition `pa` to door `d`.
+  double PointToDoor(const Point& a, PartitionId pa, DoorId d) const;
+
+  /// Exact indoor distance between two points (paper iDist for two points).
+  double PointToPoint(const Point& a, PartitionId pa, const Point& b,
+                      PartitionId pb) const;
+
+  /// Exact indoor distance from a point to the nearest reachable boundary of
+  /// partition `target` (paper iDist(c, p)); 0 when pa == target. Applies
+  /// the single-door optimization when enabled.
+  double PointToPartition(const Point& a, PartitionId pa,
+                          PartitionId target) const;
+
+  /// Shortest walking distance from door `d` to the nearest door of
+  /// partition `target`. Algorithms cache this per (door, partition) to
+  /// serve every client of a single-door partition with one lookup.
+  double DoorToPartition(DoorId d, PartitionId target) const;
+
+  /// Paper iMinD(p, I) with I a partition: door-set to door-set shortest
+  /// distance, zero intra-partition offsets; 0 when p == q.
+  double PartitionToPartition(PartitionId p, PartitionId q) const;
+
+  /// Paper iMinD(p, I) with I a tree node: 0 when the node contains p, else
+  /// min over doors(p) x access_doors(n).
+  double PartitionToNode(PartitionId p, NodeId n) const;
+
+  /// Lower bound used by top-down NN: distance from a concrete point to the
+  /// nearest access door of node `n` (0 when the node contains pa).
+  double PointToNode(const Point& a, PartitionId pa, NodeId n) const;
+
+  /// First door to take from door `a` toward door `b`, when first-hop
+  /// storage is enabled and both doors share a leaf; kInvalidDoor otherwise.
+  DoorId FirstHop(DoorId a, DoorId b) const;
+
+  // ---- Serialization (vip_tree_io.cc) ------------------------------------
+
+  /// Writes the complete index (structure + matrices) in the IFLS_VIPTREE
+  /// text format, so the offline build can be done once and shipped.
+  Status Save(std::ostream* out) const;
+  Status SaveToFile(const std::string& path) const;
+
+  /// Loads an index previously saved for (a venue identical to) `venue`.
+  /// Validates structural consistency against the venue.
+  static Result<VipTree> Load(const Venue* venue, std::istream* in);
+  static Result<VipTree> LoadFromFile(const Venue* venue,
+                                      const std::string& path);
+
+  // ---- Introspection ---------------------------------------------------
+
+  const VipTreeCounters& counters() const { return counters_; }
+  void ResetCounters() const { counters_ = VipTreeCounters{}; }
+
+  /// Drops all memoized door distances (only meaningful when the cache is
+  /// enabled). Call between runs that must not share warm state.
+  void ClearDistanceCache() const { door_cache_.clear(); }
+  std::size_t distance_cache_size() const { return door_cache_.size(); }
+
+  /// Total bytes held by matrices and structure vectors.
+  std::size_t MemoryFootprintBytes() const;
+
+  std::string ToString() const;
+
+ private:
+  VipTree() = default;
+
+  /// Recomputes everything derivable from nodes_ + venue_: depths, heights,
+  /// leaf-of-partition mapping, matrix index maps. Shared by Build and Load.
+  Status ComputeDerivedState();
+
+  /// Distance from door `a` (incident to leaf `leaf`) to every access door
+  /// of `ancestor`, appended to `*out` aligned with that node's access_doors.
+  /// Uses materialized matrices in VIP mode, chain composition in IP mode.
+  void DistancesToAncestorAccessDoors(DoorId a, NodeId leaf, NodeId ancestor,
+                                      std::vector<double>* out) const;
+
+  const Venue* venue_ = nullptr;
+  VipTreeOptions options_;
+  std::vector<VipNode> nodes_;
+  std::vector<NodeId> leaf_of_partition_;
+  NodeId root_ = kInvalidNode;
+  std::size_t num_leaves_ = 0;
+  int height_ = 0;
+  mutable VipTreeCounters counters_;
+  /// Memoized DoorToDoor answers, keyed (min_door << 32) | max_door.
+  mutable std::unordered_map<std::uint64_t, double> door_cache_;
+};
+
+}  // namespace ifls
+
+#endif  // IFLS_INDEX_VIP_TREE_H_

@@ -1,0 +1,198 @@
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/index/vip_tree.h"
+
+// Serialization of a built VIP-tree in the line-oriented IFLS_VIPTREE text
+// format. The venue itself is serialized separately (io/venue_io); a loaded
+// tree validates its structural consistency against the venue it is given.
+
+namespace ifls {
+namespace {
+
+constexpr char kMagic[] = "IFLS_VIPTREE";
+constexpr int kVersion = 1;
+
+void SaveIdVector(std::ostream& os, const char* tag,
+                  const std::vector<std::int32_t>& v) {
+  os << tag << " " << v.size();
+  for (std::int32_t x : v) os << " " << x;
+  os << "\n";
+}
+
+Status LoadIdVector(std::istream& in, const char* tag,
+                    std::vector<std::int32_t>* out) {
+  std::string keyword;
+  std::size_t count = 0;
+  if (!(in >> keyword >> count) || keyword != tag) {
+    return Status::InvalidArgument(std::string("expected '") + tag + "'");
+  }
+  out->resize(count);
+  for (auto& x : *out) {
+    if (!(in >> x)) {
+      return Status::InvalidArgument(std::string("truncated '") + tag + "'");
+    }
+  }
+  return Status::OK();
+}
+
+void SaveMatrix(std::ostream& os, const DoorMatrix& m) {
+  os << "matrix " << m.num_rows() << " " << m.num_cols() << "\n";
+  // Row/col door ids (needed to reconstruct), then the payload.
+  SaveIdVector(os, "rows", m.rows());
+  SaveIdVector(os, "cols", m.cols());
+  os << "data";
+  for (std::size_t r = 0; r < m.num_rows(); ++r) {
+    for (std::size_t c = 0; c < m.num_cols(); ++c) {
+      os << " " << m.At(static_cast<int>(r), static_cast<int>(c)) << " "
+         << m.FirstHopAt(static_cast<int>(r), static_cast<int>(c));
+    }
+  }
+  os << "\n";
+}
+
+Status LoadMatrix(std::istream& in, bool store_first_hop, DoorMatrix* out) {
+  std::string keyword;
+  std::size_t rows = 0, cols = 0;
+  if (!(in >> keyword >> rows >> cols) || keyword != "matrix") {
+    return Status::InvalidArgument("expected 'matrix'");
+  }
+  std::vector<std::int32_t> row_ids, col_ids;
+  IFLS_RETURN_NOT_OK(LoadIdVector(in, "rows", &row_ids));
+  IFLS_RETURN_NOT_OK(LoadIdVector(in, "cols", &col_ids));
+  if (row_ids.size() != rows || col_ids.size() != cols) {
+    return Status::InvalidArgument("matrix dimension mismatch");
+  }
+  if (!(in >> keyword) || keyword != "data") {
+    return Status::InvalidArgument("expected 'data'");
+  }
+  DoorMatrix matrix(row_ids, col_ids, store_first_hop);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      double dist;
+      DoorId hop;
+      if (!(in >> dist >> hop)) {
+        return Status::InvalidArgument("truncated matrix data");
+      }
+      matrix.Set(static_cast<int>(r), static_cast<int>(c), dist, hop);
+    }
+  }
+  *out = std::move(matrix);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status VipTree::Save(std::ostream* out) const {
+  if (out == nullptr) return Status::InvalidArgument("null output stream");
+  std::ostream& os = *out;
+  os << std::setprecision(17);
+  os << kMagic << " " << kVersion << "\n";
+  os << "options " << options_.leaf_capacity << " "
+     << options_.internal_fanout << " " << options_.build_leaf_to_ancestor
+     << " " << options_.store_first_hop << " "
+     << options_.single_door_optimization << " "
+     << options_.enable_door_distance_cache << "\n";
+  os << "venue " << venue_->num_partitions() << " " << venue_->num_doors()
+     << "\n";
+  os << "nodes " << nodes_.size() << "\n";
+  for (const VipNode& n : nodes_) {
+    os << "node " << n.id << " " << n.parent << "\n";
+    SaveIdVector(os, "partitions", n.partitions);
+    SaveIdVector(os, "children", n.children);
+    SaveIdVector(os, "doors", n.doors);
+    SaveIdVector(os, "access", n.access_doors);
+    SaveMatrix(os, n.matrix);
+    os << "ancestors " << n.ancestor_matrices.size() << "\n";
+    for (const DoorMatrix& m : n.ancestor_matrices) SaveMatrix(os, m);
+  }
+  if (!os.good()) return Status::IOError("failed writing VIP-tree stream");
+  return Status::OK();
+}
+
+Status VipTree::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  return Save(&out);
+}
+
+Result<VipTree> VipTree::Load(const Venue* venue, std::istream* in) {
+  if (venue == nullptr || in == nullptr) {
+    return Status::InvalidArgument("venue and stream must not be null");
+  }
+  std::string magic;
+  int version = 0;
+  if (!(*in >> magic >> version) || magic != kMagic) {
+    return Status::InvalidArgument("not an IFLS_VIPTREE stream");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported VIP-tree format version " +
+                                   std::to_string(version));
+  }
+  VipTree tree;
+  tree.venue_ = venue;
+  std::string keyword;
+  VipTreeOptions& o = tree.options_;
+  if (!(*in >> keyword >> o.leaf_capacity >> o.internal_fanout >>
+        o.build_leaf_to_ancestor >> o.store_first_hop >>
+        o.single_door_optimization >> o.enable_door_distance_cache) ||
+      keyword != "options") {
+    return Status::InvalidArgument("expected 'options'");
+  }
+  std::size_t num_partitions = 0, num_doors = 0;
+  if (!(*in >> keyword >> num_partitions >> num_doors) ||
+      keyword != "venue") {
+    return Status::InvalidArgument("expected 'venue'");
+  }
+  if (num_partitions != venue->num_partitions() ||
+      num_doors != venue->num_doors()) {
+    return Status::InvalidArgument(
+        "index was built for a different venue (partition/door counts "
+        "differ)");
+  }
+  std::size_t num_nodes = 0;
+  if (!(*in >> keyword >> num_nodes) || keyword != "nodes") {
+    return Status::InvalidArgument("expected 'nodes'");
+  }
+  tree.nodes_.resize(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    VipNode& n = tree.nodes_[i];
+    if (!(*in >> keyword >> n.id >> n.parent) || keyword != "node" ||
+        n.id != static_cast<NodeId>(i)) {
+      return Status::InvalidArgument("malformed node header at index " +
+                                     std::to_string(i));
+    }
+    IFLS_RETURN_NOT_OK(LoadIdVector(*in, "partitions", &n.partitions));
+    IFLS_RETURN_NOT_OK(LoadIdVector(*in, "children", &n.children));
+    IFLS_RETURN_NOT_OK(LoadIdVector(*in, "doors", &n.doors));
+    IFLS_RETURN_NOT_OK(LoadIdVector(*in, "access", &n.access_doors));
+    IFLS_RETURN_NOT_OK(LoadMatrix(*in, o.store_first_hop, &n.matrix));
+    std::size_t num_ancestors = 0;
+    if (!(*in >> keyword >> num_ancestors) || keyword != "ancestors") {
+      return Status::InvalidArgument("expected 'ancestors'");
+    }
+    n.ancestor_matrices.resize(num_ancestors);
+    for (auto& m : n.ancestor_matrices) {
+      IFLS_RETURN_NOT_OK(LoadMatrix(*in, o.store_first_hop, &m));
+    }
+  }
+  IFLS_RETURN_NOT_OK(tree.ComputeDerivedState());
+  return tree;
+}
+
+Result<VipTree> VipTree::LoadFromFile(const Venue* venue,
+                                      const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  return Load(venue, &in);
+}
+
+}  // namespace ifls

@@ -1,0 +1,76 @@
+#include "src/indoor/point_location.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace ifls {
+
+PointLocator::PointLocator(const Venue* venue, int cells_per_axis)
+    : venue_(venue) {
+  IFLS_CHECK(venue != nullptr);
+  IFLS_CHECK(cells_per_axis >= 1);
+  grids_.resize(static_cast<std::size_t>(venue->num_levels()));
+  for (Level level = 0; level < venue->num_levels(); ++level) {
+    LevelGrid& grid = grids_[static_cast<std::size_t>(level)];
+    grid.bounds = venue->LevelBounds(level);
+    grid.cells = cells_per_axis;
+    grid.buckets.assign(
+        static_cast<std::size_t>(cells_per_axis) * cells_per_axis, {});
+  }
+  for (const Partition& p : venue->partitions()) {
+    LevelGrid& grid = grids_[static_cast<std::size_t>(p.level())];
+    if (!grid.bounds.IsValid()) continue;
+    const double cw = grid.bounds.width() / grid.cells;
+    const double ch = grid.bounds.height() / grid.cells;
+    const int x0 = std::clamp(
+        static_cast<int>((p.rect.min_x - grid.bounds.min_x) / cw), 0,
+        grid.cells - 1);
+    const int x1 = std::clamp(
+        static_cast<int>((p.rect.max_x - grid.bounds.min_x) / cw), 0,
+        grid.cells - 1);
+    const int y0 = std::clamp(
+        static_cast<int>((p.rect.min_y - grid.bounds.min_y) / ch), 0,
+        grid.cells - 1);
+    const int y1 = std::clamp(
+        static_cast<int>((p.rect.max_y - grid.bounds.min_y) / ch), 0,
+        grid.cells - 1);
+    for (int cy = y0; cy <= y1; ++cy) {
+      for (int cx = x0; cx <= x1; ++cx) {
+        grid.buckets[static_cast<std::size_t>(cy) * grid.cells + cx]
+            .push_back(p.id);
+      }
+    }
+  }
+}
+
+int PointLocator::CellIndex(const LevelGrid& grid, double x, double y) const {
+  const double cw = grid.bounds.width() / grid.cells;
+  const double ch = grid.bounds.height() / grid.cells;
+  const int cx = std::clamp(static_cast<int>((x - grid.bounds.min_x) / cw), 0,
+                            grid.cells - 1);
+  const int cy = std::clamp(static_cast<int>((y - grid.bounds.min_y) / ch), 0,
+                            grid.cells - 1);
+  return cy * grid.cells + cx;
+}
+
+PartitionId PointLocator::Locate(const Point& p) const {
+  if (p.level < 0 || static_cast<std::size_t>(p.level) >= grids_.size()) {
+    return kInvalidPartition;
+  }
+  const LevelGrid& grid = grids_[static_cast<std::size_t>(p.level)];
+  if (!grid.bounds.IsValid() || !grid.bounds.Contains(p)) {
+    return kInvalidPartition;
+  }
+  PartitionId best = kInvalidPartition;
+  for (PartitionId id :
+       grid.buckets[static_cast<std::size_t>(CellIndex(grid, p.x, p.y))]) {
+    if (venue_->partition(id).rect.Contains(p)) {
+      if (best == kInvalidPartition || id < best) best = id;
+    }
+  }
+  return best;
+}
+
+}  // namespace ifls

@@ -1,0 +1,41 @@
+#ifndef IFLS_INDOOR_POINT_LOCATION_H_
+#define IFLS_INDOOR_POINT_LOCATION_H_
+
+#include <vector>
+
+#include "src/indoor/venue.h"
+
+namespace ifls {
+
+/// Point-in-partition lookup over a venue, bucketed on a uniform grid per
+/// level. This is the "object layer" of composite indoor indexes: generators
+/// and examples use it to map raw positions (e.g. positioning-system fixes)
+/// to partitions.
+class PointLocator {
+ public:
+  /// `cells_per_axis` controls grid resolution; 32 is plenty for venues with
+  /// a few thousand partitions.
+  explicit PointLocator(const Venue* venue, int cells_per_axis = 32);
+
+  /// Partition containing `p`, or kInvalidPartition when the point lies in a
+  /// wall / outside every partition. Boundary points resolve to the
+  /// lowest-id containing partition.
+  PartitionId Locate(const Point& p) const;
+
+ private:
+  struct LevelGrid {
+    Rect bounds;
+    int cells = 0;
+    // cell -> partition ids whose rect intersects the cell.
+    std::vector<std::vector<PartitionId>> buckets;
+  };
+
+  int CellIndex(const LevelGrid& grid, double x, double y) const;
+
+  const Venue* venue_;
+  std::vector<LevelGrid> grids_;  // indexed by level
+};
+
+}  // namespace ifls
+
+#endif  // IFLS_INDOOR_POINT_LOCATION_H_

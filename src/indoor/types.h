@@ -1,0 +1,105 @@
+#ifndef IFLS_INDOOR_TYPES_H_
+#define IFLS_INDOOR_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/geometry/geometry.h"
+
+namespace ifls {
+
+/// Dense 0-based identifiers. kInvalid* marks "no value".
+using PartitionId = std::int32_t;
+using DoorId = std::int32_t;
+using ClientId = std::int32_t;
+
+inline constexpr PartitionId kInvalidPartition = -1;
+inline constexpr DoorId kInvalidDoor = -1;
+inline constexpr ClientId kInvalidClient = -1;
+
+/// Role of a partition in the venue. Kind does not affect distance
+/// semantics; it drives generation (clients only spawn in rooms/corridors)
+/// and the real-setting category machinery.
+enum class PartitionKind : std::uint8_t {
+  kRoom = 0,
+  kCorridor = 1,
+  kStairwell = 2,
+};
+
+const char* PartitionKindToString(PartitionKind kind);
+
+/// An indoor partition: an axis-aligned rectangular unit of free movement
+/// (room, corridor segment or stairwell) on one floor. Movement inside a
+/// partition is unrestricted (Euclidean); leaving it requires a door.
+struct Partition {
+  PartitionId id = kInvalidPartition;
+  Rect rect;
+  PartitionKind kind = PartitionKind::kRoom;
+  /// Doors on this partition's boundary, in insertion order.
+  std::vector<DoorId> doors;
+  /// Free-form tenant/category tag used by the real-setting experiments
+  /// ("dining & entertainment", ...). Empty when unused.
+  std::string category;
+
+  Level level() const { return rect.level; }
+};
+
+/// A door connects exactly two partitions at a wall point. A *stair door*
+/// connects two vertically stacked stairwell partitions on adjacent levels;
+/// crossing it costs `vertical_cost` metres of walking in addition to the
+/// planar legs (charged half on each side so door-to-door composition stays
+/// symmetric).
+struct Door {
+  DoorId id = kInvalidDoor;
+  /// Planar position; `position.level` is partition_a's level (display only —
+  /// all distance math is planar).
+  Point position;
+  PartitionId partition_a = kInvalidPartition;
+  PartitionId partition_b = kInvalidPartition;
+  double vertical_cost = 0.0;
+
+  bool is_stair_door() const { return vertical_cost > 0.0; }
+
+  /// The partition on the other side of the door, or kInvalidPartition if
+  /// `from` is not incident.
+  PartitionId Other(PartitionId from) const {
+    if (from == partition_a) return partition_b;
+    if (from == partition_b) return partition_a;
+    return kInvalidPartition;
+  }
+
+  bool Connects(PartitionId p) const {
+    return p == partition_a || p == partition_b;
+  }
+};
+
+/// A client is a static indoor point (a person / patient bed / desk). The
+/// partition id is stored explicitly: queries group clients per partition,
+/// and generators always know the containing partition.
+struct Client {
+  ClientId id = kInvalidClient;
+  Point position;
+  PartitionId partition = kInvalidPartition;
+};
+
+/// Walking distance between a point inside a partition and one of the
+/// partition's doors: the planar leg plus half the door's vertical cost.
+inline double PointToDoorDistance(const Point& p, const Door& d) {
+  const double dx = p.x - d.position.x;
+  const double dy = p.y - d.position.y;
+  return std::sqrt(dx * dx + dy * dy) + d.vertical_cost / 2.0;
+}
+
+/// Walking distance between two doors of the same partition: planar leg plus
+/// half of each door's vertical cost.
+inline double DoorToDoorIntraDistance(const Door& a, const Door& b) {
+  const double dx = a.position.x - b.position.x;
+  const double dy = a.position.y - b.position.y;
+  return std::sqrt(dx * dx + dy * dy) + a.vertical_cost / 2.0 +
+         b.vertical_cost / 2.0;
+}
+
+}  // namespace ifls
+
+#endif  // IFLS_INDOOR_TYPES_H_

@@ -1,0 +1,159 @@
+#include "src/indoor/venue.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace ifls {
+
+const char* PartitionKindToString(PartitionKind kind) {
+  switch (kind) {
+    case PartitionKind::kRoom:
+      return "room";
+    case PartitionKind::kCorridor:
+      return "corridor";
+    case PartitionKind::kStairwell:
+      return "stairwell";
+  }
+  return "?";
+}
+
+const Partition& Venue::partition(PartitionId id) const {
+  IFLS_CHECK(id >= 0 && static_cast<std::size_t>(id) < partitions_.size())
+      << "partition id " << id << " out of range";
+  return partitions_[static_cast<std::size_t>(id)];
+}
+
+const Door& Venue::door(DoorId id) const {
+  IFLS_CHECK(id >= 0 && static_cast<std::size_t>(id) < doors_.size())
+      << "door id " << id << " out of range";
+  return doors_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<PartitionId>& Venue::Neighbors(PartitionId p) const {
+  IFLS_CHECK(p >= 0 && static_cast<std::size_t>(p) < neighbors_.size());
+  return neighbors_[static_cast<std::size_t>(p)];
+}
+
+bool Venue::AreAdjacent(PartitionId a, PartitionId b) const {
+  const auto& nbrs = Neighbors(a);
+  return std::find(nbrs.begin(), nbrs.end(), b) != nbrs.end();
+}
+
+void Venue::SetCategory(PartitionId p, std::string category) {
+  IFLS_CHECK(p >= 0 && static_cast<std::size_t>(p) < partitions_.size());
+  partitions_[static_cast<std::size_t>(p)].category = std::move(category);
+}
+
+Rect Venue::LevelBounds(Level level) const {
+  Rect bounds;
+  bool first = true;
+  for (const Partition& p : partitions_) {
+    if (p.level() != level) continue;
+    bounds = first ? p.rect : bounds.Union(p.rect);
+    first = false;
+  }
+  return bounds;
+}
+
+Status Venue::Validate() const {
+  if (partitions_.empty()) {
+    return Status::InvalidArgument("venue has no partitions");
+  }
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    const Partition& p = partitions_[i];
+    if (p.id != static_cast<PartitionId>(i)) {
+      return Status::Internal("partition id mismatch at index " +
+                              std::to_string(i));
+    }
+    if (!p.rect.IsValid()) {
+      return Status::InvalidArgument("partition " + std::to_string(i) +
+                                     " has a degenerate rect");
+    }
+    for (DoorId d : p.doors) {
+      if (d < 0 || static_cast<std::size_t>(d) >= doors_.size()) {
+        return Status::Internal("partition " + std::to_string(i) +
+                                " references unknown door " +
+                                std::to_string(d));
+      }
+      if (!doors_[static_cast<std::size_t>(d)].Connects(p.id)) {
+        return Status::Internal("door " + std::to_string(d) +
+                                " does not connect back to partition " +
+                                std::to_string(i));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < doors_.size(); ++i) {
+    const Door& d = doors_[i];
+    if (d.id != static_cast<DoorId>(i)) {
+      return Status::Internal("door id mismatch at index " +
+                              std::to_string(i));
+    }
+    for (PartitionId p : {d.partition_a, d.partition_b}) {
+      if (p < 0 || static_cast<std::size_t>(p) >= partitions_.size()) {
+        return Status::Internal("door " + std::to_string(i) +
+                                " references unknown partition " +
+                                std::to_string(p));
+      }
+      const auto& pdoors = partitions_[static_cast<std::size_t>(p)].doors;
+      if (std::find(pdoors.begin(), pdoors.end(), d.id) == pdoors.end()) {
+        return Status::Internal("partition " + std::to_string(p) +
+                                " does not list incident door " +
+                                std::to_string(i));
+      }
+    }
+    if (d.partition_a == d.partition_b) {
+      return Status::InvalidArgument("door " + std::to_string(i) +
+                                     " connects a partition to itself");
+    }
+    if (d.vertical_cost < 0.0) {
+      return Status::InvalidArgument("door " + std::to_string(i) +
+                                     " has negative vertical cost");
+    }
+    const Level la = partitions_[static_cast<std::size_t>(d.partition_a)]
+                         .level();
+    const Level lb = partitions_[static_cast<std::size_t>(d.partition_b)]
+                         .level();
+    if (la != lb && d.vertical_cost == 0.0) {
+      return Status::InvalidArgument(
+          "door " + std::to_string(i) +
+          " crosses levels but has zero vertical cost");
+    }
+  }
+  // Connectivity over the accessibility graph: every partition reachable
+  // from partition 0.
+  std::vector<char> seen(partitions_.size(), 0);
+  std::queue<PartitionId> frontier;
+  frontier.push(0);
+  seen[0] = 1;
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    PartitionId cur = frontier.front();
+    frontier.pop();
+    for (PartitionId nbr : Neighbors(cur)) {
+      if (!seen[static_cast<std::size_t>(nbr)]) {
+        seen[static_cast<std::size_t>(nbr)] = 1;
+        ++reached;
+        frontier.push(nbr);
+      }
+    }
+  }
+  if (reached != partitions_.size()) {
+    return Status::InvalidArgument(
+        "venue is disconnected: reached " + std::to_string(reached) + " of " +
+        std::to_string(partitions_.size()) + " partitions");
+  }
+  return Status::OK();
+}
+
+std::string Venue::ToString() const {
+  std::ostringstream os;
+  os << "Venue{" << name_ << ": " << partitions_.size() << " partitions ("
+     << num_rooms_ << " rooms), " << doors_.size() << " doors, "
+     << num_levels_ << " levels}";
+  return os.str();
+}
+
+}  // namespace ifls

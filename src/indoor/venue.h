@@ -1,0 +1,75 @@
+#ifndef IFLS_INDOOR_VENUE_H_
+#define IFLS_INDOOR_VENUE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/indoor/types.h"
+
+namespace ifls {
+
+/// Immutable indoor venue: partitions, doors and the accessibility topology
+/// between them. Construct through VenueBuilder (which validates geometry and
+/// connectivity) or io::LoadVenue.
+class Venue {
+ public:
+  Venue() = default;
+
+  const std::string& name() const { return name_; }
+
+  std::size_t num_partitions() const { return partitions_.size(); }
+  std::size_t num_doors() const { return doors_.size(); }
+  /// Number of distinct floors (max level + 1).
+  std::int32_t num_levels() const { return num_levels_; }
+
+  const Partition& partition(PartitionId id) const;
+  const Door& door(DoorId id) const;
+
+  const std::vector<Partition>& partitions() const { return partitions_; }
+  const std::vector<Door>& doors() const { return doors_; }
+
+  /// Door ids on the boundary of `p`.
+  const std::vector<DoorId>& DoorsOf(PartitionId p) const {
+    return partition(p).doors;
+  }
+
+  /// Partitions reachable from `p` in one door crossing (deduplicated).
+  const std::vector<PartitionId>& Neighbors(PartitionId p) const;
+
+  /// True when `a` and `b` share at least one door.
+  bool AreAdjacent(PartitionId a, PartitionId b) const;
+
+  /// Total count of room-kind partitions (what the paper reports as "rooms").
+  std::size_t num_rooms() const { return num_rooms_; }
+
+  /// Bounding rect of one level's partitions.
+  Rect LevelBounds(Level level) const;
+
+  /// Overrides a partition's category tag. The only permitted mutation of a
+  /// built venue: categories are workload metadata, not structure, and the
+  /// real-setting experiments assign them after generation.
+  void SetCategory(PartitionId p, std::string category);
+
+  /// Structural self-check: door endpoints valid, doors listed by both
+  /// incident partitions, topology connected. Builders call this; IO paths
+  /// call it again after deserialization.
+  Status Validate() const;
+
+  std::string ToString() const;
+
+ private:
+  friend class VenueBuilder;
+
+  std::string name_;
+  std::vector<Partition> partitions_;
+  std::vector<Door> doors_;
+  std::vector<std::vector<PartitionId>> neighbors_;
+  std::int32_t num_levels_ = 0;
+  std::size_t num_rooms_ = 0;
+};
+
+}  // namespace ifls
+
+#endif  // IFLS_INDOOR_VENUE_H_

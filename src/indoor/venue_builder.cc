@@ -1,0 +1,81 @@
+#include "src/indoor/venue_builder.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace ifls {
+
+PartitionId VenueBuilder::AddPartition(const Rect& rect, PartitionKind kind,
+                                       std::string category) {
+  Partition p;
+  p.id = static_cast<PartitionId>(partitions_.size());
+  p.rect = rect;
+  p.kind = kind;
+  p.category = std::move(category);
+  partitions_.push_back(std::move(p));
+  return partitions_.back().id;
+}
+
+DoorId VenueBuilder::AddDoor(PartitionId a, PartitionId b,
+                             const Point& position) {
+  IFLS_CHECK(a >= 0 && static_cast<std::size_t>(a) < partitions_.size());
+  IFLS_CHECK(b >= 0 && static_cast<std::size_t>(b) < partitions_.size());
+  IFLS_CHECK(a != b) << "door must connect two distinct partitions";
+  Door d;
+  d.id = static_cast<DoorId>(doors_.size());
+  d.position = position;
+  d.partition_a = a;
+  d.partition_b = b;
+  d.vertical_cost = 0.0;
+  doors_.push_back(d);
+  partitions_[static_cast<std::size_t>(a)].doors.push_back(d.id);
+  partitions_[static_cast<std::size_t>(b)].doors.push_back(d.id);
+  return d.id;
+}
+
+DoorId VenueBuilder::AddStairDoor(PartitionId lower, PartitionId upper,
+                                  const Point& position,
+                                  double vertical_cost) {
+  IFLS_CHECK(vertical_cost > 0.0);
+  DoorId id = AddDoor(lower, upper, position);
+  doors_[static_cast<std::size_t>(id)].vertical_cost = vertical_cost;
+  return id;
+}
+
+void VenueBuilder::SetCategory(PartitionId p, std::string category) {
+  IFLS_CHECK(p >= 0 && static_cast<std::size_t>(p) < partitions_.size());
+  partitions_[static_cast<std::size_t>(p)].category = std::move(category);
+}
+
+Result<Venue> VenueBuilder::Build() {
+  Venue venue;
+  venue.name_ = std::move(name_);
+  venue.partitions_ = std::move(partitions_);
+  venue.doors_ = std::move(doors_);
+
+  venue.neighbors_.assign(venue.partitions_.size(), {});
+  for (const Door& d : venue.doors_) {
+    auto add_neighbor = [&](PartitionId from, PartitionId to) {
+      auto& nbrs = venue.neighbors_[static_cast<std::size_t>(from)];
+      if (std::find(nbrs.begin(), nbrs.end(), to) == nbrs.end()) {
+        nbrs.push_back(to);
+      }
+    };
+    add_neighbor(d.partition_a, d.partition_b);
+    add_neighbor(d.partition_b, d.partition_a);
+  }
+
+  Level max_level = 0;
+  venue.num_rooms_ = 0;
+  for (const Partition& p : venue.partitions_) {
+    max_level = std::max(max_level, p.level());
+    if (p.kind == PartitionKind::kRoom) ++venue.num_rooms_;
+  }
+  venue.num_levels_ = max_level + 1;
+
+  IFLS_RETURN_NOT_OK(venue.Validate());
+  return venue;
+}
+
+}  // namespace ifls

@@ -1,0 +1,61 @@
+#ifndef IFLS_INDOOR_VENUE_BUILDER_H_
+#define IFLS_INDOOR_VENUE_BUILDER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/indoor/venue.h"
+
+namespace ifls {
+
+/// Incremental venue construction with validation at Build() time.
+///
+/// Usage:
+///   VenueBuilder b("demo");
+///   PartitionId room = b.AddPartition(Rect(0, 0, 5, 5), PartitionKind::kRoom);
+///   PartitionId hall = b.AddPartition(Rect(5, 0, 20, 3), kCorridor);
+///   b.AddDoor(room, hall, Point(5, 1.5));
+///   IFLS_ASSIGN_OR_RETURN(Venue venue, b.Build());
+class VenueBuilder {
+ public:
+  explicit VenueBuilder(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a partition and returns its id (dense, insertion order).
+  PartitionId AddPartition(const Rect& rect,
+                           PartitionKind kind = PartitionKind::kRoom,
+                           std::string category = "");
+
+  /// Adds a same-level door between two partitions at `position`. Returns the
+  /// door id. Geometry is not snapped: callers place the point on the shared
+  /// wall (SharedWallMidpoint helps).
+  DoorId AddDoor(PartitionId a, PartitionId b, const Point& position);
+
+  /// Adds a stair door between two stacked stairwell partitions on adjacent
+  /// levels. `vertical_cost` is the walking length of the staircase (metres).
+  DoorId AddStairDoor(PartitionId lower, PartitionId upper,
+                      const Point& position, double vertical_cost);
+
+  /// Overrides the category tag of an existing partition.
+  void SetCategory(PartitionId p, std::string category);
+
+  std::size_t num_partitions() const { return partitions_.size(); }
+  std::size_t num_doors() const { return doors_.size(); }
+  const Partition& partition(PartitionId id) const {
+    return partitions_[static_cast<std::size_t>(id)];
+  }
+
+  /// Finalizes the venue: builds neighbor lists, counts rooms/levels, runs
+  /// Venue::Validate. The builder is left in a moved-from state on success.
+  Result<Venue> Build();
+
+ private:
+  std::string name_;
+  std::vector<Partition> partitions_;
+  std::vector<Door> doors_;
+};
+
+}  // namespace ifls
+
+#endif  // IFLS_INDOOR_VENUE_BUILDER_H_

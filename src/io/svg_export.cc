@@ -1,0 +1,160 @@
+#include "src/io/svg_export.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace ifls {
+namespace {
+
+constexpr char kRoomFill[] = "#e8e8e8";
+constexpr char kCorridorFill[] = "#f7f7f7";
+constexpr char kStairFill[] = "#cfd8dc";
+constexpr char kExistingFill[] = "#1976d2";
+constexpr char kCandidateFill[] = "#a5d6a7";
+constexpr char kAnswerFill[] = "#ef6c00";
+constexpr char kClientColor[] = "#c62828";
+constexpr char kPathColor[] = "#6a1b9a";
+
+class SvgWriter {
+ public:
+  SvgWriter(const Rect& bounds, double scale)
+      : bounds_(bounds), scale_(scale) {
+    const double margin = 10.0;
+    width_ = bounds.width() * scale + 2 * margin;
+    height_ = bounds.height() * scale + 2 * margin;
+    margin_ = margin;
+  }
+
+  double X(double x) const { return margin_ + (x - bounds_.min_x) * scale_; }
+  /// SVG y grows downward; venue y grows upward.
+  double Y(double y) const {
+    return margin_ + (bounds_.max_y - y) * scale_;
+  }
+
+  void Open(std::ostringstream* os) const {
+    *os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_
+        << "\" height=\"" << height_ << "\" viewBox=\"0 0 " << width_ << " "
+        << height_ << "\">\n";
+    *os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  }
+
+  void RectShape(std::ostringstream* os, const Rect& r, const char* fill,
+                 const char* stroke = "#555", double stroke_width = 1.0) const {
+    *os << "<rect x=\"" << X(r.min_x) << "\" y=\"" << Y(r.max_y)
+        << "\" width=\"" << r.width() * scale_ << "\" height=\""
+        << r.height() * scale_ << "\" fill=\"" << fill << "\" stroke=\""
+        << stroke << "\" stroke-width=\"" << stroke_width << "\"/>\n";
+  }
+
+  void Circle(std::ostringstream* os, const Point& p, double radius_px,
+              const char* fill) const {
+    *os << "<circle cx=\"" << X(p.x) << "\" cy=\"" << Y(p.y) << "\" r=\""
+        << radius_px << "\" fill=\"" << fill << "\"/>\n";
+  }
+
+  void Text(std::ostringstream* os, const Point& p, const std::string& text,
+            double size_px) const {
+    *os << "<text x=\"" << X(p.x) << "\" y=\"" << Y(p.y)
+        << "\" font-size=\"" << size_px
+        << "\" text-anchor=\"middle\" fill=\"#333\">" << text << "</text>\n";
+  }
+
+  void Polyline(std::ostringstream* os, const std::vector<Point>& points,
+                const char* stroke) const {
+    if (points.size() < 2) return;
+    *os << "<polyline fill=\"none\" stroke=\"" << stroke
+        << "\" stroke-width=\"2\" stroke-dasharray=\"6 3\" points=\"";
+    for (const Point& p : points) *os << X(p.x) << "," << Y(p.y) << " ";
+    *os << "\"/>\n";
+  }
+
+ private:
+  Rect bounds_;
+  double scale_;
+  double width_, height_, margin_;
+};
+
+const char* FillFor(const Partition& p, const SvgOptions& options) {
+  if (p.id == options.answer) return kAnswerFill;
+  if (std::find(options.existing_facilities.begin(),
+                options.existing_facilities.end(),
+                p.id) != options.existing_facilities.end()) {
+    return kExistingFill;
+  }
+  if (std::find(options.candidate_locations.begin(),
+                options.candidate_locations.end(),
+                p.id) != options.candidate_locations.end()) {
+    return kCandidateFill;
+  }
+  switch (p.kind) {
+    case PartitionKind::kCorridor:
+      return kCorridorFill;
+    case PartitionKind::kStairwell:
+      return kStairFill;
+    case PartitionKind::kRoom:
+      break;
+  }
+  return kRoomFill;
+}
+
+}  // namespace
+
+std::string RenderLevelSvg(const Venue& venue, const SvgOptions& options) {
+  const Rect bounds = venue.LevelBounds(options.level);
+  IFLS_CHECK(bounds.IsValid()) << "level " << options.level
+                               << " has no partitions";
+  SvgWriter writer(bounds, options.scale);
+  std::ostringstream os;
+  writer.Open(&os);
+
+  for (const Partition& p : venue.partitions()) {
+    if (p.level() != options.level) continue;
+    writer.RectShape(&os, p.rect, FillFor(p, options));
+    if (options.label_partitions) {
+      writer.Text(&os, p.rect.center(), std::to_string(p.id),
+                  std::min(10.0, p.rect.height() * options.scale * 0.5));
+    }
+  }
+  // Doors as small squares on the walls.
+  for (const Door& d : venue.doors()) {
+    const Level la = venue.partition(d.partition_a).level();
+    const Level lb = venue.partition(d.partition_b).level();
+    if (la != options.level && lb != options.level) continue;
+    const double half = 1.5;
+    os << "<rect x=\"" << writer.X(d.position.x) - half << "\" y=\""
+       << writer.Y(d.position.y) - half << "\" width=\"" << 2 * half
+       << "\" height=\"" << 2 * half << "\" fill=\""
+       << (d.is_stair_door() ? "#b71c1c" : "#333") << "\"/>\n";
+  }
+  for (const IndoorPath& path : options.paths) {
+    std::vector<Point> points = PathReconstructor::Waypoints(path, venue);
+    // Keep only the stretch on this level.
+    std::vector<Point> visible;
+    for (const Point& p : points) {
+      if (p.level == options.level) visible.push_back(p);
+    }
+    writer.Polyline(&os, visible, kPathColor);
+  }
+  for (const Client& c : options.clients) {
+    if (c.position.level != options.level) continue;
+    writer.Circle(&os, c.position, 2.0, kClientColor);
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+Status RenderLevelSvgToFile(const Venue& venue, const SvgOptions& options,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out << RenderLevelSvg(venue, options);
+  if (!out.good()) return Status::IOError("failed writing '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace ifls

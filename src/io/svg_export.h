@@ -1,0 +1,45 @@
+#ifndef IFLS_IO_SVG_EXPORT_H_
+#define IFLS_IO_SVG_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/index/path.h"
+#include "src/indoor/types.h"
+#include "src/indoor/venue.h"
+
+namespace ifls {
+
+/// What to draw on one floor of a venue. All ids are optional; unknown /
+/// other-level items are silently skipped.
+struct SvgOptions {
+  Level level = 0;
+  /// Pixels per metre.
+  double scale = 4.0;
+  /// Partition fills by role.
+  std::vector<PartitionId> existing_facilities;
+  std::vector<PartitionId> candidate_locations;
+  /// The query answer, highlighted.
+  PartitionId answer = kInvalidPartition;
+  /// Client dots.
+  std::vector<Client> clients;
+  /// Routes drawn as polylines (only their same-level segments).
+  std::vector<IndoorPath> paths;
+  /// Label partitions with their ids.
+  bool label_partitions = false;
+};
+
+/// Renders one level of the venue as a standalone SVG document: partition
+/// rectangles (rooms grey, corridors light, stairwells hatched-ish), doors
+/// as ticks, facilities / candidates / answer color-coded, clients as dots
+/// and paths as polylines. Intended for docs, debugging and the examples.
+std::string RenderLevelSvg(const Venue& venue, const SvgOptions& options);
+
+/// Renders and writes to a file.
+Status RenderLevelSvgToFile(const Venue& venue, const SvgOptions& options,
+                            const std::string& path);
+
+}  // namespace ifls
+
+#endif  // IFLS_IO_SVG_EXPORT_H_

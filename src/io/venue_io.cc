@@ -1,0 +1,145 @@
+#include "src/io/venue_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "src/indoor/venue_builder.h"
+
+namespace ifls {
+namespace {
+
+constexpr char kMagic[] = "IFLS_VENUE";
+constexpr int kVersion = 1;
+
+const char* KindToken(PartitionKind kind) {
+  switch (kind) {
+    case PartitionKind::kRoom:
+      return "room";
+    case PartitionKind::kCorridor:
+      return "corridor";
+    case PartitionKind::kStairwell:
+      return "stairwell";
+  }
+  return "?";
+}
+
+Result<PartitionKind> KindFromToken(const std::string& token) {
+  if (token == "room") return PartitionKind::kRoom;
+  if (token == "corridor") return PartitionKind::kCorridor;
+  if (token == "stairwell") return PartitionKind::kStairwell;
+  return Status::InvalidArgument("unknown partition kind '" + token + "'");
+}
+
+}  // namespace
+
+Status SaveVenue(const Venue& venue, std::ostream* out) {
+  if (out == nullptr) return Status::InvalidArgument("null output stream");
+  std::ostream& os = *out;
+  os << kMagic << " " << kVersion << "\n";
+  os << "name " << venue.name() << "\n";
+  os << std::setprecision(17);
+  os << "partitions " << venue.num_partitions() << "\n";
+  for (const Partition& p : venue.partitions()) {
+    os << "p " << KindToken(p.kind) << " " << p.level() << " " << p.rect.min_x
+       << " " << p.rect.min_y << " " << p.rect.max_x << " " << p.rect.max_y;
+    if (!p.category.empty()) os << " " << p.category;
+    os << "\n";
+  }
+  os << "doors " << venue.num_doors() << "\n";
+  for (const Door& d : venue.doors()) {
+    os << "d " << d.partition_a << " " << d.partition_b << " "
+       << d.position.x << " " << d.position.y << " " << d.position.level
+       << " " << d.vertical_cost << "\n";
+  }
+  if (!os.good()) return Status::IOError("failed writing venue stream");
+  return Status::OK();
+}
+
+Status SaveVenueToFile(const Venue& venue, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  return SaveVenue(venue, &out);
+}
+
+Result<Venue> LoadVenue(std::istream* in) {
+  if (in == nullptr) return Status::InvalidArgument("null input stream");
+  std::string magic;
+  int version = 0;
+  if (!(*in >> magic >> version) || magic != kMagic) {
+    return Status::InvalidArgument("not an IFLS_VENUE stream");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported venue format version " +
+                                   std::to_string(version));
+  }
+  std::string keyword;
+  if (!(*in >> keyword) || keyword != "name") {
+    return Status::InvalidArgument("expected 'name'");
+  }
+  std::string name;
+  std::getline(*in, name);
+  if (!name.empty() && name.front() == ' ') name.erase(0, 1);
+
+  std::size_t num_partitions = 0;
+  if (!(*in >> keyword >> num_partitions) || keyword != "partitions") {
+    return Status::InvalidArgument("expected 'partitions <count>'");
+  }
+  VenueBuilder builder(name);
+  for (std::size_t i = 0; i < num_partitions; ++i) {
+    std::string tag, kind_token;
+    Level level = 0;
+    double x0, y0, x1, y1;
+    if (!(*in >> tag >> kind_token >> level >> x0 >> y0 >> x1 >> y1) ||
+        tag != "p") {
+      return Status::InvalidArgument("malformed partition line " +
+                                     std::to_string(i));
+    }
+    IFLS_ASSIGN_OR_RETURN(PartitionKind kind, KindFromToken(kind_token));
+    std::string category;
+    std::getline(*in, category);
+    if (!category.empty() && category.front() == ' ') category.erase(0, 1);
+    builder.AddPartition(Rect(x0, y0, x1, y1, level), kind,
+                         std::move(category));
+  }
+
+  std::size_t num_doors = 0;
+  if (!(*in >> keyword >> num_doors) || keyword != "doors") {
+    return Status::InvalidArgument("expected 'doors <count>'");
+  }
+  for (std::size_t i = 0; i < num_doors; ++i) {
+    std::string tag;
+    PartitionId a, b;
+    double x, y, vcost;
+    Level level;
+    if (!(*in >> tag >> a >> b >> x >> y >> level >> vcost) || tag != "d") {
+      return Status::InvalidArgument("malformed door line " +
+                                     std::to_string(i));
+    }
+    if (a < 0 || b < 0 ||
+        static_cast<std::size_t>(a) >= builder.num_partitions() ||
+        static_cast<std::size_t>(b) >= builder.num_partitions()) {
+      return Status::InvalidArgument("door " + std::to_string(i) +
+                                     " references unknown partition");
+    }
+    if (vcost > 0.0) {
+      builder.AddStairDoor(a, b, Point(x, y, level), vcost);
+    } else {
+      builder.AddDoor(a, b, Point(x, y, level));
+    }
+  }
+  return builder.Build();
+}
+
+Result<Venue> LoadVenueFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  return LoadVenue(&in);
+}
+
+}  // namespace ifls

@@ -1,0 +1,100 @@
+#include "src/io/workload_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+
+namespace ifls {
+namespace {
+
+constexpr char kMagic[] = "IFLS_WORKLOAD";
+constexpr int kVersion = 1;
+
+}  // namespace
+
+Status SaveWorkload(const WorkloadData& data, std::ostream* out) {
+  if (out == nullptr) return Status::InvalidArgument("null output stream");
+  std::ostream& os = *out;
+  os << kMagic << " " << kVersion << "\n";
+  os << std::setprecision(17);
+  os << "existing " << data.facilities.existing.size();
+  for (PartitionId p : data.facilities.existing) os << " " << p;
+  os << "\n";
+  os << "candidates " << data.facilities.candidates.size();
+  for (PartitionId p : data.facilities.candidates) os << " " << p;
+  os << "\n";
+  os << "clients " << data.clients.size() << "\n";
+  for (const Client& c : data.clients) {
+    os << "c " << c.partition << " " << c.position.x << " " << c.position.y
+       << " " << c.position.level << "\n";
+  }
+  if (!os.good()) return Status::IOError("failed writing workload stream");
+  return Status::OK();
+}
+
+Status SaveWorkloadToFile(const WorkloadData& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  return SaveWorkload(data, &out);
+}
+
+Result<WorkloadData> LoadWorkload(std::istream* in) {
+  if (in == nullptr) return Status::InvalidArgument("null input stream");
+  std::string magic;
+  int version = 0;
+  if (!(*in >> magic >> version) || magic != kMagic) {
+    return Status::InvalidArgument("not an IFLS_WORKLOAD stream");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported workload format version " +
+                                   std::to_string(version));
+  }
+  WorkloadData data;
+  std::string keyword;
+  std::size_t count = 0;
+  if (!(*in >> keyword >> count) || keyword != "existing") {
+    return Status::InvalidArgument("expected 'existing <count>'");
+  }
+  data.facilities.existing.resize(count);
+  for (auto& p : data.facilities.existing) {
+    if (!(*in >> p)) return Status::InvalidArgument("truncated existing ids");
+  }
+  if (!(*in >> keyword >> count) || keyword != "candidates") {
+    return Status::InvalidArgument("expected 'candidates <count>'");
+  }
+  data.facilities.candidates.resize(count);
+  for (auto& p : data.facilities.candidates) {
+    if (!(*in >> p)) {
+      return Status::InvalidArgument("truncated candidate ids");
+    }
+  }
+  if (!(*in >> keyword >> count) || keyword != "clients") {
+    return Status::InvalidArgument("expected 'clients <count>'");
+  }
+  data.clients.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string tag;
+    Client c;
+    if (!(*in >> tag >> c.partition >> c.position.x >> c.position.y >>
+          c.position.level) ||
+        tag != "c") {
+      return Status::InvalidArgument("malformed client line " +
+                                     std::to_string(i));
+    }
+    c.id = static_cast<ClientId>(i);
+    data.clients.push_back(c);
+  }
+  return data;
+}
+
+Result<WorkloadData> LoadWorkloadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  return LoadWorkload(&in);
+}
+
+}  // namespace ifls

@@ -1,0 +1,35 @@
+#ifndef IFLS_IO_WORKLOAD_IO_H_
+#define IFLS_IO_WORKLOAD_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/datasets/facility_selector.h"
+#include "src/indoor/types.h"
+
+namespace ifls {
+
+/// The query-side half of a workload (facilities + clients), serialized to
+/// the IFLS_WORKLOAD text format:
+///
+///   IFLS_WORKLOAD 1
+///   existing <count> <ids...>
+///   candidates <count> <ids...>
+///   clients <count>
+///   c <partition> <x> <y> <level>
+struct WorkloadData {
+  FacilitySets facilities;
+  std::vector<Client> clients;
+};
+
+Status SaveWorkload(const WorkloadData& data, std::ostream* out);
+Status SaveWorkloadToFile(const WorkloadData& data, const std::string& path);
+
+Result<WorkloadData> LoadWorkload(std::istream* in);
+Result<WorkloadData> LoadWorkloadFromFile(const std::string& path);
+
+}  // namespace ifls
+
+#endif  // IFLS_IO_WORKLOAD_IO_H_

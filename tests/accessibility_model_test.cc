@@ -1,0 +1,63 @@
+#include "src/graph/accessibility_model.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/index/graph_oracle.h"
+#include "src/index/vip_tree.h"
+#include "tests/test_util.h"
+
+namespace ifls {
+namespace {
+
+using testing_util::RandomClient;
+using testing_util::SmallVenueSpec;
+using testing_util::Unwrap;
+
+TEST(AccessibilityModelTest, MatchesTheVipTreeExactly) {
+  Venue venue = Unwrap(GenerateVenue(SmallVenueSpec()));
+  VipTree tree = Unwrap(VipTree::Build(&venue));
+  AccessibilityModel model(&venue);
+  Rng rng(71);
+  for (int i = 0; i < 200; ++i) {
+    const Client a = RandomClient(venue, &rng, 0);
+    const Client b = RandomClient(venue, &rng, 1);
+    ASSERT_NEAR(
+        model.PointToPoint(a.position, a.partition, b.position, b.partition),
+        tree.PointToPoint(a.position, a.partition, b.position, b.partition),
+        1e-9);
+    const auto target = static_cast<PartitionId>(
+        rng.NextBounded(venue.num_partitions()));
+    ASSERT_NEAR(model.PointToPartition(a.position, a.partition, target),
+                tree.PointToPartition(a.position, a.partition, target),
+                1e-9);
+  }
+}
+
+TEST(AccessibilityModelTest, SamePartitionShortcuts) {
+  Venue venue = Unwrap(GenerateVenue(SmallVenueSpec()));
+  AccessibilityModel model(&venue);
+  const Partition& p = venue.partition(0);
+  const Point a(p.rect.min_x + 1, p.rect.min_y + 1, p.level());
+  const Point b = p.rect.center();
+  EXPECT_DOUBLE_EQ(model.PointToPoint(a, 0, b, 0), PlanarDistance(a, b));
+  EXPECT_DOUBLE_EQ(model.PointToPartition(a, 0, 0), 0.0);
+  EXPECT_EQ(model.num_expansions(), 0u);  // no graph work needed
+}
+
+TEST(AccessibilityModelTest, CountsExpansions) {
+  Venue venue = Unwrap(GenerateVenue(SmallVenueSpec()));
+  AccessibilityModel model(&venue);
+  Rng rng(72);
+  const Client a = RandomClient(venue, &rng, 0);
+  const Client b = RandomClient(venue, &rng, 1);
+  if (a.partition != b.partition) {
+    (void)model.PointToPoint(a.position, a.partition, b.position,
+                             b.partition);
+    EXPECT_EQ(model.num_expansions(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace ifls

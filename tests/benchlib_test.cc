@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "src/benchlib/harness.h"
+#include "src/benchlib/table.h"
+
+namespace ifls {
+namespace {
+
+TEST(TextTableTest, AlignsColumnsAndFormatsNumbers) {
+  TextTable table({"venue", "time (s)", "mem (MB)"});
+  table.AddRow({"MC", TextTable::Num(1.2345678), TextTable::Int(42)});
+  table.AddRow({"CPH", TextTable::Num(0.000123), TextTable::Num(1e7)});
+  std::ostringstream os;
+  table.Print(&os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("venue"), std::string::npos);
+  EXPECT_NE(out.find("MC"), std::string::npos);
+  EXPECT_NE(out.find("1.2346"), std::string::npos);
+  EXPECT_NE(out.find("1.230e-04"), std::string::npos);
+  EXPECT_NE(out.find("1.000e+07"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTableTest, NumHandlesSpecialValues) {
+  EXPECT_EQ(TextTable::Num(0.0), "0.0000");
+  EXPECT_EQ(TextTable::Num(std::numeric_limits<double>::infinity()), "inf");
+}
+
+TEST(BenchScaleTest, EnvSelection) {
+  setenv("IFLS_BENCH_SCALE", "smoke", 1);
+  BenchScale smoke = BenchScale::FromEnv();
+  EXPECT_EQ(smoke.name, "smoke");
+  EXPECT_EQ(smoke.Clients(20000), 200u);
+  EXPECT_EQ(smoke.repeats, 1);
+
+  setenv("IFLS_BENCH_SCALE", "full", 1);
+  BenchScale full = BenchScale::FromEnv();
+  EXPECT_EQ(full.name, "full");
+  EXPECT_EQ(full.Clients(20000), 20000u);
+  EXPECT_EQ(full.repeats, 10);
+
+  unsetenv("IFLS_BENCH_SCALE");
+  BenchScale def = BenchScale::FromEnv();
+  EXPECT_EQ(def.name, "default");
+  EXPECT_EQ(def.Clients(20000), 1000u);
+  // Client counts never hit zero.
+  EXPECT_EQ(def.Clients(5), 1u);
+}
+
+TEST(HarnessTest, RunPairedProducesConsistentAggregates) {
+  VenueCache cache;
+  const Venue& venue = cache.venue(VenuePreset::kCopenhagenAirport, false);
+  const VipTree& tree = cache.tree(VenuePreset::kCopenhagenAirport, false);
+  // Same objects on second access (cache hit).
+  EXPECT_EQ(&venue, &cache.venue(VenuePreset::kCopenhagenAirport, false));
+  EXPECT_EQ(&tree, &cache.tree(VenuePreset::kCopenhagenAirport, false));
+
+  WorkloadSpec spec;
+  spec.preset = VenuePreset::kCopenhagenAirport;
+  spec.num_existing = 5;
+  spec.num_candidates = 10;
+  spec.num_clients = 60;
+  const PairedAggregate agg = RunPaired(venue, tree, spec, /*repeats=*/2,
+                                        /*seed=*/1, /*verify_agreement=*/true);
+  EXPECT_EQ(agg.repeats, 2);
+  EXPECT_GT(agg.efficient.mean_time_seconds, 0.0);
+  EXPECT_GT(agg.baseline.mean_time_seconds, 0.0);
+  EXPECT_GT(agg.efficient.mean_memory_mb, 0.0);
+  EXPECT_GT(agg.baseline.mean_memory_mb, 0.0);
+  EXPECT_GT(agg.speedup, 0.0);
+  // Both solvers are exact: they must agree on every repeat.
+  EXPECT_EQ(agg.agreements, 2);
+}
+
+}  // namespace
+}  // namespace ifls

@@ -1,0 +1,192 @@
+// The BSP generator and — more importantly — robustness of the whole stack
+// (index exactness, solver optimality) on irregular, corridor-free
+// topologies.
+
+#include "src/datasets/bsp_venue.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/brute_force.h"
+#include "src/core/efficient.h"
+#include "src/core/maxsum.h"
+#include "src/core/mindist.h"
+#include "src/core/minmax_baseline.h"
+#include "src/index/graph_oracle.h"
+#include "src/index/vip_tree.h"
+#include "tests/test_util.h"
+
+namespace ifls {
+namespace {
+
+using testing_util::RandomClient;
+using testing_util::Unwrap;
+
+BspVenueSpec DefaultSpec() {
+  BspVenueSpec spec;
+  spec.levels = 2;
+  spec.rooms_per_level = 28;
+  spec.width = 90;
+  spec.height = 70;
+  return spec;
+}
+
+TEST(BspVenueTest, GeneratesValidConnectedVenues) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Rng rng(seed);
+    Venue venue = Unwrap(GenerateBspVenue(DefaultSpec(), &rng));
+    EXPECT_TRUE(venue.Validate().ok()) << "seed " << seed;
+    EXPECT_EQ(venue.num_levels(), 2);
+    EXPECT_GE(venue.num_rooms(), 40u);  // ~28 per level, min-side capped
+    EXPECT_LE(venue.num_rooms(), 56u);
+  }
+}
+
+TEST(BspVenueTest, RoomsTileTheFloorWithoutOverlap) {
+  Rng rng(7);
+  Venue venue = Unwrap(GenerateBspVenue(DefaultSpec(), &rng));
+  double area = 0.0;
+  for (const Partition& p : venue.partitions()) {
+    if (p.level() == 0) area += p.rect.area();
+    for (const Partition& q : venue.partitions()) {
+      if (p.id >= q.id || p.level() != q.level()) continue;
+      // Closed rects may touch but not properly overlap.
+      const double ox =
+          std::min(p.rect.max_x, q.rect.max_x) -
+          std::max(p.rect.min_x, q.rect.min_x);
+      const double oy =
+          std::min(p.rect.max_y, q.rect.max_y) -
+          std::max(p.rect.min_y, q.rect.min_y);
+      EXPECT_FALSE(ox > 1e-9 && oy > 1e-9)
+          << "rooms " << p.id << " and " << q.id << " overlap";
+    }
+  }
+  EXPECT_NEAR(area, 90.0 * 70.0, 1e-6);
+}
+
+TEST(BspVenueTest, DeterministicPerSeed) {
+  Rng a(11), b(11);
+  Venue va = Unwrap(GenerateBspVenue(DefaultSpec(), &a));
+  Venue vb = Unwrap(GenerateBspVenue(DefaultSpec(), &b));
+  ASSERT_EQ(va.num_partitions(), vb.num_partitions());
+  ASSERT_EQ(va.num_doors(), vb.num_doors());
+  for (std::size_t i = 0; i < va.num_doors(); ++i) {
+    EXPECT_EQ(va.door(static_cast<DoorId>(i)).position,
+              vb.door(static_cast<DoorId>(i)).position);
+  }
+}
+
+TEST(BspVenueTest, RejectsBadSpecs) {
+  Rng rng(13);
+  BspVenueSpec bad = DefaultSpec();
+  bad.levels = 0;
+  EXPECT_TRUE(GenerateBspVenue(bad, &rng).status().IsInvalidArgument());
+  bad = DefaultSpec();
+  bad.width = 5;
+  bad.min_room_side = 4;
+  EXPECT_TRUE(GenerateBspVenue(bad, &rng).status().IsInvalidArgument());
+}
+
+TEST(BspVenueTest, VipTreeStaysExactOnIrregularTopology) {
+  Rng rng(17);
+  Venue venue = Unwrap(GenerateBspVenue(DefaultSpec(), &rng));
+  VipTree tree = Unwrap(VipTree::Build(&venue));
+  GraphDistanceOracle oracle(&venue);
+  Rng qrng(18);
+  for (int i = 0; i < 200; ++i) {
+    const Client a = RandomClient(venue, &qrng, 0);
+    const Client b = RandomClient(venue, &qrng, 1);
+    ASSERT_NEAR(
+        tree.PointToPoint(a.position, a.partition, b.position, b.partition),
+        oracle.PointToPoint(a.position, a.partition, b.position, b.partition),
+        1e-9);
+  }
+}
+
+TEST(BspVenueTest, SolversStayOptimalOnIrregularTopology) {
+  Rng rng(19);
+  Venue venue = Unwrap(GenerateBspVenue(DefaultSpec(), &rng));
+  VipTree tree = Unwrap(VipTree::Build(&venue));
+  for (std::uint64_t seed : {21u, 22u, 23u}) {
+    Rng wrng(seed);
+    IflsContext ctx;
+    ctx.tree = &tree;
+    FacilitySets sets =
+        Unwrap(SelectUniformFacilities(venue, 4, 8, &wrng));
+    ctx.existing = std::move(sets.existing);
+    ctx.candidates = std::move(sets.candidates);
+    for (int i = 0; i < 40; ++i) {
+      ctx.clients.push_back(
+          RandomClient(venue, &wrng, static_cast<ClientId>(i)));
+    }
+    const IflsResult brute = Unwrap(SolveBruteForceMinMax(ctx));
+    const IflsResult efficient = Unwrap(SolveEfficient(ctx));
+    const IflsResult baseline = Unwrap(SolveModifiedMinMax(ctx));
+    if (efficient.found) {
+      EXPECT_NEAR(EvaluateMinMax(ctx, efficient.answer), brute.objective,
+                  1e-7 * std::max(1.0, brute.objective));
+    }
+    if (baseline.found) {
+      EXPECT_NEAR(EvaluateMinMax(ctx, baseline.answer), brute.objective,
+                  1e-7 * std::max(1.0, brute.objective));
+    }
+  }
+}
+
+TEST(BspVenueTest, ExtensionSolversStayOptimalOnIrregularTopology) {
+  Rng rng(31);
+  Venue venue = Unwrap(GenerateBspVenue(DefaultSpec(), &rng));
+  VipTree tree = Unwrap(VipTree::Build(&venue));
+  for (std::uint64_t seed : {41u, 42u}) {
+    Rng wrng(seed);
+    IflsContext ctx;
+    ctx.tree = &tree;
+    FacilitySets sets = Unwrap(SelectUniformFacilities(venue, 3, 7, &wrng));
+    ctx.existing = std::move(sets.existing);
+    ctx.candidates = std::move(sets.candidates);
+    for (int i = 0; i < 35; ++i) {
+      ctx.clients.push_back(
+          RandomClient(venue, &wrng, static_cast<ClientId>(i)));
+    }
+    const IflsResult brute_md = Unwrap(SolveBruteForceMinDist(ctx));
+    const IflsResult mindist = Unwrap(SolveMinDist(ctx));
+    ASSERT_TRUE(mindist.found);
+    EXPECT_NEAR(EvaluateMinDist(ctx, mindist.answer), brute_md.objective,
+                1e-7 * std::max(1.0, brute_md.objective));
+
+    const IflsResult brute_ms = Unwrap(SolveBruteForceMaxSum(ctx));
+    const IflsResult maxsum = Unwrap(SolveMaxSum(ctx));
+    ASSERT_TRUE(maxsum.found);
+    EXPECT_NEAR(EvaluateMaxSum(ctx, maxsum.answer), brute_ms.objective,
+                1e-9);
+  }
+}
+
+TEST(BspVenueTest, TopKStaysExactOnIrregularTopology) {
+  Rng rng(51);
+  Venue venue = Unwrap(GenerateBspVenue(DefaultSpec(), &rng));
+  VipTree tree = Unwrap(VipTree::Build(&venue));
+  Rng wrng(52);
+  IflsContext ctx;
+  ctx.tree = &tree;
+  FacilitySets sets = Unwrap(SelectUniformFacilities(venue, 4, 10, &wrng));
+  ctx.existing = std::move(sets.existing);
+  ctx.candidates = std::move(sets.candidates);
+  for (int i = 0; i < 30; ++i) {
+    ctx.clients.push_back(
+        RandomClient(venue, &wrng, static_cast<ClientId>(i)));
+  }
+  const IflsResult oracle = Unwrap(SolveBruteForceTopKMinMax(ctx, 4));
+  EfficientOptions options;
+  options.top_k = 4;
+  const IflsResult ranked = Unwrap(SolveEfficient(ctx, options));
+  ASSERT_EQ(ranked.ranked.size(), oracle.ranked.size());
+  for (std::size_t i = 0; i < ranked.ranked.size(); ++i) {
+    EXPECT_NEAR(ranked.ranked[i].second, oracle.ranked[i].second,
+                1e-7 * std::max(1.0, oracle.ranked[i].second));
+  }
+}
+
+}  // namespace
+}  // namespace ifls

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/memory_tracker.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/stopwatch.h"
+
+namespace ifls {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chain(int x) {
+  IFLS_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(Chain(1).ok());
+  EXPECT_TRUE(Chain(-1).IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------- Result
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+  EXPECT_EQ(r.value(), 5);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfRange());
+}
+
+TEST(ResultTest, ValueOrReturnsAlternative) {
+  EXPECT_EQ(Result<int>(Status::NotFound("x")).ValueOr(7), 7);
+  EXPECT_EQ(Result<int>(3).ValueOr(7), 3);
+}
+
+TEST(ResultTest, ConstructingFromOkStatusBecomesInternalError) {
+  Result<int> r{Status::OK()};
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+Result<int> UseAssignOrReturn(int x) {
+  IFLS_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v + 1;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(UseAssignOrReturn(4).value(), 5);
+  EXPECT_TRUE(UseAssignOrReturn(0).status().IsOutOfRange());
+}
+
+// ------------------------------------------------------------------ Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.Next() == b.Next();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedIsUniformish) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 10 * 0.15);
+  }
+}
+
+TEST(RngTest, NextIntCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndComplete) {
+  Rng rng(17);
+  const auto sample = rng.SampleWithoutReplacement(20, 20);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 19u);
+
+  const auto partial = rng.SampleWithoutReplacement(100, 5);
+  EXPECT_EQ(partial.size(), 5u);
+  EXPECT_EQ(std::set<std::size_t>(partial.begin(), partial.end()).size(), 5u);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+// -------------------------------------------------------- MemoryTracker
+
+TEST(MemoryTrackerTest, TracksPeak) {
+  MemoryTracker t;
+  t.Charge(100);
+  t.Charge(200);
+  t.Release(150);
+  t.Charge(10);
+  EXPECT_EQ(t.current_bytes(), 160);
+  EXPECT_EQ(t.peak_bytes(), 300);
+  t.Reset();
+  EXPECT_EQ(t.current_bytes(), 0);
+  EXPECT_EQ(t.peak_bytes(), 0);
+}
+
+TEST(MemoryTrackerTest, ScopedTrackingInstallsAndRestores) {
+  EXPECT_EQ(ActiveMemoryTracker(), nullptr);
+  MemoryTracker outer, inner;
+  {
+    ScopedMemoryTracking s1(&outer);
+    EXPECT_EQ(ActiveMemoryTracker(), &outer);
+    {
+      ScopedMemoryTracking s2(&inner);
+      EXPECT_EQ(ActiveMemoryTracker(), &inner);
+    }
+    EXPECT_EQ(ActiveMemoryTracker(), &outer);
+  }
+  EXPECT_EQ(ActiveMemoryTracker(), nullptr);
+}
+
+TEST(MemoryTrackerTest, TrackingAllocatorChargesActiveTracker) {
+  MemoryTracker t;
+  {
+    ScopedMemoryTracking scope(&t);
+    std::vector<int, TrackingAllocator<int>> v;
+    v.reserve(1024);
+    EXPECT_GE(t.peak_bytes(),
+              static_cast<std::int64_t>(1024 * sizeof(int)));
+  }
+  // Vector destroyed inside the scope: everything released.
+  EXPECT_EQ(t.current_bytes(), 0);
+}
+
+TEST(MemoryTrackerTest, AllocatorWithoutScopeIsUntracked) {
+  std::vector<int, TrackingAllocator<int>> v;
+  v.resize(64);  // must not crash with no active tracker
+  EXPECT_EQ(v.size(), 64u);
+}
+
+// --------------------------------------------------------------- Logging
+
+TEST(LoggingTest, LevelRoundTrips) {
+  const LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(old);
+}
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  IFLS_CHECK(1 + 1 == 2) << "never printed";
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalseCondition) {
+  EXPECT_DEATH({ IFLS_CHECK(false) << "boom"; }, "Check failed");
+}
+
+// -------------------------------------------------------------- Stopwatch
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(i);
+  EXPECT_GT(sw.ElapsedSeconds(), 0.0);
+  EXPECT_GE(sw.ElapsedMicros(), 0);
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace ifls

@@ -1,0 +1,247 @@
+// The continuous-IFLS monitor (moving clients, paper §8 future work):
+// exactness against fresh solves, certified skips, and trajectory-driven
+// simulation.
+
+#include "src/core/continuous.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/brute_force.h"
+#include "src/datasets/trajectory_generator.h"
+#include "tests/test_util.h"
+
+namespace ifls {
+namespace {
+
+using testing_util::RandomClient;
+using testing_util::SmallVenueSpec;
+using testing_util::Unwrap;
+
+constexpr double kTol = 1e-7;
+
+class ContinuousEnv {
+ public:
+  static ContinuousEnv& Get() {
+    static ContinuousEnv* env = new ContinuousEnv();
+    return *env;
+  }
+  const Venue& venue() const { return venue_; }
+  const VipTree& tree() const { return *tree_; }
+  FacilitySets MakeSets(std::uint64_t seed, std::size_t fe,
+                        std::size_t fn) const {
+    Rng rng(seed);
+    return Unwrap(SelectUniformFacilities(venue_, fe, fn, &rng));
+  }
+
+ private:
+  ContinuousEnv() {
+    venue_ = Unwrap(GenerateVenue(SmallVenueSpec()));
+    tree_ = std::make_unique<VipTree>(Unwrap(VipTree::Build(&venue_)));
+  }
+  Venue venue_;
+  std::unique_ptr<VipTree> tree_;
+};
+
+/// Exact objective of the monitor's current crowd, computed independently.
+double FreshOptimum(const ContinuousEnv& env, const FacilitySets& sets,
+                    const std::vector<Client>& clients) {
+  IflsContext ctx;
+  ctx.tree = &env.tree();
+  ctx.existing = sets.existing;
+  ctx.candidates = sets.candidates;
+  ctx.clients = clients;
+  const IflsResult brute = Unwrap(SolveBruteForceMinMax(ctx));
+  return brute.found ? brute.objective : NoFacilityMinMax(ctx);
+}
+
+TEST(ContinuousIflsTest, MatchesFreshSolveAfterEveryUpdate) {
+  ContinuousEnv& env = ContinuousEnv::Get();
+  const FacilitySets sets = env.MakeSets(11, 4, 8);
+  ContinuousIfls monitor(&env.tree(), sets.existing, sets.candidates);
+
+  Rng rng(12);
+  std::vector<Client> mirror;
+  std::vector<ClientId> ids;
+  for (int i = 0; i < 25; ++i) {
+    Client c = RandomClient(env.venue(), &rng, 0);
+    ids.push_back(monitor.AddClient(c.position, c.partition));
+    c.id = ids.back();
+    mirror.push_back(c);
+  }
+  for (int step = 0; step < 12; ++step) {
+    // Move a random client.
+    const std::size_t idx =
+        static_cast<std::size_t>(rng.NextBounded(mirror.size()));
+    Client moved = RandomClient(env.venue(), &rng, mirror[idx].id);
+    ASSERT_TRUE(monitor
+                    .MoveClient(ids[idx], moved.position, moved.partition)
+                    .ok());
+    mirror[idx] = moved;
+    const IflsResult answer = Unwrap(monitor.Answer());
+    const double optimum = FreshOptimum(env, sets, mirror);
+    if (answer.found) {
+      IflsContext ctx;
+      ctx.tree = &env.tree();
+      ctx.existing = sets.existing;
+      ctx.candidates = sets.candidates;
+      ctx.clients = mirror;
+      EXPECT_NEAR(EvaluateMinMax(ctx, answer.answer), optimum,
+                  kTol * std::max(1.0, optimum))
+          << "step " << step;
+    }
+  }
+}
+
+TEST(ContinuousIflsTest, AddAndRemoveClients) {
+  ContinuousEnv& env = ContinuousEnv::Get();
+  const FacilitySets sets = env.MakeSets(21, 3, 6);
+  ContinuousIfls monitor(&env.tree(), sets.existing, sets.candidates);
+  Rng rng(22);
+
+  EXPECT_TRUE(monitor.RemoveClient(999).IsNotFound());
+
+  const Client a = RandomClient(env.venue(), &rng, 0);
+  const ClientId id_a = monitor.AddClient(a.position, a.partition);
+  const Client b = RandomClient(env.venue(), &rng, 0);
+  monitor.AddClient(b.position, b.partition);
+  EXPECT_EQ(monitor.num_clients(), 2u);
+  ASSERT_TRUE(monitor.RemoveClient(id_a).ok());
+  EXPECT_EQ(monitor.num_clients(), 1u);
+  EXPECT_TRUE(monitor.RemoveClient(id_a).IsNotFound());
+
+  const IflsResult answer = Unwrap(monitor.Answer());
+  std::vector<Client> mirror = {b};
+  mirror[0].id = 0;
+  const double optimum = FreshOptimum(env, sets, mirror);
+  if (answer.found) {
+    EXPECT_NEAR(answer.objective, optimum, 1e-6 + optimum * 1e-6);
+  }
+}
+
+TEST(ContinuousIflsTest, CachedAnswerServedWhenClean) {
+  ContinuousEnv& env = ContinuousEnv::Get();
+  const FacilitySets sets = env.MakeSets(31, 4, 8);
+  ContinuousIfls monitor(&env.tree(), sets.existing, sets.candidates);
+  Rng rng(32);
+  for (int i = 0; i < 10; ++i) {
+    const Client c = RandomClient(env.venue(), &rng, 0);
+    monitor.AddClient(c.position, c.partition);
+  }
+  (void)Unwrap(monitor.Answer());
+  const std::int64_t solves = monitor.solve_count();
+  (void)Unwrap(monitor.Answer());
+  (void)Unwrap(monitor.Answer());
+  EXPECT_EQ(monitor.solve_count(), solves);  // no re-solve when clean
+}
+
+TEST(ContinuousIflsTest, ToleranceSkipsAreSoundAndHappen) {
+  ContinuousEnv& env = ContinuousEnv::Get();
+  const FacilitySets sets = env.MakeSets(41, 4, 10);
+  ContinuousIfls monitor(&env.tree(), sets.existing, sets.candidates);
+  Rng rng(42);
+  std::vector<ClientId> ids;
+  std::vector<Client> mirror;
+  for (int i = 0; i < 30; ++i) {
+    Client c = RandomClient(env.venue(), &rng, 0);
+    ids.push_back(monitor.AddClient(c.position, c.partition));
+    c.id = ids.back();
+    mirror.push_back(c);
+  }
+  (void)Unwrap(monitor.Answer());
+
+  constexpr double kTolerance = 0.25;
+  for (int step = 0; step < 30; ++step) {
+    // Nudge one client within its partition (small moves rarely change the
+    // answer -> skips should fire).
+    const std::size_t idx =
+        static_cast<std::size_t>(rng.NextBounded(mirror.size()));
+    const Partition& p = env.venue().partition(mirror[idx].partition);
+    Point nudged(rng.NextUniform(p.rect.min_x, p.rect.max_x),
+                 rng.NextUniform(p.rect.min_y, p.rect.max_y), p.level());
+    ASSERT_TRUE(
+        monitor.MoveClient(ids[idx], nudged, mirror[idx].partition).ok());
+    mirror[idx].position = nudged;
+
+    const ContinuousIfls::MonitorAnswer answer =
+        Unwrap(monitor.AnswerWithin(kTolerance));
+    const double optimum = FreshOptimum(env, sets, mirror);
+    ASSERT_TRUE(answer.result.found);
+    // Soundness: the served answer is within tolerance of optimal.
+    IflsContext ctx;
+    ctx.tree = &env.tree();
+    ctx.existing = sets.existing;
+    ctx.candidates = sets.candidates;
+    ctx.clients = mirror;
+    EXPECT_LE(EvaluateMinMax(ctx, answer.result.answer),
+              (1.0 + kTolerance) * optimum + kTol)
+        << "step " << step;
+  }
+  EXPECT_GT(monitor.skip_count(), 0) << "no skip ever fired";
+  EXPECT_LT(monitor.solve_count(), 31) << "skips should avoid some solves";
+}
+
+TEST(ContinuousIflsTest, ZeroToleranceStillExact) {
+  ContinuousEnv& env = ContinuousEnv::Get();
+  const FacilitySets sets = env.MakeSets(51, 3, 7);
+  ContinuousIfls monitor(&env.tree(), sets.existing, sets.candidates);
+  Rng rng(52);
+  std::vector<Client> mirror;
+  std::vector<ClientId> ids;
+  for (int i = 0; i < 15; ++i) {
+    Client c = RandomClient(env.venue(), &rng, 0);
+    ids.push_back(monitor.AddClient(c.position, c.partition));
+    c.id = ids.back();
+    mirror.push_back(c);
+  }
+  for (int step = 0; step < 8; ++step) {
+    const std::size_t idx =
+        static_cast<std::size_t>(rng.NextBounded(mirror.size()));
+    Client moved = RandomClient(env.venue(), &rng, mirror[idx].id);
+    ASSERT_TRUE(
+        monitor.MoveClient(ids[idx], moved.position, moved.partition).ok());
+    mirror[idx] = moved;
+    const auto answer = Unwrap(monitor.AnswerWithin(0.0));
+    const double optimum = FreshOptimum(env, sets, mirror);
+    if (answer.result.found) {
+      IflsContext ctx;
+      ctx.tree = &env.tree();
+      ctx.existing = sets.existing;
+      ctx.candidates = sets.candidates;
+      ctx.clients = mirror;
+      EXPECT_NEAR(EvaluateMinMax(ctx, answer.result.answer), optimum,
+                  kTol * std::max(1.0, optimum));
+    }
+  }
+  EXPECT_TRUE(monitor.AnswerWithin(-0.5).status().IsInvalidArgument());
+}
+
+TEST(ContinuousIflsTest, DrivesOffTrajectories) {
+  ContinuousEnv& env = ContinuousEnv::Get();
+  const FacilitySets sets = env.MakeSets(61, 4, 8);
+  TrajectoryOptions topts;
+  topts.ticks = 10;
+  Rng rng(62);
+  const std::vector<Trajectory> trajectories =
+      Unwrap(GenerateTrajectories(env.tree(), 12, topts, &rng));
+
+  ContinuousIfls monitor(&env.tree(), sets.existing, sets.candidates);
+  std::vector<ClientId> ids;
+  for (const Trajectory& t : trajectories) {
+    ids.push_back(monitor.AddClient(t[0].position, t[0].partition));
+  }
+  for (std::size_t tick = 1; tick < topts.ticks; ++tick) {
+    for (std::size_t agent = 0; agent < trajectories.size(); ++agent) {
+      const TrajectoryPoint& p = trajectories[agent][tick];
+      ASSERT_TRUE(monitor.MoveClient(ids[agent], p.position, p.partition)
+                      .ok())
+          << "agent " << agent << " tick " << tick;
+    }
+    const auto answer = Unwrap(monitor.AnswerWithin(0.2));
+    EXPECT_TRUE(answer.result.found || answer.result.objective >= 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace ifls

@@ -1,0 +1,155 @@
+#include "src/geometry/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ifls {
+namespace {
+
+TEST(PointTest, EqualityAndToString) {
+  Point a(1, 2, 0), b(1, 2, 0), c(1, 2, 1);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.ToString(), "(1, 2, L0)");
+}
+
+TEST(PointTest, PlanarDistance) {
+  EXPECT_DOUBLE_EQ(PlanarDistance(Point(0, 0), Point(3, 4)), 5.0);
+  EXPECT_DOUBLE_EQ(PlanarDistanceSquared(Point(0, 0), Point(3, 4)), 25.0);
+  EXPECT_DOUBLE_EQ(PlanarDistance(Point(1, 1), Point(1, 1)), 0.0);
+}
+
+TEST(RectTest, BasicAccessors) {
+  Rect r(0, 0, 4, 3, 2);
+  EXPECT_DOUBLE_EQ(r.width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.height(), 3.0);
+  EXPECT_DOUBLE_EQ(r.area(), 12.0);
+  EXPECT_EQ(r.center(), Point(2, 1.5, 2));
+  EXPECT_TRUE(r.IsValid());
+  EXPECT_FALSE(Rect(0, 0, 0, 3).IsValid());
+  EXPECT_FALSE(Rect(2, 2, 1, 1).IsValid());
+}
+
+TEST(RectTest, ContainsIsClosedAndLevelAware) {
+  Rect r(0, 0, 4, 3, 0);
+  EXPECT_TRUE(r.Contains(Point(2, 1, 0)));
+  EXPECT_TRUE(r.Contains(Point(0, 0, 0)));   // boundary
+  EXPECT_TRUE(r.Contains(Point(4, 3, 0)));   // corner
+  EXPECT_FALSE(r.Contains(Point(2, 1, 1)));  // wrong level
+  EXPECT_FALSE(r.Contains(Point(5, 1, 0)));
+}
+
+TEST(RectTest, TouchesOrIntersects) {
+  Rect a(0, 0, 4, 3, 0);
+  EXPECT_TRUE(a.TouchesOrIntersects(Rect(4, 0, 8, 3, 0)));  // shared wall
+  EXPECT_TRUE(a.TouchesOrIntersects(Rect(2, 2, 6, 6, 0)));  // overlap
+  EXPECT_FALSE(a.TouchesOrIntersects(Rect(5, 0, 8, 3, 0)));
+  EXPECT_FALSE(a.TouchesOrIntersects(Rect(4, 0, 8, 3, 1)));  // other level
+}
+
+TEST(RectTest, UnionCoversBoth) {
+  Rect u = Rect(0, 0, 2, 2, 0).Union(Rect(5, -1, 6, 1, 0));
+  EXPECT_EQ(u, Rect(0, -1, 6, 2, 0));
+}
+
+TEST(RectTest, MinDistanceZeroInsidePositiveOutside) {
+  Rect r(0, 0, 4, 3, 0);
+  EXPECT_DOUBLE_EQ(r.MinDistance(Point(1, 1, 0)), 0.0);
+  EXPECT_DOUBLE_EQ(r.MinDistance(Point(7, 3, 0)), 3.0);
+  EXPECT_DOUBLE_EQ(r.MinDistance(Point(7, 7, 0)), 5.0);  // corner 3-4-5
+}
+
+TEST(RectTest, ClampProjectsOntoRect) {
+  Rect r(0, 0, 4, 3, 0);
+  EXPECT_EQ(r.Clamp(Point(7, 7, 0)), Point(4, 3, 0));
+  EXPECT_EQ(r.Clamp(Point(2, 1, 0)), Point(2, 1, 0));
+  EXPECT_EQ(r.Clamp(Point(-1, 2, 0)), Point(0, 2, 0));
+}
+
+TEST(IntervalsOverlapTest, RespectsMinimumOverlap) {
+  EXPECT_TRUE(IntervalsOverlap(0, 10, 5, 15, 4.9));
+  EXPECT_TRUE(IntervalsOverlap(0, 10, 5, 15, 5.0));
+  EXPECT_FALSE(IntervalsOverlap(0, 10, 5, 15, 5.1));
+  EXPECT_FALSE(IntervalsOverlap(0, 1, 2, 3, 0.0));
+}
+
+TEST(SharedWallTest, VerticalWallMidpoint) {
+  Rect a(0, 0, 4, 6, 0);
+  Rect b(4, 2, 8, 10, 0);  // shares x=4 wall, y in [2, 6]
+  Point door;
+  ASSERT_TRUE(SharedWallMidpoint(a, b, 1.0, &door));
+  EXPECT_EQ(door, Point(4, 4, 0));
+  // Symmetric order.
+  ASSERT_TRUE(SharedWallMidpoint(b, a, 1.0, &door));
+  EXPECT_EQ(door, Point(4, 4, 0));
+}
+
+TEST(SharedWallTest, HorizontalWallMidpoint) {
+  Rect a(0, 0, 10, 4, 0);
+  Rect b(2, 4, 6, 8, 0);  // shares y=4 wall, x in [2, 6]
+  Point door;
+  ASSERT_TRUE(SharedWallMidpoint(a, b, 1.0, &door));
+  EXPECT_EQ(door, Point(4, 4, 0));
+}
+
+TEST(HilbertTest, IsABijectionOnSmallGrids) {
+  for (std::uint32_t order : {1u, 2u, 3u, 4u}) {
+    const std::uint32_t n = 1u << order;
+    std::vector<bool> seen(static_cast<std::size_t>(n) * n, false);
+    for (std::uint32_t y = 0; y < n; ++y) {
+      for (std::uint32_t x = 0; x < n; ++x) {
+        const std::uint64_t d = HilbertIndex(order, x, y);
+        ASSERT_LT(d, static_cast<std::uint64_t>(n) * n);
+        ASSERT_FALSE(seen[d]) << "duplicate index at (" << x << "," << y
+                              << ") order " << order;
+        seen[d] = true;
+      }
+    }
+  }
+}
+
+TEST(HilbertTest, ConsecutiveIndicesAreGridNeighbors) {
+  // The defining property of the Hilbert curve: cells with consecutive
+  // curve positions are 4-neighbors on the grid.
+  constexpr std::uint32_t kOrder = 5;
+  constexpr std::uint32_t n = 1u << kOrder;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> cell_of(
+      static_cast<std::size_t>(n) * n);
+  for (std::uint32_t y = 0; y < n; ++y) {
+    for (std::uint32_t x = 0; x < n; ++x) {
+      cell_of[HilbertIndex(kOrder, x, y)] = {x, y};
+    }
+  }
+  for (std::size_t d = 1; d < cell_of.size(); ++d) {
+    const auto [x0, y0] = cell_of[d - 1];
+    const auto [x1, y1] = cell_of[d];
+    const int manhattan = std::abs(static_cast<int>(x0) -
+                                   static_cast<int>(x1)) +
+                          std::abs(static_cast<int>(y0) -
+                                   static_cast<int>(y1));
+    ASSERT_EQ(manhattan, 1) << "jump at curve position " << d;
+  }
+}
+
+TEST(SharedWallTest, RejectsShortWallsLevelsAndGaps) {
+  Point door;
+  // Too small shared span.
+  EXPECT_FALSE(
+      SharedWallMidpoint(Rect(0, 0, 4, 4, 0), Rect(4, 3.5, 8, 8, 0), 1.0,
+                         &door));
+  // Different levels.
+  EXPECT_FALSE(
+      SharedWallMidpoint(Rect(0, 0, 4, 4, 0), Rect(4, 0, 8, 4, 1), 1.0,
+                         &door));
+  // Not adjacent.
+  EXPECT_FALSE(
+      SharedWallMidpoint(Rect(0, 0, 4, 4, 0), Rect(5, 0, 8, 4, 0), 1.0,
+                         &door));
+}
+
+}  // namespace
+}  // namespace ifls

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/datasets/presets.h"
+#include "src/datasets/workload.h"
+#include "src/io/venue_io.h"
+#include "src/io/workload_io.h"
+#include "tests/test_util.h"
+
+namespace ifls {
+namespace {
+
+using testing_util::BuildTinyVenue;
+using testing_util::TinyVenue;
+using testing_util::Unwrap;
+
+void ExpectVenuesEqual(const Venue& a, const Venue& b) {
+  ASSERT_EQ(a.num_partitions(), b.num_partitions());
+  ASSERT_EQ(a.num_doors(), b.num_doors());
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_EQ(a.num_levels(), b.num_levels());
+  EXPECT_EQ(a.num_rooms(), b.num_rooms());
+  for (std::size_t i = 0; i < a.num_partitions(); ++i) {
+    const Partition& pa = a.partition(static_cast<PartitionId>(i));
+    const Partition& pb = b.partition(static_cast<PartitionId>(i));
+    EXPECT_EQ(pa.rect, pb.rect);
+    EXPECT_EQ(pa.kind, pb.kind);
+    EXPECT_EQ(pa.category, pb.category);
+    EXPECT_EQ(pa.doors, pb.doors);
+  }
+  for (std::size_t i = 0; i < a.num_doors(); ++i) {
+    const Door& da = a.door(static_cast<DoorId>(i));
+    const Door& db = b.door(static_cast<DoorId>(i));
+    EXPECT_EQ(da.position, db.position);
+    EXPECT_EQ(da.partition_a, db.partition_a);
+    EXPECT_EQ(da.partition_b, db.partition_b);
+    EXPECT_DOUBLE_EQ(da.vertical_cost, db.vertical_cost);
+  }
+}
+
+TEST(VenueIoTest, TinyVenueRoundTrips) {
+  TinyVenue t = BuildTinyVenue();
+  t.venue.SetCategory(t.room_a, "dining & entertainment");
+  std::stringstream stream;
+  ASSERT_TRUE(SaveVenue(t.venue, &stream).ok());
+  Venue loaded = Unwrap(LoadVenue(&stream));
+  ExpectVenuesEqual(t.venue, loaded);
+}
+
+TEST(VenueIoTest, GeneratedVenueWithJitterRoundTrips) {
+  VenueGeneratorSpec spec = testing_util::SmallVenueSpec();
+  spec.door_jitter_seed = 99;
+  Venue venue = Unwrap(GenerateVenue(spec));
+  std::stringstream stream;
+  ASSERT_TRUE(SaveVenue(venue, &stream).ok());
+  Venue loaded = Unwrap(LoadVenue(&stream));
+  ExpectVenuesEqual(venue, loaded);
+}
+
+TEST(VenueIoTest, CategoriesWithSpacesSurvive) {
+  Venue venue = Unwrap(BuildPresetVenue(VenuePreset::kMelbourneCentral));
+  ASSERT_TRUE(AssignMelbourneCentralCategories(&venue).ok());
+  std::stringstream stream;
+  ASSERT_TRUE(SaveVenue(venue, &stream).ok());
+  Venue loaded = Unwrap(LoadVenue(&stream));
+  ExpectVenuesEqual(venue, loaded);
+}
+
+TEST(VenueIoTest, FileRoundTrip) {
+  TinyVenue t = BuildTinyVenue();
+  const std::string path = ::testing::TempDir() + "/ifls_venue.txt";
+  ASSERT_TRUE(SaveVenueToFile(t.venue, path).ok());
+  Venue loaded = Unwrap(LoadVenueFromFile(path));
+  ExpectVenuesEqual(t.venue, loaded);
+}
+
+TEST(VenueIoTest, RejectsGarbage) {
+  std::stringstream stream("NOT_A_VENUE 1");
+  EXPECT_TRUE(LoadVenue(&stream).status().IsInvalidArgument());
+  std::stringstream wrong_version("IFLS_VENUE 99\n");
+  EXPECT_TRUE(LoadVenue(&wrong_version).status().IsInvalidArgument());
+  std::stringstream truncated("IFLS_VENUE 1\nname x\npartitions 2\n");
+  EXPECT_FALSE(LoadVenue(&truncated).ok());
+  EXPECT_TRUE(LoadVenueFromFile("/no/such/path").status().IsIOError());
+}
+
+TEST(WorkloadIoTest, RoundTrips) {
+  Venue venue = Unwrap(GenerateVenue(testing_util::SmallVenueSpec()));
+  Rng rng(21);
+  WorkloadData data;
+  data.facilities = Unwrap(SelectUniformFacilities(venue, 5, 7, &rng));
+  ClientGeneratorOptions options;
+  data.clients = GenerateClients(venue, 40, options, &rng);
+
+  std::stringstream stream;
+  ASSERT_TRUE(SaveWorkload(data, &stream).ok());
+  WorkloadData loaded = Unwrap(LoadWorkload(&stream));
+  EXPECT_EQ(loaded.facilities.existing, data.facilities.existing);
+  EXPECT_EQ(loaded.facilities.candidates, data.facilities.candidates);
+  ASSERT_EQ(loaded.clients.size(), data.clients.size());
+  for (std::size_t i = 0; i < data.clients.size(); ++i) {
+    EXPECT_EQ(loaded.clients[i].partition, data.clients[i].partition);
+    EXPECT_EQ(loaded.clients[i].position, data.clients[i].position);
+    EXPECT_EQ(loaded.clients[i].id, static_cast<ClientId>(i));
+  }
+}
+
+TEST(WorkloadIoTest, FileRoundTrip) {
+  Venue venue = Unwrap(GenerateVenue(testing_util::SmallVenueSpec()));
+  Rng rng(23);
+  WorkloadData data;
+  data.facilities = Unwrap(SelectUniformFacilities(venue, 2, 3, &rng));
+  const std::string path = ::testing::TempDir() + "/ifls_workload.txt";
+  ASSERT_TRUE(SaveWorkloadToFile(data, path).ok());
+  WorkloadData loaded = Unwrap(LoadWorkloadFromFile(path));
+  EXPECT_EQ(loaded.facilities.existing, data.facilities.existing);
+}
+
+TEST(WorkloadIoTest, RejectsGarbage) {
+  std::stringstream stream("BOGUS");
+  EXPECT_TRUE(LoadWorkload(&stream).status().IsInvalidArgument());
+  std::stringstream truncated("IFLS_WORKLOAD 1\nexisting 5 1 2\n");
+  EXPECT_FALSE(LoadWorkload(&truncated).ok());
+}
+
+}  // namespace
+}  // namespace ifls

@@ -1,0 +1,163 @@
+#include "src/index/nn_search.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "src/index/graph_oracle.h"
+#include "tests/test_util.h"
+
+namespace ifls {
+namespace {
+
+using testing_util::RandomClient;
+using testing_util::SmallVenueSpec;
+using testing_util::Unwrap;
+
+class NnSearchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    venue_ = Unwrap(GenerateVenue(SmallVenueSpec()));
+    tree_ = std::make_unique<VipTree>(Unwrap(VipTree::Build(&venue_)));
+    oracle_ = std::make_unique<GraphDistanceOracle>(&venue_);
+    Rng rng(1001);
+    Result<FacilitySets> sets = SelectUniformFacilities(venue_, 5, 8, &rng);
+    facilities_ = Unwrap(std::move(sets));
+    index_ = std::make_unique<FacilityIndex>(tree_.get(),
+                                             facilities_.existing);
+    index_->AddCandidates(facilities_.candidates);
+  }
+
+  /// Brute-force facility ranking by exact distance.
+  std::vector<NnResult> BruteRank(const Client& c, FacilityFilter filter) {
+    std::vector<NnResult> all;
+    auto consider = [&](PartitionId p) {
+      all.push_back(
+          {p, oracle_->PointToPartition(c.position, c.partition, p)});
+    };
+    if (filter != FacilityFilter::kCandidateOnly) {
+      for (PartitionId p : facilities_.existing) consider(p);
+    }
+    if (filter != FacilityFilter::kExistingOnly) {
+      for (PartitionId p : facilities_.candidates) consider(p);
+    }
+    std::sort(all.begin(), all.end(),
+              [](const NnResult& a, const NnResult& b) {
+                return a.distance < b.distance;
+              });
+    return all;
+  }
+
+  Venue venue_;
+  std::unique_ptr<VipTree> tree_;
+  std::unique_ptr<GraphDistanceOracle> oracle_;
+  FacilitySets facilities_;
+  std::unique_ptr<FacilityIndex> index_;
+};
+
+TEST_F(NnSearchTest, NearestMatchesBruteForce) {
+  Rng rng(2002);
+  for (int i = 0; i < 200; ++i) {
+    const Client c = RandomClient(venue_, &rng, 0);
+    for (FacilityFilter filter :
+         {FacilityFilter::kAny, FacilityFilter::kExistingOnly,
+          FacilityFilter::kCandidateOnly}) {
+      const auto nn =
+          NearestFacility(*index_, c.position, c.partition, filter, nullptr);
+      const auto expected = BruteRank(c, filter);
+      ASSERT_TRUE(nn.has_value());
+      ASSERT_FALSE(expected.empty());
+      ASSERT_NEAR(nn->distance, expected.front().distance, 1e-9)
+          << "client " << i;
+    }
+  }
+}
+
+TEST_F(NnSearchTest, KnnReturnsAscendingExactDistances) {
+  Rng rng(2003);
+  for (int i = 0; i < 50; ++i) {
+    const Client c = RandomClient(venue_, &rng, 0);
+    const auto knn = KNearestFacilities(*index_, c.position, c.partition, 6,
+                                        FacilityFilter::kAny, nullptr);
+    const auto expected = BruteRank(c, FacilityFilter::kAny);
+    ASSERT_EQ(knn.size(), 6u);
+    for (std::size_t k = 0; k < knn.size(); ++k) {
+      ASSERT_NEAR(knn[k].distance, expected[k].distance, 1e-9);
+      if (k > 0) {
+        ASSERT_GE(knn[k].distance, knn[k - 1].distance);
+      }
+    }
+  }
+}
+
+TEST_F(NnSearchTest, KnnWithKLargerThanFacilityCountReturnsAll) {
+  Rng rng(2004);
+  const Client c = RandomClient(venue_, &rng, 0);
+  const auto knn = KNearestFacilities(*index_, c.position, c.partition, 1000,
+                                      FacilityFilter::kAny, nullptr);
+  EXPECT_EQ(knn.size(),
+            facilities_.existing.size() + facilities_.candidates.size());
+}
+
+TEST_F(NnSearchTest, KnnZeroIsEmpty) {
+  Rng rng(2005);
+  const Client c = RandomClient(venue_, &rng, 0);
+  EXPECT_TRUE(KNearestFacilities(*index_, c.position, c.partition, 0,
+                                 FacilityFilter::kAny, nullptr)
+                  .empty());
+}
+
+TEST_F(NnSearchTest, RadiusSearchMatchesBruteForce) {
+  Rng rng(2006);
+  for (int i = 0; i < 50; ++i) {
+    const Client c = RandomClient(venue_, &rng, 0);
+    const double radius = rng.NextUniform(5.0, 60.0);
+    const auto within =
+        FacilitiesWithinRadius(*index_, c.position, c.partition, radius,
+                               FacilityFilter::kAny, nullptr);
+    const auto expected = BruteRank(c, FacilityFilter::kAny);
+    std::size_t expected_count = 0;
+    while (expected_count < expected.size() &&
+           expected[expected_count].distance <= radius) {
+      ++expected_count;
+    }
+    ASSERT_EQ(within.size(), expected_count) << "radius " << radius;
+  }
+}
+
+TEST_F(NnSearchTest, StatsAreRecorded) {
+  Rng rng(2007);
+  const Client c = RandomClient(venue_, &rng, 0);
+  NnSearchStats stats;
+  (void)NearestFacility(*index_, c.position, c.partition, FacilityFilter::kAny,
+                        &stats);
+  EXPECT_GT(stats.queue_pushes, 0);
+  EXPECT_GT(stats.queue_pops, 0);
+  EXPECT_GT(stats.distance_computations, 0);
+}
+
+TEST_F(NnSearchTest, ClientInsideFacilityHasZeroDistance) {
+  const PartitionId f = facilities_.existing.front();
+  const Point inside = venue_.partition(f).rect.center();
+  const auto nn = NearestFacility(*index_, inside, f,
+                                  FacilityFilter::kExistingOnly, nullptr);
+  ASSERT_TRUE(nn.has_value());
+  EXPECT_EQ(nn->facility, f);
+  EXPECT_DOUBLE_EQ(nn->distance, 0.0);
+}
+
+TEST(NnSearchEmptyTest, NoFacilitiesReturnsNullopt) {
+  Venue venue = Unwrap(GenerateVenue(SmallVenueSpec()));
+  VipTree tree = Unwrap(VipTree::Build(&venue));
+  FacilityIndex index(&tree, {});
+  const Point p = venue.partition(0).rect.center();
+  EXPECT_FALSE(
+      NearestFacility(index, p, 0, FacilityFilter::kAny, nullptr).has_value());
+  EXPECT_TRUE(KNearestFacilities(index, p, 0, 3, FacilityFilter::kAny, nullptr)
+                  .empty());
+}
+
+}  // namespace
+}  // namespace ifls

@@ -1,0 +1,173 @@
+// Integration tests on the rebuilt evaluation venues: index exactness and
+// solver agreement at realistic scale (CPH fully, MC sampled — the larger
+// venues are covered by the same code paths and would only add runtime).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+
+#include "src/core/brute_force.h"
+#include "src/core/efficient.h"
+#include "src/core/minmax_baseline.h"
+#include "src/datasets/workload.h"
+#include "src/index/graph_oracle.h"
+#include "tests/test_util.h"
+
+namespace ifls {
+namespace {
+
+using testing_util::RandomClient;
+using testing_util::Unwrap;
+
+constexpr double kTol = 1e-7;
+
+class PresetEnv {
+ public:
+  static PresetEnv& Get(VenuePreset preset) {
+    static PresetEnv* envs[4] = {};
+    const int idx = static_cast<int>(preset);
+    if (envs[idx] == nullptr) envs[idx] = new PresetEnv(preset);
+    return *envs[idx];
+  }
+  const Venue& venue() const { return venue_; }
+  const VipTree& tree() const { return *tree_; }
+
+ private:
+  explicit PresetEnv(VenuePreset preset) {
+    venue_ = Unwrap(BuildPresetVenue(preset));
+    tree_ = std::make_unique<VipTree>(Unwrap(VipTree::Build(&venue_)));
+  }
+  Venue venue_;
+  std::unique_ptr<VipTree> tree_;
+};
+
+TEST(PresetIndexTest, CopenhagenDistancesMatchOracleOnSampledPairs) {
+  PresetEnv& env = PresetEnv::Get(VenuePreset::kCopenhagenAirport);
+  GraphDistanceOracle oracle(&env.venue());
+  Rng rng(3001);
+  for (int i = 0; i < 400; ++i) {
+    const Client a = RandomClient(env.venue(), &rng, 0);
+    const Client b = RandomClient(env.venue(), &rng, 1);
+    ASSERT_NEAR(env.tree().PointToPoint(a.position, a.partition, b.position,
+                                        b.partition),
+                oracle.PointToPoint(a.position, a.partition, b.position,
+                                    b.partition),
+                1e-9);
+  }
+}
+
+TEST(PresetIndexTest, MelbourneCentralDistancesMatchOracleOnSampledPairs) {
+  PresetEnv& env = PresetEnv::Get(VenuePreset::kMelbourneCentral);
+  GraphDistanceOracle oracle(&env.venue());
+  Rng rng(3002);
+  for (int i = 0; i < 150; ++i) {
+    const Client a = RandomClient(env.venue(), &rng, 0);
+    const auto target = static_cast<PartitionId>(
+        rng.NextBounded(env.venue().num_partitions()));
+    ASSERT_NEAR(
+        env.tree().PointToPartition(a.position, a.partition, target),
+        oracle.PointToPartition(a.position, a.partition, target), 1e-9);
+  }
+}
+
+TEST(PresetIndexTest, CrossLevelDistancesPayStairs) {
+  // Any two points on different levels of MC must be at least one stair
+  // length apart.
+  PresetEnv& env = PresetEnv::Get(VenuePreset::kMelbourneCentral);
+  const VenueGeneratorSpec spec = PresetSpec(VenuePreset::kMelbourneCentral);
+  Rng rng(3003);
+  int checked = 0;
+  while (checked < 40) {
+    const Client a = RandomClient(env.venue(), &rng, 0);
+    const Client b = RandomClient(env.venue(), &rng, 1);
+    if (a.position.level == b.position.level) continue;
+    const double d = env.tree().PointToPoint(a.position, a.partition,
+                                             b.position, b.partition);
+    const int level_gap = std::abs(a.position.level - b.position.level);
+    EXPECT_GE(d, spec.stair_length * level_gap);
+    ++checked;
+  }
+}
+
+TEST(PresetSolverTest, CopenhagenSolversAgreeAtPaperDefaults) {
+  PresetEnv& env = PresetEnv::Get(VenuePreset::kCopenhagenAirport);
+  const ParameterGrid grid =
+      PresetParameterGrid(VenuePreset::kCopenhagenAirport);
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed);
+    IflsContext ctx;
+    ctx.tree = &env.tree();
+    FacilitySets sets = Unwrap(SelectUniformFacilities(
+        env.venue(), grid.default_existing, grid.default_candidates, &rng));
+    ctx.existing = std::move(sets.existing);
+    ctx.candidates = std::move(sets.candidates);
+    ClientGeneratorOptions copts;
+    copts.distribution = ClientDistribution::kNormal;
+    copts.sigma = 1.0;
+    ctx.clients = GenerateClients(env.venue(), 300, copts, &rng);
+
+    const IflsResult brute = Unwrap(SolveBruteForceMinMax(ctx));
+    const IflsResult baseline = Unwrap(SolveModifiedMinMax(ctx));
+    const IflsResult efficient = Unwrap(SolveEfficient(ctx));
+    ASSERT_EQ(baseline.found, brute.found) << "seed " << seed;
+    if (efficient.found) {
+      EXPECT_NEAR(EvaluateMinMax(ctx, efficient.answer), brute.objective,
+                  kTol * std::max(1.0, brute.objective));
+    }
+    if (baseline.found) {
+      EXPECT_NEAR(EvaluateMinMax(ctx, baseline.answer), brute.objective,
+                  kTol * std::max(1.0, brute.objective));
+    }
+  }
+}
+
+TEST(PresetSolverTest, MelbourneRealSettingSolversAgree) {
+  Venue venue = Unwrap(BuildPresetVenue(VenuePreset::kMelbourneCentral));
+  ASSERT_TRUE(AssignMelbourneCentralCategories(&venue).ok());
+  VipTree tree = Unwrap(VipTree::Build(&venue));
+  Rng rng(3100);
+  IflsContext ctx;
+  ctx.tree = &tree;
+  FacilitySets sets =
+      Unwrap(SelectCategoryFacilities(venue, "banks & services"));
+  ctx.existing = std::move(sets.existing);
+  ctx.candidates = std::move(sets.candidates);
+  ClientGeneratorOptions copts;
+  ctx.clients = GenerateClients(venue, 150, copts, &rng);
+
+  const IflsResult brute = Unwrap(SolveBruteForceMinMax(ctx));
+  const IflsResult efficient = Unwrap(SolveEfficient(ctx));
+  ASSERT_TRUE(brute.found);
+  ASSERT_TRUE(efficient.found);
+  EXPECT_NEAR(EvaluateMinMax(ctx, efficient.answer), brute.objective,
+              kTol * std::max(1.0, brute.objective));
+  // In the real setting most candidates vastly outnumber Fe; the efficient
+  // approach must still prune aggressively via the clustered facilities.
+  EXPECT_GT(efficient.stats.clients_pruned, 0);
+}
+
+TEST(PresetSolverTest, WorkloadSpecEndToEnd) {
+  WorkloadSpec spec;
+  spec.preset = VenuePreset::kCopenhagenAirport;
+  spec.num_existing = 10;
+  spec.num_candidates = 25;
+  spec.num_clients = 200;
+  spec.client_options.distribution = ClientDistribution::kNormal;
+  spec.client_options.sigma = 0.5;
+  spec.seed = 77;
+  Workload w = Unwrap(BuildWorkload(spec));
+  VipTree tree = Unwrap(VipTree::Build(&w.venue));
+  IflsContext ctx;
+  ctx.tree = &tree;
+  ctx.existing = w.facilities.existing;
+  ctx.candidates = w.facilities.candidates;
+  ctx.clients = w.clients;
+  ASSERT_TRUE(ValidateContext(ctx).ok());
+  const IflsResult result = Unwrap(SolveEfficient(ctx));
+  EXPECT_TRUE(result.found);
+}
+
+}  // namespace
+}  // namespace ifls

@@ -1,0 +1,214 @@
+// Metamorphic properties of the IFLS solvers: how the optimum must react to
+// controlled changes of the inputs, plus determinism and order-invariance.
+// These catch whole classes of bugs that point comparisons with the oracle
+// can miss.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "src/core/brute_force.h"
+#include "src/core/efficient.h"
+#include "src/core/minmax_baseline.h"
+#include "tests/test_util.h"
+
+namespace ifls {
+namespace {
+
+using testing_util::RandomClient;
+using testing_util::SmallVenueSpec;
+using testing_util::Unwrap;
+
+constexpr double kTol = 1e-7;
+
+class PropertyEnv {
+ public:
+  static PropertyEnv& Get() {
+    static PropertyEnv* env = new PropertyEnv();
+    return *env;
+  }
+  const Venue& venue() const { return venue_; }
+  const VipTree& tree() const { return *tree_; }
+
+ private:
+  PropertyEnv() {
+    venue_ = Unwrap(GenerateVenue(SmallVenueSpec()));
+    tree_ = std::make_unique<VipTree>(Unwrap(VipTree::Build(&venue_)));
+  }
+  Venue venue_;
+  std::unique_ptr<VipTree> tree_;
+};
+
+IflsContext RandomContext(std::uint64_t seed, std::size_t num_existing,
+                          std::size_t num_candidates,
+                          std::size_t num_clients) {
+  PropertyEnv& env = PropertyEnv::Get();
+  Rng rng(seed);
+  IflsContext ctx;
+  ctx.tree = &env.tree();
+  FacilitySets sets = Unwrap(SelectUniformFacilities(
+      env.venue(), num_existing, num_candidates, &rng));
+  ctx.existing = std::move(sets.existing);
+  ctx.candidates = std::move(sets.candidates);
+  for (std::size_t i = 0; i < num_clients; ++i) {
+    ctx.clients.push_back(
+        RandomClient(env.venue(), &rng, static_cast<ClientId>(i)));
+  }
+  return ctx;
+}
+
+/// Optimal achievable MinMax value for a context (via the exact oracle),
+/// folding in "no improvement" as the no-facility objective.
+double Optimum(const IflsContext& ctx) {
+  const IflsResult brute = Unwrap(SolveBruteForceMinMax(ctx));
+  return brute.found ? std::min(brute.objective, NoFacilityMinMax(ctx))
+                     : NoFacilityMinMax(ctx);
+}
+
+class MonotonicityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MonotonicityTest, AddingACandidateNeverHurts) {
+  IflsContext ctx = RandomContext(GetParam(), 4, 8, 40);
+  IflsContext smaller = ctx;
+  smaller.candidates.pop_back();
+  smaller.candidates.pop_back();
+  EXPECT_LE(Optimum(ctx), Optimum(smaller) + kTol);
+}
+
+TEST_P(MonotonicityTest, AddingAnExistingFacilityNeverHurts) {
+  IflsContext ctx = RandomContext(GetParam(), 4, 8, 40);
+  IflsContext more = ctx;
+  // Promote a candidate to an existing facility.
+  more.existing.push_back(more.candidates.back());
+  more.candidates.pop_back();
+  EXPECT_LE(NoFacilityMinMax(more), NoFacilityMinMax(ctx) + kTol);
+  EXPECT_LE(Optimum(more), Optimum(ctx) + kTol);
+}
+
+TEST_P(MonotonicityTest, RemovingClientsNeverHurts) {
+  IflsContext ctx = RandomContext(GetParam(), 4, 8, 40);
+  IflsContext fewer = ctx;
+  fewer.clients.resize(fewer.clients.size() / 2);
+  EXPECT_LE(Optimum(fewer), Optimum(ctx) + kTol);
+}
+
+TEST_P(MonotonicityTest, ObjectiveBoundedByNoFacilityValue) {
+  IflsContext ctx = RandomContext(GetParam(), 4, 8, 40);
+  EXPECT_LE(Optimum(ctx), NoFacilityMinMax(ctx) + kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonotonicityTest,
+                         ::testing::Values(901, 902, 903, 904, 905));
+
+class InvarianceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InvarianceTest, EfficientIsDeterministic) {
+  const IflsContext ctx = RandomContext(GetParam(), 5, 9, 50);
+  const IflsResult a = Unwrap(SolveEfficient(ctx));
+  const IflsResult b = Unwrap(SolveEfficient(ctx));
+  EXPECT_EQ(a.found, b.found);
+  EXPECT_EQ(a.answer, b.answer);
+  EXPECT_DOUBLE_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.stats.distance_computations, b.stats.distance_computations);
+  EXPECT_EQ(a.stats.queue_pushes, b.stats.queue_pushes);
+  EXPECT_EQ(a.stats.clients_pruned, b.stats.clients_pruned);
+}
+
+TEST_P(InvarianceTest, ClientOrderDoesNotChangeTheObjective) {
+  IflsContext ctx = RandomContext(GetParam(), 5, 9, 50);
+  const IflsResult before = Unwrap(SolveEfficient(ctx));
+  Rng rng(GetParam() * 13);
+  rng.Shuffle(&ctx.clients);
+  const IflsResult after = Unwrap(SolveEfficient(ctx));
+  ASSERT_EQ(before.found, after.found);
+  if (before.found) {
+    EXPECT_NEAR(EvaluateMinMax(ctx, before.answer),
+                EvaluateMinMax(ctx, after.answer), kTol);
+  }
+}
+
+TEST_P(InvarianceTest, CandidateOrderDoesNotChangeTheObjective) {
+  IflsContext ctx = RandomContext(GetParam(), 5, 9, 50);
+  const IflsResult before = Unwrap(SolveEfficient(ctx));
+  std::reverse(ctx.candidates.begin(), ctx.candidates.end());
+  const IflsResult after = Unwrap(SolveEfficient(ctx));
+  ASSERT_EQ(before.found, after.found);
+  if (before.found) {
+    EXPECT_NEAR(EvaluateMinMax(ctx, before.answer),
+                EvaluateMinMax(ctx, after.answer), kTol);
+  }
+}
+
+TEST_P(InvarianceTest, BaselineMatchesItselfUnderClientPermutation) {
+  IflsContext ctx = RandomContext(GetParam(), 5, 9, 50);
+  const IflsResult before = Unwrap(SolveModifiedMinMax(ctx));
+  Rng rng(GetParam() * 17);
+  rng.Shuffle(&ctx.clients);
+  const IflsResult after = Unwrap(SolveModifiedMinMax(ctx));
+  ASSERT_EQ(before.found, after.found);
+  if (before.found) {
+    EXPECT_NEAR(EvaluateMinMax(ctx, before.answer),
+                EvaluateMinMax(ctx, after.answer), kTol);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvarianceTest,
+                         ::testing::Values(911, 912, 913, 914, 915));
+
+TEST(SolutionStructureTest, AnswerAlwaysComesFromTheCandidateSet) {
+  for (std::uint64_t seed : {921u, 922u, 923u, 924u}) {
+    const IflsContext ctx = RandomContext(seed, 3, 6, 30);
+    const IflsResult result = Unwrap(SolveEfficient(ctx));
+    if (result.found) {
+      EXPECT_NE(std::find(ctx.candidates.begin(), ctx.candidates.end(),
+                          result.answer),
+                ctx.candidates.end());
+    }
+  }
+}
+
+TEST(SolutionStructureTest, ObjectiveIsAchievableDistance) {
+  // The optimum must equal some client-to-facility distance or a client's
+  // NEF (the max is attained somewhere).
+  const IflsContext ctx = RandomContext(931, 4, 7, 35);
+  const IflsResult result = Unwrap(SolveBruteForceMinMax(ctx));
+  ASSERT_TRUE(result.found);
+  bool attained = false;
+  for (const Client& c : ctx.clients) {
+    const double nef = NearestExistingDistance(ctx, c);
+    const double dn =
+        ctx.tree->PointToPartition(c.position, c.partition, result.answer);
+    if (std::abs(std::min(nef, dn) - result.objective) < kTol) {
+      attained = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(attained);
+}
+
+TEST(ScalingPropertyTest, MoreExistingFacilitiesPruneMoreClients) {
+  // Lemma 5.1's operational consequence (and the paper's Fig. 7b
+  // explanation): denser Fe prunes more clients.
+  const IflsContext small = RandomContext(941, 2, 8, 120);
+  IflsContext large = small;
+  Rng rng(942);
+  // Add more existing facilities in rooms not already used.
+  std::vector<char> used(PropertyEnv::Get().venue().num_partitions(), 0);
+  for (PartitionId p : large.existing) used[static_cast<std::size_t>(p)] = 1;
+  for (PartitionId p : large.candidates) used[static_cast<std::size_t>(p)] = 1;
+  int added = 0;
+  for (const Partition& p : PropertyEnv::Get().venue().partitions()) {
+    if (added >= 10) break;
+    if (p.kind == PartitionKind::kRoom && !used[static_cast<std::size_t>(p.id)]) {
+      large.existing.push_back(p.id);
+      ++added;
+    }
+  }
+  const IflsResult few = Unwrap(SolveEfficient(small));
+  const IflsResult many = Unwrap(SolveEfficient(large));
+  EXPECT_GE(many.stats.clients_pruned, few.stats.clients_pruned);
+}
+
+}  // namespace
+}  // namespace ifls

@@ -1,0 +1,136 @@
+#include "src/index/rstar_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/rng.h"
+#include "tests/test_util.h"
+
+namespace ifls {
+namespace {
+
+using testing_util::SmallVenueSpec;
+using testing_util::Unwrap;
+
+std::vector<RStarTree::Entry> VenueEntries(const Venue& venue) {
+  std::vector<RStarTree::Entry> entries;
+  for (const Partition& p : venue.partitions()) {
+    entries.push_back({p.rect, p.id});
+  }
+  return entries;
+}
+
+double PlanarMin(const Rect& r, const Point& p) {
+  const double dx = std::max({r.min_x - p.x, 0.0, p.x - r.max_x});
+  const double dy = std::max({r.min_y - p.y, 0.0, p.y - r.max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+TEST(RStarTreeTest, EmptyTree) {
+  RStarTree tree({});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.Contains(Point(0, 0, 0)).empty());
+  EXPECT_TRUE(tree.Intersects(Rect(0, 0, 1, 1, 0)).empty());
+  EXPECT_TRUE(tree.NearestNeighbors(Point(0, 0, 0), 3).empty());
+}
+
+TEST(RStarTreeTest, ContainsMatchesLinearScan) {
+  Venue venue = Unwrap(GenerateVenue(SmallVenueSpec()));
+  RStarTree tree(VenueEntries(venue));
+  EXPECT_EQ(tree.size(), venue.num_partitions());
+  Rng rng(1);
+  for (int i = 0; i < 300; ++i) {
+    const Level level =
+        static_cast<Level>(rng.NextBounded(
+            static_cast<std::uint64_t>(venue.num_levels())));
+    const Rect bounds = venue.LevelBounds(level);
+    const Point p(rng.NextUniform(bounds.min_x - 2, bounds.max_x + 2),
+                  rng.NextUniform(bounds.min_y - 2, bounds.max_y + 2),
+                  level);
+    std::set<std::int32_t> expected;
+    for (const Partition& part : venue.partitions()) {
+      if (part.rect.Contains(p)) expected.insert(part.id);
+    }
+    const auto got = tree.Contains(p);
+    EXPECT_EQ(std::set<std::int32_t>(got.begin(), got.end()), expected);
+  }
+}
+
+TEST(RStarTreeTest, IntersectsMatchesLinearScan) {
+  Venue venue = Unwrap(GenerateVenue(SmallVenueSpec()));
+  RStarTree tree(VenueEntries(venue));
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const Level level =
+        static_cast<Level>(rng.NextBounded(
+            static_cast<std::uint64_t>(venue.num_levels())));
+    const Rect bounds = venue.LevelBounds(level);
+    const double x0 = rng.NextUniform(bounds.min_x, bounds.max_x);
+    const double y0 = rng.NextUniform(bounds.min_y, bounds.max_y);
+    const Rect window(x0, y0, x0 + rng.NextUniform(1, 20),
+                      y0 + rng.NextUniform(1, 20), level);
+    std::set<std::int32_t> expected;
+    for (const Partition& part : venue.partitions()) {
+      if (part.rect.TouchesOrIntersects(window)) expected.insert(part.id);
+    }
+    const auto got = tree.Intersects(window);
+    EXPECT_EQ(std::set<std::int32_t>(got.begin(), got.end()), expected);
+  }
+}
+
+TEST(RStarTreeTest, NearestNeighborsMatchLinearScan) {
+  Venue venue = Unwrap(GenerateVenue(SmallVenueSpec()));
+  RStarTree tree(VenueEntries(venue));
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Level level =
+        static_cast<Level>(rng.NextBounded(
+            static_cast<std::uint64_t>(venue.num_levels())));
+    const Rect bounds = venue.LevelBounds(level);
+    const Point p(rng.NextUniform(bounds.min_x, bounds.max_x),
+                  rng.NextUniform(bounds.min_y, bounds.max_y), level);
+    const auto got = tree.NearestNeighbors(p, 5);
+    ASSERT_EQ(got.size(), 5u);
+    // Expected distances by linear scan.
+    std::vector<double> expected;
+    for (const Partition& part : venue.partitions()) {
+      if (part.level() != level) continue;
+      expected.push_back(PlanarMin(part.rect, p));
+    }
+    std::sort(expected.begin(), expected.end());
+    for (std::size_t k = 0; k < got.size(); ++k) {
+      const Rect& r = venue.partition(got[k]).rect;
+      EXPECT_EQ(r.level, level);
+      EXPECT_NEAR(PlanarMin(r, p), expected[k], 1e-9) << "rank " << k;
+    }
+  }
+}
+
+TEST(RStarTreeTest, KnnHandlesSmallLevels) {
+  RStarTree tree({{Rect(0, 0, 1, 1, 0), 7}, {Rect(2, 2, 3, 3, 0), 8}});
+  const auto got = tree.NearestNeighbors(Point(0.5, 0.5, 0), 10);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], 7);
+  EXPECT_EQ(got[1], 8);
+  // Level 1 has nothing.
+  EXPECT_TRUE(tree.NearestNeighbors(Point(0.5, 0.5, 1), 3).empty());
+}
+
+TEST(RStarTreeTest, HeightGrowsLogarithmically) {
+  std::vector<RStarTree::Entry> entries;
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextUniform(0, 1000);
+    const double y = rng.NextUniform(0, 1000);
+    entries.push_back({Rect(x, y, x + 5, y + 5, 0), i});
+  }
+  RStarTree tree(std::move(entries), /*node_capacity=*/16);
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_LE(tree.height(), 4);
+  EXPECT_GT(tree.MemoryFootprintBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace ifls

@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/core/brute_force.h"
+#include "src/core/efficient.h"
+#include "src/core/minmax_baseline.h"
+#include "tests/test_util.h"
+
+namespace ifls {
+namespace {
+
+using testing_util::RandomClient;
+using testing_util::SmallVenueSpec;
+using testing_util::Unwrap;
+
+constexpr double kTol = 1e-7;
+
+/// Shared venue + tree across the whole file (index construction is the
+/// expensive part).
+class SolverEnv {
+ public:
+  static SolverEnv& Get() {
+    static SolverEnv* env = new SolverEnv();
+    return *env;
+  }
+
+  const Venue& venue() const { return venue_; }
+  const VipTree& tree() const { return *tree_; }
+
+ private:
+  SolverEnv() {
+    venue_ = Unwrap(GenerateVenue(SmallVenueSpec()));
+    tree_ = std::make_unique<VipTree>(Unwrap(VipTree::Build(&venue_)));
+  }
+  Venue venue_;
+  std::unique_ptr<VipTree> tree_;
+};
+
+/// Draws a random context on the shared venue.
+IflsContext RandomContext(std::uint64_t seed, std::size_t num_existing,
+                          std::size_t num_candidates,
+                          std::size_t num_clients) {
+  SolverEnv& env = SolverEnv::Get();
+  Rng rng(seed);
+  IflsContext ctx;
+  ctx.tree = &env.tree();
+  FacilitySets sets = Unwrap(SelectUniformFacilities(
+      env.venue(), num_existing, num_candidates, &rng));
+  ctx.existing = std::move(sets.existing);
+  ctx.candidates = std::move(sets.candidates);
+  ctx.clients.reserve(num_clients);
+  for (std::size_t i = 0; i < num_clients; ++i) {
+    ctx.clients.push_back(
+        RandomClient(env.venue(), &rng, static_cast<ClientId>(i)));
+  }
+  return ctx;
+}
+
+/// Certifies a solver result against the brute-force optimum: a returned
+/// answer must achieve the optimal objective (re-evaluated exactly); a
+/// no-answer must mean no candidate improves the no-facility objective.
+void Certify(const IflsContext& ctx, const IflsResult& result,
+             const IflsResult& brute, const char* which) {
+  if (result.found) {
+    ASSERT_NE(result.answer, kInvalidPartition) << which;
+    const double achieved = EvaluateMinMax(ctx, result.answer);
+    ASSERT_TRUE(brute.found) << which << ": answer exists but oracle found "
+                                          "no candidates";
+    EXPECT_NEAR(achieved, brute.objective,
+                kTol * std::max(1.0, brute.objective))
+        << which << " returned a non-optimal candidate";
+    // The reported objective is an upper bound no smaller than the truth
+    // and never above the no-new-facility objective.
+    EXPECT_GE(result.objective + kTol, achieved) << which;
+    EXPECT_LE(result.objective,
+              NoFacilityMinMax(ctx) + kTol) << which;
+  } else if (brute.found) {
+    // Declining to answer is only sound when nothing improves the
+    // objective.
+    const double f0 = NoFacilityMinMax(ctx);
+    EXPECT_NEAR(brute.objective, f0, kTol * std::max(1.0, f0))
+        << which << " found no answer but an improving candidate exists";
+  }
+}
+
+struct TrialParam {
+  std::uint64_t seed;
+  std::size_t existing;
+  std::size_t candidates;
+  std::size_t clients;
+};
+
+class SolverAgreementTest : public ::testing::TestWithParam<TrialParam> {};
+
+TEST_P(SolverAgreementTest, AllSolversAchieveTheOptimum) {
+  const TrialParam p = GetParam();
+  const IflsContext ctx =
+      RandomContext(p.seed, p.existing, p.candidates, p.clients);
+  const IflsResult brute = Unwrap(SolveBruteForceMinMax(ctx));
+  const IflsResult baseline = Unwrap(SolveModifiedMinMax(ctx));
+  const IflsResult efficient = Unwrap(SolveEfficient(ctx));
+  Certify(ctx, baseline, brute, "baseline");
+  Certify(ctx, efficient, brute, "efficient");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomTrials, SolverAgreementTest,
+    ::testing::Values(
+        TrialParam{101, 3, 6, 30}, TrialParam{102, 5, 10, 50},
+        TrialParam{103, 8, 12, 80}, TrialParam{104, 2, 4, 20},
+        TrialParam{105, 6, 9, 40}, TrialParam{106, 4, 15, 60},
+        TrialParam{107, 10, 5, 25}, TrialParam{108, 1, 20, 70},
+        TrialParam{109, 12, 3, 35}, TrialParam{110, 7, 7, 45},
+        TrialParam{111, 3, 18, 55}, TrialParam{112, 9, 11, 65},
+        TrialParam{113, 1, 1, 10}, TrialParam{114, 15, 15, 90},
+        TrialParam{115, 5, 5, 100}, TrialParam{116, 2, 12, 15}));
+
+class EfficientVariantTest : public ::testing::TestWithParam<TrialParam> {};
+
+TEST_P(EfficientVariantTest, AblationVariantsStayOptimal) {
+  const TrialParam p = GetParam();
+  const IflsContext ctx =
+      RandomContext(p.seed, p.existing, p.candidates, p.clients);
+  const IflsResult brute = Unwrap(SolveBruteForceMinMax(ctx));
+
+  for (int mask = 0; mask < 16; ++mask) {
+    EfficientOptions options;
+    options.group_clients = (mask & 1) == 0;
+    options.prune_clients = (mask & 2) == 0;
+    options.skip_empty_subtrees = (mask & 4) == 0;
+    options.reuse_group_distances = (mask & 8) == 0;
+    const IflsResult result = Unwrap(SolveEfficient(ctx, options));
+    SCOPED_TRACE("options mask " + std::to_string(mask));
+    Certify(ctx, result, brute, "efficient-variant");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTrials, EfficientVariantTest,
+                         ::testing::Values(TrialParam{201, 4, 8, 40},
+                                           TrialParam{202, 6, 10, 60},
+                                           TrialParam{203, 2, 5, 25}));
+
+TEST(EfficientOnIpTreeTest, IpTreeIndexGivesSameAnswers) {
+  SolverEnv& env = SolverEnv::Get();
+  VipTreeOptions ip_options;
+  ip_options.build_leaf_to_ancestor = false;
+  VipTree ip_tree = Unwrap(VipTree::Build(&env.venue(), ip_options));
+  for (std::uint64_t seed : {301u, 302u, 303u}) {
+    IflsContext ctx = RandomContext(seed, 5, 8, 40);
+    const IflsResult brute = Unwrap(SolveBruteForceMinMax(ctx));
+    ctx.tree = &ip_tree;
+    const IflsResult result = Unwrap(SolveEfficient(ctx));
+    Certify(ctx, result, brute, "efficient-on-ip-tree");
+  }
+}
+
+// ------------------------------------------------------- Degenerate inputs
+
+TEST(SolverDegenerateTest, EmptyCandidates) {
+  IflsContext ctx = RandomContext(401, 4, 5, 20);
+  ctx.candidates.clear();
+  EXPECT_FALSE(Unwrap(SolveBruteForceMinMax(ctx)).found);
+  EXPECT_FALSE(Unwrap(SolveModifiedMinMax(ctx)).found);
+  EXPECT_FALSE(Unwrap(SolveEfficient(ctx)).found);
+}
+
+TEST(SolverDegenerateTest, EmptyClients) {
+  IflsContext ctx = RandomContext(402, 4, 5, 20);
+  ctx.clients.clear();
+  const IflsResult brute = Unwrap(SolveBruteForceMinMax(ctx));
+  EXPECT_TRUE(brute.found);
+  EXPECT_DOUBLE_EQ(brute.objective, 0.0);
+  const IflsResult baseline = Unwrap(SolveModifiedMinMax(ctx));
+  EXPECT_TRUE(baseline.found);
+  EXPECT_DOUBLE_EQ(baseline.objective, 0.0);
+  // The efficient approach reports "no answer" for an empty client set
+  // (paper: empty C means no client constrains the answer); every candidate
+  // ties at objective 0, consistent with the oracle.
+  const IflsResult efficient = Unwrap(SolveEfficient(ctx));
+  if (efficient.found) {
+    EXPECT_DOUBLE_EQ(EvaluateMinMax(ctx, efficient.answer), 0.0);
+  }
+}
+
+TEST(SolverDegenerateTest, EmptyExistingFacilities) {
+  IflsContext ctx = RandomContext(403, 4, 6, 30);
+  ctx.existing.clear();
+  const IflsResult brute = Unwrap(SolveBruteForceMinMax(ctx));
+  const IflsResult baseline = Unwrap(SolveModifiedMinMax(ctx));
+  const IflsResult efficient = Unwrap(SolveEfficient(ctx));
+  ASSERT_TRUE(brute.found);
+  Certify(ctx, baseline, brute, "baseline");
+  Certify(ctx, efficient, brute, "efficient");
+}
+
+TEST(SolverDegenerateTest, AllClientsInsideExistingFacilities) {
+  SolverEnv& env = SolverEnv::Get();
+  IflsContext ctx = RandomContext(404, 4, 6, 0);
+  // Place every client inside an existing facility: everyone is pruned at
+  // distance zero and no candidate can improve anything.
+  for (std::size_t i = 0; i < 10; ++i) {
+    Client c;
+    c.id = static_cast<ClientId>(i);
+    c.partition = ctx.existing[i % ctx.existing.size()];
+    c.position = env.venue().partition(c.partition).rect.center();
+    ctx.clients.push_back(c);
+  }
+  const IflsResult efficient = Unwrap(SolveEfficient(ctx));
+  EXPECT_FALSE(efficient.found);
+  EXPECT_DOUBLE_EQ(efficient.objective, 0.0);
+  EXPECT_EQ(efficient.stats.clients_pruned, 10);
+}
+
+TEST(SolverDegenerateTest, ClientInsideCandidateGetsZeroObjective) {
+  SolverEnv& env = SolverEnv::Get();
+  IflsContext ctx = RandomContext(405, 3, 5, 0);
+  Client c;
+  c.id = 0;
+  c.partition = ctx.candidates.front();
+  c.position = env.venue().partition(c.partition).rect.center();
+  ctx.clients.push_back(c);
+  const IflsResult efficient = Unwrap(SolveEfficient(ctx));
+  ASSERT_TRUE(efficient.found);
+  EXPECT_EQ(efficient.answer, ctx.candidates.front());
+  EXPECT_DOUBLE_EQ(efficient.objective, 0.0);
+}
+
+TEST(SolverDegenerateTest, InvalidContextsAreRejected) {
+  IflsContext ctx = RandomContext(406, 3, 5, 10);
+  IflsContext bad = ctx;
+  bad.existing.push_back(bad.candidates.front());  // overlap
+  EXPECT_TRUE(SolveEfficient(bad).status().IsInvalidArgument());
+  EXPECT_TRUE(SolveModifiedMinMax(bad).status().IsInvalidArgument());
+  EXPECT_TRUE(SolveBruteForceMinMax(bad).status().IsInvalidArgument());
+
+  bad = ctx;
+  bad.existing.push_back(bad.existing.front());  // duplicate
+  EXPECT_TRUE(SolveEfficient(bad).status().IsInvalidArgument());
+
+  bad = ctx;
+  bad.clients.front().position = Point(-1e6, -1e6, 0);  // outside partition
+  EXPECT_TRUE(SolveEfficient(bad).status().IsInvalidArgument());
+
+  bad = ctx;
+  bad.tree = nullptr;
+  EXPECT_TRUE(SolveEfficient(bad).status().IsInvalidArgument());
+}
+
+// ----------------------------------------------------------------- Stats
+
+TEST(SolverStatsTest, EfficientPrunesClientsAndTracksWork) {
+  const IflsContext ctx = RandomContext(501, 8, 10, 100);
+  const IflsResult result = Unwrap(SolveEfficient(ctx));
+  const QueryStats& s = result.stats;
+  EXPECT_GT(s.queue_pushes, 0);
+  EXPECT_GT(s.queue_pops, 0);
+  EXPECT_GT(s.facilities_retrieved, 0);
+  EXPECT_GT(s.distance_computations, 0);
+  EXPECT_GT(s.lower_bound_computations, 0);
+  EXPECT_GT(s.clients_pruned, 0);
+  EXPECT_GT(s.peak_memory_bytes, 0);
+  EXPECT_GT(s.door_distance_evals, 0u);
+  EXPECT_GE(s.elapsed_seconds, 0.0);
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+TEST(SolverStatsTest, BaselineCountsNnSearches) {
+  const IflsContext ctx = RandomContext(502, 5, 8, 60);
+  const IflsResult result = Unwrap(SolveModifiedMinMax(ctx));
+  EXPECT_EQ(result.stats.nn_searches,
+            static_cast<std::int64_t>(ctx.clients.size()));
+  EXPECT_GT(result.stats.peak_memory_bytes, 0);
+}
+
+TEST(SolverStatsTest, PruningReducesDistanceComputations) {
+  const IflsContext ctx = RandomContext(503, 10, 10, 150);
+  EfficientOptions with;
+  EfficientOptions without;
+  without.prune_clients = false;
+  const IflsResult pruned = Unwrap(SolveEfficient(ctx, with));
+  const IflsResult unpruned = Unwrap(SolveEfficient(ctx, without));
+  EXPECT_LE(pruned.stats.distance_computations,
+            unpruned.stats.distance_computations);
+}
+
+TEST(SolverStatsTest, OfflineIndexReuseMatchesOwnedIndex) {
+  const IflsContext ctx = RandomContext(504, 5, 8, 40);
+  FacilityIndex offline(ctx.tree, ctx.existing);
+  MinMaxBaselineOptions options;
+  options.offline_existing_index = &offline;
+  const IflsResult with_offline = Unwrap(SolveModifiedMinMax(ctx, options));
+  const IflsResult owned = Unwrap(SolveModifiedMinMax(ctx));
+  EXPECT_EQ(with_offline.found, owned.found);
+  if (owned.found) {
+    EXPECT_NEAR(EvaluateMinMax(ctx, with_offline.answer),
+                EvaluateMinMax(ctx, owned.answer), kTol);
+  }
+}
+
+}  // namespace
+}  // namespace ifls

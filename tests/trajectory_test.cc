@@ -1,0 +1,140 @@
+#include "src/datasets/trajectory_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tests/test_util.h"
+
+namespace ifls {
+namespace {
+
+using testing_util::SmallVenueSpec;
+using testing_util::Unwrap;
+
+class TrajectoryEnv {
+ public:
+  static TrajectoryEnv& Get() {
+    static TrajectoryEnv* env = new TrajectoryEnv();
+    return *env;
+  }
+  const Venue& venue() const { return venue_; }
+  const VipTree& tree() const { return *tree_; }
+
+ private:
+  TrajectoryEnv() {
+    venue_ = Unwrap(GenerateVenue(SmallVenueSpec()));
+    tree_ = std::make_unique<VipTree>(Unwrap(VipTree::Build(&venue_)));
+  }
+  Venue venue_;
+  std::unique_ptr<VipTree> tree_;
+};
+
+TEST(TrajectoryTest, ShapesAndCounts) {
+  TrajectoryEnv& env = TrajectoryEnv::Get();
+  TrajectoryOptions options;
+  options.ticks = 30;
+  Rng rng(1);
+  const auto trajectories =
+      Unwrap(GenerateTrajectories(env.tree(), 7, options, &rng));
+  ASSERT_EQ(trajectories.size(), 7u);
+  for (const Trajectory& t : trajectories) {
+    EXPECT_EQ(t.size(), 30u);
+  }
+}
+
+TEST(TrajectoryTest, EverySampleIsInsideItsPartition) {
+  TrajectoryEnv& env = TrajectoryEnv::Get();
+  TrajectoryOptions options;
+  options.ticks = 50;
+  Rng rng(2);
+  const auto trajectories =
+      Unwrap(GenerateTrajectories(env.tree(), 10, options, &rng));
+  for (const Trajectory& t : trajectories) {
+    for (const TrajectoryPoint& p : t) {
+      ASSERT_NE(p.partition, kInvalidPartition);
+      const Partition& part = env.venue().partition(p.partition);
+      EXPECT_TRUE(part.rect.Contains(p.position))
+          << p.position.ToString() << " vs " << part.rect.ToString();
+    }
+  }
+}
+
+TEST(TrajectoryTest, StepLengthsRespectWalkingSpeed) {
+  TrajectoryEnv& env = TrajectoryEnv::Get();
+  TrajectoryOptions options;
+  options.ticks = 40;
+  options.speed_mps = 1.5;
+  options.tick_seconds = 2.0;
+  options.max_pause_ticks = 0;
+  Rng rng(3);
+  const auto trajectories =
+      Unwrap(GenerateTrajectories(env.tree(), 6, options, &rng));
+  const double max_step = options.speed_mps * options.tick_seconds;
+  for (const Trajectory& t : trajectories) {
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      if (t[i].position.level != t[i - 1].position.level) continue;
+      // Planar movement per tick never exceeds the walking budget (stair
+      // dwells and arrivals can make it shorter).
+      EXPECT_LE(PlanarDistance(t[i - 1].position, t[i].position),
+                max_step + 1e-9);
+    }
+  }
+}
+
+TEST(TrajectoryTest, AgentsActuallyMoveAndChangeLevels) {
+  TrajectoryEnv& env = TrajectoryEnv::Get();
+  TrajectoryOptions options;
+  options.ticks = 200;
+  options.speed_mps = 3.0;
+  Rng rng(4);
+  const auto trajectories =
+      Unwrap(GenerateTrajectories(env.tree(), 8, options, &rng));
+  double total_movement = 0.0;
+  bool level_changed = false;
+  for (const Trajectory& t : trajectories) {
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      if (t[i].position.level == t[i - 1].position.level) {
+        total_movement += PlanarDistance(t[i - 1].position, t[i].position);
+      } else {
+        level_changed = true;
+      }
+    }
+  }
+  EXPECT_GT(total_movement, 100.0);
+  // The small venue has two levels; with 1600 samples someone takes stairs.
+  EXPECT_TRUE(level_changed);
+}
+
+TEST(TrajectoryTest, DeterministicPerSeed) {
+  TrajectoryEnv& env = TrajectoryEnv::Get();
+  TrajectoryOptions options;
+  options.ticks = 25;
+  Rng rng_a(5), rng_b(5);
+  const auto a = Unwrap(GenerateTrajectories(env.tree(), 4, options, &rng_a));
+  const auto b = Unwrap(GenerateTrajectories(env.tree(), 4, options, &rng_b));
+  for (std::size_t agent = 0; agent < a.size(); ++agent) {
+    for (std::size_t i = 0; i < a[agent].size(); ++i) {
+      EXPECT_EQ(a[agent][i].position, b[agent][i].position);
+      EXPECT_EQ(a[agent][i].partition, b[agent][i].partition);
+    }
+  }
+}
+
+TEST(TrajectoryTest, RejectsBadOptions) {
+  TrajectoryEnv& env = TrajectoryEnv::Get();
+  Rng rng(6);
+  TrajectoryOptions bad;
+  bad.speed_mps = 0;
+  EXPECT_TRUE(GenerateTrajectories(env.tree(), 1, bad, &rng)
+                  .status()
+                  .IsInvalidArgument());
+  bad = TrajectoryOptions();
+  bad.ticks = 0;
+  EXPECT_TRUE(GenerateTrajectories(env.tree(), 1, bad, &rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ifls

@@ -1,0 +1,52 @@
+#include "src/datasets/venue_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ifls {
+namespace {
+
+using testing_util::SmallVenueSpec;
+using testing_util::Unwrap;
+
+TEST(VenueStatsTest, CountsMatchTheVenue) {
+  Venue venue = Unwrap(GenerateVenue(SmallVenueSpec()));
+  VipTree tree = Unwrap(VipTree::Build(&venue));
+  const VenueStats stats = ComputeVenueStats(tree, /*samples=*/50);
+  EXPECT_EQ(stats.partitions, venue.num_partitions());
+  EXPECT_EQ(stats.rooms, venue.num_rooms());
+  EXPECT_EQ(stats.doors, venue.num_doors());
+  EXPECT_EQ(stats.levels, venue.num_levels());
+  EXPECT_EQ(stats.rooms + stats.corridors + stats.stairwells,
+            stats.partitions);
+  // 2 levels joined by exactly one stair door in the small spec.
+  EXPECT_EQ(stats.stairwells, 2u);
+  EXPECT_EQ(stats.stair_doors, 1u);
+}
+
+TEST(VenueStatsTest, DegreeAndAreaArePlausible) {
+  Venue venue = Unwrap(GenerateVenue(SmallVenueSpec()));
+  VipTree tree = Unwrap(VipTree::Build(&venue));
+  const VenueStats stats = ComputeVenueStats(tree, /*samples=*/50);
+  // Sum of degrees = 2 * doors.
+  EXPECT_NEAR(stats.mean_degree * static_cast<double>(stats.partitions),
+              2.0 * static_cast<double>(stats.doors), 1e-9);
+  EXPECT_GE(stats.max_degree, 2);
+  EXPECT_GT(stats.walkable_area, 0.0);
+}
+
+TEST(VenueStatsTest, DistanceMomentsAreDeterministicAndOrdered) {
+  Venue venue = Unwrap(GenerateVenue(SmallVenueSpec()));
+  VipTree tree = Unwrap(VipTree::Build(&venue));
+  const VenueStats a = ComputeVenueStats(tree, 100, /*seed=*/7);
+  const VenueStats b = ComputeVenueStats(tree, 100, /*seed=*/7);
+  EXPECT_DOUBLE_EQ(a.mean_distance, b.mean_distance);
+  EXPECT_DOUBLE_EQ(a.max_distance, b.max_distance);
+  EXPECT_GT(a.mean_distance, 0.0);
+  EXPECT_GE(a.max_distance, a.mean_distance);
+  EXPECT_FALSE(a.ToString().empty());
+}
+
+}  // namespace
+}  // namespace ifls

@@ -1,0 +1,169 @@
+#include "src/indoor/venue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/indoor/point_location.h"
+#include "src/indoor/venue_builder.h"
+#include "tests/test_util.h"
+
+namespace ifls {
+namespace {
+
+using testing_util::BuildTinyVenue;
+using testing_util::TinyVenue;
+using testing_util::Unwrap;
+
+TEST(VenueBuilderTest, BuildsTinyVenue) {
+  TinyVenue t = BuildTinyVenue();
+  EXPECT_EQ(t.venue.num_partitions(), 7u);
+  EXPECT_EQ(t.venue.num_doors(), 6u);
+  EXPECT_EQ(t.venue.num_levels(), 2);
+  EXPECT_EQ(t.venue.num_rooms(), 4u);
+  EXPECT_EQ(t.venue.name(), "tiny");
+}
+
+TEST(VenueTest, DoorAccessors) {
+  TinyVenue t = BuildTinyVenue();
+  const Door& stair = t.venue.door(t.door_stair);
+  EXPECT_TRUE(stair.is_stair_door());
+  EXPECT_DOUBLE_EQ(stair.vertical_cost, 8.0);
+  EXPECT_EQ(stair.Other(t.stair0), t.stair1);
+  EXPECT_EQ(stair.Other(t.stair1), t.stair0);
+  EXPECT_EQ(stair.Other(t.room_a), kInvalidPartition);
+  EXPECT_TRUE(stair.Connects(t.stair0));
+  EXPECT_FALSE(stair.Connects(t.room_a));
+
+  const Door& normal = t.venue.door(t.door_a);
+  EXPECT_FALSE(normal.is_stair_door());
+}
+
+TEST(VenueTest, NeighborsAndAdjacency) {
+  TinyVenue t = BuildTinyVenue();
+  const auto& nbrs = t.venue.Neighbors(t.corridor);
+  EXPECT_EQ(nbrs.size(), 4u);  // A, B, C, stair0
+  EXPECT_TRUE(t.venue.AreAdjacent(t.room_a, t.corridor));
+  EXPECT_TRUE(t.venue.AreAdjacent(t.stair0, t.stair1));
+  EXPECT_FALSE(t.venue.AreAdjacent(t.room_a, t.room_b));
+  EXPECT_FALSE(t.venue.AreAdjacent(t.room_a, t.room_d));
+}
+
+TEST(VenueTest, DoorsOfListsAllDoors) {
+  TinyVenue t = BuildTinyVenue();
+  EXPECT_EQ(t.venue.DoorsOf(t.room_a).size(), 1u);
+  EXPECT_EQ(t.venue.DoorsOf(t.corridor).size(), 4u);
+  EXPECT_EQ(t.venue.DoorsOf(t.stair0).size(), 2u);
+}
+
+TEST(VenueTest, LevelBounds) {
+  TinyVenue t = BuildTinyVenue();
+  const Rect l0 = t.venue.LevelBounds(0);
+  EXPECT_DOUBLE_EQ(l0.min_x, 0.0);
+  EXPECT_DOUBLE_EQ(l0.max_x, 30.0);
+  EXPECT_DOUBLE_EQ(l0.min_y, -6.0);
+  EXPECT_DOUBLE_EQ(l0.max_y, 8.0);
+  const Rect l1 = t.venue.LevelBounds(1);
+  EXPECT_DOUBLE_EQ(l1.min_x, 0.0);
+  EXPECT_DOUBLE_EQ(l1.max_x, 18.0);
+}
+
+TEST(VenueTest, SetCategory) {
+  TinyVenue t = BuildTinyVenue();
+  t.venue.SetCategory(t.room_a, "dining & entertainment");
+  EXPECT_EQ(t.venue.partition(t.room_a).category, "dining & entertainment");
+}
+
+TEST(VenueBuilderTest, DisconnectedVenueFailsValidation) {
+  VenueBuilder b("disconnected");
+  b.AddPartition(Rect(0, 0, 4, 4, 0));
+  b.AddPartition(Rect(10, 10, 14, 14, 0));
+  Result<Venue> result = b.Build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_NE(result.status().message().find("disconnected"),
+            std::string::npos);
+}
+
+TEST(VenueBuilderTest, EmptyVenueFails) {
+  VenueBuilder b("empty");
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+TEST(VenueBuilderDeathTest, SelfLoopDoorRejected) {
+  VenueBuilder b("loop");
+  PartitionId p = b.AddPartition(Rect(0, 0, 4, 4, 0));
+  EXPECT_DEATH(b.AddDoor(p, p, Point(0, 0, 0)), "distinct");
+}
+
+TEST(VenueBuilderTest, CrossLevelDoorWithoutStairCostFails) {
+  VenueBuilder b("bad-stairs");
+  PartitionId low = b.AddPartition(Rect(0, 0, 4, 4, 0));
+  PartitionId high = b.AddPartition(Rect(0, 0, 4, 4, 1));
+  b.AddDoor(low, high, Point(2, 2, 0));  // zero vertical cost across levels
+  Result<Venue> result = b.Build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("vertical cost"),
+            std::string::npos);
+}
+
+TEST(VenueTest, ValidatePassesOnBuiltVenue) {
+  TinyVenue t = BuildTinyVenue();
+  EXPECT_TRUE(t.venue.Validate().ok());
+}
+
+// ------------------------------------------------------- PointLocator
+
+TEST(PointLocatorTest, LocatesInteriorPoints) {
+  TinyVenue t = BuildTinyVenue();
+  PointLocator locator(&t.venue);
+  EXPECT_EQ(locator.Locate(Point(5, 2, 0)), t.room_a);
+  EXPECT_EQ(locator.Locate(Point(15, 2, 0)), t.corridor);
+  EXPECT_EQ(locator.Locate(Point(25, 2, 0)), t.room_b);
+  EXPECT_EQ(locator.Locate(Point(15, -3, 0)), t.room_c);
+  EXPECT_EQ(locator.Locate(Point(16, 6, 0)), t.stair0);
+  EXPECT_EQ(locator.Locate(Point(16, 6, 1)), t.stair1);
+  EXPECT_EQ(locator.Locate(Point(5, 6, 1)), t.room_d);
+}
+
+TEST(PointLocatorTest, OutsideReturnsInvalid) {
+  TinyVenue t = BuildTinyVenue();
+  PointLocator locator(&t.venue);
+  EXPECT_EQ(locator.Locate(Point(100, 100, 0)), kInvalidPartition);
+  EXPECT_EQ(locator.Locate(Point(5, 6, 5)), kInvalidPartition);  // bad level
+  EXPECT_EQ(locator.Locate(Point(5, 6, -1)), kInvalidPartition);
+  // In a wall gap on level 0 (above room A, left of stairwell).
+  EXPECT_EQ(locator.Locate(Point(5, 6, 0)), kInvalidPartition);
+}
+
+TEST(PointLocatorTest, BoundaryPointResolvesToLowestId) {
+  TinyVenue t = BuildTinyVenue();
+  PointLocator locator(&t.venue);
+  // x = 10 is the shared wall between room A (id 0) and the corridor (id 1).
+  EXPECT_EQ(locator.Locate(Point(10, 2, 0)), t.room_a);
+}
+
+TEST(PointLocatorTest, AgreesWithExhaustiveScanOnGeneratedVenue) {
+  Venue venue = Unwrap(GenerateVenue(testing_util::SmallVenueSpec()));
+  PointLocator locator(&venue);
+  Rng rng(123);
+  for (int i = 0; i < 500; ++i) {
+    const Level level = static_cast<Level>(rng.NextBounded(
+        static_cast<std::uint64_t>(venue.num_levels())));
+    const Rect bounds = venue.LevelBounds(level);
+    const Point p(rng.NextUniform(bounds.min_x - 1, bounds.max_x + 1),
+                  rng.NextUniform(bounds.min_y - 1, bounds.max_y + 1), level);
+    PartitionId expected = kInvalidPartition;
+    for (const Partition& part : venue.partitions()) {
+      if (part.rect.Contains(p)) {
+        if (expected == kInvalidPartition || part.id < expected) {
+          expected = part.id;
+        }
+      }
+    }
+    EXPECT_EQ(locator.Locate(p), expected) << p.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace ifls

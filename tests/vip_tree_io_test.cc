@@ -1,0 +1,125 @@
+// Round-trip tests of the IFLS_VIPTREE serialization: a loaded index must
+// be byte-for-byte equivalent in behaviour to the one that was built.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/index/graph_oracle.h"
+#include "src/index/vip_tree.h"
+#include "tests/test_util.h"
+
+namespace ifls {
+namespace {
+
+using testing_util::RandomClient;
+using testing_util::SmallVenueSpec;
+using testing_util::Unwrap;
+
+TEST(VipTreeIoTest, RoundTripPreservesStructure) {
+  Venue venue = Unwrap(GenerateVenue(SmallVenueSpec()));
+  VipTree built = Unwrap(VipTree::Build(&venue));
+  std::stringstream stream;
+  ASSERT_TRUE(built.Save(&stream).ok());
+  VipTree loaded = Unwrap(VipTree::Load(&venue, &stream));
+
+  EXPECT_EQ(loaded.num_nodes(), built.num_nodes());
+  EXPECT_EQ(loaded.num_leaves(), built.num_leaves());
+  EXPECT_EQ(loaded.height(), built.height());
+  EXPECT_EQ(loaded.root(), built.root());
+  for (std::size_t i = 0; i < built.num_nodes(); ++i) {
+    const VipNode& a = built.node(static_cast<NodeId>(i));
+    const VipNode& b = loaded.node(static_cast<NodeId>(i));
+    EXPECT_EQ(a.parent, b.parent);
+    EXPECT_EQ(a.depth, b.depth);
+    EXPECT_EQ(a.children, b.children);
+    EXPECT_EQ(a.partitions, b.partitions);
+    EXPECT_EQ(a.doors, b.doors);
+    EXPECT_EQ(a.access_doors, b.access_doors);
+    EXPECT_EQ(a.subtree_partitions, b.subtree_partitions);
+  }
+}
+
+TEST(VipTreeIoTest, RoundTripPreservesDistances) {
+  Venue venue = Unwrap(GenerateVenue(SmallVenueSpec()));
+  VipTree built = Unwrap(VipTree::Build(&venue));
+  std::stringstream stream;
+  ASSERT_TRUE(built.Save(&stream).ok());
+  VipTree loaded = Unwrap(VipTree::Load(&venue, &stream));
+
+  Rng rng(91);
+  for (int i = 0; i < 200; ++i) {
+    const Client a = RandomClient(venue, &rng, 0);
+    const Client b = RandomClient(venue, &rng, 1);
+    ASSERT_DOUBLE_EQ(
+        loaded.PointToPoint(a.position, a.partition, b.position, b.partition),
+        built.PointToPoint(a.position, a.partition, b.position, b.partition));
+  }
+  // First hops survive too.
+  for (DoorId d = 0; d < static_cast<DoorId>(venue.num_doors()); ++d) {
+    EXPECT_EQ(loaded.FirstHop(0, d), built.FirstHop(0, d));
+  }
+}
+
+TEST(VipTreeIoTest, FileRoundTrip) {
+  Venue venue = Unwrap(GenerateVenue(SmallVenueSpec()));
+  VipTree built = Unwrap(VipTree::Build(&venue));
+  const std::string path = ::testing::TempDir() + "/ifls_tree.txt";
+  ASSERT_TRUE(built.SaveToFile(path).ok());
+  VipTree loaded = Unwrap(VipTree::LoadFromFile(&venue, path));
+  GraphDistanceOracle oracle(&venue);
+  Rng rng(92);
+  for (int i = 0; i < 50; ++i) {
+    const Client a = RandomClient(venue, &rng, 0);
+    const auto target = static_cast<PartitionId>(
+        rng.NextBounded(venue.num_partitions()));
+    ASSERT_NEAR(loaded.PointToPartition(a.position, a.partition, target),
+                oracle.PointToPartition(a.position, a.partition, target),
+                1e-9);
+  }
+}
+
+TEST(VipTreeIoTest, IpTreeRoundTrips) {
+  Venue venue = Unwrap(GenerateVenue(SmallVenueSpec()));
+  VipTreeOptions options;
+  options.build_leaf_to_ancestor = false;
+  VipTree built = Unwrap(VipTree::Build(&venue, options));
+  std::stringstream stream;
+  ASSERT_TRUE(built.Save(&stream).ok());
+  VipTree loaded = Unwrap(VipTree::Load(&venue, &stream));
+  EXPECT_FALSE(loaded.options().build_leaf_to_ancestor);
+  Rng rng(93);
+  const Client a = RandomClient(venue, &rng, 0);
+  const Client b = RandomClient(venue, &rng, 1);
+  EXPECT_DOUBLE_EQ(
+      loaded.PointToPoint(a.position, a.partition, b.position, b.partition),
+      built.PointToPoint(a.position, a.partition, b.position, b.partition));
+}
+
+TEST(VipTreeIoTest, RejectsWrongVenue) {
+  Venue venue = Unwrap(GenerateVenue(SmallVenueSpec()));
+  VipTree built = Unwrap(VipTree::Build(&venue));
+  std::stringstream stream;
+  ASSERT_TRUE(built.Save(&stream).ok());
+
+  VenueGeneratorSpec other_spec = SmallVenueSpec();
+  other_spec.rooms_per_level = 30;  // different venue
+  Venue other = Unwrap(GenerateVenue(other_spec));
+  Result<VipTree> loaded = VipTree::Load(&other, &stream);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+}
+
+TEST(VipTreeIoTest, RejectsGarbage) {
+  Venue venue = Unwrap(GenerateVenue(SmallVenueSpec()));
+  std::stringstream bogus("NOT_A_TREE 1");
+  EXPECT_TRUE(VipTree::Load(&venue, &bogus).status().IsInvalidArgument());
+  std::stringstream truncated("IFLS_VIPTREE 1\noptions 8 8 1 1 1 0\n");
+  EXPECT_FALSE(VipTree::Load(&venue, &truncated).ok());
+  EXPECT_TRUE(VipTree::LoadFromFile(&venue, "/no/such/file")
+                  .status()
+                  .IsIOError());
+}
+
+}  // namespace
+}  // namespace ifls

@@ -1,0 +1,278 @@
+// ifls_cli — command-line front end for the library, working on the text
+// formats of src/io. Subcommands:
+//
+//   gen-venue    --preset MC|CH|CPH|MZB [--categories] --out FILE
+//   gen-workload --venue FILE (--existing N --candidates N | --category C)
+//                --clients N [--normal SIGMA] [--seed S] --out FILE
+//   solve        --venue FILE --workload FILE
+//                [--algorithm efficient|baseline|brute|mindist|maxsum]
+//                [--top-k K] [--stats]
+//   info         --venue FILE
+//   render       --venue FILE [--workload FILE] [--level L] --out FILE.svg
+//
+// Exit code 0 on success, 1 on any error (message on stderr).
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/core/brute_force.h"
+#include "src/core/efficient.h"
+#include "src/core/maxsum.h"
+#include "src/core/mindist.h"
+#include "src/core/minmax_baseline.h"
+#include "src/datasets/presets.h"
+#include "src/datasets/workload.h"
+#include "src/index/vip_tree.h"
+#include "src/io/svg_export.h"
+#include "src/io/venue_io.h"
+#include "src/io/workload_io.h"
+
+namespace ifls {
+namespace {
+
+/// Tiny flag parser: --name value pairs plus boolean --name flags.
+class Args {
+ public:
+  Args(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument '%s'\n", argv[i]);
+        ok_ = false;
+        return;
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+
+  bool ok() const { return ok_; }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  std::optional<std::string> Get(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+  std::string GetOr(const std::string& key, const std::string& fallback) const {
+    return Get(key).value_or(fallback);
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    auto v = Get(key);
+    return v.has_value() ? std::strtol(v->c_str(), nullptr, 10) : fallback;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto v = Get(key);
+    return v.has_value() ? std::strtod(v->c_str(), nullptr) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Fail(const char* message) {
+  std::fprintf(stderr, "error: %s\n", message);
+  return 1;
+}
+
+std::optional<VenuePreset> ParsePreset(const std::string& name) {
+  for (VenuePreset preset : AllVenuePresets()) {
+    if (name == VenuePresetName(preset)) return preset;
+  }
+  return std::nullopt;
+}
+
+int GenVenue(const Args& args) {
+  const auto preset_name = args.Get("preset");
+  const auto out = args.Get("out");
+  if (!preset_name || !out) return Fail("gen-venue needs --preset and --out");
+  const auto preset = ParsePreset(*preset_name);
+  if (!preset) return Fail("unknown preset (use MC, CH, CPH or MZB)");
+  Result<Venue> venue = BuildPresetVenue(*preset);
+  if (!venue.ok()) return Fail(venue.status());
+  if (args.Has("categories")) {
+    if (*preset != VenuePreset::kMelbourneCentral) {
+      return Fail("--categories is defined for MC only");
+    }
+    if (Status s = AssignMelbourneCentralCategories(&venue.value()); !s.ok()) {
+      return Fail(s);
+    }
+  }
+  if (Status s = SaveVenueToFile(*venue, *out); !s.ok()) return Fail(s);
+  std::printf("wrote %s: %s\n", out->c_str(), venue->ToString().c_str());
+  return 0;
+}
+
+int GenWorkload(const Args& args) {
+  const auto venue_path = args.Get("venue");
+  const auto out = args.Get("out");
+  if (!venue_path || !out) {
+    return Fail("gen-workload needs --venue and --out");
+  }
+  Result<Venue> venue = LoadVenueFromFile(*venue_path);
+  if (!venue.ok()) return Fail(venue.status());
+  Rng rng(static_cast<std::uint64_t>(args.GetInt("seed", 1)));
+
+  WorkloadData data;
+  if (args.Has("category")) {
+    Result<FacilitySets> sets =
+        SelectCategoryFacilities(*venue, args.GetOr("category", ""));
+    if (!sets.ok()) return Fail(sets.status());
+    data.facilities = std::move(sets).value();
+  } else {
+    Result<FacilitySets> sets = SelectUniformFacilities(
+        *venue, static_cast<std::size_t>(args.GetInt("existing", 10)),
+        static_cast<std::size_t>(args.GetInt("candidates", 20)), &rng);
+    if (!sets.ok()) return Fail(sets.status());
+    data.facilities = std::move(sets).value();
+  }
+  ClientGeneratorOptions copts;
+  if (args.Has("normal")) {
+    copts.distribution = ClientDistribution::kNormal;
+    copts.sigma = args.GetDouble("normal", 1.0);
+  }
+  data.clients = GenerateClients(
+      *venue, static_cast<std::size_t>(args.GetInt("clients", 1000)), copts,
+      &rng);
+  if (Status s = SaveWorkloadToFile(data, *out); !s.ok()) return Fail(s);
+  std::printf("wrote %s: |Fe|=%zu |Fn|=%zu |C|=%zu\n", out->c_str(),
+              data.facilities.existing.size(),
+              data.facilities.candidates.size(), data.clients.size());
+  return 0;
+}
+
+int Solve(const Args& args) {
+  const auto venue_path = args.Get("venue");
+  const auto workload_path = args.Get("workload");
+  if (!venue_path || !workload_path) {
+    return Fail("solve needs --venue and --workload");
+  }
+  Result<Venue> venue = LoadVenueFromFile(*venue_path);
+  if (!venue.ok()) return Fail(venue.status());
+  Result<WorkloadData> workload = LoadWorkloadFromFile(*workload_path);
+  if (!workload.ok()) return Fail(workload.status());
+  Result<VipTree> tree = VipTree::Build(&venue.value());
+  if (!tree.ok()) return Fail(tree.status());
+
+  IflsContext ctx;
+  ctx.tree = &tree.value();
+  ctx.existing = workload->facilities.existing;
+  ctx.candidates = workload->facilities.candidates;
+  ctx.clients = workload->clients;
+
+  const std::string algorithm = args.GetOr("algorithm", "efficient");
+  const int top_k = static_cast<int>(args.GetInt("top-k", 1));
+  Result<IflsResult> result = Status::Internal("unset");
+  if (algorithm == "efficient") {
+    EfficientOptions options;
+    options.top_k = top_k;
+    result = SolveEfficient(ctx, options);
+  } else if (algorithm == "baseline") {
+    result = SolveModifiedMinMax(ctx);
+  } else if (algorithm == "brute") {
+    result = top_k > 1 ? SolveBruteForceTopKMinMax(ctx, top_k)
+                       : SolveBruteForceMinMax(ctx);
+  } else if (algorithm == "mindist") {
+    result = SolveMinDist(ctx);
+  } else if (algorithm == "maxsum") {
+    result = SolveMaxSum(ctx);
+  } else {
+    return Fail("unknown --algorithm");
+  }
+  if (!result.ok()) return Fail(result.status());
+
+  if (!result->found) {
+    std::printf("no candidate improves the objective\n");
+  } else if (!result->ranked.empty()) {
+    for (std::size_t i = 0; i < result->ranked.size(); ++i) {
+      std::printf("#%zu: partition %d (objective %.4f)\n", i + 1,
+                  result->ranked[i].first, result->ranked[i].second);
+    }
+  } else {
+    std::printf("answer: partition %d (objective %.4f)\n", result->answer,
+                result->objective);
+  }
+  if (args.Has("stats")) {
+    std::printf("%s\n", result->stats.ToString().c_str());
+  }
+  return 0;
+}
+
+int Info(const Args& args) {
+  const auto venue_path = args.Get("venue");
+  if (!venue_path) return Fail("info needs --venue");
+  Result<Venue> venue = LoadVenueFromFile(*venue_path);
+  if (!venue.ok()) return Fail(venue.status());
+  std::printf("%s\n", venue->ToString().c_str());
+  Result<VipTree> tree = VipTree::Build(&venue.value());
+  if (!tree.ok()) return Fail(tree.status());
+  std::printf("%s\n", tree->ToString().c_str());
+  std::map<std::string, int> categories;
+  for (const Partition& p : venue->partitions()) {
+    if (!p.category.empty()) ++categories[p.category];
+  }
+  for (const auto& [name, count] : categories) {
+    std::printf("  category '%s': %d partitions\n", name.c_str(), count);
+  }
+  return 0;
+}
+
+int Render(const Args& args) {
+  const auto venue_path = args.Get("venue");
+  const auto out = args.Get("out");
+  if (!venue_path || !out) return Fail("render needs --venue and --out");
+  Result<Venue> venue = LoadVenueFromFile(*venue_path);
+  if (!venue.ok()) return Fail(venue.status());
+  SvgOptions options;
+  options.level = static_cast<Level>(args.GetInt("level", 0));
+  options.label_partitions = args.Has("labels");
+  if (args.Has("workload")) {
+    Result<WorkloadData> workload =
+        LoadWorkloadFromFile(args.GetOr("workload", ""));
+    if (!workload.ok()) return Fail(workload.status());
+    options.existing_facilities = workload->facilities.existing;
+    options.candidate_locations = workload->facilities.candidates;
+    options.clients = workload->clients;
+  }
+  if (Status s = RenderLevelSvgToFile(*venue, options, *out); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("wrote %s\n", out->c_str());
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s gen-venue|gen-workload|solve|info|render "
+                 "[--flags]\n",
+                 argv[0]);
+    return 1;
+  }
+  const std::string command = argv[1];
+  Args args(argc, argv, 2);
+  if (!args.ok()) return 1;
+  if (command == "gen-venue") return GenVenue(args);
+  if (command == "gen-workload") return GenWorkload(args);
+  if (command == "solve") return Solve(args);
+  if (command == "info") return Info(args);
+  if (command == "render") return Render(args);
+  return Fail("unknown command");
+}
+
+}  // namespace
+}  // namespace ifls
+
+int main(int argc, char** argv) { return ifls::Run(argc, argv); }
