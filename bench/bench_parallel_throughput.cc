@@ -1,0 +1,105 @@
+// Experiment P1 — batch query throughput vs worker count. A fixed mixed
+// batch (MinMax / MinDist / MaxSum over synthetic Melbourne Central) is
+// replayed through BatchQueryEngine at 1, 2, 4 and 8 threads; the table
+// reports wall time, queries/sec and speedup over the 1-thread run. Every
+// multi-threaded run is differential-checked against the sequential
+// answers before its row is printed — a speedup is only reported for
+// bit-identical results.
+//
+// Scaling is hardware-dependent: the speedup column tops out near the
+// machine's physical core count (on a 1-core container every row is ~1x;
+// the engine still must stay correct there).
+
+#include <cstdio>
+#include <iostream>
+#include <thread>
+
+#include "src/benchlib/harness.h"
+#include "src/benchlib/table.h"
+#include "src/core/batch_engine.h"
+
+int main() {
+  using namespace ifls;
+  const BenchScale scale = BenchScale::FromEnv();
+  std::printf(
+      "# P1: batch throughput vs threads (MC synthetic, scale=%s, "
+      "hardware threads=%u)\n\n",
+      scale.name.c_str(), std::thread::hardware_concurrency());
+
+  VenueCache cache;
+  const Venue& venue = cache.venue(VenuePreset::kMelbourneCentral, false);
+  const VipTree& tree = cache.tree(VenuePreset::kMelbourneCentral, false);
+  const ParameterGrid grid =
+      PresetParameterGrid(VenuePreset::kMelbourneCentral);
+
+  WorkloadSpec spec;
+  spec.preset = VenuePreset::kMelbourneCentral;
+  spec.num_existing = grid.default_existing;
+  spec.num_candidates = grid.default_candidates;
+  spec.num_clients = scale.Clients(kDefaultClients);
+
+  // One shared batch of independent workloads; objectives round-robin
+  // MinMax/MinDist/MaxSum so the work mix is skewed like real batches.
+  std::vector<BatchQuery> batch;
+  const int num_workloads = 12 * scale.repeats;
+  for (int r = 0; r < num_workloads; ++r) {
+    Rng rng(1 + static_cast<std::uint64_t>(r));
+    IflsContext ctx;
+    ctx.tree = &tree;
+    Result<FacilitySets> sets = MakeFacilities(venue, spec, &rng);
+    if (!sets.ok()) {
+      std::fprintf(stderr, "%s\n", sets.status().ToString().c_str());
+      return 1;
+    }
+    ctx.existing = sets->existing;
+    ctx.candidates = sets->candidates;
+    ctx.clients = MakeClients(venue, spec, &rng);
+    const IflsObjective objective =
+        r % 3 == 0 ? IflsObjective::kMinMax
+                   : (r % 3 == 1 ? IflsObjective::kMinDist
+                                 : IflsObjective::kMaxSum);
+    batch.push_back(BatchQuery{objective, std::move(ctx)});
+  }
+  std::printf(
+      "batch: %zu queries (objectives round-robin MinMax/MinDist/MaxSum)\n\n",
+      batch.size());
+
+  // Sequential reference answers (and the 1-thread baseline row).
+  BatchQueryEngine reference{BatchEngineOptions{}};
+  const std::vector<BatchQueryOutcome> truth =
+      reference.RunSequential(batch);
+  const double seq_qps = reference.last_report().queries_per_second;
+
+  TextTable table({"threads", "wall (s)", "queries/s", "speedup vs 1",
+                   "identical", "failed"});
+  for (int threads : {1, 2, 4, 8}) {
+    BatchEngineOptions opts;
+    opts.num_threads = threads;
+    BatchQueryEngine engine(opts);
+    const std::vector<BatchQueryOutcome> outcomes = engine.Run(batch);
+    const BatchRunReport& report = engine.last_report();
+
+    bool identical = outcomes.size() == truth.size();
+    for (std::size_t i = 0; identical && i < truth.size(); ++i) {
+      identical = outcomes[i].status.ok() == truth[i].status.ok() &&
+                  outcomes[i].result.found == truth[i].result.found &&
+                  outcomes[i].result.answer == truth[i].result.answer &&
+                  outcomes[i].result.objective == truth[i].result.objective;
+    }
+    table.AddRow({TextTable::Int(threads), TextTable::Num(report.wall_seconds),
+                  TextTable::Num(report.queries_per_second),
+                  TextTable::Num(seq_qps > 0.0
+                                     ? report.queries_per_second / seq_qps
+                                     : 0.0),
+                  identical ? "yes" : "NO",
+                  TextTable::Int(static_cast<long long>(report.num_failed))});
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FATAL: %d-thread run diverged from sequential answers\n",
+                   threads);
+      return 1;
+    }
+  }
+  table.Print(&std::cout);
+  return 0;
+}

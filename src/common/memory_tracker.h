@@ -1,6 +1,7 @@
 #ifndef IFLS_COMMON_MEMORY_TRACKER_H_
 #define IFLS_COMMON_MEMORY_TRACKER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -12,30 +13,50 @@ namespace ifls {
 /// retrieved-facility lists, candidate answer sets, ...) grow and releases
 /// when they shrink. Deterministic and allocator-independent, so the memory
 /// benchmarks are stable across platforms.
+///
+/// Thread-safe: the counters are atomic, so one tracker may be installed on
+/// several threads at once (e.g. a batch engine measuring a whole fan-out).
+/// The peak is maintained with a CAS loop and is exact — it can only miss a
+/// high-water mark that no single linearized interleaving ever reached. The
+/// usual deployment is still one tracker per query on one thread, where the
+/// metric is bit-for-bit what the sequential implementation reported.
 class MemoryTracker {
  public:
   MemoryTracker() = default;
 
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
   void Charge(std::int64_t bytes) {
-    current_ += bytes;
-    if (current_ > peak_) peak_ = current_;
+    const std::int64_t now =
+        current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::int64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
   }
 
-  void Release(std::int64_t bytes) { current_ -= bytes; }
+  void Release(std::int64_t bytes) {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
 
   /// Currently-held logical bytes.
-  std::int64_t current_bytes() const { return current_; }
+  std::int64_t current_bytes() const {
+    return current_.load(std::memory_order_relaxed);
+  }
   /// High-water mark since construction / last Reset().
-  std::int64_t peak_bytes() const { return peak_; }
+  std::int64_t peak_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
 
   void Reset() {
-    current_ = 0;
-    peak_ = 0;
+    current_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  std::int64_t current_ = 0;
-  std::int64_t peak_ = 0;
+  std::atomic<std::int64_t> current_{0};
+  std::atomic<std::int64_t> peak_{0};
 };
 
 /// Thread-local active tracker used by TrackingAllocator. Null when no scope

@@ -1,0 +1,69 @@
+#ifndef IFLS_COMMON_THREAD_POOL_H_
+#define IFLS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ifls {
+
+/// Fixed-size thread pool with one shared FIFO queue (deliberately
+/// work-stealing-free: IFLS batch items are coarse enough that a single
+/// mutex-protected queue never becomes the bottleneck, and the simplicity
+/// keeps the concurrency story auditable). Tasks must not throw.
+///
+/// With `num_threads <= 1` no worker threads are spawned and every task runs
+/// inline on the submitting thread, so single-threaded callers pay nothing
+/// and batch results are trivially identical to a plain loop.
+class ThreadPool {
+ public:
+  /// `num_threads <= 1` creates an inline (threadless) pool.
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of execution lanes (1 for the inline pool).
+  int num_threads() const { return num_threads_; }
+
+  /// Enqueues `task`. Inline pools run it before returning.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished executing. Safe
+  /// to call repeatedly; new work may be submitted afterwards.
+  void Wait();
+
+  /// Runs `fn(i)` for every i in [0, n), spread across the pool with the
+  /// calling thread participating, and returns when all iterations are
+  /// done. Iterations are claimed dynamically (atomic counter), so the
+  /// mapping of index to thread is scheduling-dependent — callers must make
+  /// each iteration's effect depend only on its index.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows 0 for "unknown").
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  const int num_threads_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // queued + currently executing
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ifls
+
+#endif  // IFLS_COMMON_THREAD_POOL_H_

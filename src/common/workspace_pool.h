@@ -1,0 +1,110 @@
+#ifndef IFLS_COMMON_WORKSPACE_POOL_H_
+#define IFLS_COMMON_WORKSPACE_POOL_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace ifls {
+
+/// Thread-safe pool of reusable scratch objects (Dijkstra workspaces, NN
+/// queues, per-worker buffers). Workers Acquire() a lease for the duration
+/// of a work item or a drain loop; the object returns to the free list when
+/// the lease dies, keeping its grown capacity for the next user. This moves
+/// per-query scratch allocation off the hot path without resorting to
+/// per-object thread affinity: any worker can reuse any idle workspace.
+///
+/// T must be default-constructible. Pooled objects are NOT reset between
+/// leases — reusers must overwrite (that is what lets capacity survive).
+template <typename T>
+class WorkspacePool {
+ public:
+  WorkspacePool() = default;
+
+  WorkspacePool(const WorkspacePool&) = delete;
+  WorkspacePool& operator=(const WorkspacePool&) = delete;
+
+  /// Move-only RAII handle to a pooled object.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(WorkspacePool* pool, std::unique_ptr<T> object)
+        : pool_(pool), object_(std::move(object)) {}
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), object_(std::move(other.object_)) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        object_ = std::move(other.object_);
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { Release(); }
+
+    T* get() const { return object_.get(); }
+    T& operator*() const { return *object_; }
+    T* operator->() const { return object_.get(); }
+    explicit operator bool() const { return object_ != nullptr; }
+
+   private:
+    void Release() {
+      if (pool_ != nullptr && object_ != nullptr) {
+        pool_->Return(std::move(object_));
+      }
+      pool_ = nullptr;
+      object_ = nullptr;
+    }
+
+    WorkspacePool* pool_ = nullptr;
+    std::unique_ptr<T> object_;
+  };
+
+  /// Pops an idle object, or default-constructs one when none is free.
+  Lease Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!idle_.empty()) {
+        std::unique_ptr<T> object = std::move(idle_.back());
+        idle_.pop_back();
+        return Lease(this, std::move(object));
+      }
+      ++total_created_;
+    }
+    // Construct outside the lock: T's constructor may be heavy.
+    return Lease(this, std::make_unique<T>());
+  }
+
+  /// Objects currently sitting idle in the pool.
+  std::size_t idle_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return idle_.size();
+  }
+
+  /// Objects ever constructed by this pool (== peak concurrent leases).
+  std::size_t total_created() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_created_;
+  }
+
+ private:
+  void Return(std::unique_ptr<T> object) {
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_.push_back(std::move(object));
+  }
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<T>> idle_;
+  std::size_t total_created_ = 0;
+};
+
+}  // namespace ifls
+
+#endif  // IFLS_COMMON_WORKSPACE_POOL_H_

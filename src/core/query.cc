@@ -78,11 +78,12 @@ std::string QueryStats::ToString() const {
 }
 
 SolverScope::SolverScope(const VipTree& tree, QueryStats* stats)
-    : tree_(tree),
-      stats_(stats),
+    : stats_(stats),
       scope_(&tracker_),
-      before_(tree.counters()),
-      start_seconds_(NowSeconds()) {}
+      counter_sink_(&counters_),
+      start_seconds_(NowSeconds()) {
+  (void)tree;  // kept in the signature: a scope is always tied to one index
+}
 
 void SolverScope::Finish() {
   IFLS_CHECK(!finished_) << "SolverScope::Finish called twice";
@@ -90,10 +91,8 @@ void SolverScope::Finish() {
   stats_->elapsed_seconds = NowSeconds() - start_seconds_;
   stats_->peak_memory_bytes =
       std::max<std::int64_t>(stats_->peak_memory_bytes, tracker_.peak_bytes());
-  const VipTreeCounters& after = tree_.counters();
-  stats_->door_distance_evals +=
-      after.door_distance_evals - before_.door_distance_evals;
-  stats_->matrix_lookups += after.matrix_lookups - before_.matrix_lookups;
+  stats_->door_distance_evals += counters_.door_distance_evals;
+  stats_->matrix_lookups += counters_.matrix_lookups;
 }
 
 SolverScope::~SolverScope() {

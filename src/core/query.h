@@ -82,9 +82,12 @@ struct IflsResult {
   QueryStats stats;
 };
 
-/// RAII helper every solver uses: installs memory tracking, snapshots the
-/// tree counters, and on Finish() stamps elapsed time, peak memory and the
-/// tree-counter deltas into the stats.
+/// RAII helper every solver uses: installs memory tracking plus a
+/// thread-local tree-counter sink, and on Finish() stamps elapsed time, peak
+/// memory and the query's own index-counter totals into the stats. Because
+/// both the tracker scope and the counter sink are thread-local, any number
+/// of solvers may run concurrently against one shared VipTree and each
+/// query's stats remain exactly its own work.
 class SolverScope {
  public:
   explicit SolverScope(const VipTree& tree, QueryStats* stats);
@@ -99,11 +102,11 @@ class SolverScope {
   void Finish();
 
  private:
-  const VipTree& tree_;
   QueryStats* stats_;
   MemoryTracker tracker_;
   ScopedMemoryTracking scope_;
-  VipTreeCounters before_;
+  VipTreeCounters counters_;
+  ScopedVipTreeCounterSink counter_sink_;
   double start_seconds_;
   bool finished_ = false;
 };

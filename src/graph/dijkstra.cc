@@ -1,55 +1,60 @@
 #include "src/graph/dijkstra.h"
 
 #include <algorithm>
-#include <queue>
+#include <utility>
 
 #include "src/common/logging.h"
 
 namespace ifls {
 namespace {
 
-struct QueueEntry {
-  double dist;
-  DoorId door;
-  bool operator>(const QueueEntry& other) const { return dist > other.dist; }
-};
+/// Min-heap order by distance only (matches the former priority_queue's
+/// comparator, so equal-distance pops settle in the same order and the
+/// reported first hops / predecessors are bit-identical).
+bool HeapGreater(const DijkstraHeapEntry& a, const DijkstraHeapEntry& b) {
+  return a.dist > b.dist;
+}
 
-ShortestPaths RunDijkstra(const DoorGraph& graph, DoorId source,
-                          const std::vector<DoorId>* targets) {
+/// The core run, writing into the workspace. std::push_heap/pop_heap over
+/// the workspace's vector is exactly what std::priority_queue does
+/// internally, minus the per-run container allocation.
+void RunDijkstra(const DoorGraph& graph, DoorId source,
+                 const std::vector<DoorId>* targets,
+                 DijkstraWorkspace* ws) {
   const std::size_t n = graph.num_doors();
   IFLS_CHECK(source >= 0 && static_cast<std::size_t>(source) < n);
 
-  ShortestPaths out;
+  ShortestPaths& out = ws->paths;
   out.distance.assign(n, kInfDistance);
   out.first_hop.assign(n, kInvalidDoor);
   out.predecessor.assign(n, kInvalidDoor);
 
-  std::vector<char> settled(n, 0);
+  ws->settled.assign(n, 0);
+  std::vector<char>& settled = ws->settled;
   std::size_t remaining_targets = 0;
-  std::vector<char> is_target;
   if (targets != nullptr) {
-    is_target.assign(n, 0);
+    ws->is_target.assign(n, 0);
     for (DoorId t : *targets) {
-      if (!is_target[static_cast<std::size_t>(t)]) {
-        is_target[static_cast<std::size_t>(t)] = 1;
+      if (!ws->is_target[static_cast<std::size_t>(t)]) {
+        ws->is_target[static_cast<std::size_t>(t)] = 1;
         ++remaining_targets;
       }
     }
   }
 
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                      std::greater<QueueEntry>>
-      queue;
+  std::vector<DijkstraHeapEntry>& queue = ws->heap;
+  queue.clear();
   out.distance[static_cast<std::size_t>(source)] = 0.0;
-  queue.push({0.0, source});
+  queue.push_back({0.0, source});
 
   while (!queue.empty()) {
-    const QueueEntry top = queue.top();
-    queue.pop();
+    const DijkstraHeapEntry top = queue.front();
+    std::pop_heap(queue.begin(), queue.end(), HeapGreater);
+    queue.pop_back();
     const std::size_t u = static_cast<std::size_t>(top.door);
     if (settled[u]) continue;
     settled[u] = 1;
-    if (targets != nullptr && is_target[u]) {
+    if (targets != nullptr && ws->is_target[u]) {
       if (--remaining_targets == 0) break;
     }
     for (const DoorGraph::Edge* e = graph.EdgesBegin(top.door);
@@ -61,23 +66,41 @@ ShortestPaths RunDijkstra(const DoorGraph& graph, DoorId source,
         out.predecessor[v] = top.door;
         out.first_hop[v] =
             top.door == source ? e->to : out.first_hop[u];
-        queue.push({cand, e->to});
+        queue.push_back({cand, e->to});
+        std::push_heap(queue.begin(), queue.end(), HeapGreater);
       }
     }
   }
-  return out;
 }
 
 }  // namespace
 
 ShortestPaths SingleSourceShortestPaths(const DoorGraph& graph,
                                         DoorId source) {
-  return RunDijkstra(graph, source, nullptr);
+  DijkstraWorkspace ws;
+  RunDijkstra(graph, source, nullptr, &ws);
+  return std::move(ws.paths);
 }
 
 ShortestPaths ShortestPathsToTargets(const DoorGraph& graph, DoorId source,
                                      const std::vector<DoorId>& targets) {
-  return RunDijkstra(graph, source, &targets);
+  DijkstraWorkspace ws;
+  RunDijkstra(graph, source, &targets, &ws);
+  return std::move(ws.paths);
+}
+
+const ShortestPaths& SingleSourceShortestPaths(const DoorGraph& graph,
+                                               DoorId source,
+                                               DijkstraWorkspace* workspace) {
+  RunDijkstra(graph, source, nullptr, workspace);
+  return workspace->paths;
+}
+
+const ShortestPaths& ShortestPathsToTargets(
+    const DoorGraph& graph, DoorId source,
+    const std::vector<DoorId>& targets, DijkstraWorkspace* workspace) {
+  RunDijkstra(graph, source, &targets, workspace);
+  return workspace->paths;
 }
 
 std::vector<DoorId> ReconstructPath(const ShortestPaths& paths, DoorId source,

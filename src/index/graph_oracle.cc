@@ -5,19 +5,21 @@
 namespace ifls {
 
 GraphDistanceOracle::GraphDistanceOracle(const Venue* venue)
-    : venue_(venue), graph_(*venue) {
+    : venue_(venue), graph_(*venue), cache_(venue->num_doors()) {
   IFLS_CHECK(venue != nullptr);
-  cache_.resize(venue->num_doors());
 }
 
 const ShortestPaths& GraphDistanceOracle::PathsFrom(DoorId source) const {
-  auto& slot = cache_[static_cast<std::size_t>(source)];
-  if (slot == nullptr) {
-    slot = std::make_unique<ShortestPaths>(
-        SingleSourceShortestPaths(graph_, source));
-    ++num_runs_;
-  }
-  return *slot;
+  CacheSlot& slot = cache_[static_cast<std::size_t>(source)];
+  std::call_once(slot.once, [&] {
+    WorkspacePool<DijkstraWorkspace>::Lease ws = workspaces_.Acquire();
+    // Copy out of the workspace: the slot needs exact-size persistent
+    // storage while the workspace's buffers go back to the pool.
+    slot.paths = std::make_unique<ShortestPaths>(
+        SingleSourceShortestPaths(graph_, source, ws.get()));
+    num_runs_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return *slot.paths;
 }
 
 double GraphDistanceOracle::DoorToDoor(DoorId a, DoorId b) const {

@@ -1,9 +1,12 @@
 #ifndef IFLS_INDEX_GRAPH_ORACLE_H_
 #define IFLS_INDEX_GRAPH_ORACLE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "src/common/workspace_pool.h"
 #include "src/graph/dijkstra.h"
 #include "src/graph/door_graph.h"
 #include "src/indoor/venue.h"
@@ -14,9 +17,18 @@ namespace ifls {
 /// lazily memoized single-source Dijkstra runs (one per queried source
 /// door). Serves two roles: ground truth the VIP-tree is tested against, and
 /// the "no index" comparator in the micro benchmarks.
+///
+/// Thread-safe: concurrent queries may share one oracle. Each source door's
+/// Dijkstra run is computed exactly once (std::call_once per cache slot);
+/// runs for distinct sources proceed in parallel, each on a pooled
+/// workspace. Memoized slots are immutable after publication, so the read
+/// path is lock-free.
 class GraphDistanceOracle {
  public:
   explicit GraphDistanceOracle(const Venue* venue);
+
+  GraphDistanceOracle(const GraphDistanceOracle&) = delete;
+  GraphDistanceOracle& operator=(const GraphDistanceOracle&) = delete;
 
   const Venue& venue() const { return *venue_; }
 
@@ -36,15 +48,25 @@ class GraphDistanceOracle {
   double PartitionToPartition(PartitionId p, PartitionId q) const;
 
   /// Number of Dijkstra runs performed so far (memoization hit rate probe).
-  std::size_t num_sssp_runs() const { return num_runs_; }
+  std::size_t num_sssp_runs() const {
+    return num_runs_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// One memoized source door. `once` guarantees a single compute even
+  /// under a concurrent stampede; `paths` is written exactly once.
+  struct CacheSlot {
+    std::once_flag once;
+    std::unique_ptr<ShortestPaths> paths;
+  };
+
   const ShortestPaths& PathsFrom(DoorId source) const;
 
   const Venue* venue_;
   DoorGraph graph_;
-  mutable std::vector<std::unique_ptr<ShortestPaths>> cache_;
-  mutable std::size_t num_runs_ = 0;
+  mutable std::vector<CacheSlot> cache_;  // fixed size, slots never move
+  mutable WorkspacePool<DijkstraWorkspace> workspaces_;
+  mutable std::atomic<std::size_t> num_runs_{0};
 };
 
 }  // namespace ifls

@@ -33,7 +33,7 @@ void VipTree::DistancesToAncestorAccessDoors(DoorId a, NodeId leaf,
     for (std::int32_t col : leaf_node.access_door_idx) {
       out->push_back(leaf_node.matrix.At(row, col));
     }
-    counters_.matrix_lookups += leaf_node.access_door_idx.size();
+    BumpMatrixLookups(leaf_node.access_door_idx.size());
     return;
   }
   if (options_.build_leaf_to_ancestor) {
@@ -48,8 +48,8 @@ void VipTree::DistancesToAncestorAccessDoors(DoorId a, NodeId leaf,
     out->reserve(m.num_cols());
     for (std::size_t c = 0; c < m.num_cols(); ++c) {
       out->push_back(m.At(row, static_cast<int>(c)));
-      ++counters_.matrix_lookups;
     }
+    BumpMatrixLookups(m.num_cols());
     return;
   }
   // IP mode: compose along the node chain leaf -> ... -> ancestor. At each
@@ -75,7 +75,7 @@ void VipTree::DistancesToAncestorAccessDoors(DoorId a, NodeId leaf,
         if (cand < next[j]) next[j] = cand;
       }
     }
-    counters_.matrix_lookups += rows.size() * cols.size();
+    BumpMatrixLookups(rows.size() * cols.size());
     dist = std::move(next);
     cur = parent_id;
   }
@@ -88,13 +88,13 @@ double VipTree::DoorToDoor(DoorId a, DoorId b) const {
       (static_cast<std::uint64_t>(std::min(a, b)) << 32) |
       static_cast<std::uint32_t>(std::max(a, b));
   if (options_.enable_door_distance_cache) {
-    const auto it = door_cache_.find(cache_key);
-    if (it != door_cache_.end()) {
-      ++counters_.cache_hits;
-      return it->second;
+    double cached = 0.0;
+    if (CachedDoorDistance(cache_key, &cached)) {
+      BumpCacheHits();
+      return cached;
     }
   }
-  ++counters_.door_distance_evals;
+  BumpDoorDistanceEvals();
   const Door& door_a = venue_->door(a);
 
   // Fast path: both doors incident to one leaf -> direct matrix lookup.
@@ -106,10 +106,10 @@ double VipTree::DoorToDoor(DoorId a, DoorId b) const {
     const int row = leaf.matrix.RowIndex(a);
     const int col = leaf.matrix.ColIndex(b);
     if (row >= 0 && col >= 0) {
-      ++counters_.matrix_lookups;
+      BumpMatrixLookups(1);
       const double result = leaf.matrix.At(row, col);
       if (options_.enable_door_distance_cache) {
-        door_cache_.emplace(cache_key, result);
+        StoreDoorDistance(cache_key, result);
       }
       return result;
     }
@@ -133,8 +133,13 @@ double VipTree::DoorToDoor(DoorId a, DoorId b) const {
   IFLS_DCHECK(ca != cb);
   const VipNode& lca = node(node(ca).parent);
 
-  std::vector<double> dist_a;
-  std::vector<double> dist_b;
+  // Per-thread reusable composition buffers: DoorToDoor sits on the hot
+  // path of every solver, and thread-locality both removes the per-call
+  // allocations and keeps concurrent readers from sharing scratch.
+  // DoorToDoor never re-enters itself, so one scratch pair per thread
+  // suffices.
+  static thread_local std::vector<double> dist_a;
+  static thread_local std::vector<double> dist_b;
   DistancesToAncestorAccessDoors(a, la, ca, &dist_a);
   DistancesToAncestorAccessDoors(b, lb, cb, &dist_b);
 
@@ -155,9 +160,9 @@ double VipTree::DoorToDoor(DoorId a, DoorId b) const {
       if (cand < best) best = cand;
     }
   }
-  counters_.matrix_lookups += rows.size() * cols.size();
+  BumpMatrixLookups(rows.size() * cols.size());
   if (options_.enable_door_distance_cache) {
-    door_cache_.emplace(cache_key, best);
+    StoreDoorDistance(cache_key, best);
   }
   return best;
 }

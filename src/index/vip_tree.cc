@@ -4,12 +4,17 @@
 #include <numeric>
 #include <queue>
 #include <sstream>
+#include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/thread_pool.h"
+#include "src/common/workspace_pool.h"
 #include "src/graph/door_graph.h"
 
 namespace ifls {
 namespace {
+
+thread_local VipTreeCounters* g_counter_sink = nullptr;
 
 /// Sorted, deduplicated copy.
 std::vector<DoorId> SortedUnique(std::vector<DoorId> v) {
@@ -101,6 +106,128 @@ std::vector<int> ChunkBySpatialOrder(std::vector<SpatialItem> items,
 }
 
 }  // namespace
+
+ScopedVipTreeCounterSink::ScopedVipTreeCounterSink(VipTreeCounters* sink)
+    : previous_(g_counter_sink) {
+  g_counter_sink = sink;
+}
+
+ScopedVipTreeCounterSink::~ScopedVipTreeCounterSink() {
+  g_counter_sink = previous_;
+}
+
+VipTreeCounters* ScopedVipTreeCounterSink::Active() { return g_counter_sink; }
+
+VipTree::VipTree(VipTree&& other) noexcept
+    : venue_(other.venue_),
+      options_(other.options_),
+      nodes_(std::move(other.nodes_)),
+      leaf_of_partition_(std::move(other.leaf_of_partition_)),
+      root_(other.root_),
+      num_leaves_(other.num_leaves_),
+      height_(other.height_),
+      door_cache_(std::move(other.door_cache_)) {
+  shared_counters_.door_distance_evals.store(
+      other.shared_counters_.door_distance_evals.load(
+          std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  shared_counters_.matrix_lookups.store(
+      other.shared_counters_.matrix_lookups.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  shared_counters_.cache_hits.store(
+      other.shared_counters_.cache_hits.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  other.venue_ = nullptr;
+}
+
+VipTree& VipTree::operator=(VipTree&& other) noexcept {
+  if (this == &other) return *this;
+  VipTree tmp(std::move(other));
+  // Steal tmp's state member by member; no self-aliasing remains.
+  venue_ = tmp.venue_;
+  options_ = tmp.options_;
+  nodes_ = std::move(tmp.nodes_);
+  leaf_of_partition_ = std::move(tmp.leaf_of_partition_);
+  root_ = tmp.root_;
+  num_leaves_ = tmp.num_leaves_;
+  height_ = tmp.height_;
+  door_cache_ = std::move(tmp.door_cache_);
+  shared_counters_.door_distance_evals.store(
+      tmp.shared_counters_.door_distance_evals.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  shared_counters_.matrix_lookups.store(
+      tmp.shared_counters_.matrix_lookups.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  shared_counters_.cache_hits.store(
+      tmp.shared_counters_.cache_hits.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  return *this;
+}
+
+void VipTree::BumpDoorDistanceEvals() const {
+  if (g_counter_sink != nullptr) {
+    ++g_counter_sink->door_distance_evals;
+  } else {
+    shared_counters_.door_distance_evals.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  }
+}
+
+void VipTree::BumpMatrixLookups(std::uint64_t n) const {
+  if (g_counter_sink != nullptr) {
+    g_counter_sink->matrix_lookups += n;
+  } else {
+    shared_counters_.matrix_lookups.fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+void VipTree::BumpCacheHits() const {
+  if (g_counter_sink != nullptr) {
+    ++g_counter_sink->cache_hits;
+  } else {
+    shared_counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+VipTreeCounters VipTree::counters() const {
+  VipTreeCounters out;
+  out.door_distance_evals =
+      shared_counters_.door_distance_evals.load(std::memory_order_relaxed);
+  out.matrix_lookups =
+      shared_counters_.matrix_lookups.load(std::memory_order_relaxed);
+  out.cache_hits =
+      shared_counters_.cache_hits.load(std::memory_order_relaxed);
+  return out;
+}
+
+void VipTree::ResetCounters() const {
+  shared_counters_.door_distance_evals.store(0, std::memory_order_relaxed);
+  shared_counters_.matrix_lookups.store(0, std::memory_order_relaxed);
+  shared_counters_.cache_hits.store(0, std::memory_order_relaxed);
+}
+
+bool VipTree::CachedDoorDistance(std::uint64_t key, double* out) const {
+  std::lock_guard<std::mutex> lock(door_cache_->mu);
+  const auto it = door_cache_->map.find(key);
+  if (it == door_cache_->map.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void VipTree::StoreDoorDistance(std::uint64_t key, double value) const {
+  std::lock_guard<std::mutex> lock(door_cache_->mu);
+  door_cache_->map.emplace(key, value);
+}
+
+void VipTree::ClearDistanceCache() const {
+  std::lock_guard<std::mutex> lock(door_cache_->mu);
+  door_cache_->map.clear();
+}
+
+std::size_t VipTree::distance_cache_size() const {
+  std::lock_guard<std::mutex> lock(door_cache_->mu);
+  return door_cache_->map.size();
+}
 
 Result<VipTree> VipTree::Build(const Venue* venue, VipTreeOptions options) {
   if (venue == nullptr) {
@@ -282,9 +409,20 @@ Result<VipTree> VipTree::Build(const Venue* venue, VipTreeOptions options) {
       }
     }
   }
-  for (std::size_t d = 0; d < venue->num_doors(); ++d) {
+  // Door d's Dijkstra run fills exactly the matrix rows indexed by door d,
+  // so distinct doors write disjoint memory and the sweep parallelizes
+  // without synchronization; the built index is bit-identical for any
+  // thread count. Each worker leases a reusable Dijkstra workspace so the
+  // sweep is allocation-free after warmup.
+  const int build_threads = options.build_threads <= 0
+                                ? ThreadPool::DefaultThreads()
+                                : options.build_threads;
+  WorkspacePool<DijkstraWorkspace> workspaces;
+  const auto fill_rows_for_door = [&](std::size_t d) {
     const DoorId door = static_cast<DoorId>(d);
-    const ShortestPaths paths = SingleSourceShortestPaths(graph, door);
+    WorkspacePool<DijkstraWorkspace>::Lease ws = workspaces.Acquire();
+    const ShortestPaths& paths =
+        SingleSourceShortestPaths(graph, door, ws.get());
     for (NodeId nid : matrix_rows[d]) {
       VipNode& n = tree.nodes_[static_cast<std::size_t>(nid)];
       n.matrix.FillRowFromShortestPaths(door, paths);
@@ -293,6 +431,14 @@ Result<VipTree> VipTree::Build(const Venue* venue, VipTreeOptions options) {
           if (!anc.empty()) anc.FillRowFromShortestPaths(door, paths);
         }
       }
+    }
+  };
+  if (build_threads > 1 && venue->num_doors() > 1) {
+    ThreadPool pool(build_threads);
+    pool.ParallelFor(venue->num_doors(), fill_rows_for_door);
+  } else {
+    for (std::size_t d = 0; d < venue->num_doors(); ++d) {
+      fill_rows_for_door(d);
     }
   }
 
@@ -469,7 +615,7 @@ std::size_t VipTree::MemoryFootprintBytes() const {
   total += leaf_of_partition_.capacity() * sizeof(NodeId);
   // Memoized door distances (conceptually part of the index; grows with
   // query traffic up to doors^2 entries).
-  total += door_cache_.size() *
+  total += distance_cache_size() *
            (sizeof(std::uint64_t) + sizeof(double) + 2 * sizeof(void*));
   return total;
 }

@@ -1,8 +1,11 @@
 #ifndef IFLS_INDEX_VIP_TREE_H_
 #define IFLS_INDEX_VIP_TREE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -33,6 +36,11 @@ struct VipTreeOptions {
   /// one-door partition reuse the partition-level distance plus their local
   /// leg. Toggleable for the ablation benchmark.
   bool single_door_optimization = true;
+  /// Worker threads for the matrix-building Dijkstra sweep (one global run
+  /// per door; each door writes its own disjoint matrix rows, so the built
+  /// index is bit-identical for any thread count). <= 0 uses all hardware
+  /// threads; 1 keeps the build single-threaded.
+  int build_threads = 0;
   /// Memoize DoorToDoor results in a hash table owned by the index (the
   /// door-graph distances are static, so the cache is conceptually part of
   /// the materialized index, like Yang et al.'s door-to-door hash table).
@@ -80,12 +88,37 @@ struct VipNode {
   bool is_leaf() const { return children.empty(); }
 };
 
-/// Counters the tree updates on its own query paths; algorithms snapshot
-/// them around calls to attribute index work per query.
+/// Counters the tree updates on its own query paths; algorithms attribute
+/// index work per query by installing a ScopedVipTreeCounterSink.
 struct VipTreeCounters {
   std::uint64_t door_distance_evals = 0;  // DoorToDoor compositions
   std::uint64_t matrix_lookups = 0;       // individual matrix cell reads
   std::uint64_t cache_hits = 0;           // memoized DoorToDoor answers
+};
+
+/// Routes the calling thread's VipTree counter updates (for every tree) into
+/// `sink` for the scope's lifetime; restores the previous sink on
+/// destruction. Scopes nest, mirroring ScopedMemoryTracking.
+///
+/// This is the concurrency story for the counters: a thread with a sink
+/// installed never touches the tree-wide aggregate, so parallel queries get
+/// contention-free, exactly-attributed per-query counts. Threads without a
+/// sink fall back to the tree's atomic aggregate, which is race-free but
+/// shared.
+class ScopedVipTreeCounterSink {
+ public:
+  explicit ScopedVipTreeCounterSink(VipTreeCounters* sink);
+  ~ScopedVipTreeCounterSink();
+
+  ScopedVipTreeCounterSink(const ScopedVipTreeCounterSink&) = delete;
+  ScopedVipTreeCounterSink& operator=(const ScopedVipTreeCounterSink&) =
+      delete;
+
+  /// The calling thread's active sink; null when none is installed.
+  static VipTreeCounters* Active();
+
+ private:
+  VipTreeCounters* previous_;
 };
 
 /// The VIP-tree (Shao et al., PVLDB'16): a bottom-up hierarchical
@@ -95,13 +128,18 @@ struct VipTreeCounters {
 /// IP-tree. Matrices are built with *global* Dijkstra runs so every distance
 /// the tree returns is exactly the door-graph shortest distance (see
 /// DESIGN.md §3.2).
+/// Thread-safety: after Build/Load, every distance/structure accessor is a
+/// read-only path safe to call from any number of threads concurrently —
+/// counters go to per-thread sinks or the atomic aggregate, and the door
+/// memo (when enabled) is guarded by its own mutex. Only Save/Load/Build and
+/// moves require external exclusivity.
 class VipTree {
  public:
   /// Builds the index over `venue`. The venue must outlive the tree.
   static Result<VipTree> Build(const Venue* venue, VipTreeOptions options = {});
 
-  VipTree(VipTree&&) = default;
-  VipTree& operator=(VipTree&&) = default;
+  VipTree(VipTree&& other) noexcept;
+  VipTree& operator=(VipTree&& other) noexcept;
   VipTree(const VipTree&) = delete;
   VipTree& operator=(const VipTree&) = delete;
 
@@ -180,13 +218,16 @@ class VipTree {
 
   // ---- Introspection ---------------------------------------------------
 
-  const VipTreeCounters& counters() const { return counters_; }
-  void ResetCounters() const { counters_ = VipTreeCounters{}; }
+  /// Snapshot of the tree-wide aggregate counters. Work done by threads
+  /// with a ScopedVipTreeCounterSink installed lands in their sinks, not
+  /// here.
+  VipTreeCounters counters() const;
+  void ResetCounters() const;
 
   /// Drops all memoized door distances (only meaningful when the cache is
   /// enabled). Call between runs that must not share warm state.
-  void ClearDistanceCache() const { door_cache_.clear(); }
-  std::size_t distance_cache_size() const { return door_cache_.size(); }
+  void ClearDistanceCache() const;
+  std::size_t distance_cache_size() const;
 
   /// Total bytes held by matrices and structure vectors.
   std::size_t MemoryFootprintBytes() const;
@@ -206,6 +247,32 @@ class VipTree {
   void DistancesToAncestorAccessDoors(DoorId a, NodeId leaf, NodeId ancestor,
                                       std::vector<double>* out) const;
 
+  /// Tree-wide counter aggregate, taken only by threads without an
+  /// installed sink. Relaxed atomics: the values are metrics, not
+  /// synchronization.
+  struct AtomicCounters {
+    std::atomic<std::uint64_t> door_distance_evals{0};
+    std::atomic<std::uint64_t> matrix_lookups{0};
+    std::atomic<std::uint64_t> cache_hits{0};
+  };
+
+  /// Memoized DoorToDoor answers, keyed (min_door << 32) | max_door. Mutex
+  /// and map live behind one pointer so the tree stays movable.
+  struct DoorCache {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, double> map;
+  };
+
+  // Counter update helpers: thread sink when installed, atomic aggregate
+  // otherwise (vip_distance.cc hot paths).
+  void BumpDoorDistanceEvals() const;
+  void BumpMatrixLookups(std::uint64_t n) const;
+  void BumpCacheHits() const;
+
+  /// Memo lookup/insert used by DoorToDoor when the cache is enabled.
+  bool CachedDoorDistance(std::uint64_t key, double* out) const;
+  void StoreDoorDistance(std::uint64_t key, double value) const;
+
   const Venue* venue_ = nullptr;
   VipTreeOptions options_;
   std::vector<VipNode> nodes_;
@@ -213,9 +280,9 @@ class VipTree {
   NodeId root_ = kInvalidNode;
   std::size_t num_leaves_ = 0;
   int height_ = 0;
-  mutable VipTreeCounters counters_;
-  /// Memoized DoorToDoor answers, keyed (min_door << 32) | max_door.
-  mutable std::unordered_map<std::uint64_t, double> door_cache_;
+  mutable AtomicCounters shared_counters_;
+  mutable std::unique_ptr<DoorCache> door_cache_ =
+      std::make_unique<DoorCache>();
 };
 
 }  // namespace ifls

@@ -1,0 +1,188 @@
+// Concurrency primitives behind the batch engine: the fixed thread pool,
+// the workspace free-list, and the now-atomic MemoryTracker. The hammer
+// tests here are the ones a ThreadSanitizer build (-DIFLS_SANITIZE=thread)
+// is expected to run clean.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/common/memory_tracker.h"
+#include "src/common/thread_pool.h"
+#include "src/common/workspace_pool.h"
+
+namespace ifls {
+namespace {
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+}
+
+TEST(ThreadPoolTest, ReportsRequestedThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  ThreadPool inline_pool(0);
+  EXPECT_EQ(inline_pool.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Wait();
+    EXPECT_EQ(ran.load(), 20 * (round + 1));
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEachIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kN = 5000;
+    std::vector<std::atomic<int>> visits(kN);
+    pool.ParallelFor(kN, [&visits](std::size_t i) {
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(visits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> one{0};
+  pool.ParallelFor(1, [&one](std::size_t) { one.fetch_add(1); });
+  EXPECT_EQ(one.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // ~ThreadPool must not drop queued tasks
+  EXPECT_EQ(ran.load(), 50);
+}
+
+struct Scratch {
+  std::vector<double> buffer;
+};
+
+TEST(WorkspacePoolTest, LeaseRecyclesObjects) {
+  WorkspacePool<Scratch> pool;
+  Scratch* first = nullptr;
+  {
+    auto lease = pool.Acquire();
+    first = lease.get();
+    lease->buffer.resize(128, 1.0);
+  }
+  EXPECT_EQ(pool.idle_count(), 1u);
+  {
+    auto lease = pool.Acquire();
+    EXPECT_EQ(lease.get(), first);          // recycled, not re-made
+    EXPECT_EQ(lease->buffer.size(), 128u);  // state survives for reuse
+  }
+  EXPECT_EQ(pool.total_created(), 1u);
+}
+
+TEST(WorkspacePoolTest, ConcurrentLeasesNeverShareAnObject) {
+  WorkspacePool<Scratch> pool;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  std::atomic<bool> overlap{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &overlap] {
+      for (int i = 0; i < kIters; ++i) {
+        auto lease = pool.Acquire();
+        // Tag the workspace; any interleaved writer would corrupt the tag.
+        lease->buffer.assign(16, static_cast<double>(i));
+        for (double v : lease->buffer) {
+          if (v != static_cast<double>(i)) overlap.store(true);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(overlap.load());
+  EXPECT_LE(pool.total_created(), static_cast<std::size_t>(kThreads));
+  EXPECT_EQ(pool.idle_count(), pool.total_created());
+}
+
+TEST(MemoryTrackerConcurrencyTest, EightThreadHammerBalancesToZero) {
+  MemoryTracker tracker;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  constexpr std::int64_t kBytes = 64;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracker] {
+      for (int i = 0; i < kIters; ++i) {
+        tracker.Charge(kBytes);
+        tracker.Charge(3 * kBytes);
+        tracker.Release(kBytes);
+        tracker.Release(3 * kBytes);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Every charge was matched by a release: the total must balance to zero
+  // no matter how the 8 threads interleaved.
+  EXPECT_EQ(tracker.current_bytes(), 0);
+  // At least one thread held its 4*kBytes peak; never more than all of them.
+  EXPECT_GE(tracker.peak_bytes(), 4 * kBytes);
+  EXPECT_LE(tracker.peak_bytes(), kThreads * 4 * kBytes);
+}
+
+TEST(MemoryTrackerConcurrencyTest, ThreadLocalScopesStayIndependent) {
+  // Each thread installs its own tracker; the thread-local active-tracker
+  // pointer must keep attributions separate even though allocations race.
+  constexpr int kThreads = 8;
+  std::vector<std::int64_t> peaks(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &peaks] {
+      MemoryTracker local;
+      ScopedMemoryTracking scope(&local);
+      {
+        std::vector<double, TrackingAllocator<double>> v;
+        v.resize(static_cast<std::size_t>(t + 1) * 1000);
+      }
+      EXPECT_EQ(local.current_bytes(), 0);
+      peaks[t] = local.peak_bytes();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    const auto expected =
+        static_cast<std::int64_t>((t + 1) * 1000 * sizeof(double));
+    EXPECT_GE(peaks[t], expected) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace ifls
