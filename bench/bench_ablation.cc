@@ -68,7 +68,7 @@ int main() {
     for (int r = 0; r < scale.repeats; ++r) {
       Rng rng(1 + static_cast<std::uint64_t>(r));
       IflsContext ctx;
-      ctx.tree = &tree;
+      ctx.oracle = &tree;
       Result<FacilitySets> sets = MakeFacilities(venue, spec, &rng);
       if (!sets.ok()) {
         std::fprintf(stderr, "%s\n", sets.status().ToString().c_str());
@@ -116,7 +116,7 @@ int main() {
       memo_tree.ClearDistanceCache();  // cold per query, like the others
       Rng rng(1 + static_cast<std::uint64_t>(r));
       IflsContext ctx;
-      ctx.tree = &memo_tree;
+      ctx.oracle = &memo_tree;
       Result<FacilitySets> sets = MakeFacilities(venue, spec, &rng);
       if (!sets.ok()) return 1;
       ctx.existing = sets->existing;
@@ -146,7 +146,7 @@ int main() {
     for (int r = 0; r < scale.repeats; ++r) {
       Rng rng(1 + static_cast<std::uint64_t>(r));
       IflsContext ctx;
-      ctx.tree = &tree;
+      ctx.oracle = &tree;
       Result<FacilitySets> sets = MakeFacilities(venue, spec, &rng);
       if (!sets.ok()) return 1;
       ctx.existing = sets->existing;

@@ -24,7 +24,7 @@ ifls::SolverAggregate Measure(const ifls::Venue& venue,
   for (int r = 0; r < repeats; ++r) {
     Rng rng(1 + static_cast<std::uint64_t>(r));
     IflsContext ctx;
-    ctx.tree = &tree;
+    ctx.oracle = &tree;
     Result<FacilitySets> sets = MakeFacilities(venue, spec, &rng);
     IFLS_CHECK(sets.ok()) << sets.status().ToString();
     ctx.existing = sets->existing;

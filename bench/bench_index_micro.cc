@@ -2,13 +2,29 @@
 // oracles behind every IFLS query. Compares VIP-tree lookups, IP-tree chain
 // composition and raw door-graph Dijkstra (via the memoised oracle, cold
 // and warm), plus NN search and index construction per venue.
+//
+// Beyond the google-benchmark suite, the binary has a custom main() that
+// measures the flat arena layout directly — bytes/node, arena utilization,
+// build time/peak memory, and matrix-lookup latency against a heap-allocated
+// per-node "pointer mirror" reproducing the pre-arena layout — and writes
+// BENCH_index_layout.json so later PRs have a perf trajectory to compare
+// against. Run with --benchmark_filter=NONE to emit only the report.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <limits>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "src/common/memory_tracker.h"
 #include "src/common/rng.h"
+#include "src/common/stopwatch.h"
 #include "src/graph/accessibility_model.h"
 #include "src/datasets/client_generator.h"
 #include "src/datasets/facility_selector.h"
@@ -16,6 +32,7 @@
 #include "src/datasets/workload.h"
 #include "src/graph/dijkstra.h"
 #include "src/graph/door_graph.h"
+#include "src/index/door_matrix.h"
 #include "src/index/graph_oracle.h"
 #include "src/index/nn_search.h"
 #include "src/index/vip_tree.h"
@@ -62,6 +79,92 @@ MicroEnv& Env(int preset_index) {
   }
   return *envs[preset_index];
 }
+
+// ------------------------------------------------------ flat vs pointer
+
+/// Heap-allocated copy of one node's matrices: each DoorMatrix owns its own
+/// id and payload vectors, reproducing the pre-arena layout where a
+/// traversal chased one allocation per matrix.
+struct PointerMirrorNode {
+  std::unique_ptr<DoorMatrix> matrix;
+  std::vector<std::unique_ptr<DoorMatrix>> ancestors;
+};
+
+std::unique_ptr<DoorMatrix> CopyMatrix(const DoorMatrixView& view) {
+  auto copy = std::make_unique<DoorMatrix>(
+      std::vector<DoorId>(view.rows().begin(), view.rows().end()),
+      std::vector<DoorId>(view.cols().begin(), view.cols().end()),
+      view.has_first_hop());
+  for (std::size_t r = 0; r < view.num_rows(); ++r) {
+    for (std::size_t c = 0; c < view.num_cols(); ++c) {
+      copy->Set(static_cast<int>(r), static_cast<int>(c),
+                view.At(static_cast<int>(r), static_cast<int>(c)),
+                view.FirstHopAt(static_cast<int>(r), static_cast<int>(c)));
+    }
+  }
+  return copy;
+}
+
+/// Identical random cell-access sequence replayed against both layouts:
+/// parallel arrays of flat views and mirrored heap matrices, plus a probe
+/// list (matrix, row, col) covering main and ancestor matrices alike.
+struct LookupWorkload {
+  std::vector<PointerMirrorNode> mirror_nodes;  // owns the heap copies
+  std::vector<DoorMatrixView> flat;
+  std::vector<const DoorMatrix*> mirror;
+  struct Probe {
+    std::uint32_t matrix;
+    std::int32_t row;
+    std::int32_t col;
+  };
+  std::vector<Probe> probes;
+};
+
+LookupWorkload BuildLookupWorkload(const VipTree& tree,
+                                   std::size_t num_probes) {
+  LookupWorkload w;
+  w.mirror_nodes.resize(tree.num_nodes());
+  for (NodeId id = 0; id < static_cast<NodeId>(tree.num_nodes()); ++id) {
+    const VipNode& node = tree.node(id);
+    PointerMirrorNode& mirror = w.mirror_nodes[static_cast<std::size_t>(id)];
+    if (!node.matrix.empty()) {
+      mirror.matrix = CopyMatrix(node.matrix);
+      w.flat.push_back(node.matrix);
+      w.mirror.push_back(mirror.matrix.get());
+    }
+    for (const DoorMatrixView& anc : node.ancestor_matrices) {
+      if (anc.empty()) continue;
+      mirror.ancestors.push_back(CopyMatrix(anc));
+      w.flat.push_back(anc);
+      w.mirror.push_back(mirror.ancestors.back().get());
+    }
+  }
+  IFLS_CHECK(!w.flat.empty());
+  Rng rng(2024);
+  w.probes.reserve(num_probes);
+  for (std::size_t i = 0; i < num_probes; ++i) {
+    const auto m =
+        static_cast<std::uint32_t>(rng.NextBounded(w.flat.size()));
+    const DoorMatrixView& view = w.flat[m];
+    w.probes.push_back({m,
+                        static_cast<std::int32_t>(
+                            rng.NextBounded(view.num_rows())),
+                        static_cast<std::int32_t>(
+                            rng.NextBounded(view.num_cols()))});
+  }
+  return w;
+}
+
+LookupWorkload& Workload(int preset_index) {
+  static LookupWorkload* workloads[4] = {nullptr, nullptr, nullptr, nullptr};
+  if (workloads[preset_index] == nullptr) {
+    workloads[preset_index] = new LookupWorkload(
+        BuildLookupWorkload(*Env(preset_index).vip, std::size_t{1} << 16));
+  }
+  return *workloads[preset_index];
+}
+
+// ------------------------------------------------------------ benchmarks
 
 void BM_VipTreePointToPartition(benchmark::State& state) {
   MicroEnv& env = Env(static_cast<int>(state.range(0)));
@@ -167,5 +270,198 @@ BENCHMARK(BM_VipTreeBuild)
     ->Name("IndexBuild/VIP-tree")
     ->Unit(benchmark::kMillisecond);
 
+void BM_MatrixLookupFlat(benchmark::State& state) {
+  LookupWorkload& w = Workload(static_cast<int>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const LookupWorkload::Probe& p = w.probes[i % w.probes.size()];
+    benchmark::DoNotOptimize(w.flat[p.matrix].At(p.row, p.col));
+    ++i;
+  }
+}
+BENCHMARK(BM_MatrixLookupFlat)->DenseRange(0, 3)->Name(
+    "MatrixLookup/flat-arena");
+
+void BM_MatrixLookupPointer(benchmark::State& state) {
+  LookupWorkload& w = Workload(static_cast<int>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const LookupWorkload::Probe& p = w.probes[i % w.probes.size()];
+    benchmark::DoNotOptimize(w.mirror[p.matrix]->At(p.row, p.col));
+    ++i;
+  }
+}
+BENCHMARK(BM_MatrixLookupPointer)->DenseRange(0, 3)->Name(
+    "MatrixLookup/pointer-mirror");
+
+// --------------------------------------------------------- layout report
+
+/// Sweeps the probe list `passes` times against one layout's matrices and
+/// returns ns/lookup; `reps` repetitions, best taken (steady-state figure).
+template <typename AtFn>
+double MeasureLookupNs(const LookupWorkload& w, int passes, int reps,
+                       AtFn&& at) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    double sum = 0.0;
+    Stopwatch watch;
+    for (int pass = 0; pass < passes; ++pass) {
+      for (const LookupWorkload::Probe& p : w.probes) {
+        sum += at(p);
+      }
+    }
+    const double seconds = watch.ElapsedSeconds();
+    benchmark::DoNotOptimize(sum);
+    best = std::min(best,
+                    seconds * 1e9 / (static_cast<double>(passes) *
+                                     static_cast<double>(w.probes.size())));
+  }
+  return best;
+}
+
+struct PresetLayoutReport {
+  std::string preset;
+  VipTreeLayoutStats stats;
+  std::size_t memory_footprint_bytes = 0;
+  double build_seconds = 0.0;
+  std::int64_t build_peak_bytes = 0;
+  double flat_lookup_ns = 0.0;
+  double pointer_lookup_ns = 0.0;
+  double point_to_partition_us = 0.0;
+};
+
+PresetLayoutReport MeasurePreset(int preset_index) {
+  MicroEnv& env = Env(preset_index);
+  PresetLayoutReport r;
+  r.preset = VenuePresetName(AllVenuePresets()[preset_index]);
+  r.stats = env.vip->LayoutStats();
+  r.memory_footprint_bytes = env.vip->MemoryFootprintBytes();
+
+  // Build cost, with the arena charges isolated to this scope's high water.
+  {
+    MemoryTracker tracker;
+    ScopedMemoryTracking tracking(&tracker);
+    MemoryTracker::ScopedPeak peak(&tracker);
+    Stopwatch watch;
+    Result<VipTree> rebuilt = VipTree::Build(&env.venue);
+    r.build_seconds = watch.ElapsedSeconds();
+    IFLS_CHECK(rebuilt.ok()) << rebuilt.status().ToString();
+    r.build_peak_bytes = peak.scope_peak_bytes();
+  }
+
+  // Same probe sequence against the arena views and the heap mirror.
+  const LookupWorkload& w = Workload(preset_index);
+  r.flat_lookup_ns = MeasureLookupNs(
+      w, /*passes=*/16, /*reps=*/3,
+      [&w](const LookupWorkload::Probe& p) {
+        return w.flat[p.matrix].At(p.row, p.col);
+      });
+  r.pointer_lookup_ns = MeasureLookupNs(
+      w, /*passes=*/16, /*reps=*/3,
+      [&w](const LookupWorkload::Probe& p) {
+        return w.mirror[p.matrix]->At(p.row, p.col);
+      });
+
+  // End-to-end distance query latency on the flat tree.
+  constexpr int kQueries = 4096;
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    double sum = 0.0;
+    Stopwatch watch;
+    for (int i = 0; i < kQueries; ++i) {
+      const Client& c = env.clients[static_cast<std::size_t>(i) %
+                                    env.clients.size()];
+      const PartitionId t = env.targets[static_cast<std::size_t>(i) %
+                                        env.targets.size()];
+      sum += env.vip->PointToPartition(c.position, c.partition, t);
+    }
+    const double seconds = watch.ElapsedSeconds();
+    benchmark::DoNotOptimize(sum);
+    best = std::min(best, seconds * 1e6 / kQueries);
+  }
+  r.point_to_partition_us = best;
+  return r;
+}
+
+void WriteLayoutReport(const std::string& path) {
+  std::vector<PresetLayoutReport> reports;
+  for (int i = 0; i < 4; ++i) {
+    std::cerr << "[layout] measuring preset "
+              << VenuePresetName(AllVenuePresets()[i]) << "...\n";
+    reports.push_back(MeasurePreset(i));
+  }
+
+  std::ofstream out(path);
+  IFLS_CHECK(out.good()) << "cannot open " << path;
+  out << "{\n  \"benchmark\": \"index_layout\",\n  \"presets\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const PresetLayoutReport& r = reports[i];
+    out << "    {\n"
+        << "      \"preset\": \"" << r.preset << "\",\n"
+        << "      \"num_nodes\": " << r.stats.num_nodes << ",\n"
+        << "      \"num_leaves\": " << r.stats.num_leaves << ",\n"
+        << "      \"bytes_per_node\": " << r.stats.bytes_per_node << ",\n"
+        << "      \"memory_footprint_bytes\": " << r.memory_footprint_bytes
+        << ",\n"
+        << "      \"arena_id_bytes\": " << r.stats.id_bytes << ",\n"
+        << "      \"arena_dist_bytes\": " << r.stats.dist_bytes << ",\n"
+        << "      \"arena_hop_bytes\": " << r.stats.hop_bytes << ",\n"
+        << "      \"arena_used_bytes\": " << r.stats.arena_used_bytes << ",\n"
+        << "      \"arena_capacity_bytes\": " << r.stats.arena_capacity_bytes
+        << ",\n"
+        << "      \"arena_utilization\": " << r.stats.arena_utilization
+        << ",\n"
+        << "      \"build_seconds\": " << r.build_seconds << ",\n"
+        << "      \"build_peak_bytes\": " << r.build_peak_bytes << ",\n"
+        << "      \"flat_lookup_ns\": " << r.flat_lookup_ns << ",\n"
+        << "      \"pointer_lookup_ns\": " << r.pointer_lookup_ns << ",\n"
+        << "      \"lookup_speedup\": "
+        << (r.flat_lookup_ns > 0.0 ? r.pointer_lookup_ns / r.flat_lookup_ns
+                                   : 0.0)
+        << ",\n"
+        << "      \"point_to_partition_us\": " << r.point_to_partition_us
+        << "\n    }" << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cerr << "[layout] wrote " << path << "\n";
+  for (const PresetLayoutReport& r : reports) {
+    if (r.flat_lookup_ns > r.pointer_lookup_ns) {
+      std::cerr << "[layout] WARNING: flat lookups slower than pointer "
+                   "mirror on preset "
+                << r.preset << " (" << r.flat_lookup_ns << "ns vs "
+                << r.pointer_lookup_ns << "ns)\n";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ifls
+
+int main(int argc, char** argv) {
+  // Our flags, stripped before google-benchmark sees argv:
+  //   --layout_report=PATH   where to write the JSON (default below)
+  //   --no_layout_report     run only the google benchmarks
+  std::string report_path = "BENCH_index_layout.json";
+  bool write_report = true;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--layout_report=", 16) == 0) {
+      report_path = argv[i] + 16;
+    } else if (std::strcmp(argv[i], "--no_layout_report") == 0) {
+      write_report = false;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  if (write_report) ifls::WriteLayoutReport(report_path);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -45,7 +45,7 @@ int main() {
   for (int r = 0; r < num_workloads; ++r) {
     Rng rng(1 + static_cast<std::uint64_t>(r));
     IflsContext ctx;
-    ctx.tree = &tree;
+    ctx.oracle = &tree;
     Result<FacilitySets> sets = MakeFacilities(venue, spec, &rng);
     if (!sets.ok()) {
       std::fprintf(stderr, "%s\n", sets.status().ToString().c_str());

@@ -59,7 +59,7 @@ int main() {
     crowd.distribution = ClientDistribution::kNormal;
     crowd.sigma = snap.sigma;
     IflsContext ctx;
-    ctx.tree = &tree.value();
+    ctx.oracle = &tree.value();
     ctx.existing = sets->existing;
     ctx.candidates = sets->candidates;
     ctx.clients = GenerateClients(*venue, snap.count, crowd, &rng);
@@ -84,7 +84,7 @@ int main() {
   // Head-to-head on the last snapshot.
   {
     IflsContext ctx;
-    ctx.tree = &tree.value();
+    ctx.oracle = &tree.value();
     ctx.existing = sets->existing;
     ctx.candidates = sets->candidates;
     ctx.clients = saved.clients;

@@ -55,7 +55,7 @@ int main() {
   beds.allow_corridors = false;  // beds live in rooms
 
   IflsContext ctx;
-  ctx.tree = &tree.value();
+  ctx.oracle = &tree.value();
   ctx.existing = sets->existing;
   ctx.candidates = sets->candidates;
   ctx.clients = GenerateClients(*venue, 400, beds, &rng);

@@ -50,7 +50,7 @@ int main() {
   Rng rng(7);
 
   IflsContext ctx;
-  ctx.tree = &tree.value();
+  ctx.oracle = &tree.value();
   ctx.existing = sets->existing;
   ctx.candidates = sets->candidates;
   ctx.clients = GenerateClients(*venue, 1500, crowd, &rng);

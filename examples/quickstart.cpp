@@ -60,7 +60,7 @@ int main() {
   // 3. Pose the query: clients at desks, one existing machine, three
   //    candidate rooms.
   IflsContext ctx;
-  ctx.tree = &tree.value();
+  ctx.oracle = &tree.value();
   ctx.existing = {kitchen};
   ctx.candidates = {room0, room2, room3};
   int next_id = 0;

@@ -64,7 +64,7 @@ PairedAggregate RunPaired(const Venue& venue, const VipTree& tree,
   for (int r = 0; r < repeats; ++r) {
     Rng rng(seed + static_cast<std::uint64_t>(r));
     IflsContext ctx;
-    ctx.tree = &tree;
+    ctx.oracle = &tree;
     Result<FacilitySets> facilities = MakeFacilities(venue, spec, &rng);
     IFLS_CHECK(facilities.ok()) << facilities.status().ToString();
     ctx.existing = facilities->existing;

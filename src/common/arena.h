@@ -1,0 +1,93 @@
+#ifndef IFLS_COMMON_ARENA_H_
+#define IFLS_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/memory_tracker.h"
+
+namespace ifls {
+
+/// Append-only contiguous buffer backing the flat index layouts. One arena
+/// holds the concatenated payload of many owners (e.g. every VIP-tree node's
+/// distance matrix) so a traversal touches one allocation instead of chasing
+/// per-node heap pointers. Owners address their slice by offset, or — because
+/// the protocol below guarantees pointer stability — by raw pointer/span.
+///
+/// Protocol: call Reserve() once with the exact total before any Append/
+/// Allocate. Appends past the reserved capacity are a programming error
+/// (IFLS_CHECK), never a silent reallocation, so spans handed out during the
+/// fill can never dangle. Memory is charged to the thread's active
+/// MemoryTracker (via TrackingAllocator) at Reserve time.
+template <typename T>
+class ArenaBuffer {
+ public:
+  ArenaBuffer() = default;
+
+  /// Allocates exactly `total` elements worth of capacity. Must be called
+  /// before the first Append/Allocate and at most once per arena lifetime
+  /// (Clear() re-arms it).
+  void Reserve(std::size_t total) {
+    IFLS_CHECK(data_.capacity() == 0 && "ArenaBuffer::Reserve called twice");
+    data_.reserve(total);
+  }
+
+  /// Appends `count` copies of `value`; returns the offset of the first one.
+  std::size_t Allocate(std::size_t count, const T& value) {
+    IFLS_CHECK(data_.size() + count <= data_.capacity() &&
+               "ArenaBuffer overflow: Reserve() total was too small");
+    const std::size_t offset = data_.size();
+    data_.insert(data_.end(), count, value);
+    return offset;
+  }
+
+  /// Appends a single element; returns its offset.
+  std::size_t Append(const T& value) { return Allocate(1, value); }
+
+  /// Appends a range; returns the offset of the first copied element.
+  template <typename It>
+  std::size_t AppendRange(It first, It last) {
+    const std::size_t count = static_cast<std::size_t>(last - first);
+    IFLS_CHECK(data_.size() + count <= data_.capacity() &&
+               "ArenaBuffer overflow: Reserve() total was too small");
+    const std::size_t offset = data_.size();
+    data_.insert(data_.end(), first, last);
+    return offset;
+  }
+
+  const T* data() const { return data_.data(); }
+  T* mutable_data() { return data_.data(); }
+
+  std::size_t size() const { return data_.size(); }
+  std::size_t capacity() const { return data_.capacity(); }
+  bool empty() const { return data_.empty(); }
+
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& operator[](std::size_t i) { return data_[i]; }
+
+  /// Fraction of reserved capacity actually filled (1.0 when Reserve was
+  /// exact, which the flat index layouts guarantee).
+  double utilization() const {
+    return data_.capacity() == 0
+               ? 1.0
+               : static_cast<double>(data_.size()) /
+                     static_cast<double>(data_.capacity());
+  }
+
+  std::size_t MemoryFootprintBytes() const {
+    return data_.capacity() * sizeof(T);
+  }
+
+  void Clear() {
+    data_.clear();
+    data_.shrink_to_fit();
+  }
+
+ private:
+  std::vector<T, TrackingAllocator<T>> data_;
+};
+
+}  // namespace ifls
+
+#endif  // IFLS_COMMON_ARENA_H_

@@ -54,6 +54,40 @@ class MemoryTracker {
     peak_.store(0, std::memory_order_relaxed);
   }
 
+  /// Per-scope high-water reset. On construction the tracker's peak is wound
+  /// back to the *current* held bytes, so `scope_peak_bytes()` reports the
+  /// high-water mark reached inside this scope only (e.g. an arena build vs a
+  /// later query, instead of one conflated global peak). On destruction the
+  /// outer peak is restored to max(outer peak, scope peak), so enclosing
+  /// scopes still see the true overall high-water mark. Scopes nest; intended
+  /// for single-threaded measurement sections.
+  class ScopedPeak {
+   public:
+    explicit ScopedPeak(MemoryTracker* tracker) : tracker_(tracker) {
+      saved_peak_ = tracker_->peak_.load(std::memory_order_relaxed);
+      tracker_->peak_.store(tracker_->current_bytes(),
+                            std::memory_order_relaxed);
+    }
+    ~ScopedPeak() {
+      const std::int64_t scope_peak = scope_peak_bytes();
+      if (saved_peak_ > scope_peak) {
+        tracker_->peak_.store(saved_peak_, std::memory_order_relaxed);
+      }
+    }
+
+    ScopedPeak(const ScopedPeak&) = delete;
+    ScopedPeak& operator=(const ScopedPeak&) = delete;
+
+    /// High-water mark since this scope began.
+    std::int64_t scope_peak_bytes() const {
+      return tracker_->peak_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    MemoryTracker* tracker_;
+    std::int64_t saved_peak_;
+  };
+
  private:
   std::atomic<std::int64_t> current_{0};
   std::atomic<std::int64_t> peak_{0};

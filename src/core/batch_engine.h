@@ -63,7 +63,7 @@ struct BatchRunReport {
 
 /// Parallel batch query engine: fans a vector of IFLS queries
 /// (MinMax/MinDist/MaxSum) out across a fixed thread pool. The shared
-/// VipTree is only ever read; every query gets its own solver state,
+/// distance oracle is only ever read; every query gets its own solver state,
 /// thread-local memory tracking and a thread-local index-counter sink, so
 /// results (answers, objectives, tie-breaks, and per-query work counters)
 /// are bit-identical to sequential execution and independent of worker

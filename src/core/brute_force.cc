@@ -20,7 +20,7 @@ NefTable ComputeNefTable(const IflsContext& ctx, QueryStats* stats) {
   for (const Client& c : ctx.clients) {
     double best = kInfDistance;
     for (PartitionId e : ctx.existing) {
-      const double d = ctx.tree->PointToPartition(c.position, c.partition, e);
+      const double d = ctx.oracle->PointToPartition(c.position, c.partition, e);
       ++stats->distance_computations;
       if (d < best) best = d;
     }
@@ -34,7 +34,7 @@ NefTable ComputeNefTable(const IflsContext& ctx, QueryStats* stats) {
 Result<IflsResult> SolveBruteForceMinMax(const IflsContext& ctx) {
   IFLS_RETURN_NOT_OK(ValidateContext(ctx));
   IflsResult result;
-  SolverScope scope(*ctx.tree, &result.stats);
+  SolverScope scope(*ctx.oracle, &result.stats);
 
   const NefTable table = ComputeNefTable(ctx, &result.stats);
   const double f0 = table.nef.empty()
@@ -48,7 +48,7 @@ Result<IflsResult> SolveBruteForceMinMax(const IflsContext& ctx) {
     for (std::size_t i = 0; i < ctx.clients.size(); ++i) {
       const Client& c = ctx.clients[i];
       const double dn =
-          ctx.tree->PointToPartition(c.position, c.partition, n);
+          ctx.oracle->PointToPartition(c.position, c.partition, n);
       ++result.stats.distance_computations;
       worst = std::max(worst, std::min(table.nef[i], dn));
       if (worst >= best_obj) break;  // cannot beat the incumbent
@@ -74,7 +74,7 @@ Result<IflsResult> SolveBruteForceTopKMinMax(const IflsContext& ctx, int k) {
   if (k < 1) return Status::InvalidArgument("k must be positive");
   IFLS_RETURN_NOT_OK(ValidateContext(ctx));
   IflsResult result;
-  SolverScope scope(*ctx.tree, &result.stats);
+  SolverScope scope(*ctx.oracle, &result.stats);
 
   const NefTable table = ComputeNefTable(ctx, &result.stats);
   std::vector<std::pair<PartitionId, double>> scored;
@@ -88,7 +88,7 @@ Result<IflsResult> SolveBruteForceTopKMinMax(const IflsContext& ctx, int k) {
     for (std::size_t i = 0; i < ctx.clients.size(); ++i) {
       const Client& c = ctx.clients[i];
       const double dn =
-          ctx.tree->PointToPartition(c.position, c.partition, n);
+          ctx.oracle->PointToPartition(c.position, c.partition, n);
       ++result.stats.distance_computations;
       worst = std::max(worst, std::min(table.nef[i], dn));
       if (worst >= incumbent) {
@@ -118,7 +118,7 @@ Result<IflsResult> SolveBruteForceTopKMinMax(const IflsContext& ctx, int k) {
 Result<IflsResult> SolveBruteForceMinDist(const IflsContext& ctx) {
   IFLS_RETURN_NOT_OK(ValidateContext(ctx));
   IflsResult result;
-  SolverScope scope(*ctx.tree, &result.stats);
+  SolverScope scope(*ctx.oracle, &result.stats);
 
   const NefTable table = ComputeNefTable(ctx, &result.stats);
   double best_obj = kInfDistance;
@@ -128,7 +128,7 @@ Result<IflsResult> SolveBruteForceMinDist(const IflsContext& ctx) {
     for (std::size_t i = 0; i < ctx.clients.size(); ++i) {
       const Client& c = ctx.clients[i];
       const double dn =
-          ctx.tree->PointToPartition(c.position, c.partition, n);
+          ctx.oracle->PointToPartition(c.position, c.partition, n);
       ++result.stats.distance_computations;
       total += std::min(table.nef[i], dn);
       if (total >= best_obj) break;
@@ -155,7 +155,7 @@ Result<IflsResult> SolveBruteForceMinDist(const IflsContext& ctx) {
 Result<IflsResult> SolveBruteForceMaxSum(const IflsContext& ctx) {
   IFLS_RETURN_NOT_OK(ValidateContext(ctx));
   IflsResult result;
-  SolverScope scope(*ctx.tree, &result.stats);
+  SolverScope scope(*ctx.oracle, &result.stats);
 
   const NefTable table = ComputeNefTable(ctx, &result.stats);
   double best_obj = -1.0;
@@ -165,7 +165,7 @@ Result<IflsResult> SolveBruteForceMaxSum(const IflsContext& ctx) {
     for (std::size_t i = 0; i < ctx.clients.size(); ++i) {
       const Client& c = ctx.clients[i];
       const double dn =
-          ctx.tree->PointToPartition(c.position, c.partition, n);
+          ctx.oracle->PointToPartition(c.position, c.partition, n);
       ++result.stats.distance_computations;
       if (dn < table.nef[i]) ++count;
     }

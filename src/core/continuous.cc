@@ -7,17 +7,17 @@
 
 namespace ifls {
 
-ContinuousIfls::ContinuousIfls(const VipTree* tree,
+ContinuousIfls::ContinuousIfls(const DistanceOracle* oracle,
                                std::vector<PartitionId> existing,
                                std::vector<PartitionId> candidates,
                                Options options)
-    : tree_(tree),
+    : oracle_(oracle),
       existing_(std::move(existing)),
       candidates_(std::move(candidates)),
       options_(options),
-      existing_index_(tree, existing_),
-      candidate_index_(tree, {}) {
-  IFLS_CHECK(tree != nullptr);
+      existing_index_(oracle, existing_),
+      candidate_index_(oracle, {}) {
+  IFLS_CHECK(oracle != nullptr);
   candidate_index_.AddCandidates(candidates_);
 }
 
@@ -40,7 +40,7 @@ void ContinuousIfls::RefreshCertificate(ClientRecord* record) {
   const Client& c = record->client;
   record->certificate =
       std::min(record->nef,
-               tree_->PointToPartition(c.position, c.partition,
+               oracle_->PointToPartition(c.position, c.partition,
                                        cached_.answer));
 }
 
@@ -60,8 +60,8 @@ ClientId ContinuousIfls::AddClient(const Point& position,
                                    PartitionId partition) {
   IFLS_CHECK(partition >= 0 &&
              static_cast<std::size_t>(partition) <
-                 tree_->venue().num_partitions());
-  IFLS_CHECK(tree_->venue().partition(partition).rect.Contains(position))
+                 oracle_->venue().num_partitions());
+  IFLS_CHECK(oracle_->venue().partition(partition).rect.Contains(position))
       << "client position outside its partition";
   ClientRecord record;
   record.client.id = next_id_++;
@@ -95,8 +95,8 @@ Status ContinuousIfls::MoveClient(ClientId id, const Point& position,
   }
   if (partition < 0 ||
       static_cast<std::size_t>(partition) >=
-          tree_->venue().num_partitions() ||
-      !tree_->venue().partition(partition).rect.Contains(position)) {
+          oracle_->venue().num_partitions() ||
+      !oracle_->venue().partition(partition).rect.Contains(position)) {
     return Status::InvalidArgument("new position outside the partition");
   }
   ClientRecord& record = it->second;
@@ -112,7 +112,7 @@ Status ContinuousIfls::MoveClient(ClientId id, const Point& position,
 
 Result<IflsResult> ContinuousIfls::Resolve() {
   IflsContext ctx;
-  ctx.tree = tree_;
+  ctx.oracle = oracle_;
   ctx.existing = existing_;
   ctx.candidates = candidates_;
   ctx.clients.reserve(clients_.size());

@@ -42,8 +42,9 @@ class ContinuousIfls {
     bool refreshed = false;
   };
 
-  /// The tree must outlive the monitor.
-  ContinuousIfls(const VipTree* tree, std::vector<PartitionId> existing,
+  /// The oracle must outlive the monitor.
+  ContinuousIfls(const DistanceOracle* oracle,
+                 std::vector<PartitionId> existing,
                  std::vector<PartitionId> candidates, Options options = {});
 
   // ---- Crowd updates ----------------------------------------------------
@@ -99,7 +100,7 @@ class ContinuousIfls {
 
   Result<IflsResult> Resolve();
 
-  const VipTree* tree_;
+  const DistanceOracle* oracle_;
   std::vector<PartitionId> existing_;
   std::vector<PartitionId> candidates_;
   Options options_;

@@ -87,11 +87,11 @@ class EfficientSolver {
                   IflsResult* result)
       : ctx_(ctx),
         options_(options),
-        tree_(*ctx.tree),
+        oracle_(*ctx.oracle),
         venue_(ctx.venue()),
         result_(result),
         stats_(result->stats),
-        index_(ctx.tree, ctx.existing) {}
+        index_(ctx.oracle, ctx.existing) {}
 
   void Run() {
     index_.AddCandidates(ctx_.candidates);
@@ -199,7 +199,7 @@ class EfficientSolver {
   void SeedQueue() {
     for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
       Group& g = groups_[gi];
-      const NodeId leaf = tree_.LeafOf(g.partition);
+      const NodeId leaf = oracle_.LeafOf(g.partition);
       // iMinD(p, leaf(p)) == 0 by containment.
       Push(static_cast<std::uint32_t>(gi), leaf, false, 0.0);
     }
@@ -221,28 +221,28 @@ class EfficientSolver {
 
   void ExpandNode(std::uint32_t group_index, NodeId node_id) {
     Group& g = groups_[group_index];
-    const VipNode& n = tree_.node(node_id);
-    if (n.parent != kInvalidNode && !Visited(g, n.parent, false)) {
-      const double key = tree_.PartitionToNode(g.partition, n.parent);
+    const NodeId parent = oracle_.Parent(node_id);
+    if (parent != kInvalidNode && !Visited(g, parent, false)) {
+      const double key = oracle_.PartitionToNode(g.partition, parent);
       ++stats_.lower_bound_computations;
-      Push(group_index, n.parent, false, key);
+      Push(group_index, parent, false, key);
     }
-    if (n.is_leaf()) {
-      for (PartitionId q : n.partitions) {
+    if (oracle_.IsLeaf(node_id)) {
+      for (PartitionId q : oracle_.NodePartitions(node_id)) {
         if (q == g.partition) continue;
         if (options_.skip_empty_subtrees && !index_.IsFacility(q)) continue;
         if (Visited(g, q, true)) continue;
-        const double key = tree_.PartitionToPartition(g.partition, q);
+        const double key = oracle_.PartitionToPartition(g.partition, q);
         ++stats_.lower_bound_computations;
         Push(group_index, q, true, key);
       }
     } else {
-      for (NodeId ch : n.children) {
+      for (NodeId ch : oracle_.Children(node_id)) {
         if (options_.skip_empty_subtrees && index_.SubtreeCount(ch) == 0) {
           continue;
         }
         if (Visited(g, ch, false)) continue;
-        const double key = tree_.PartitionToNode(g.partition, ch);
+        const double key = oracle_.PartitionToNode(g.partition, ch);
         ++stats_.lower_bound_computations;
         Push(group_index, ch, false, key);
       }
@@ -261,7 +261,7 @@ class EfficientSolver {
       base_distances_.clear();
       base_distances_.reserve(home.doors.size());
       for (DoorId d : home.doors) {
-        base_distances_.push_back(tree_.DoorToPartition(d, facility));
+        base_distances_.push_back(oracle_.DoorToPartition(d, facility));
       }
       ++stats_.distance_computations;
       for (std::uint32_t ci : g.clients) {
@@ -282,7 +282,7 @@ class EfficientSolver {
       if (!clients_[ci].active) continue;
       const Client& c = ctx_.clients[ci];
       const double dist =
-          tree_.PointToPartition(c.position, c.partition, facility);
+          oracle_.PointToPartition(c.position, c.partition, facility);
       ++stats_.distance_computations;
       RecordRetrieval(ci, facility, dist);
     }
@@ -455,7 +455,7 @@ class EfficientSolver {
     for (std::uint32_t ci : pruned_clients_) {
       const Client& c = ctx_.clients[ci];
       const double dn =
-          tree_.PointToPartition(c.position, c.partition, candidate);
+          oracle_.PointToPartition(c.position, c.partition, candidate);
       ++stats_.distance_computations;
       worst = std::max(worst, std::min(clients_[ci].best_existing, dn));
     }
@@ -513,7 +513,7 @@ class EfficientSolver {
 
   const IflsContext& ctx_;
   const EfficientOptions& options_;
-  const VipTree& tree_;
+  const DistanceOracle& oracle_;
   const Venue& venue_;
   IflsResult* result_;
   QueryStats& stats_;
@@ -550,7 +550,7 @@ Result<IflsResult> SolveEfficient(const IflsContext& ctx,
                                   const EfficientOptions& options) {
   IFLS_RETURN_NOT_OK(ValidateContext(ctx));
   IflsResult result;
-  SolverScope scope(*ctx.tree, &result.stats);
+  SolverScope scope(*ctx.oracle, &result.stats);
   EfficientSolver solver(ctx, options, &result);
   solver.Run();
   scope.Finish();

@@ -31,8 +31,9 @@ using EntitySet =
                        std::equal_to<std::int64_t>,
                        TrackingAllocator<std::int64_t>>;
 
-/// Generic single-pass bottom-up retrieval over a VIP-tree (the paper's
-/// Algorithm 3 traversal) parameterized by an objective policy. The policy
+/// Generic single-pass bottom-up retrieval over a distance oracle's node
+/// hierarchy (the paper's Algorithm 3 traversal) parameterized by an
+/// objective policy. The policy
 /// maintains per-candidate aggregates and decides when the answer is
 /// certain:
 ///
@@ -62,11 +63,11 @@ class IncrementalObjectiveSolver {
                              IflsResult* result)
       : ctx_(ctx),
         group_clients_(group_clients),
-        tree_(*ctx.tree),
+        oracle_(*ctx.oracle),
         venue_(ctx.venue()),
         result_(result),
         stats_(result->stats),
-        index_(ctx.tree, ctx.existing) {}
+        index_(ctx.oracle, ctx.existing) {}
 
   Policy* policy() { return &policy_; }
 
@@ -90,8 +91,8 @@ class IncrementalObjectiveSolver {
 
     BuildGroups();
     for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
-      Push(static_cast<std::uint32_t>(gi), tree_.LeafOf(groups_[gi].partition),
-           false, 0.0);
+      Push(static_cast<std::uint32_t>(gi),
+           oracle_.LeafOf(groups_[gi].partition), false, 0.0);
     }
     while (!queue_.empty()) {
       const Entry top = queue_.top();
@@ -204,26 +205,27 @@ class IncrementalObjectiveSolver {
 
   void ExpandNode(std::uint32_t group_index, NodeId node_id) {
     Group& g = groups_[group_index];
-    const VipNode& n = tree_.node(node_id);
-    if (n.parent != kInvalidNode &&
-        !g.visited.contains(Encode(n.parent, false))) {
+    const NodeId parent = oracle_.Parent(node_id);
+    if (parent != kInvalidNode &&
+        !g.visited.contains(Encode(parent, false))) {
       ++stats_.lower_bound_computations;
-      Push(group_index, n.parent, false,
-           tree_.PartitionToNode(g.partition, n.parent));
+      Push(group_index, parent, false,
+           oracle_.PartitionToNode(g.partition, parent));
     }
-    if (n.is_leaf()) {
-      for (PartitionId q : n.partitions) {
+    if (oracle_.IsLeaf(node_id)) {
+      for (PartitionId q : oracle_.NodePartitions(node_id)) {
         if (q == g.partition || !index_.IsFacility(q)) continue;
         if (g.visited.contains(Encode(q, true))) continue;
         ++stats_.lower_bound_computations;
-        Push(group_index, q, true, tree_.PartitionToPartition(g.partition, q));
+        Push(group_index, q, true,
+             oracle_.PartitionToPartition(g.partition, q));
       }
     } else {
-      for (NodeId ch : n.children) {
+      for (NodeId ch : oracle_.Children(node_id)) {
         if (index_.SubtreeCount(ch) == 0) continue;
         if (g.visited.contains(Encode(ch, false))) continue;
         ++stats_.lower_bound_computations;
-        Push(group_index, ch, false, tree_.PartitionToNode(g.partition, ch));
+        Push(group_index, ch, false, oracle_.PartitionToNode(g.partition, ch));
       }
     }
   }
@@ -235,7 +237,7 @@ class IncrementalObjectiveSolver {
       base_distances_.clear();
       base_distances_.reserve(home.doors.size());
       for (DoorId d : home.doors) {
-        base_distances_.push_back(tree_.DoorToPartition(d, facility));
+        base_distances_.push_back(oracle_.DoorToPartition(d, facility));
       }
       ++stats_.distance_computations;
       for (std::uint32_t ci : g.clients) {
@@ -256,7 +258,7 @@ class IncrementalObjectiveSolver {
       if (!clients_[ci].alive) continue;
       const Client& c = ctx_.clients[ci];
       const double dist =
-          tree_.PointToPartition(c.position, c.partition, facility);
+          oracle_.PointToPartition(c.position, c.partition, facility);
       ++stats_.distance_computations;
       Record(ci, facility, dist);
     }
@@ -311,7 +313,7 @@ class IncrementalObjectiveSolver {
 
   const IflsContext& ctx_;
   const bool group_clients_;
-  const VipTree& tree_;
+  const DistanceOracle& oracle_;
   const Venue& venue_;
   IflsResult* result_;
   QueryStats& stats_;

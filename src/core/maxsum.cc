@@ -77,7 +77,7 @@ Result<IflsResult> SolveMaxSum(const IflsContext& ctx,
                                const MaxSumOptions& options) {
   IFLS_RETURN_NOT_OK(ValidateContext(ctx));
   IflsResult result;
-  SolverScope scope(*ctx.tree, &result.stats);
+  SolverScope scope(*ctx.oracle, &result.stats);
   internal::IncrementalObjectiveSolver<MaxSumPolicy> solver(
       ctx, options.group_clients, &result);
   solver.Run();

@@ -78,7 +78,7 @@ Result<IflsResult> SolveMinDist(const IflsContext& ctx,
                                 const MinDistOptions& options) {
   IFLS_RETURN_NOT_OK(ValidateContext(ctx));
   IflsResult result;
-  SolverScope scope(*ctx.tree, &result.stats);
+  SolverScope scope(*ctx.oracle, &result.stats);
   internal::IncrementalObjectiveSolver<MinDistPolicy> solver(
       ctx, options.group_clients, &result);
   solver.Run();

@@ -35,7 +35,7 @@ Result<IflsResult> SolveModifiedMinMax(const IflsContext& ctx,
                                        const MinMaxBaselineOptions& options) {
   IFLS_RETURN_NOT_OK(ValidateContext(ctx));
   IflsResult result;
-  SolverScope scope(*ctx.tree, &result.stats);
+  SolverScope scope(*ctx.oracle, &result.stats);
   QueryStats& stats = result.stats;
 
   // Degenerate inputs first.
@@ -59,7 +59,7 @@ Result<IflsResult> SolveModifiedMinMax(const IflsContext& ctx,
   const FacilityIndex* fe_index = options.offline_existing_index;
   std::unique_ptr<FacilityIndex> owned_index;
   if (fe_index == nullptr) {
-    owned_index = std::make_unique<FacilityIndex>(ctx.tree, ctx.existing);
+    owned_index = std::make_unique<FacilityIndex>(ctx.oracle, ctx.existing);
     fe_index = owned_index.get();
   }
   IFLS_CHECK(fe_index->num_existing() ==
@@ -100,7 +100,7 @@ Result<IflsResult> SolveModifiedMinMax(const IflsContext& ctx,
   TrackedVector<CandidateRecord> ca;
   for (PartitionId n : ctx.candidates) {
     const Client& c0 = client_of(0);
-    const double d = ctx.tree->PointToPartition(c0.position, c0.partition, n);
+    const double d = ctx.oracle->PointToPartition(c0.position, c0.partition, n);
     ++stats.distance_computations;
     if (d < sorted_list[0].distance) {
       ca.push_back({n, d});
@@ -120,7 +120,7 @@ Result<IflsResult> SolveModifiedMinMax(const IflsContext& ctx,
     for (CandidateRecord rec : ca) {
       const Client& ci = client_of(i);
       const double d =
-          ctx.tree->PointToPartition(ci.position, ci.partition, rec.id);
+          ctx.oracle->PointToPartition(ci.position, ci.partition, rec.id);
       ++stats.distance_computations;
       // Rule 3(a): drop candidates no closer than the client's NEF.
       // Rule 3(b): drop candidates whose distance to a previously considered

@@ -19,7 +19,7 @@ double NowSeconds() {
 }  // namespace
 
 Status ValidateContext(const IflsContext& ctx) {
-  if (ctx.tree == nullptr) {
+  if (ctx.oracle == nullptr) {
     return Status::InvalidArgument("context has no index");
   }
   const Venue& venue = ctx.venue();
@@ -77,12 +77,12 @@ std::string QueryStats::ToString() const {
   return os.str();
 }
 
-SolverScope::SolverScope(const VipTree& tree, QueryStats* stats)
+SolverScope::SolverScope(const DistanceOracle& oracle, QueryStats* stats)
     : stats_(stats),
       scope_(&tracker_),
       counter_sink_(&counters_),
       start_seconds_(NowSeconds()) {
-  (void)tree;  // kept in the signature: a scope is always tied to one index
+  (void)oracle;  // kept in the signature: a scope is always tied to one index
 }
 
 void SolverScope::Finish() {
@@ -102,7 +102,7 @@ SolverScope::~SolverScope() {
 double NearestExistingDistance(const IflsContext& ctx, const Client& c) {
   double best = kInfDistance;
   for (PartitionId e : ctx.existing) {
-    const double d = ctx.tree->PointToPartition(c.position, c.partition, e);
+    const double d = ctx.oracle->PointToPartition(c.position, c.partition, e);
     if (d < best) best = d;
   }
   return best;
@@ -112,7 +112,7 @@ double EvaluateMinMax(const IflsContext& ctx, PartitionId n) {
   double worst = 0.0;
   for (const Client& c : ctx.clients) {
     const double nef = NearestExistingDistance(ctx, c);
-    const double dn = ctx.tree->PointToPartition(c.position, c.partition, n);
+    const double dn = ctx.oracle->PointToPartition(c.position, c.partition, n);
     worst = std::max(worst, std::min(nef, dn));
   }
   return worst;
@@ -130,7 +130,7 @@ double EvaluateMinDist(const IflsContext& ctx, PartitionId n) {
   double total = 0.0;
   for (const Client& c : ctx.clients) {
     const double nef = NearestExistingDistance(ctx, c);
-    const double dn = ctx.tree->PointToPartition(c.position, c.partition, n);
+    const double dn = ctx.oracle->PointToPartition(c.position, c.partition, n);
     total += std::min(nef, dn);
   }
   return total;
@@ -148,7 +148,7 @@ double EvaluateMaxSum(const IflsContext& ctx, PartitionId n) {
   std::int64_t count = 0;
   for (const Client& c : ctx.clients) {
     const double nef = NearestExistingDistance(ctx, c);
-    const double dn = ctx.tree->PointToPartition(c.position, c.partition, n);
+    const double dn = ctx.oracle->PointToPartition(c.position, c.partition, n);
     if (dn < nef) ++count;
   }
   return static_cast<double>(count);

@@ -7,22 +7,24 @@
 
 #include "src/common/memory_tracker.h"
 #include "src/common/status.h"
+#include "src/index/distance_oracle.h"
 #include "src/index/facility_index.h"
 #include "src/index/nn_search.h"
-#include "src/index/vip_tree.h"
 
 namespace ifls {
 
-/// Immutable inputs of one IFLS query: the indexed venue, the existing
-/// facility set Fe, the candidate location set Fn and the client set C.
-/// Facilities are partitions (paper §3); the two sets must be disjoint.
+/// Immutable inputs of one IFLS query: the distance oracle over the indexed
+/// venue, the existing facility set Fe, the candidate location set Fn and the
+/// client set C. Facilities are partitions (paper §3); the two sets must be
+/// disjoint. Any DistanceOracle backend works (VIP-tree, door-graph,
+/// brute-force); solvers depend only on the interface.
 struct IflsContext {
-  const VipTree* tree = nullptr;
+  const DistanceOracle* oracle = nullptr;
   std::vector<PartitionId> existing;
   std::vector<PartitionId> candidates;
   std::vector<Client> clients;
 
-  const Venue& venue() const { return tree->venue(); }
+  const Venue& venue() const { return oracle->venue(); }
 };
 
 /// Checks ids, ranges, client/partition consistency and Fe/Fn disjointness.
@@ -83,14 +85,14 @@ struct IflsResult {
 };
 
 /// RAII helper every solver uses: installs memory tracking plus a
-/// thread-local tree-counter sink, and on Finish() stamps elapsed time, peak
-/// memory and the query's own index-counter totals into the stats. Because
-/// both the tracker scope and the counter sink are thread-local, any number
-/// of solvers may run concurrently against one shared VipTree and each
+/// thread-local oracle-counter sink, and on Finish() stamps elapsed time,
+/// peak memory and the query's own index-counter totals into the stats.
+/// Because both the tracker scope and the counter sink are thread-local, any
+/// number of solvers may run concurrently against one shared oracle and each
 /// query's stats remain exactly its own work.
 class SolverScope {
  public:
-  explicit SolverScope(const VipTree& tree, QueryStats* stats);
+  explicit SolverScope(const DistanceOracle& oracle, QueryStats* stats);
   ~SolverScope();
 
   SolverScope(const SolverScope&) = delete;
@@ -105,8 +107,8 @@ class SolverScope {
   QueryStats* stats_;
   MemoryTracker tracker_;
   ScopedMemoryTracking scope_;
-  VipTreeCounters counters_;
-  ScopedVipTreeCounterSink counter_sink_;
+  OracleCounters counters_;
+  ScopedOracleCounterSink counter_sink_;
   double start_seconds_;
   bool finished_ = false;
 };

@@ -1,0 +1,22 @@
+#include "src/index/brute_force_oracle.h"
+
+#include "src/common/logging.h"
+
+namespace ifls {
+
+BruteForceOracle::BruteForceOracle(const Venue* venue)
+    : venue_(venue), graph_(*venue) {
+  IFLS_CHECK(venue != nullptr);
+}
+
+double BruteForceOracle::DoorToDoor(DoorId a, DoorId b) const {
+  if (a == b) return 0.0;
+  BumpDoorDistanceEvals();
+  WorkspacePool<DijkstraWorkspace>::Lease ws = workspaces_.Acquire();
+  const ShortestPaths& paths =
+      ShortestPathsToTargets(graph_, a, {b}, ws.get());
+  num_runs_.fetch_add(1, std::memory_order_relaxed);
+  return paths.distance[static_cast<std::size_t>(b)];
+}
+
+}  // namespace ifls

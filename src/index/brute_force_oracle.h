@@ -1,0 +1,44 @@
+#ifndef IFLS_INDEX_BRUTE_FORCE_ORACLE_H_
+#define IFLS_INDEX_BRUTE_FORCE_ORACLE_H_
+
+#include <atomic>
+
+#include "src/common/workspace_pool.h"
+#include "src/graph/dijkstra.h"
+#include "src/graph/door_graph.h"
+#include "src/index/distance_oracle.h"
+
+namespace ifls {
+
+/// The "no index at all" DistanceOracle: every DoorToDoor answer runs a
+/// fresh targeted Dijkstra over the door graph — nothing is materialized and
+/// nothing is memoized. Exists as the zero-trust reference backend for the
+/// oracle-equivalence tests and as the cost floor in backend comparisons
+/// (GraphDistanceOracle = memoized, VipTree = materialized). Use on small
+/// venues only; per-query cost is a full graph search.
+///
+/// Thread-safe: concurrent queries each borrow a pooled workspace.
+class BruteForceOracle : public DistanceOracle {
+ public:
+  explicit BruteForceOracle(const Venue* venue);
+
+  const Venue& venue() const override { return *venue_; }
+
+  /// Exact global door-to-door distance via per-call Dijkstra.
+  double DoorToDoor(DoorId a, DoorId b) const override;
+
+  /// Number of graph searches performed so far.
+  std::size_t num_sssp_runs() const {
+    return num_runs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const Venue* venue_;
+  DoorGraph graph_;
+  mutable WorkspacePool<DijkstraWorkspace> workspaces_;
+  mutable std::atomic<std::size_t> num_runs_{0};
+};
+
+}  // namespace ifls
+
+#endif  // IFLS_INDEX_BRUTE_FORCE_ORACLE_H_

@@ -4,12 +4,12 @@
 
 namespace ifls {
 
-FacilityIndex::FacilityIndex(const VipTree* tree,
+FacilityIndex::FacilityIndex(const DistanceOracle* oracle,
                              const std::vector<PartitionId>& existing)
-    : tree_(tree) {
-  IFLS_CHECK(tree != nullptr);
-  kinds_.assign(tree->venue().num_partitions(), FacilityKind::kNone);
-  subtree_counts_.assign(tree->num_nodes(), 0);
+    : oracle_(oracle) {
+  IFLS_CHECK(oracle != nullptr);
+  kinds_.assign(oracle->venue().num_partitions(), FacilityKind::kNone);
+  subtree_counts_.assign(static_cast<std::size_t>(oracle->num_nodes()), 0);
   for (PartitionId p : existing) Register(p, FacilityKind::kExisting);
 }
 
@@ -24,8 +24,8 @@ void FacilityIndex::ClearCandidates() {
   for (PartitionId p : candidate_list_) {
     kinds_[static_cast<std::size_t>(p)] = FacilityKind::kNone;
     --num_candidates_;
-    for (NodeId n = tree_->LeafOf(p); n != kInvalidNode;
-         n = tree_->node(n).parent) {
+    for (NodeId n = oracle_->LeafOf(p); n != kInvalidNode;
+         n = oracle_->Parent(n)) {
       --subtree_counts_[static_cast<std::size_t>(n)];
     }
   }
@@ -43,8 +43,8 @@ void FacilityIndex::Register(PartitionId p, FacilityKind kind) {
   } else {
     ++num_candidates_;
   }
-  for (NodeId n = tree_->LeafOf(p); n != kInvalidNode;
-       n = tree_->node(n).parent) {
+  for (NodeId n = oracle_->LeafOf(p); n != kInvalidNode;
+       n = oracle_->Parent(n)) {
     ++subtree_counts_[static_cast<std::size_t>(n)];
   }
 }

@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "src/index/vip_tree.h"
+#include "src/index/distance_oracle.h"
 
 namespace ifls {
 
@@ -12,16 +12,19 @@ namespace ifls {
 /// location (Fn).
 enum class FacilityKind : std::uint8_t { kNone = 0, kExisting = 1, kCandidate = 2 };
 
-/// The "object layer" over a VIP-tree: marks which partitions host
-/// facilities and maintains per-node subtree facility counts so searches can
-/// skip facility-free subtrees in O(1). Mirrors the paper's split between
-/// offline indexing of Fe and query-time indexing of Fn: construct with the
-/// existing set, then AddCandidates at query time (O(|Fn| * tree height)).
+/// The "object layer" over a distance oracle's node hierarchy: marks which
+/// partitions host facilities and maintains per-node subtree facility counts
+/// so searches can skip facility-free subtrees in O(1). Mirrors the paper's
+/// split between offline indexing of Fe and query-time indexing of Fn:
+/// construct with the existing set, then AddCandidates at query time
+/// (O(|Fn| * hierarchy height)). Flat oracles expose a single root node, so
+/// the index degenerates to one global facility count.
 class FacilityIndex {
  public:
-  /// Builds with only the existing facilities registered. The tree must
+  /// Builds with only the existing facilities registered. The oracle must
   /// outlive the index.
-  FacilityIndex(const VipTree* tree, const std::vector<PartitionId>& existing);
+  FacilityIndex(const DistanceOracle* oracle,
+                const std::vector<PartitionId>& existing);
 
   /// Registers candidate locations. A partition cannot be both existing and
   /// candidate; duplicates are checked (IFLS_CHECK).
@@ -31,7 +34,7 @@ class FacilityIndex {
   /// caller reuse the offline Fe index across queries with different Fn.
   void ClearCandidates();
 
-  const VipTree& tree() const { return *tree_; }
+  const DistanceOracle& oracle() const { return *oracle_; }
 
   FacilityKind kind(PartitionId p) const {
     return kinds_[static_cast<std::size_t>(p)];
@@ -57,7 +60,7 @@ class FacilityIndex {
  private:
   void Register(PartitionId p, FacilityKind kind);
 
-  const VipTree* tree_;
+  const DistanceOracle* oracle_;
   std::vector<FacilityKind> kinds_;          // per partition
   std::vector<std::int32_t> subtree_counts_; // per node
   std::vector<PartitionId> candidate_list_;

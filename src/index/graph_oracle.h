@@ -9,43 +9,44 @@
 #include "src/common/workspace_pool.h"
 #include "src/graph/dijkstra.h"
 #include "src/graph/door_graph.h"
+#include "src/index/distance_oracle.h"
 #include "src/indoor/venue.h"
 
 namespace ifls {
 
 /// Exact indoor-distance oracle answering straight from the door graph, with
 /// lazily memoized single-source Dijkstra runs (one per queried source
-/// door). Serves two roles: ground truth the VIP-tree is tested against, and
-/// the "no index" comparator in the micro benchmarks.
+/// door). Serves three roles: ground truth the VIP-tree is tested against,
+/// the "no index" comparator in the micro benchmarks, and the memoized
+/// DistanceOracle backend (solvers run against it unchanged, minus the
+/// hierarchy pruning a materialized tree provides).
 ///
 /// Thread-safe: concurrent queries may share one oracle. Each source door's
 /// Dijkstra run is computed exactly once (std::call_once per cache slot);
 /// runs for distinct sources proceed in parallel, each on a pooled
 /// workspace. Memoized slots are immutable after publication, so the read
 /// path is lock-free.
-class GraphDistanceOracle {
+class GraphDistanceOracle : public DistanceOracle {
  public:
   explicit GraphDistanceOracle(const Venue* venue);
 
-  GraphDistanceOracle(const GraphDistanceOracle&) = delete;
-  GraphDistanceOracle& operator=(const GraphDistanceOracle&) = delete;
-
-  const Venue& venue() const { return *venue_; }
+  const Venue& venue() const override { return *venue_; }
 
   /// Global shortest walking distance between two doors.
-  double DoorToDoor(DoorId a, DoorId b) const;
+  double DoorToDoor(DoorId a, DoorId b) const override;
 
-  /// Exact indoor distance between two points.
+  /// Exact indoor distance between two points. Overrides the generic
+  /// composition to reuse one memoized Dijkstra row per source door.
   double PointToPoint(const Point& a, PartitionId pa, const Point& b,
-                      PartitionId pb) const;
+                      PartitionId pb) const override;
 
   /// Exact indoor distance from a point to partition `target`'s nearest
   /// reachable door (0 when pa == target).
   double PointToPartition(const Point& a, PartitionId pa,
-                          PartitionId target) const;
+                          PartitionId target) const override;
 
   /// min over door pairs, zero intra offsets (iMinD for partitions).
-  double PartitionToPartition(PartitionId p, PartitionId q) const;
+  double PartitionToPartition(PartitionId p, PartitionId q) const override;
 
   /// Number of Dijkstra runs performed so far (memoization hit rate probe).
   std::size_t num_sssp_runs() const {

@@ -35,7 +35,7 @@ void IncrementalSearch(const FacilityIndex& index, const Point& query,
                        PartitionId query_partition, FacilityFilter filter,
                        NnSearchStats* stats,
                        const std::function<bool(const NnResult&)>& emit) {
-  const VipTree& tree = index.tree();
+  const DistanceOracle& oracle = index.oracle();
   // The queue charges the caller's active MemoryTracker so a query's search
   // footprint shows up in its memory stats.
   std::priority_queue<Entry, std::vector<Entry, TrackingAllocator<Entry>>,
@@ -47,8 +47,8 @@ void IncrementalSearch(const FacilityIndex& index, const Point& query,
     if (stats != nullptr) ++stats->queue_pushes;
   };
 
-  if (index.SubtreeCount(tree.root()) > 0) {
-    push({0.0, tree.root(), false});
+  if (index.SubtreeCount(oracle.root()) > 0) {
+    push({0.0, oracle.root(), false});
   }
   while (!queue.empty()) {
     const Entry top = queue.top();
@@ -59,18 +59,17 @@ void IncrementalSearch(const FacilityIndex& index, const Point& query,
       if (!emit({top.id, top.key})) return;
       continue;
     }
-    const VipNode& n = tree.node(top.id);
-    if (n.is_leaf()) {
-      for (PartitionId p : n.partitions) {
+    if (oracle.IsLeaf(top.id)) {
+      for (PartitionId p : oracle.NodePartitions(top.id)) {
         if (!MatchesFilter(index, p, filter)) continue;
-        const double d = tree.PointToPartition(query, query_partition, p);
+        const double d = oracle.PointToPartition(query, query_partition, p);
         if (stats != nullptr) ++stats->distance_computations;
         push({d, p, true});
       }
     } else {
-      for (NodeId ch : n.children) {
+      for (NodeId ch : oracle.Children(top.id)) {
         if (index.SubtreeCount(ch) == 0) continue;
-        const double bound = tree.PointToNode(query, query_partition, ch);
+        const double bound = oracle.PointToNode(query, query_partition, ch);
         if (stats != nullptr) ++stats->distance_computations;
         push({bound, ch, false});
       }

@@ -41,7 +41,7 @@ void VipTree::DistancesToAncestorAccessDoors(DoorId a, NodeId leaf,
     const int k = leaf_node.depth - anc_node.depth - 1;
     IFLS_DCHECK(k >= 0 &&
                 static_cast<std::size_t>(k) < leaf_node.ancestor_matrices.size());
-    const DoorMatrix& m =
+    const DoorMatrixView& m =
         leaf_node.ancestor_matrices[static_cast<std::size_t>(k)];
     const int row = m.RowIndex(a);
     IFLS_DCHECK(row >= 0);
@@ -66,8 +66,9 @@ void VipTree::DistancesToAncestorAccessDoors(DoorId a, NodeId leaf,
     // Position of `cur` among the parent's children (fanout is small).
     std::size_t child_pos = 0;
     while (parent.children[child_pos] != cur) ++child_pos;
-    const auto& rows = parent.child_access_idx[child_pos];
-    const auto& cols = parent.access_door_idx;
+    const std::span<const std::int32_t> rows =
+        parent.child_access_idx(child_pos);
+    const std::span<const std::int32_t> cols = parent.access_door_idx;
     std::vector<double> next(cols.size(), kInfDistance);
     for (std::size_t i = 0; i < rows.size(); ++i) {
       for (std::size_t j = 0; j < cols.size(); ++j) {
@@ -148,8 +149,8 @@ double VipTree::DoorToDoor(DoorId a, DoorId b) const {
   while (lca.children[pos_a] != ca) ++pos_a;
   std::size_t pos_b = 0;
   while (lca.children[pos_b] != cb) ++pos_b;
-  const auto& rows = lca.child_access_idx[pos_a];
-  const auto& cols = lca.child_access_idx[pos_b];
+  const std::span<const std::int32_t> rows = lca.child_access_idx(pos_a);
+  const std::span<const std::int32_t> cols = lca.child_access_idx(pos_b);
 
   double best = kInfDistance;
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -167,47 +168,6 @@ double VipTree::DoorToDoor(DoorId a, DoorId b) const {
   return best;
 }
 
-double VipTree::PointToDoor(const Point& a, PartitionId pa, DoorId d) const {
-  const Partition& part = venue_->partition(pa);
-  double best = kInfDistance;
-  for (DoorId d1 : part.doors) {
-    const double leg = PointToDoorDistance(a, venue_->door(d1));
-    if (leg >= best) continue;
-    const double cand = leg + DoorToDoor(d1, d);
-    if (cand < best) best = cand;
-  }
-  return best;
-}
-
-double VipTree::PointToPoint(const Point& a, PartitionId pa, const Point& b,
-                             PartitionId pb) const {
-  if (pa == pb) return PlanarDistance(a, b);
-  const Partition& part_a = venue_->partition(pa);
-  const Partition& part_b = venue_->partition(pb);
-  double best = kInfDistance;
-  for (DoorId d1 : part_a.doors) {
-    const double leg_a = PointToDoorDistance(a, venue_->door(d1));
-    if (leg_a >= best) continue;
-    for (DoorId d2 : part_b.doors) {
-      const double leg_b = PointToDoorDistance(b, venue_->door(d2));
-      if (leg_a + leg_b >= best) continue;
-      const double cand = leg_a + DoorToDoor(d1, d2) + leg_b;
-      if (cand < best) best = cand;
-    }
-  }
-  return best;
-}
-
-double VipTree::DoorToPartition(DoorId d, PartitionId target) const {
-  const Partition& part = venue_->partition(target);
-  double best = kInfDistance;
-  for (DoorId d2 : part.doors) {
-    const double cand = DoorToDoor(d, d2);
-    if (cand < best) best = cand;
-  }
-  return best;
-}
-
 double VipTree::PointToPartition(const Point& a, PartitionId pa,
                                  PartitionId target) const {
   if (pa == target) return 0.0;
@@ -219,31 +179,9 @@ double VipTree::PointToPartition(const Point& a, PartitionId pa,
     return PointToDoorDistance(a, only) +
            DoorToPartition(only.id, target);
   }
-  const Partition& part_t = venue_->partition(target);
-  double best = kInfDistance;
-  for (DoorId d1 : part_a.doors) {
-    const double leg = PointToDoorDistance(a, venue_->door(d1));
-    if (leg >= best) continue;
-    for (DoorId d2 : part_t.doors) {
-      const double cand = leg + DoorToDoor(d1, d2);
-      if (cand < best) best = cand;
-    }
-  }
-  return best;
-}
-
-double VipTree::PartitionToPartition(PartitionId p, PartitionId q) const {
-  if (p == q) return 0.0;
-  const Partition& part_p = venue_->partition(p);
-  const Partition& part_q = venue_->partition(q);
-  double best = kInfDistance;
-  for (DoorId d1 : part_p.doors) {
-    for (DoorId d2 : part_q.doors) {
-      const double cand = DoorToDoor(d1, d2);
-      if (cand < best) best = cand;
-    }
-  }
-  return best;
+  // General case: the interface's generic composition (identical loops to
+  // the pre-oracle implementation).
+  return DistanceOracle::PointToPartition(a, pa, target);
 }
 
 double VipTree::PartitionToNode(PartitionId p, NodeId n) const {

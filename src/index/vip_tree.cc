@@ -1,6 +1,7 @@
 #include "src/index/vip_tree.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <queue>
 #include <sstream>
@@ -13,8 +14,6 @@
 
 namespace ifls {
 namespace {
-
-thread_local VipTreeCounters* g_counter_sink = nullptr;
 
 /// Sorted, deduplicated copy.
 std::vector<DoorId> SortedUnique(std::vector<DoorId> v) {
@@ -107,36 +106,22 @@ std::vector<int> ChunkBySpatialOrder(std::vector<SpatialItem> items,
 
 }  // namespace
 
-ScopedVipTreeCounterSink::ScopedVipTreeCounterSink(VipTreeCounters* sink)
-    : previous_(g_counter_sink) {
-  g_counter_sink = sink;
-}
-
-ScopedVipTreeCounterSink::~ScopedVipTreeCounterSink() {
-  g_counter_sink = previous_;
-}
-
-VipTreeCounters* ScopedVipTreeCounterSink::Active() { return g_counter_sink; }
-
 VipTree::VipTree(VipTree&& other) noexcept
     : venue_(other.venue_),
       options_(other.options_),
+      ids_(std::move(other.ids_)),
+      dist_(std::move(other.dist_)),
+      hops_(std::move(other.hops_)),
+      ancestor_views_(std::move(other.ancestor_views_)),
       nodes_(std::move(other.nodes_)),
       leaf_of_partition_(std::move(other.leaf_of_partition_)),
       root_(other.root_),
       num_leaves_(other.num_leaves_),
       height_(other.height_),
       door_cache_(std::move(other.door_cache_)) {
-  shared_counters_.door_distance_evals.store(
-      other.shared_counters_.door_distance_evals.load(
-          std::memory_order_relaxed),
-      std::memory_order_relaxed);
-  shared_counters_.matrix_lookups.store(
-      other.shared_counters_.matrix_lookups.load(std::memory_order_relaxed),
-      std::memory_order_relaxed);
-  shared_counters_.cache_hits.store(
-      other.shared_counters_.cache_hits.load(std::memory_order_relaxed),
-      std::memory_order_relaxed);
+  // Spans and matrix views in nodes_ point into the arenas' heap blocks,
+  // which the vector moves transfer verbatim — no rewiring needed.
+  CopyCountersFrom(other);
   other.venue_ = nullptr;
 }
 
@@ -146,64 +131,18 @@ VipTree& VipTree::operator=(VipTree&& other) noexcept {
   // Steal tmp's state member by member; no self-aliasing remains.
   venue_ = tmp.venue_;
   options_ = tmp.options_;
+  ids_ = std::move(tmp.ids_);
+  dist_ = std::move(tmp.dist_);
+  hops_ = std::move(tmp.hops_);
+  ancestor_views_ = std::move(tmp.ancestor_views_);
   nodes_ = std::move(tmp.nodes_);
   leaf_of_partition_ = std::move(tmp.leaf_of_partition_);
   root_ = tmp.root_;
   num_leaves_ = tmp.num_leaves_;
   height_ = tmp.height_;
   door_cache_ = std::move(tmp.door_cache_);
-  shared_counters_.door_distance_evals.store(
-      tmp.shared_counters_.door_distance_evals.load(std::memory_order_relaxed),
-      std::memory_order_relaxed);
-  shared_counters_.matrix_lookups.store(
-      tmp.shared_counters_.matrix_lookups.load(std::memory_order_relaxed),
-      std::memory_order_relaxed);
-  shared_counters_.cache_hits.store(
-      tmp.shared_counters_.cache_hits.load(std::memory_order_relaxed),
-      std::memory_order_relaxed);
+  CopyCountersFrom(tmp);
   return *this;
-}
-
-void VipTree::BumpDoorDistanceEvals() const {
-  if (g_counter_sink != nullptr) {
-    ++g_counter_sink->door_distance_evals;
-  } else {
-    shared_counters_.door_distance_evals.fetch_add(1,
-                                                   std::memory_order_relaxed);
-  }
-}
-
-void VipTree::BumpMatrixLookups(std::uint64_t n) const {
-  if (g_counter_sink != nullptr) {
-    g_counter_sink->matrix_lookups += n;
-  } else {
-    shared_counters_.matrix_lookups.fetch_add(n, std::memory_order_relaxed);
-  }
-}
-
-void VipTree::BumpCacheHits() const {
-  if (g_counter_sink != nullptr) {
-    ++g_counter_sink->cache_hits;
-  } else {
-    shared_counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
-  }
-}
-
-VipTreeCounters VipTree::counters() const {
-  VipTreeCounters out;
-  out.door_distance_evals =
-      shared_counters_.door_distance_evals.load(std::memory_order_relaxed);
-  out.matrix_lookups =
-      shared_counters_.matrix_lookups.load(std::memory_order_relaxed);
-  out.cache_hits =
-      shared_counters_.cache_hits.load(std::memory_order_relaxed);
-  return out;
-}
-
-void VipTree::ResetCounters() const {
-  shared_counters_.door_distance_evals.store(0, std::memory_order_relaxed);
-  shared_counters_.matrix_lookups.store(0, std::memory_order_relaxed);
-  shared_counters_.cache_hits.store(0, std::memory_order_relaxed);
 }
 
 bool VipTree::CachedDoorDistance(std::uint64_t key, double* out) const {
@@ -245,6 +184,11 @@ Result<VipTree> VipTree::Build(const Venue* venue, VipTreeOptions options) {
 
   const std::size_t num_partitions = venue->num_partitions();
 
+  // The clustering phase works on a transient structural description; the
+  // result is converted into the flat arena layout in one pass once every
+  // id list's exact size is known.
+  VipTreeStructure structure;
+
   // ---- Leaf formation: spatially chunk the partitions. ------------------
   std::vector<SpatialItem> partition_items;
   partition_items.reserve(num_partitions);
@@ -259,18 +203,16 @@ Result<VipTree> VipTree::Build(const Venue* venue, VipTreeOptions options) {
   const int num_leaves =
       1 + *std::max_element(leaf_cluster.begin(), leaf_cluster.end());
 
-  tree.leaf_of_partition_.assign(num_partitions, kInvalidNode);
-  tree.num_leaves_ = static_cast<std::size_t>(num_leaves);
-  tree.nodes_.resize(static_cast<std::size_t>(num_leaves));
+  std::vector<NodeId> leaf_of(num_partitions, kInvalidNode);
+  structure.nodes.resize(static_cast<std::size_t>(num_leaves));
   for (int l = 0; l < num_leaves; ++l) {
-    VipNode& node = tree.nodes_[static_cast<std::size_t>(l)];
-    node.id = static_cast<NodeId>(l);
+    structure.nodes[static_cast<std::size_t>(l)].id = static_cast<NodeId>(l);
   }
   for (std::size_t p = 0; p < num_partitions; ++p) {
     const NodeId leaf = static_cast<NodeId>(leaf_cluster[p]);
-    tree.nodes_[static_cast<std::size_t>(leaf)].partitions.push_back(
+    structure.nodes[static_cast<std::size_t>(leaf)].partitions.push_back(
         static_cast<PartitionId>(p));
-    tree.leaf_of_partition_[p] = leaf;
+    leaf_of[p] = leaf;
   }
 
   // ---- Upper levels: spatially chunk nodes until a single root. ---------
@@ -313,17 +255,17 @@ Result<VipTree> VipTree::Build(const Venue* venue, VipTreeOptions options) {
     std::vector<Centroid> next_centroids(
         static_cast<std::size_t>(num_groups));
     for (int g = 0; g < num_groups; ++g) {
-      VipNode parent;
-      parent.id = static_cast<NodeId>(tree.nodes_.size());
+      VipTreeStructure::Node parent;
+      parent.id = static_cast<NodeId>(structure.nodes.size());
       next_level.push_back(parent.id);
-      tree.nodes_.push_back(std::move(parent));
+      structure.nodes.push_back(std::move(parent));
     }
     for (std::size_t i = 0; i < k; ++i) {
       const auto g = static_cast<std::size_t>(groups[i]);
       const NodeId parent_id = next_level[g];
-      tree.nodes_[static_cast<std::size_t>(level[i])].parent = parent_id;
-      tree.nodes_[static_cast<std::size_t>(parent_id)].children.push_back(
-          level[i]);
+      structure.nodes[static_cast<std::size_t>(level[i])].parent = parent_id;
+      structure.nodes[static_cast<std::size_t>(parent_id)]
+          .children.push_back(level[i]);
       next_centroids[g].sum_x += centroids[i].sum_x;
       next_centroids[g].sum_y += centroids[i].sum_y;
       next_centroids[g].sum_level += centroids[i].sum_level;
@@ -332,26 +274,35 @@ Result<VipTree> VipTree::Build(const Venue* venue, VipTreeOptions options) {
     level = std::move(next_level);
     centroids = std::move(next_centroids);
   }
-  tree.root_ = level.front();
+  const NodeId root = level.front();
 
   // ---- Depths (needed for the access-door containment checks below). ----
+  std::vector<int> depth(structure.nodes.size(), 0);
   {
     std::queue<NodeId> bfs;
-    bfs.push(tree.root_);
-    tree.nodes_[static_cast<std::size_t>(tree.root_)].depth = 0;
+    bfs.push(root);
     while (!bfs.empty()) {
       const NodeId cur = bfs.front();
       bfs.pop();
-      VipNode& n = tree.nodes_[static_cast<std::size_t>(cur)];
-      for (NodeId ch : n.children) {
-        tree.nodes_[static_cast<std::size_t>(ch)].depth = n.depth + 1;
+      for (NodeId ch : structure.nodes[static_cast<std::size_t>(cur)].children) {
+        depth[static_cast<std::size_t>(ch)] =
+            depth[static_cast<std::size_t>(cur)] + 1;
         bfs.push(ch);
       }
     }
   }
 
   // ---- Door sets and access doors. ---------------------------------------
-  for (VipNode& n : tree.nodes_) {
+  const auto contains = [&](NodeId nid, PartitionId p) {
+    NodeId cur = leaf_of[static_cast<std::size_t>(p)];
+    while (cur != kInvalidNode &&
+           depth[static_cast<std::size_t>(cur)] >
+               depth[static_cast<std::size_t>(nid)]) {
+      cur = structure.nodes[static_cast<std::size_t>(cur)].parent;
+    }
+    return cur == nid;
+  };
+  for (VipTreeStructure::Node& n : structure.nodes) {
     if (!n.is_leaf()) continue;
     std::vector<DoorId> doors;
     for (PartitionId p : n.partitions) {
@@ -362,55 +313,47 @@ Result<VipTree> VipTree::Build(const Venue* venue, VipTreeOptions options) {
     std::vector<DoorId> access;
     for (DoorId d : n.doors) {
       const Door& door = venue->door(d);
-      const bool a_in = tree.leaf_of_partition_[static_cast<std::size_t>(
-                            door.partition_a)] == n.id;
-      const bool b_in = tree.leaf_of_partition_[static_cast<std::size_t>(
-                            door.partition_b)] == n.id;
+      const bool a_in =
+          leaf_of[static_cast<std::size_t>(door.partition_a)] == n.id;
+      const bool b_in =
+          leaf_of[static_cast<std::size_t>(door.partition_b)] == n.id;
       if (a_in != b_in) access.push_back(d);
     }
     n.access_doors = std::move(access);  // subset of sorted -> sorted
   }
   // Internal nodes in ascending id order (children first).
-  for (VipNode& n : tree.nodes_) {
+  for (VipTreeStructure::Node& n : structure.nodes) {
     if (n.is_leaf()) continue;
     std::vector<DoorId> doors;
     for (NodeId ch : n.children) {
-      const auto& cad = tree.nodes_[static_cast<std::size_t>(ch)].access_doors;
+      const auto& cad =
+          structure.nodes[static_cast<std::size_t>(ch)].access_doors;
       doors.insert(doors.end(), cad.begin(), cad.end());
     }
     n.doors = SortedUnique(std::move(doors));
     std::vector<DoorId> access;
     for (DoorId d : n.doors) {
       const Door& door = venue->door(d);
-      const bool a_in = tree.NodeContainsPartition(n.id, door.partition_a);
-      const bool b_in = tree.NodeContainsPartition(n.id, door.partition_b);
+      const bool a_in = contains(n.id, door.partition_a);
+      const bool b_in = contains(n.id, door.partition_b);
       if (a_in != b_in) access.push_back(d);
     }
     n.access_doors = std::move(access);
   }
 
-  IFLS_RETURN_NOT_OK(tree.ComputeDerivedState());
+  IFLS_RETURN_NOT_OK(tree.InitFromStructure(structure));
 
   // ---- Matrices: one global Dijkstra per door fills every row. -----------
   DoorGraph graph(*venue);
   // door -> nodes whose square matrix has it as a row.
   std::vector<std::vector<NodeId>> matrix_rows(venue->num_doors());
-  for (VipNode& n : tree.nodes_) {
-    n.matrix = DoorMatrix(n.doors, n.doors, options.store_first_hop);
+  for (const VipNode& n : tree.nodes_) {
     for (DoorId d : n.doors) {
       matrix_rows[static_cast<std::size_t>(d)].push_back(n.id);
     }
-    if (n.is_leaf() && options.build_leaf_to_ancestor) {
-      for (NodeId anc = n.parent; anc != kInvalidNode;
-           anc = tree.nodes_[static_cast<std::size_t>(anc)].parent) {
-        n.ancestor_matrices.emplace_back(
-            n.doors, tree.nodes_[static_cast<std::size_t>(anc)].access_doors,
-            options.store_first_hop);
-      }
-    }
   }
   // Door d's Dijkstra run fills exactly the matrix rows indexed by door d,
-  // so distinct doors write disjoint memory and the sweep parallelizes
+  // so distinct doors write disjoint arena cells and the sweep parallelizes
   // without synchronization; the built index is bit-identical for any
   // thread count. Each worker leases a reusable Dijkstra workspace so the
   // sweep is allocation-free after warmup.
@@ -424,11 +367,11 @@ Result<VipTree> VipTree::Build(const Venue* venue, VipTreeOptions options) {
     const ShortestPaths& paths =
         SingleSourceShortestPaths(graph, door, ws.get());
     for (NodeId nid : matrix_rows[d]) {
-      VipNode& n = tree.nodes_[static_cast<std::size_t>(nid)];
-      n.matrix.FillRowFromShortestPaths(door, paths);
+      const VipNode& n = tree.nodes_[static_cast<std::size_t>(nid)];
+      tree.FillMatrixRow(n.matrix, door, paths);
       if (n.is_leaf()) {
-        for (DoorMatrix& anc : n.ancestor_matrices) {
-          if (!anc.empty()) anc.FillRowFromShortestPaths(door, paths);
+        for (const DoorMatrixView& anc : n.ancestor_matrices) {
+          if (!anc.empty()) tree.FillMatrixRow(anc, door, paths);
         }
       }
     }
@@ -445,10 +388,20 @@ Result<VipTree> VipTree::Build(const Venue* venue, VipTreeOptions options) {
   return tree;
 }
 
-Status VipTree::ComputeDerivedState() {
+Status VipTree::InitFromStructure(const VipTreeStructure& structure) {
+  const std::size_t n_nodes = structure.nodes.size();
+  if (n_nodes == 0) {
+    return Status::InvalidArgument("tree has no nodes");
+  }
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    if (structure.nodes[i].id != static_cast<NodeId>(i)) {
+      return Status::InvalidArgument("node ids must match their positions");
+    }
+  }
+
   // Root: the unique parentless node.
   root_ = kInvalidNode;
-  for (const VipNode& n : nodes_) {
+  for (const VipTreeStructure::Node& n : structure.nodes) {
     if (n.parent == kInvalidNode) {
       if (root_ != kInvalidNode) {
         return Status::InvalidArgument("tree has multiple roots");
@@ -463,7 +416,7 @@ Status VipTree::ComputeDerivedState() {
   // Partition -> leaf mapping; leaf count.
   leaf_of_partition_.assign(venue_->num_partitions(), kInvalidNode);
   num_leaves_ = 0;
-  for (const VipNode& n : nodes_) {
+  for (const VipTreeStructure::Node& n : structure.nodes) {
     if (!n.is_leaf()) continue;
     ++num_leaves_;
     for (PartitionId p : n.partitions) {
@@ -485,83 +438,196 @@ Status VipTree::ComputeDerivedState() {
   }
 
   // Depths, height, subtree sizes via BFS from the root.
+  std::vector<int> depth(n_nodes, 0);
+  std::vector<std::int32_t> subtree(n_nodes, 0);
   {
     std::size_t visited = 0;
     std::queue<NodeId> bfs;
     bfs.push(root_);
-    nodes_[static_cast<std::size_t>(root_)].depth = 0;
     height_ = 0;
     std::vector<NodeId> order;
-    order.reserve(nodes_.size());
+    order.reserve(n_nodes);
     while (!bfs.empty()) {
       const NodeId cur = bfs.front();
       bfs.pop();
       ++visited;
       order.push_back(cur);
-      VipNode& n = nodes_[static_cast<std::size_t>(cur)];
-      height_ = std::max(height_, n.depth);
+      const VipTreeStructure::Node& n =
+          structure.nodes[static_cast<std::size_t>(cur)];
+      height_ = std::max(height_, depth[static_cast<std::size_t>(cur)]);
       for (NodeId ch : n.children) {
-        if (ch < 0 || static_cast<std::size_t>(ch) >= nodes_.size() ||
-            nodes_[static_cast<std::size_t>(ch)].parent != cur) {
+        if (ch < 0 || static_cast<std::size_t>(ch) >= n_nodes ||
+            structure.nodes[static_cast<std::size_t>(ch)].parent != cur) {
           return Status::InvalidArgument("broken parent/child link");
         }
-        nodes_[static_cast<std::size_t>(ch)].depth = n.depth + 1;
+        depth[static_cast<std::size_t>(ch)] =
+            depth[static_cast<std::size_t>(cur)] + 1;
         bfs.push(ch);
       }
     }
-    if (visited != nodes_.size()) {
+    if (visited != n_nodes) {
       return Status::InvalidArgument("tree contains unreachable nodes");
     }
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
-      VipNode& n = nodes_[static_cast<std::size_t>(*it)];
+      const auto i = static_cast<std::size_t>(*it);
+      const VipTreeStructure::Node& n = structure.nodes[i];
       if (n.is_leaf()) {
-        n.subtree_partitions = static_cast<std::int32_t>(n.partitions.size());
+        subtree[i] = static_cast<std::int32_t>(n.partitions.size());
       } else {
         std::int32_t total = 0;
         for (NodeId ch : n.children) {
-          total += nodes_[static_cast<std::size_t>(ch)].subtree_partitions;
+          total += subtree[static_cast<std::size_t>(ch)];
         }
-        n.subtree_partitions = total;
+        subtree[i] = total;
       }
     }
   }
 
-  // Matrix index maps (no searches at query time).
-  for (VipNode& n : nodes_) {
-    n.access_door_idx.clear();
-    n.child_access_idx.clear();
-    auto index_in_doors = [&n](DoorId d) -> std::int32_t {
+  // Matrix index maps (no searches at query time), still in per-node
+  // temporaries: access_door_idx, plus the flattened child-access table
+  // (prefix offsets + concatenated per-child index lists).
+  std::vector<std::vector<std::int32_t>> access_idx(n_nodes);
+  std::vector<std::vector<std::int32_t>> child_off(n_nodes);
+  std::vector<std::vector<std::int32_t>> child_flat(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const VipTreeStructure::Node& n = structure.nodes[i];
+    const auto index_in_doors = [&n](DoorId d) -> std::int32_t {
       const auto it = std::lower_bound(n.doors.begin(), n.doors.end(), d);
       if (it == n.doors.end() || *it != d) return -1;
       return static_cast<std::int32_t>(it - n.doors.begin());
     };
-    n.access_door_idx.reserve(n.access_doors.size());
+    access_idx[i].reserve(n.access_doors.size());
     for (DoorId d : n.access_doors) {
       const std::int32_t idx = index_in_doors(d);
       if (idx < 0) {
         return Status::InvalidArgument(
             "access door missing from its node's door set");
       }
-      n.access_door_idx.push_back(idx);
+      access_idx[i].push_back(idx);
     }
     if (!n.is_leaf()) {
-      n.child_access_idx.resize(n.children.size());
-      for (std::size_t i = 0; i < n.children.size(); ++i) {
-        const VipNode& child =
-            nodes_[static_cast<std::size_t>(n.children[i])];
-        n.child_access_idx[i].reserve(child.access_doors.size());
+      child_off[i].reserve(n.children.size() + 1);
+      child_off[i].push_back(0);
+      for (NodeId ch : n.children) {
+        const VipTreeStructure::Node& child =
+            structure.nodes[static_cast<std::size_t>(ch)];
         for (DoorId d : child.access_doors) {
           const std::int32_t idx = index_in_doors(d);
           if (idx < 0) {
             return Status::InvalidArgument(
                 "child access door missing from parent door set");
           }
-          n.child_access_idx[i].push_back(idx);
+          child_flat[i].push_back(idx);
         }
+        child_off[i].push_back(
+            static_cast<std::int32_t>(child_flat[i].size()));
       }
     }
   }
+
+  // ---- Exact arena totals; reservation happens once, so every span and
+  // matrix view handed out below stays valid for the tree's lifetime.
+  const bool vip = options_.build_leaf_to_ancestor;
+  std::size_t id_total = 0;
+  std::size_t dist_total = 0;
+  std::size_t anc_view_total = 0;
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const VipTreeStructure::Node& n = structure.nodes[i];
+    id_total += n.children.size() + n.partitions.size() + n.doors.size() +
+                n.access_doors.size() + access_idx[i].size() +
+                child_off[i].size() + child_flat[i].size();
+    dist_total += n.doors.size() * n.doors.size();
+    if (vip && n.is_leaf()) {
+      anc_view_total += static_cast<std::size_t>(depth[i]);
+      for (NodeId anc = n.parent; anc != kInvalidNode;
+           anc = structure.nodes[static_cast<std::size_t>(anc)].parent) {
+        dist_total +=
+            n.doors.size() *
+            structure.nodes[static_cast<std::size_t>(anc)].access_doors.size();
+      }
+    }
+  }
+  ids_.Reserve(id_total);
+  dist_.Reserve(dist_total);
+  if (options_.store_first_hop) hops_.Reserve(dist_total);
+  ancestor_views_.clear();
+  ancestor_views_.reserve(anc_view_total);
+  nodes_.assign(n_nodes, VipNode{});
+
+  // ---- Pass 1: scalar fields and id payloads (node id ascending).
+  const auto append_ids = [this](const std::vector<std::int32_t>& v) {
+    const std::size_t off = ids_.AppendRange(v.begin(), v.end());
+    return std::span<const std::int32_t>(ids_.data() + off, v.size());
+  };
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const VipTreeStructure::Node& sn = structure.nodes[i];
+    VipNode& n = nodes_[i];
+    n.id = sn.id;
+    n.parent = sn.parent;
+    n.depth = depth[i];
+    n.subtree_partitions = subtree[i];
+    n.children = append_ids(sn.children);
+    n.partitions = append_ids(sn.partitions);
+    n.doors = append_ids(sn.doors);
+    n.access_doors = append_ids(sn.access_doors);
+    n.access_door_idx = append_ids(access_idx[i]);
+    n.child_access_off_ = append_ids(child_off[i]);
+    n.child_access_flat_ = append_ids(child_flat[i]);
+  }
+
+  // ---- Pass 2: matrix payload slots and views (node id ascending; per
+  // node the main matrix, then — VIP leaves — ancestor matrices
+  // k = 0..depth-1). This order is also the v2 serialization payload order.
+  const auto allocate_matrix = [this](std::span<const DoorId> rows,
+                                      std::span<const DoorId> cols) {
+    const std::size_t cells = rows.size() * cols.size();
+    const std::size_t off = dist_.Allocate(cells, kInfDistance);
+    const DoorId* hop_ptr = nullptr;
+    if (options_.store_first_hop) {
+      const std::size_t hop_off = hops_.Allocate(cells, kInvalidDoor);
+      IFLS_DCHECK(hop_off == off);
+      hop_ptr = hops_.data() + hop_off;
+    }
+    return DoorMatrixView(rows, cols, dist_.data() + off, hop_ptr);
+  };
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    VipNode& n = nodes_[i];
+    n.matrix = allocate_matrix(n.doors, n.doors);
+    if (vip && n.is_leaf()) {
+      const std::size_t first = ancestor_views_.size();
+      for (NodeId anc = n.parent; anc != kInvalidNode;
+           anc = nodes_[static_cast<std::size_t>(anc)].parent) {
+        ancestor_views_.push_back(allocate_matrix(
+            n.doors, nodes_[static_cast<std::size_t>(anc)].access_doors));
+      }
+      n.ancestor_matrices = std::span<const DoorMatrixView>(
+          ancestor_views_.data() + first, ancestor_views_.size() - first);
+    }
+  }
   return Status::OK();
+}
+
+void VipTree::FillMatrixRow(const DoorMatrixView& view, DoorId row,
+                            const ShortestPaths& paths) {
+  const int r = view.RowIndex(row);
+  IFLS_DCHECK(r >= 0);
+  const std::size_t cols = view.num_cols();
+  const std::size_t base =
+      static_cast<std::size_t>(view.dist_data() - dist_.data()) +
+      static_cast<std::size_t>(r) * cols;
+  double* dist_row = dist_.mutable_data() + base;
+  DoorId* hop_row = nullptr;
+  if (view.has_first_hop()) {
+    hop_row = hops_.mutable_data() +
+              (static_cast<std::size_t>(view.first_hop_data() - hops_.data()) +
+               static_cast<std::size_t>(r) * cols);
+  }
+  const std::span<const DoorId> col_ids = view.cols();
+  for (std::size_t c = 0; c < cols; ++c) {
+    const auto target = static_cast<std::size_t>(col_ids[c]);
+    dist_row[c] = paths.distance[target];
+    if (hop_row != nullptr) hop_row[c] = paths.first_hop[target];
+  }
 }
 
 const VipNode& VipTree::node(NodeId id) const {
@@ -597,27 +663,40 @@ NodeId VipTree::LowestCommonAncestor(NodeId a, NodeId b) const {
 
 std::size_t VipTree::MemoryFootprintBytes() const {
   std::size_t total = sizeof(VipTree);
-  for (const VipNode& n : nodes_) {
-    total += sizeof(VipNode);
-    total += n.children.capacity() * sizeof(NodeId);
-    total += n.partitions.capacity() * sizeof(PartitionId);
-    total += n.doors.capacity() * sizeof(DoorId);
-    total += n.access_doors.capacity() * sizeof(DoorId);
-    total += n.matrix.MemoryFootprintBytes();
-    for (const DoorMatrix& m : n.ancestor_matrices) {
-      total += m.MemoryFootprintBytes();
-    }
-    total += n.access_door_idx.capacity() * sizeof(std::int32_t);
-    for (const auto& v : n.child_access_idx) {
-      total += v.capacity() * sizeof(std::int32_t);
-    }
-  }
+  total += nodes_.capacity() * sizeof(VipNode);
+  total += ids_.MemoryFootprintBytes();
+  total += dist_.MemoryFootprintBytes();
+  total += hops_.MemoryFootprintBytes();
+  total += ancestor_views_.capacity() * sizeof(DoorMatrixView);
   total += leaf_of_partition_.capacity() * sizeof(NodeId);
   // Memoized door distances (conceptually part of the index; grows with
   // query traffic up to doors^2 entries).
   total += distance_cache_size() *
            (sizeof(std::uint64_t) + sizeof(double) + 2 * sizeof(void*));
   return total;
+}
+
+VipTreeLayoutStats VipTree::LayoutStats() const {
+  VipTreeLayoutStats s;
+  s.num_nodes = nodes_.size();
+  s.num_leaves = num_leaves_;
+  s.id_bytes = ids_.size() * sizeof(std::int32_t);
+  s.dist_bytes = dist_.size() * sizeof(double);
+  s.hop_bytes = hops_.size() * sizeof(DoorId);
+  s.arena_used_bytes = s.id_bytes + s.dist_bytes + s.hop_bytes;
+  s.arena_capacity_bytes = ids_.MemoryFootprintBytes() +
+                           dist_.MemoryFootprintBytes() +
+                           hops_.MemoryFootprintBytes();
+  s.arena_utilization =
+      s.arena_capacity_bytes == 0
+          ? 1.0
+          : static_cast<double>(s.arena_used_bytes) /
+                static_cast<double>(s.arena_capacity_bytes);
+  s.bytes_per_node = nodes_.empty() ? 0.0
+                                    : static_cast<double>(
+                                          MemoryFootprintBytes()) /
+                                          static_cast<double>(nodes_.size());
+  return s;
 }
 
 std::string VipTree::ToString() const {

@@ -1,23 +1,22 @@
 #ifndef IFLS_INDEX_VIP_TREE_H_
 #define IFLS_INDEX_VIP_TREE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/status.h"
+#include "src/index/distance_oracle.h"
 #include "src/index/door_matrix.h"
 #include "src/indoor/venue.h"
 
 namespace ifls {
-
-using NodeId = std::int32_t;
-inline constexpr NodeId kInvalidNode = -1;
 
 /// Build parameters for IP-tree / VIP-tree construction.
 struct VipTreeOptions {
@@ -55,70 +54,90 @@ struct VipTreeOptions {
 /// One tree node. Leaves own a contiguous group of adjacent partitions;
 /// internal nodes own adjacent child nodes. In the IFLS algorithms the
 /// "children" of a leaf are its partitions (paper Algorithm 3 line 19).
+///
+/// Flat layout: every variable-length payload — id lists, index maps, and
+/// all matrix cells — lives in the owning tree's contiguous arena buffers;
+/// the node only carries spans/views into them. Nodes are therefore small,
+/// trivially copyable descriptors, and a traversal touching many nodes walks
+/// a handful of contiguous allocations instead of chasing per-node heap
+/// pointers.
 struct VipNode {
   NodeId id = kInvalidNode;
   NodeId parent = kInvalidNode;
   /// Root has depth 0.
   int depth = 0;
+  /// Number of partitions in the subtree (leaf: partitions.size()).
+  std::int32_t subtree_partitions = 0;
   /// Child node ids; empty for leaves.
-  std::vector<NodeId> children;
+  std::span<const NodeId> children;
   /// Partitions directly owned (leaves only).
-  std::vector<PartitionId> partitions;
+  std::span<const PartitionId> partitions;
   /// Door universe of this node, sorted: leaf = every door incident to an
   /// owned partition; internal = union of children's access doors.
-  std::vector<DoorId> doors;
+  std::span<const DoorId> doors;
   /// Doors with exactly one side inside this node's partition set, sorted.
   /// Empty for the root of a closed venue.
-  std::vector<DoorId> access_doors;
-  /// Global shortest distances over `doors` x `doors`.
-  DoorMatrix matrix;
+  std::span<const DoorId> access_doors;
+  /// Global shortest distances over `doors` x `doors` (cells in the arena).
+  DoorMatrixView matrix;
   /// VIP extension (leaves only): ancestor_matrices[k] has rows = this
   /// leaf's doors and cols = access doors of the k-th ancestor
   /// (k = 0 -> parent, k = depth-1 -> root).
-  std::vector<DoorMatrix> ancestor_matrices;
-  /// Number of partitions in the subtree (leaf: partitions.size()).
-  std::int32_t subtree_partitions = 0;
+  std::span<const DoorMatrixView> ancestor_matrices;
   /// Positions of `access_doors[i]` within `doors` (hence within `matrix`
   /// rows/cols). Precomputed so query-time composition needs no searches.
-  std::vector<std::int32_t> access_door_idx;
-  /// Internal nodes: child_access_idx[i][j] = position of
-  /// children[i]'s access_doors[j] within `doors`.
-  std::vector<std::vector<std::int32_t>> child_access_idx;
+  std::span<const std::int32_t> access_door_idx;
 
   bool is_leaf() const { return children.empty(); }
+
+  /// Internal nodes: child_access_idx(i)[j] = position of
+  /// children[i]'s access_doors[j] within `doors`. Stored flattened:
+  /// `child_access_off_` holds children.size()+1 prefix offsets into
+  /// `child_access_flat_`.
+  std::span<const std::int32_t> child_access_idx(std::size_t i) const {
+    const auto begin = static_cast<std::size_t>(child_access_off_[i]);
+    const auto end = static_cast<std::size_t>(child_access_off_[i + 1]);
+    return child_access_flat_.subspan(begin, end - begin);
+  }
+
+  // Flat backing for child_access_idx (treat as private to the tree).
+  std::span<const std::int32_t> child_access_off_;
+  std::span<const std::int32_t> child_access_flat_;
 };
 
-/// Counters the tree updates on its own query paths; algorithms attribute
-/// index work per query by installing a ScopedVipTreeCounterSink.
-struct VipTreeCounters {
-  std::uint64_t door_distance_evals = 0;  // DoorToDoor compositions
-  std::uint64_t matrix_lookups = 0;       // individual matrix cell reads
-  std::uint64_t cache_hits = 0;           // memoized DoorToDoor answers
+/// Transient structural description of a tree: plain per-node vectors, as
+/// produced by the build clustering phase or parsed by the serialization
+/// loaders, before conversion into the flat arena layout. Internal API
+/// shared by vip_tree.cc and vip_tree_io.cc.
+struct VipTreeStructure {
+  struct Node {
+    NodeId id = kInvalidNode;
+    NodeId parent = kInvalidNode;
+    std::vector<NodeId> children;
+    std::vector<PartitionId> partitions;
+    std::vector<DoorId> doors;
+    std::vector<DoorId> access_doors;
+
+    bool is_leaf() const { return children.empty(); }
+  };
+  std::vector<Node> nodes;
 };
 
-/// Routes the calling thread's VipTree counter updates (for every tree) into
-/// `sink` for the scope's lifetime; restores the previous sink on
-/// destruction. Scopes nest, mirroring ScopedMemoryTracking.
-///
-/// This is the concurrency story for the counters: a thread with a sink
-/// installed never touches the tree-wide aggregate, so parallel queries get
-/// contention-free, exactly-attributed per-query counts. Threads without a
-/// sink fall back to the tree's atomic aggregate, which is race-free but
-/// shared.
-class ScopedVipTreeCounterSink {
- public:
-  explicit ScopedVipTreeCounterSink(VipTreeCounters* sink);
-  ~ScopedVipTreeCounterSink();
-
-  ScopedVipTreeCounterSink(const ScopedVipTreeCounterSink&) = delete;
-  ScopedVipTreeCounterSink& operator=(const ScopedVipTreeCounterSink&) =
-      delete;
-
-  /// The calling thread's active sink; null when none is installed.
-  static VipTreeCounters* Active();
-
- private:
-  VipTreeCounters* previous_;
+/// Size/utilization report of the flat layout (bench_index_micro).
+struct VipTreeLayoutStats {
+  std::size_t num_nodes = 0;
+  std::size_t num_leaves = 0;
+  /// Used bytes per arena.
+  std::size_t id_bytes = 0;
+  std::size_t dist_bytes = 0;
+  std::size_t hop_bytes = 0;
+  /// Used / reserved bytes across all arenas (reservation is exact, so
+  /// utilization is 1.0 unless a layout bug under-fills).
+  std::size_t arena_used_bytes = 0;
+  std::size_t arena_capacity_bytes = 0;
+  double arena_utilization = 1.0;
+  /// Total index bytes (MemoryFootprintBytes) divided by node count.
+  double bytes_per_node = 0.0;
 };
 
 /// The VIP-tree (Shao et al., PVLDB'16): a bottom-up hierarchical
@@ -128,76 +147,75 @@ class ScopedVipTreeCounterSink {
 /// IP-tree. Matrices are built with *global* Dijkstra runs so every distance
 /// the tree returns is exactly the door-graph shortest distance (see
 /// DESIGN.md §3.2).
+///
+/// This is the materialized DistanceOracle backend: solvers consume it
+/// through the interface, while serialization, path reconstruction and the
+/// benches may use the concrete structure below.
+///
 /// Thread-safety: after Build/Load, every distance/structure accessor is a
 /// read-only path safe to call from any number of threads concurrently —
 /// counters go to per-thread sinks or the atomic aggregate, and the door
 /// memo (when enabled) is guarded by its own mutex. Only Save/Load/Build and
 /// moves require external exclusivity.
-class VipTree {
+class VipTree : public DistanceOracle {
  public:
   /// Builds the index over `venue`. The venue must outlive the tree.
   static Result<VipTree> Build(const Venue* venue, VipTreeOptions options = {});
 
   VipTree(VipTree&& other) noexcept;
   VipTree& operator=(VipTree&& other) noexcept;
-  VipTree(const VipTree&) = delete;
-  VipTree& operator=(const VipTree&) = delete;
 
-  const Venue& venue() const { return *venue_; }
+  const Venue& venue() const override { return *venue_; }
   const VipTreeOptions& options() const { return options_; }
 
   // ---- Structure -----------------------------------------------------
 
-  NodeId root() const { return root_; }
-  std::size_t num_nodes() const { return nodes_.size(); }
+  NodeId root() const override { return root_; }
+  std::size_t num_nodes() const override { return nodes_.size(); }
   std::size_t num_leaves() const { return num_leaves_; }
   int height() const { return height_; }
   const VipNode& node(NodeId id) const;
 
+  bool IsLeaf(NodeId n) const override { return node(n).is_leaf(); }
+  NodeId Parent(NodeId n) const override { return node(n).parent; }
+  std::span<const NodeId> Children(NodeId n) const override {
+    return node(n).children;
+  }
+  std::span<const PartitionId> NodePartitions(NodeId n) const override {
+    return node(n).partitions;
+  }
+
   /// Leaf node owning partition `p`.
-  NodeId LeafOf(PartitionId p) const;
+  NodeId LeafOf(PartitionId p) const override;
 
   /// True when partition `p` lies inside node `n`'s subtree.
-  bool NodeContainsPartition(NodeId n, PartitionId p) const;
+  bool NodeContainsPartition(NodeId n, PartitionId p) const override;
 
   /// Lowest common ancestor of two nodes.
   NodeId LowestCommonAncestor(NodeId a, NodeId b) const;
 
   // ---- Distances (implemented in vip_distance.cc) ---------------------
+  // PointToDoor / PointToPoint / DoorToPartition / PartitionToPartition are
+  // inherited from DistanceOracle: their compositions over DoorToDoor are
+  // the generic ones.
 
   /// Exact global door-to-door walking distance, composed from the stored
   /// matrices (leaf lookup, or leaf->LCA-access-door->leaf composition).
-  double DoorToDoor(DoorId a, DoorId b) const;
-
-  /// Exact walking distance from a point in partition `pa` to door `d`.
-  double PointToDoor(const Point& a, PartitionId pa, DoorId d) const;
-
-  /// Exact indoor distance between two points (paper iDist for two points).
-  double PointToPoint(const Point& a, PartitionId pa, const Point& b,
-                      PartitionId pb) const;
+  double DoorToDoor(DoorId a, DoorId b) const override;
 
   /// Exact indoor distance from a point to the nearest reachable boundary of
   /// partition `target` (paper iDist(c, p)); 0 when pa == target. Applies
   /// the single-door optimization when enabled.
   double PointToPartition(const Point& a, PartitionId pa,
-                          PartitionId target) const;
-
-  /// Shortest walking distance from door `d` to the nearest door of
-  /// partition `target`. Algorithms cache this per (door, partition) to
-  /// serve every client of a single-door partition with one lookup.
-  double DoorToPartition(DoorId d, PartitionId target) const;
-
-  /// Paper iMinD(p, I) with I a partition: door-set to door-set shortest
-  /// distance, zero intra-partition offsets; 0 when p == q.
-  double PartitionToPartition(PartitionId p, PartitionId q) const;
+                          PartitionId target) const override;
 
   /// Paper iMinD(p, I) with I a tree node: 0 when the node contains p, else
   /// min over doors(p) x access_doors(n).
-  double PartitionToNode(PartitionId p, NodeId n) const;
+  double PartitionToNode(PartitionId p, NodeId n) const override;
 
   /// Lower bound used by top-down NN: distance from a concrete point to the
   /// nearest access door of node `n` (0 when the node contains pa).
-  double PointToNode(const Point& a, PartitionId pa, NodeId n) const;
+  double PointToNode(const Point& a, PartitionId pa, NodeId n) const override;
 
   /// First door to take from door `a` toward door `b`, when first-hop
   /// storage is enabled and both doors share a leaf; kInvalidDoor otherwise.
@@ -206,55 +224,60 @@ class VipTree {
   // ---- Serialization (vip_tree_io.cc) ------------------------------------
 
   /// Writes the complete index (structure + matrices) in the IFLS_VIPTREE
-  /// text format, so the offline build can be done once and shipped.
+  /// text format v2 (flat payload), so the offline build can be done once
+  /// and shipped. Deterministic: identical trees serialize byte-identically.
   Status Save(std::ostream* out) const;
   Status SaveToFile(const std::string& path) const;
 
+  /// Writes the legacy v1 (per-node matrix) format; kept so the v1->v2
+  /// migration path stays testable against freshly built trees.
+  Status SaveLegacyV1(std::ostream* out) const;
+
   /// Loads an index previously saved for (a venue identical to) `venue`.
-  /// Validates structural consistency against the venue.
+  /// Accepts both format v2 and legacy v1 (migrated into the arena layout
+  /// on load). Validates structural consistency against the venue.
   static Result<VipTree> Load(const Venue* venue, std::istream* in);
   static Result<VipTree> LoadFromFile(const Venue* venue,
                                       const std::string& path);
 
   // ---- Introspection ---------------------------------------------------
 
-  /// Snapshot of the tree-wide aggregate counters. Work done by threads
-  /// with a ScopedVipTreeCounterSink installed lands in their sinks, not
-  /// here.
-  VipTreeCounters counters() const;
-  void ResetCounters() const;
-
   /// Drops all memoized door distances (only meaningful when the cache is
   /// enabled). Call between runs that must not share warm state.
   void ClearDistanceCache() const;
   std::size_t distance_cache_size() const;
 
-  /// Total bytes held by matrices and structure vectors.
+  /// Total bytes held by arenas, node descriptors and auxiliary tables.
   std::size_t MemoryFootprintBytes() const;
+
+  /// Arena sizes and utilization of the flat layout.
+  VipTreeLayoutStats LayoutStats() const;
 
   std::string ToString() const;
 
  private:
   VipTree() = default;
 
-  /// Recomputes everything derivable from nodes_ + venue_: depths, heights,
-  /// leaf-of-partition mapping, matrix index maps. Shared by Build and Load.
-  Status ComputeDerivedState();
+  /// Converts a validated-on-the-fly structural description into the flat
+  /// arena layout: derives depths, height, leaf-of-partition and index maps
+  /// (returning InvalidArgument on inconsistencies), computes exact arena
+  /// totals, and lays out every id list and matrix payload (distances
+  /// initialized to kInfDistance, first hops to kInvalidDoor) in
+  /// deterministic order — node id ascending; per node the main matrix then
+  /// ancestor matrices k = 0..depth-1. Shared by Build and Load; the caller
+  /// then fills the payload cells in place.
+  Status InitFromStructure(const VipTreeStructure& structure);
+
+  /// Fills matrix row `row` of `view` (which must alias this tree's arenas)
+  /// from a completed single-source run.
+  void FillMatrixRow(const DoorMatrixView& view, DoorId row,
+                     const ShortestPaths& paths);
 
   /// Distance from door `a` (incident to leaf `leaf`) to every access door
   /// of `ancestor`, appended to `*out` aligned with that node's access_doors.
   /// Uses materialized matrices in VIP mode, chain composition in IP mode.
   void DistancesToAncestorAccessDoors(DoorId a, NodeId leaf, NodeId ancestor,
                                       std::vector<double>* out) const;
-
-  /// Tree-wide counter aggregate, taken only by threads without an
-  /// installed sink. Relaxed atomics: the values are metrics, not
-  /// synchronization.
-  struct AtomicCounters {
-    std::atomic<std::uint64_t> door_distance_evals{0};
-    std::atomic<std::uint64_t> matrix_lookups{0};
-    std::atomic<std::uint64_t> cache_hits{0};
-  };
 
   /// Memoized DoorToDoor answers, keyed (min_door << 32) | max_door. Mutex
   /// and map live behind one pointer so the tree stays movable.
@@ -263,27 +286,36 @@ class VipTree {
     std::unordered_map<std::uint64_t, double> map;
   };
 
-  // Counter update helpers: thread sink when installed, atomic aggregate
-  // otherwise (vip_distance.cc hot paths).
-  void BumpDoorDistanceEvals() const;
-  void BumpMatrixLookups(std::uint64_t n) const;
-  void BumpCacheHits() const;
-
   /// Memo lookup/insert used by DoorToDoor when the cache is enabled.
   bool CachedDoorDistance(std::uint64_t key, double* out) const;
   void StoreDoorDistance(std::uint64_t key, double value) const;
 
   const Venue* venue_ = nullptr;
   VipTreeOptions options_;
+
+  /// Flat storage. All id-typed payloads (NodeId/PartitionId/DoorId and
+  /// int32 index maps share the same representation) live in `ids_`; matrix
+  /// distances in `dist_`; first hops in `hops_`. Spans and views in nodes_
+  /// point into these buffers — reservation is exact and up front, so the
+  /// pointers are stable for the tree's lifetime and across moves.
+  ArenaBuffer<std::int32_t> ids_;
+  ArenaBuffer<double> dist_;
+  ArenaBuffer<DoorId> hops_;
+  /// Per-leaf ancestor matrix views, concatenated in node order; each
+  /// leaf's `ancestor_matrices` spans a slice of this vector.
+  std::vector<DoorMatrixView> ancestor_views_;
+
   std::vector<VipNode> nodes_;
   std::vector<NodeId> leaf_of_partition_;
   NodeId root_ = kInvalidNode;
   std::size_t num_leaves_ = 0;
   int height_ = 0;
-  mutable AtomicCounters shared_counters_;
   mutable std::unique_ptr<DoorCache> door_cache_ =
       std::make_unique<DoorCache>();
 };
+
+/// The materialized-index implementation of DistanceOracle.
+using VipTreeOracle = VipTree;
 
 }  // namespace ifls
 

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <fstream>
 #include <iomanip>
 #include <istream>
@@ -10,15 +11,34 @@
 // Serialization of a built VIP-tree in the line-oriented IFLS_VIPTREE text
 // format. The venue itself is serialized separately (io/venue_io); a loaded
 // tree validates its structural consistency against the venue it is given.
+//
+// Two format versions:
+//  * v2 (written by Save): structure section without per-matrix row/col id
+//    lists — matrix shapes are fully derivable from the node door sets — and
+//    one bulk `payload` section holding every distance (and first-hop) cell
+//    in the deterministic arena-layout order (node id ascending; per node
+//    the main matrix, then ancestor matrices k = 0..depth-1; row-major).
+//    The loader streams the payload straight into the arenas. Saves are
+//    byte-stable: save(load(save(t))) == save(t).
+//  * v1 (legacy, written by SaveLegacyV1): per-node matrices with explicit
+//    row/col id lists. The loader migrates v1 files into the arena layout,
+//    validating that every matrix's door sets match the derived structure.
+// Wrong-magic, wrong-version and truncated streams all surface as proper
+// Status errors — never a silent misread.
 
 namespace ifls {
 namespace {
 
 constexpr char kMagic[] = "IFLS_VIPTREE";
-constexpr int kVersion = 1;
+constexpr int kVersionLegacy = 1;
+constexpr int kVersionCurrent = 2;
 
-void SaveIdVector(std::ostream& os, const char* tag,
-                  const std::vector<std::int32_t>& v) {
+/// Payload values per line in the v2 bulk section (diff-friendliness only;
+/// the loader is whitespace-agnostic).
+constexpr std::size_t kPayloadValuesPerLine = 8;
+
+void SaveIdSpan(std::ostream& os, const char* tag,
+                std::span<const std::int32_t> v) {
   os << tag << " " << v.size();
   for (std::int32_t x : v) os << " " << x;
   os << "\n";
@@ -40,11 +60,11 @@ Status LoadIdVector(std::istream& in, const char* tag,
   return Status::OK();
 }
 
-void SaveMatrix(std::ostream& os, const DoorMatrix& m) {
+void SaveMatrixV1(std::ostream& os, const DoorMatrixView& m) {
   os << "matrix " << m.num_rows() << " " << m.num_cols() << "\n";
   // Row/col door ids (needed to reconstruct), then the payload.
-  SaveIdVector(os, "rows", m.rows());
-  SaveIdVector(os, "cols", m.cols());
+  SaveIdSpan(os, "rows", m.rows());
+  SaveIdSpan(os, "cols", m.cols());
   os << "data";
   for (std::size_t r = 0; r < m.num_rows(); ++r) {
     for (std::size_t c = 0; c < m.num_cols(); ++c) {
@@ -55,7 +75,7 @@ void SaveMatrix(std::ostream& os, const DoorMatrix& m) {
   os << "\n";
 }
 
-Status LoadMatrix(std::istream& in, bool store_first_hop, DoorMatrix* out) {
+Status LoadMatrixV1(std::istream& in, bool store_first_hop, DoorMatrix* out) {
   std::string keyword;
   std::size_t rows = 0, cols = 0;
   if (!(in >> keyword >> rows >> cols) || keyword != "matrix") {
@@ -85,30 +105,66 @@ Status LoadMatrix(std::istream& in, bool store_first_hop, DoorMatrix* out) {
   return Status::OK();
 }
 
+void SaveOptions(std::ostream& os, const VipTreeOptions& o) {
+  os << "options " << o.leaf_capacity << " " << o.internal_fanout << " "
+     << o.build_leaf_to_ancestor << " " << o.store_first_hop << " "
+     << o.single_door_optimization << " " << o.enable_door_distance_cache
+     << "\n";
+}
+
 }  // namespace
 
 Status VipTree::Save(std::ostream* out) const {
   if (out == nullptr) return Status::InvalidArgument("null output stream");
   std::ostream& os = *out;
   os << std::setprecision(17);
-  os << kMagic << " " << kVersion << "\n";
-  os << "options " << options_.leaf_capacity << " "
-     << options_.internal_fanout << " " << options_.build_leaf_to_ancestor
-     << " " << options_.store_first_hop << " "
-     << options_.single_door_optimization << " "
-     << options_.enable_door_distance_cache << "\n";
+  os << kMagic << " " << kVersionCurrent << "\n";
+  SaveOptions(os, options_);
   os << "venue " << venue_->num_partitions() << " " << venue_->num_doors()
      << "\n";
   os << "nodes " << nodes_.size() << "\n";
   for (const VipNode& n : nodes_) {
     os << "node " << n.id << " " << n.parent << "\n";
-    SaveIdVector(os, "partitions", n.partitions);
-    SaveIdVector(os, "children", n.children);
-    SaveIdVector(os, "doors", n.doors);
-    SaveIdVector(os, "access", n.access_doors);
-    SaveMatrix(os, n.matrix);
+    SaveIdSpan(os, "partitions", n.partitions);
+    SaveIdSpan(os, "children", n.children);
+    SaveIdSpan(os, "doors", n.doors);
+    SaveIdSpan(os, "access", n.access_doors);
     os << "ancestors " << n.ancestor_matrices.size() << "\n";
-    for (const DoorMatrix& m : n.ancestor_matrices) SaveMatrix(os, m);
+  }
+  // Bulk payload, streamed straight out of the arenas (their layout order
+  // is the documented serialization order).
+  const bool has_hops = options_.store_first_hop;
+  os << "payload " << dist_.size() << " " << (has_hops ? 1 : 0) << "\n";
+  for (std::size_t i = 0; i < dist_.size(); ++i) {
+    os << dist_[i];
+    if (has_hops) os << " " << hops_[i];
+    os << (((i + 1) % kPayloadValuesPerLine == 0 || i + 1 == dist_.size())
+               ? "\n"
+               : " ");
+  }
+  os << "end\n";
+  if (!os.good()) return Status::IOError("failed writing VIP-tree stream");
+  return Status::OK();
+}
+
+Status VipTree::SaveLegacyV1(std::ostream* out) const {
+  if (out == nullptr) return Status::InvalidArgument("null output stream");
+  std::ostream& os = *out;
+  os << std::setprecision(17);
+  os << kMagic << " " << kVersionLegacy << "\n";
+  SaveOptions(os, options_);
+  os << "venue " << venue_->num_partitions() << " " << venue_->num_doors()
+     << "\n";
+  os << "nodes " << nodes_.size() << "\n";
+  for (const VipNode& n : nodes_) {
+    os << "node " << n.id << " " << n.parent << "\n";
+    SaveIdSpan(os, "partitions", n.partitions);
+    SaveIdSpan(os, "children", n.children);
+    SaveIdSpan(os, "doors", n.doors);
+    SaveIdSpan(os, "access", n.access_doors);
+    SaveMatrixV1(os, n.matrix);
+    os << "ancestors " << n.ancestor_matrices.size() << "\n";
+    for (const DoorMatrixView& m : n.ancestor_matrices) SaveMatrixV1(os, m);
   }
   if (!os.good()) return Status::IOError("failed writing VIP-tree stream");
   return Status::OK();
@@ -131,7 +187,7 @@ Result<VipTree> VipTree::Load(const Venue* venue, std::istream* in) {
   if (!(*in >> magic >> version) || magic != kMagic) {
     return Status::InvalidArgument("not an IFLS_VIPTREE stream");
   }
-  if (version != kVersion) {
+  if (version != kVersionLegacy && version != kVersionCurrent) {
     return Status::InvalidArgument("unsupported VIP-tree format version " +
                                    std::to_string(version));
   }
@@ -160,9 +216,17 @@ Result<VipTree> VipTree::Load(const Venue* venue, std::istream* in) {
   if (!(*in >> keyword >> num_nodes) || keyword != "nodes") {
     return Status::InvalidArgument("expected 'nodes'");
   }
-  tree.nodes_.resize(num_nodes);
+
+  // Structure section (both versions); v1 additionally carries per-node
+  // matrices, v2 only the ancestor-matrix counts.
+  VipTreeStructure structure;
+  structure.nodes.resize(num_nodes);
+  std::vector<DoorMatrix> v1_main(version == kVersionLegacy ? num_nodes : 0);
+  std::vector<std::vector<DoorMatrix>> v1_ancestors(
+      version == kVersionLegacy ? num_nodes : 0);
+  std::vector<std::size_t> ancestor_counts(num_nodes, 0);
   for (std::size_t i = 0; i < num_nodes; ++i) {
-    VipNode& n = tree.nodes_[i];
+    VipTreeStructure::Node& n = structure.nodes[i];
     if (!(*in >> keyword >> n.id >> n.parent) || keyword != "node" ||
         n.id != static_cast<NodeId>(i)) {
       return Status::InvalidArgument("malformed node header at index " +
@@ -172,17 +236,102 @@ Result<VipTree> VipTree::Load(const Venue* venue, std::istream* in) {
     IFLS_RETURN_NOT_OK(LoadIdVector(*in, "children", &n.children));
     IFLS_RETURN_NOT_OK(LoadIdVector(*in, "doors", &n.doors));
     IFLS_RETURN_NOT_OK(LoadIdVector(*in, "access", &n.access_doors));
-    IFLS_RETURN_NOT_OK(LoadMatrix(*in, o.store_first_hop, &n.matrix));
+    if (version == kVersionLegacy) {
+      IFLS_RETURN_NOT_OK(LoadMatrixV1(*in, o.store_first_hop, &v1_main[i]));
+    }
     std::size_t num_ancestors = 0;
     if (!(*in >> keyword >> num_ancestors) || keyword != "ancestors") {
       return Status::InvalidArgument("expected 'ancestors'");
     }
-    n.ancestor_matrices.resize(num_ancestors);
-    for (auto& m : n.ancestor_matrices) {
-      IFLS_RETURN_NOT_OK(LoadMatrix(*in, o.store_first_hop, &m));
+    ancestor_counts[i] = num_ancestors;
+    if (version == kVersionLegacy) {
+      v1_ancestors[i].resize(num_ancestors);
+      for (DoorMatrix& m : v1_ancestors[i]) {
+        IFLS_RETURN_NOT_OK(LoadMatrixV1(*in, o.store_first_hop, &m));
+      }
     }
   }
-  IFLS_RETURN_NOT_OK(tree.ComputeDerivedState());
+
+  // Lay out the arenas from the structure; payload cells are filled below.
+  IFLS_RETURN_NOT_OK(tree.InitFromStructure(structure));
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    if (ancestor_counts[i] != tree.nodes_[i].ancestor_matrices.size()) {
+      return Status::InvalidArgument(
+          "ancestor matrix count does not match the tree structure");
+    }
+  }
+
+  if (version == kVersionCurrent) {
+    // v2: stream the bulk payload straight into the arenas.
+    std::size_t payload = 0;
+    int has_hops = 0;
+    if (!(*in >> keyword >> payload >> has_hops) || keyword != "payload") {
+      return Status::InvalidArgument("expected 'payload'");
+    }
+    if (payload != tree.dist_.size()) {
+      return Status::InvalidArgument(
+          "payload size does not match the tree structure");
+    }
+    if ((has_hops != 0) != o.store_first_hop) {
+      return Status::InvalidArgument(
+          "payload first-hop flag contradicts the options header");
+    }
+    double* dist_cells = tree.dist_.mutable_data();
+    DoorId* hop_cells =
+        o.store_first_hop ? tree.hops_.mutable_data() : nullptr;
+    for (std::size_t i = 0; i < payload; ++i) {
+      if (!(*in >> dist_cells[i])) {
+        return Status::InvalidArgument("truncated payload data");
+      }
+      if (hop_cells != nullptr && !(*in >> hop_cells[i])) {
+        return Status::InvalidArgument("truncated payload data");
+      }
+    }
+    if (!(*in >> keyword) || keyword != "end") {
+      return Status::InvalidArgument("missing 'end' marker");
+    }
+    return tree;
+  }
+
+  // v1 migration: copy each per-node matrix into its arena slot after
+  // checking its door sets against the derived structure.
+  const auto copy_matrix = [&tree](const DoorMatrixView& view,
+                                   const DoorMatrix& m) -> Status {
+    if (!std::equal(view.rows().begin(), view.rows().end(),
+                    m.rows().begin(), m.rows().end()) ||
+        !std::equal(view.cols().begin(), view.cols().end(),
+                    m.cols().begin(), m.cols().end())) {
+      return Status::InvalidArgument(
+          "matrix door sets do not match the tree structure");
+    }
+    const std::size_t cols = view.num_cols();
+    double* dist_cells = tree.dist_.mutable_data() +
+                         (view.dist_data() - tree.dist_.data());
+    DoorId* hop_cells =
+        view.has_first_hop()
+            ? tree.hops_.mutable_data() +
+                  (view.first_hop_data() - tree.hops_.data())
+            : nullptr;
+    for (std::size_t r = 0; r < view.num_rows(); ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        dist_cells[r * cols + c] =
+            m.At(static_cast<int>(r), static_cast<int>(c));
+        if (hop_cells != nullptr) {
+          hop_cells[r * cols + c] =
+              m.FirstHopAt(static_cast<int>(r), static_cast<int>(c));
+        }
+      }
+    }
+    return Status::OK();
+  };
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    const VipNode& n = tree.nodes_[i];
+    IFLS_RETURN_NOT_OK(copy_matrix(n.matrix, v1_main[i]));
+    for (std::size_t k = 0; k < n.ancestor_matrices.size(); ++k) {
+      IFLS_RETURN_NOT_OK(copy_matrix(n.ancestor_matrices[k],
+                                     v1_ancestors[i][k]));
+    }
+  }
   return tree;
 }
 

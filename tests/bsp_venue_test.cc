@@ -111,7 +111,7 @@ TEST(BspVenueTest, SolversStayOptimalOnIrregularTopology) {
   for (std::uint64_t seed : {21u, 22u, 23u}) {
     Rng wrng(seed);
     IflsContext ctx;
-    ctx.tree = &tree;
+    ctx.oracle = &tree;
     FacilitySets sets =
         Unwrap(SelectUniformFacilities(venue, 4, 8, &wrng));
     ctx.existing = std::move(sets.existing);
@@ -141,7 +141,7 @@ TEST(BspVenueTest, ExtensionSolversStayOptimalOnIrregularTopology) {
   for (std::uint64_t seed : {41u, 42u}) {
     Rng wrng(seed);
     IflsContext ctx;
-    ctx.tree = &tree;
+    ctx.oracle = &tree;
     FacilitySets sets = Unwrap(SelectUniformFacilities(venue, 3, 7, &wrng));
     ctx.existing = std::move(sets.existing);
     ctx.candidates = std::move(sets.candidates);
@@ -169,7 +169,7 @@ TEST(BspVenueTest, TopKStaysExactOnIrregularTopology) {
   VipTree tree = Unwrap(VipTree::Build(&venue));
   Rng wrng(52);
   IflsContext ctx;
-  ctx.tree = &tree;
+  ctx.oracle = &tree;
   FacilitySets sets = Unwrap(SelectUniformFacilities(venue, 4, 10, &wrng));
   ctx.existing = std::move(sets.existing);
   ctx.candidates = std::move(sets.candidates);

@@ -196,6 +196,55 @@ TEST(MemoryTrackerTest, TracksPeak) {
   EXPECT_EQ(t.peak_bytes(), 0);
 }
 
+TEST(MemoryTrackerTest, ScopedPeakIsolatesScopeHighWater) {
+  MemoryTracker t;
+  t.Charge(500);
+  t.Release(400);  // current 100, peak 500
+  {
+    MemoryTracker::ScopedPeak scope(&t);
+    // The scope starts from the current held bytes, not the old peak.
+    EXPECT_EQ(scope.scope_peak_bytes(), 100);
+    t.Charge(150);
+    t.Release(150);
+    EXPECT_EQ(scope.scope_peak_bytes(), 250);
+  }
+  // Outer peak restored: the scope never exceeded the pre-scope high water.
+  EXPECT_EQ(t.peak_bytes(), 500);
+  EXPECT_EQ(t.current_bytes(), 100);
+}
+
+TEST(MemoryTrackerTest, ScopedPeakPropagatesLargerScopePeak) {
+  MemoryTracker t;
+  t.Charge(100);  // current 100, peak 100
+  {
+    MemoryTracker::ScopedPeak scope(&t);
+    t.Charge(900);
+    t.Release(900);
+    EXPECT_EQ(scope.scope_peak_bytes(), 1000);
+  }
+  // The scope's high water beat the outer peak and survives the scope.
+  EXPECT_EQ(t.peak_bytes(), 1000);
+}
+
+TEST(MemoryTrackerTest, ScopedPeakNests) {
+  MemoryTracker t;
+  t.Charge(50);
+  {
+    MemoryTracker::ScopedPeak outer(&t);
+    t.Charge(100);  // outer scope peak 150
+    {
+      MemoryTracker::ScopedPeak inner(&t);
+      EXPECT_EQ(inner.scope_peak_bytes(), 150);
+      t.Charge(10);
+      t.Release(10);
+      EXPECT_EQ(inner.scope_peak_bytes(), 160);
+    }
+    t.Release(100);
+    EXPECT_EQ(outer.scope_peak_bytes(), 160);
+  }
+  EXPECT_EQ(t.peak_bytes(), 160);
+}
+
 TEST(MemoryTrackerTest, ScopedTrackingInstallsAndRestores) {
   EXPECT_EQ(ActiveMemoryTracker(), nullptr);
   MemoryTracker outer, inner;

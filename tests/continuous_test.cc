@@ -48,7 +48,7 @@ class ContinuousEnv {
 double FreshOptimum(const ContinuousEnv& env, const FacilitySets& sets,
                     const std::vector<Client>& clients) {
   IflsContext ctx;
-  ctx.tree = &env.tree();
+  ctx.oracle = &env.tree();
   ctx.existing = sets.existing;
   ctx.candidates = sets.candidates;
   ctx.clients = clients;
@@ -83,7 +83,7 @@ TEST(ContinuousIflsTest, MatchesFreshSolveAfterEveryUpdate) {
     const double optimum = FreshOptimum(env, sets, mirror);
     if (answer.found) {
       IflsContext ctx;
-      ctx.tree = &env.tree();
+      ctx.oracle = &env.tree();
       ctx.existing = sets.existing;
       ctx.candidates = sets.candidates;
       ctx.clients = mirror;
@@ -170,7 +170,7 @@ TEST(ContinuousIflsTest, ToleranceSkipsAreSoundAndHappen) {
     ASSERT_TRUE(answer.result.found);
     // Soundness: the served answer is within tolerance of optimal.
     IflsContext ctx;
-    ctx.tree = &env.tree();
+    ctx.oracle = &env.tree();
     ctx.existing = sets.existing;
     ctx.candidates = sets.candidates;
     ctx.clients = mirror;
@@ -206,7 +206,7 @@ TEST(ContinuousIflsTest, ZeroToleranceStillExact) {
     const double optimum = FreshOptimum(env, sets, mirror);
     if (answer.result.found) {
       IflsContext ctx;
-      ctx.tree = &env.tree();
+      ctx.oracle = &env.tree();
       ctx.existing = sets.existing;
       ctx.candidates = sets.candidates;
       ctx.clients = mirror;

@@ -1,0 +1,261 @@
+// Backend-equivalence tests of the DistanceOracle interface: every solver
+// must produce the same answers whether the context's oracle is the
+// materialized VIP-tree, the memoized door-graph oracle, or the
+// index-free brute-force oracle. The three backends share no code on their
+// DoorToDoor paths, so agreement here certifies both the distance semantics
+// and the degenerate (single-node) hierarchy defaults the flat backends
+// inherit from the interface.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/brute_force.h"
+#include "src/core/efficient.h"
+#include "src/core/maxsum.h"
+#include "src/core/mindist.h"
+#include "src/core/minmax_baseline.h"
+#include "src/index/brute_force_oracle.h"
+#include "src/index/graph_oracle.h"
+#include "src/index/nn_search.h"
+#include "src/index/vip_tree.h"
+#include "tests/test_util.h"
+
+namespace ifls {
+namespace {
+
+using testing_util::BuildTinyVenue;
+using testing_util::RandomClient;
+using testing_util::SmallVenueSpec;
+using testing_util::TinyVenue;
+using testing_util::Unwrap;
+
+constexpr double kTol = 1e-9;
+
+/// Shared fixture state: one venue, all three oracle backends over it.
+class OracleBackends {
+ public:
+  static OracleBackends& Get() {
+    static OracleBackends* instance = new OracleBackends();
+    return *instance;
+  }
+
+  const Venue& venue() const { return venue_; }
+  const VipTree& tree() const { return *tree_; }
+  const GraphDistanceOracle& graph() const { return *graph_; }
+  const BruteForceOracle& brute() const { return *brute_; }
+
+  std::vector<const DistanceOracle*> all() const {
+    return {tree_.get(), graph_.get(), brute_.get()};
+  }
+
+ private:
+  OracleBackends() {
+    venue_ = Unwrap(GenerateVenue(SmallVenueSpec()));
+    tree_ = std::make_unique<VipTree>(Unwrap(VipTree::Build(&venue_)));
+    graph_ = std::make_unique<GraphDistanceOracle>(&venue_);
+    brute_ = std::make_unique<BruteForceOracle>(&venue_);
+  }
+  Venue venue_;
+  std::unique_ptr<VipTree> tree_;
+  std::unique_ptr<GraphDistanceOracle> graph_;
+  std::unique_ptr<BruteForceOracle> brute_;
+};
+
+IflsContext MakeContext(const DistanceOracle* oracle, std::uint64_t seed,
+                        std::size_t num_existing, std::size_t num_candidates,
+                        std::size_t num_clients) {
+  OracleBackends& env = OracleBackends::Get();
+  Rng rng(seed);
+  IflsContext ctx;
+  ctx.oracle = oracle;
+  FacilitySets sets = Unwrap(SelectUniformFacilities(
+      env.venue(), num_existing, num_candidates, &rng));
+  ctx.existing = std::move(sets.existing);
+  ctx.candidates = std::move(sets.candidates);
+  for (std::size_t i = 0; i < num_clients; ++i) {
+    ctx.clients.push_back(
+        RandomClient(env.venue(), &rng, static_cast<ClientId>(i)));
+  }
+  return ctx;
+}
+
+// ------------------------------------------------------------------ distances
+
+TEST(DistanceOracleTest, BackendsAgreeOnDoorToDoor) {
+  OracleBackends& env = OracleBackends::Get();
+  Rng rng(11);
+  for (int i = 0; i < 60; ++i) {
+    const auto a =
+        static_cast<DoorId>(rng.NextBounded(env.venue().num_doors()));
+    const auto b =
+        static_cast<DoorId>(rng.NextBounded(env.venue().num_doors()));
+    const double expect = env.graph().DoorToDoor(a, b);
+    EXPECT_NEAR(env.tree().DoorToDoor(a, b), expect, kTol);
+    EXPECT_NEAR(env.brute().DoorToDoor(a, b), expect, kTol);
+  }
+}
+
+TEST(DistanceOracleTest, BackendsAgreeOnPointQueries) {
+  OracleBackends& env = OracleBackends::Get();
+  Rng rng(12);
+  for (int i = 0; i < 40; ++i) {
+    const Client a = RandomClient(env.venue(), &rng, 0);
+    const Client b = RandomClient(env.venue(), &rng, 1);
+    const auto target = static_cast<PartitionId>(
+        rng.NextBounded(env.venue().num_partitions()));
+    const double p2p_expect = env.graph().PointToPoint(
+        a.position, a.partition, b.position, b.partition);
+    EXPECT_NEAR(env.tree().PointToPoint(a.position, a.partition, b.position,
+                                        b.partition),
+                p2p_expect, kTol);
+    EXPECT_NEAR(env.brute().PointToPoint(a.position, a.partition, b.position,
+                                         b.partition),
+                p2p_expect, kTol);
+    const double p2part_expect =
+        env.graph().PointToPartition(a.position, a.partition, target);
+    EXPECT_NEAR(env.tree().PointToPartition(a.position, a.partition, target),
+                p2part_expect, kTol);
+    EXPECT_NEAR(env.brute().PointToPartition(a.position, a.partition, target),
+                p2part_expect, kTol);
+  }
+}
+
+// ------------------------------------------------------- degenerate hierarchy
+
+TEST(DistanceOracleTest, FlatBackendsExposeSingleNodeHierarchy) {
+  OracleBackends& env = OracleBackends::Get();
+  for (const DistanceOracle* oracle :
+       {static_cast<const DistanceOracle*>(&env.graph()),
+        static_cast<const DistanceOracle*>(&env.brute())}) {
+    EXPECT_EQ(oracle->num_nodes(), 1u);
+    EXPECT_EQ(oracle->root(), 0);
+    EXPECT_TRUE(oracle->IsLeaf(oracle->root()));
+    EXPECT_EQ(oracle->Parent(oracle->root()), kInvalidNode);
+    EXPECT_TRUE(oracle->Children(oracle->root()).empty());
+    // The root "leaf" contains every partition, in id order.
+    const std::span<const PartitionId> parts =
+        oracle->NodePartitions(oracle->root());
+    ASSERT_EQ(parts.size(), env.venue().num_partitions());
+    for (std::size_t p = 0; p < parts.size(); ++p) {
+      EXPECT_EQ(parts[p], static_cast<PartitionId>(p));
+      EXPECT_EQ(oracle->LeafOf(static_cast<PartitionId>(p)), oracle->root());
+      EXPECT_TRUE(oracle->NodeContainsPartition(
+          oracle->root(), static_cast<PartitionId>(p)));
+    }
+    // Containment makes every node-level lower bound zero.
+    EXPECT_EQ(oracle->PartitionToNode(0, oracle->root()), 0.0);
+  }
+}
+
+// -------------------------------------------------------------- NN search
+
+TEST(DistanceOracleTest, NearestFacilityAgreesAcrossBackends) {
+  OracleBackends& env = OracleBackends::Get();
+  Rng rng(13);
+  FacilitySets sets =
+      Unwrap(SelectUniformFacilities(env.venue(), 4, 0, &rng));
+  FacilityIndex tree_index(&env.tree(), sets.existing);
+  FacilityIndex graph_index(&env.graph(), sets.existing);
+  for (int i = 0; i < 25; ++i) {
+    const Client c = RandomClient(env.venue(), &rng, i);
+    const auto from_tree =
+        NearestFacility(tree_index, c.position, c.partition,
+                        FacilityFilter::kExistingOnly, nullptr);
+    const auto from_graph =
+        NearestFacility(graph_index, c.position, c.partition,
+                        FacilityFilter::kExistingOnly, nullptr);
+    ASSERT_EQ(from_tree.has_value(), from_graph.has_value());
+    if (from_tree.has_value()) {
+      EXPECT_NEAR(from_tree->distance, from_graph->distance, kTol);
+      EXPECT_EQ(from_tree->facility, from_graph->facility);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- solvers
+
+class SolverEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+/// Every solver, every backend: identical found/answer and matching
+/// objectives. The VIP-tree context is the reference.
+TEST_P(SolverEquivalenceTest, AllSolversAgreeAcrossBackends) {
+  const std::uint64_t seed = GetParam();
+  OracleBackends& env = OracleBackends::Get();
+
+  const IflsContext ref_ctx = MakeContext(&env.tree(), seed, 3, 4, 10);
+  struct Solved {
+    IflsResult minmax, baseline, mindist, maxsum;
+  };
+  auto solve_all = [&](const DistanceOracle* oracle) {
+    IflsContext ctx = ref_ctx;
+    ctx.oracle = oracle;
+    Solved s;
+    s.minmax = Unwrap(SolveEfficient(ctx));
+    s.baseline = Unwrap(SolveModifiedMinMax(ctx));
+    s.mindist = Unwrap(SolveMinDist(ctx));
+    s.maxsum = Unwrap(SolveMaxSum(ctx));
+    return s;
+  };
+
+  const Solved ref = solve_all(&env.tree());
+  for (const DistanceOracle* oracle :
+       {static_cast<const DistanceOracle*>(&env.graph()),
+        static_cast<const DistanceOracle*>(&env.brute())}) {
+    const Solved got = solve_all(oracle);
+    EXPECT_EQ(got.minmax.found, ref.minmax.found);
+    EXPECT_EQ(got.minmax.answer, ref.minmax.answer);
+    EXPECT_NEAR(got.minmax.objective, ref.minmax.objective, kTol);
+    EXPECT_EQ(got.baseline.found, ref.baseline.found);
+    EXPECT_EQ(got.baseline.answer, ref.baseline.answer);
+    EXPECT_NEAR(got.baseline.objective, ref.baseline.objective, kTol);
+    EXPECT_EQ(got.mindist.found, ref.mindist.found);
+    EXPECT_EQ(got.mindist.answer, ref.mindist.answer);
+    EXPECT_NEAR(got.mindist.objective, ref.mindist.objective, kTol);
+    EXPECT_EQ(got.maxsum.found, ref.maxsum.found);
+    EXPECT_EQ(got.maxsum.answer, ref.maxsum.answer);
+    EXPECT_NEAR(got.maxsum.objective, ref.maxsum.objective, kTol);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverEquivalenceTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+/// The brute-force reference solver certifies the efficient answer under a
+/// non-tree backend too (the traversal degenerates to one root expansion).
+TEST(DistanceOracleTest, EfficientMatchesBruteForceOnGraphBackend) {
+  OracleBackends& env = OracleBackends::Get();
+  for (std::uint64_t seed : {7u, 8u, 9u}) {
+    IflsContext ctx = MakeContext(&env.graph(), seed, 2, 5, 8);
+    const IflsResult fast = Unwrap(SolveEfficient(ctx));
+    const IflsResult slow = Unwrap(SolveBruteForceMinMax(ctx));
+    EXPECT_EQ(fast.found, slow.found);
+    if (fast.found) {
+      EXPECT_NEAR(EvaluateMinMax(ctx, fast.answer),
+                  EvaluateMinMax(ctx, slow.answer), kTol);
+    }
+  }
+}
+
+/// Small hand-built venue: exact distances through doors are easy to verify
+/// against the known layout for all three backends.
+TEST(DistanceOracleTest, TinyVenueKnownDistances) {
+  TinyVenue t = BuildTinyVenue();
+  VipTree tree = Unwrap(VipTree::Build(&t.venue));
+  GraphDistanceOracle graph(&t.venue);
+  BruteForceOracle brute(&t.venue);
+  // door_a (10,2,0) -> door_b (20,2,0) through the corridor: 10 metres.
+  for (const DistanceOracle* oracle :
+       {static_cast<const DistanceOracle*>(&tree),
+        static_cast<const DistanceOracle*>(&graph),
+        static_cast<const DistanceOracle*>(&brute)}) {
+    EXPECT_NEAR(oracle->DoorToDoor(t.door_a, t.door_b), 10.0, kTol);
+    EXPECT_EQ(oracle->DoorToDoor(t.door_c, t.door_c), 0.0);
+    EXPECT_NEAR(oracle->PartitionToPartition(t.room_a, t.room_b), 10.0, kTol);
+  }
+}
+
+}  // namespace
+}  // namespace ifls

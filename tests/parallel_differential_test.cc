@@ -60,7 +60,7 @@ Scenario BuildScenario(std::uint64_t seed) {
   // objective, so one batch mixes cheap and expensive work.
   for (int draw = 0; draw < 3; ++draw) {
     IflsContext ctx;
-    ctx.tree = s.tree.get();
+    ctx.oracle = s.tree.get();
     FacilitySets sets = Unwrap(SelectUniformFacilities(
         s.venue, 2 + rng.NextBounded(3), 4 + rng.NextBounded(5), &rng));
     ctx.existing = std::move(sets.existing);

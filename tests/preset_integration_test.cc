@@ -98,7 +98,7 @@ TEST(PresetSolverTest, CopenhagenSolversAgreeAtPaperDefaults) {
   for (std::uint64_t seed : {1u, 2u, 3u}) {
     Rng rng(seed);
     IflsContext ctx;
-    ctx.tree = &env.tree();
+    ctx.oracle = &env.tree();
     FacilitySets sets = Unwrap(SelectUniformFacilities(
         env.venue(), grid.default_existing, grid.default_candidates, &rng));
     ctx.existing = std::move(sets.existing);
@@ -129,7 +129,7 @@ TEST(PresetSolverTest, MelbourneRealSettingSolversAgree) {
   VipTree tree = Unwrap(VipTree::Build(&venue));
   Rng rng(3100);
   IflsContext ctx;
-  ctx.tree = &tree;
+  ctx.oracle = &tree;
   FacilitySets sets =
       Unwrap(SelectCategoryFacilities(venue, "banks & services"));
   ctx.existing = std::move(sets.existing);
@@ -160,7 +160,7 @@ TEST(PresetSolverTest, WorkloadSpecEndToEnd) {
   Workload w = Unwrap(BuildWorkload(spec));
   VipTree tree = Unwrap(VipTree::Build(&w.venue));
   IflsContext ctx;
-  ctx.tree = &tree;
+  ctx.oracle = &tree;
   ctx.existing = w.facilities.existing;
   ctx.candidates = w.facilities.candidates;
   ctx.clients = w.clients;

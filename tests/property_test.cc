@@ -46,7 +46,7 @@ IflsContext RandomContext(std::uint64_t seed, std::size_t num_existing,
   PropertyEnv& env = PropertyEnv::Get();
   Rng rng(seed);
   IflsContext ctx;
-  ctx.tree = &env.tree();
+  ctx.oracle = &env.tree();
   FacilitySets sets = Unwrap(SelectUniformFacilities(
       env.venue(), num_existing, num_candidates, &rng));
   ctx.existing = std::move(sets.existing);
@@ -178,7 +178,7 @@ TEST(SolutionStructureTest, ObjectiveIsAchievableDistance) {
   for (const Client& c : ctx.clients) {
     const double nef = NearestExistingDistance(ctx, c);
     const double dn =
-        ctx.tree->PointToPartition(c.position, c.partition, result.answer);
+        ctx.oracle->PointToPartition(c.position, c.partition, result.answer);
     if (std::abs(std::min(nef, dn) - result.objective) < kTol) {
       attained = true;
       break;

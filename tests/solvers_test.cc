@@ -45,7 +45,7 @@ IflsContext RandomContext(std::uint64_t seed, std::size_t num_existing,
   SolverEnv& env = SolverEnv::Get();
   Rng rng(seed);
   IflsContext ctx;
-  ctx.tree = &env.tree();
+  ctx.oracle = &env.tree();
   FacilitySets sets = Unwrap(SelectUniformFacilities(
       env.venue(), num_existing, num_candidates, &rng));
   ctx.existing = std::move(sets.existing);
@@ -150,7 +150,7 @@ TEST(EfficientOnIpTreeTest, IpTreeIndexGivesSameAnswers) {
   for (std::uint64_t seed : {301u, 302u, 303u}) {
     IflsContext ctx = RandomContext(seed, 5, 8, 40);
     const IflsResult brute = Unwrap(SolveBruteForceMinMax(ctx));
-    ctx.tree = &ip_tree;
+    ctx.oracle = &ip_tree;
     const IflsResult result = Unwrap(SolveEfficient(ctx));
     Certify(ctx, result, brute, "efficient-on-ip-tree");
   }
@@ -244,7 +244,7 @@ TEST(SolverDegenerateTest, InvalidContextsAreRejected) {
   EXPECT_TRUE(SolveEfficient(bad).status().IsInvalidArgument());
 
   bad = ctx;
-  bad.tree = nullptr;
+  bad.oracle = nullptr;
   EXPECT_TRUE(SolveEfficient(bad).status().IsInvalidArgument());
 }
 
@@ -287,7 +287,7 @@ TEST(SolverStatsTest, PruningReducesDistanceComputations) {
 
 TEST(SolverStatsTest, OfflineIndexReuseMatchesOwnedIndex) {
   const IflsContext ctx = RandomContext(504, 5, 8, 40);
-  FacilityIndex offline(ctx.tree, ctx.existing);
+  FacilityIndex offline(ctx.oracle, ctx.existing);
   MinMaxBaselineOptions options;
   options.offline_existing_index = &offline;
   const IflsResult with_offline = Unwrap(SolveModifiedMinMax(ctx, options));

@@ -42,7 +42,7 @@ IflsContext RandomContext(std::uint64_t seed, std::size_t num_existing,
   TopKEnv& env = TopKEnv::Get();
   Rng rng(seed);
   IflsContext ctx;
-  ctx.tree = &env.tree();
+  ctx.oracle = &env.tree();
   FacilitySets sets = Unwrap(SelectUniformFacilities(
       env.venue(), num_existing, num_candidates, &rng));
   ctx.existing = std::move(sets.existing);

@@ -122,7 +122,7 @@ TEST(VipTreeIoConcurrentTest, ConcurrentSolversOnLoadedTreeAgree) {
   Fixture f = BuildFixture();
   Rng rng(7);
   IflsContext ctx;
-  ctx.tree = f.tree.get();
+  ctx.oracle = f.tree.get();
   FacilitySets sets = Unwrap(SelectUniformFacilities(f.venue, 3, 6, &rng));
   ctx.existing = std::move(sets.existing);
   ctx.candidates = std::move(sets.candidates);

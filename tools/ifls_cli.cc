@@ -167,7 +167,7 @@ int Solve(const Args& args) {
   if (!tree.ok()) return Fail(tree.status());
 
   IflsContext ctx;
-  ctx.tree = &tree.value();
+  ctx.oracle = &tree.value();
   ctx.existing = workload->facilities.existing;
   ctx.candidates = workload->facilities.candidates;
   ctx.clients = workload->clients;
