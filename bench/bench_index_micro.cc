@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/benchlib/json_report.h"
 #include "src/common/memory_tracker.h"
 #include "src/common/rng.h"
 #include "src/common/stopwatch.h"
@@ -391,38 +392,37 @@ void WriteLayoutReport(const std::string& path) {
     reports.push_back(MeasurePreset(i));
   }
 
-  std::ofstream out(path);
-  IFLS_CHECK(out.good()) << "cannot open " << path;
-  out << "{\n  \"benchmark\": \"index_layout\",\n  \"presets\": [\n";
-  for (std::size_t i = 0; i < reports.size(); ++i) {
-    const PresetLayoutReport& r = reports[i];
-    out << "    {\n"
-        << "      \"preset\": \"" << r.preset << "\",\n"
-        << "      \"num_nodes\": " << r.stats.num_nodes << ",\n"
-        << "      \"num_leaves\": " << r.stats.num_leaves << ",\n"
-        << "      \"bytes_per_node\": " << r.stats.bytes_per_node << ",\n"
-        << "      \"memory_footprint_bytes\": " << r.memory_footprint_bytes
-        << ",\n"
-        << "      \"arena_id_bytes\": " << r.stats.id_bytes << ",\n"
-        << "      \"arena_dist_bytes\": " << r.stats.dist_bytes << ",\n"
-        << "      \"arena_hop_bytes\": " << r.stats.hop_bytes << ",\n"
-        << "      \"arena_used_bytes\": " << r.stats.arena_used_bytes << ",\n"
-        << "      \"arena_capacity_bytes\": " << r.stats.arena_capacity_bytes
-        << ",\n"
-        << "      \"arena_utilization\": " << r.stats.arena_utilization
-        << ",\n"
-        << "      \"build_seconds\": " << r.build_seconds << ",\n"
-        << "      \"build_peak_bytes\": " << r.build_peak_bytes << ",\n"
-        << "      \"flat_lookup_ns\": " << r.flat_lookup_ns << ",\n"
-        << "      \"pointer_lookup_ns\": " << r.pointer_lookup_ns << ",\n"
-        << "      \"lookup_speedup\": "
-        << (r.flat_lookup_ns > 0.0 ? r.pointer_lookup_ns / r.flat_lookup_ns
-                                   : 0.0)
-        << ",\n"
-        << "      \"point_to_partition_us\": " << r.point_to_partition_us
-        << "\n    }" << (i + 1 < reports.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
+  const Status written = WriteBenchReportToFile(
+      path, "index_layout", [&reports](JsonWriter& w) {
+        w.Key("presets");
+        w.BeginArray();
+        for (const PresetLayoutReport& r : reports) {
+          w.BeginObject();
+          w.Field("preset", r.preset);
+          w.Field("num_nodes", r.stats.num_nodes);
+          w.Field("num_leaves", r.stats.num_leaves);
+          w.Field("bytes_per_node", r.stats.bytes_per_node);
+          w.Field("memory_footprint_bytes", r.memory_footprint_bytes);
+          w.Field("arena_id_bytes", r.stats.id_bytes);
+          w.Field("arena_dist_bytes", r.stats.dist_bytes);
+          w.Field("arena_hop_bytes", r.stats.hop_bytes);
+          w.Field("arena_used_bytes", r.stats.arena_used_bytes);
+          w.Field("arena_capacity_bytes", r.stats.arena_capacity_bytes);
+          w.Field("arena_utilization", r.stats.arena_utilization);
+          w.Field("build_seconds", r.build_seconds);
+          w.Field("build_peak_bytes", r.build_peak_bytes);
+          w.Field("flat_lookup_ns", r.flat_lookup_ns);
+          w.Field("pointer_lookup_ns", r.pointer_lookup_ns);
+          w.Field("lookup_speedup",
+                  r.flat_lookup_ns > 0.0
+                      ? r.pointer_lookup_ns / r.flat_lookup_ns
+                      : 0.0);
+          w.Field("point_to_partition_us", r.point_to_partition_us);
+          w.EndObject();
+        }
+        w.EndArray();
+      });
+  IFLS_CHECK(written.ok()) << written.ToString();
   std::cerr << "[layout] wrote " << path << "\n";
   for (const PresetLayoutReport& r : reports) {
     if (r.flat_lookup_ns > r.pointer_lookup_ns) {

@@ -1,0 +1,273 @@
+// Online serving benchmark: sustained concurrent IFLS queries against an
+// IflsService while a mutator thread churns the facility sets hard enough
+// to drive the background compactor through several snapshot publications.
+// Demonstrates the RCU read path: queries keep completing (ok or shed at
+// admission, never blocked) across >= 3 publications, and the report records
+// how many distinct snapshot epochs answered queries.
+//
+// Writes BENCH_service_throughput.json (shared schema, src/benchlib).
+// Scale via IFLS_BENCH_SCALE=smoke|default|full.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/benchlib/harness.h"
+#include "src/benchlib/json_report.h"
+#include "src/common/rng.h"
+#include "src/common/stopwatch.h"
+#include "src/datasets/client_generator.h"
+#include "src/datasets/facility_selector.h"
+#include "src/datasets/presets.h"
+#include "src/datasets/workload.h"
+#include "src/service/service.h"
+
+namespace ifls {
+namespace {
+
+struct BenchConfig {
+  int query_threads = 4;
+  std::size_t clients_per_query = 64;
+  std::size_t min_queries_per_thread = 300;
+  std::uint64_t min_publications = 3;
+  double max_seconds = 120.0;
+};
+
+BenchConfig ConfigForScale(const BenchScale& scale) {
+  BenchConfig cfg;
+  if (scale.name == "smoke") {
+    cfg.min_queries_per_thread = 40;
+  } else if (scale.name == "full") {
+    cfg.query_threads = 8;
+    cfg.min_queries_per_thread = 1500;
+    cfg.min_publications = 6;
+  }
+  return cfg;
+}
+
+int Main() {
+  const BenchScale scale = BenchScale::FromEnv();
+  const BenchConfig cfg = ConfigForScale(scale);
+
+  Result<Venue> venue = BuildPresetVenue(VenuePreset::kMelbourneCentral);
+  IFLS_CHECK(venue.ok()) << venue.status().ToString();
+  const std::size_t num_partitions = venue->num_partitions();
+
+  Rng rng(991);
+  const ParameterGrid grid =
+      PresetParameterGrid(VenuePreset::kMelbourneCentral);
+  Result<FacilitySets> sets = SelectUniformFacilities(
+      *venue, grid.default_existing, grid.default_candidates, &rng);
+  IFLS_CHECK(sets.ok()) << sets.status().ToString();
+
+  // Partitions outside both sets: the mutator's churn pool.
+  std::vector<bool> taken(num_partitions, false);
+  for (PartitionId p : sets->existing) taken[static_cast<std::size_t>(p)] = true;
+  for (PartitionId p : sets->candidates)
+    taken[static_cast<std::size_t>(p)] = true;
+  std::vector<PartitionId> pool;
+  for (std::size_t p = 0; p < num_partitions; ++p) {
+    if (!taken[p]) pool.push_back(static_cast<PartitionId>(p));
+  }
+  IFLS_CHECK(pool.size() >= 16) << "venue too small for mutation churn";
+
+  ClientGeneratorOptions copts;
+  const std::vector<Client> client_pool =
+      GenerateClients(*venue, 4096, copts, &rng);
+
+  ServiceOptions options;
+  options.num_workers = cfg.query_threads;
+  options.queue_capacity = 1024;
+  options.compaction_threshold = 8;  // low: force frequent publications
+  Result<std::unique_ptr<IflsService>> built = IflsService::Create(
+      std::move(*venue), sets->existing, sets->candidates, options);
+  IFLS_CHECK(built.ok()) << built.status().ToString();
+  IflsService& service = **built;
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> queries_ok{0};
+  std::atomic<std::uint64_t> queries_shed{0};
+  std::atomic<std::uint64_t> queries_failed{0};
+  std::mutex epochs_mu;
+  std::set<std::uint64_t> epochs_answering;  // epochs that answered a query
+  std::vector<std::atomic<std::uint64_t>> per_thread_done(
+      static_cast<std::size_t>(cfg.query_threads));
+
+  const IflsObjective objectives[3] = {IflsObjective::kMinMax,
+                                       IflsObjective::kMinDist,
+                                       IflsObjective::kMaxSum};
+
+  Stopwatch watch;
+  std::vector<std::thread> query_threads;
+  for (int t = 0; t < cfg.query_threads; ++t) {
+    query_threads.emplace_back([&, t] {
+      Rng trng(static_cast<std::uint64_t>(1000 + t));
+      std::uint64_t done = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ServiceRequest req;
+        req.objective = objectives[trng.NextBounded(3)];
+        const std::size_t start = trng.NextBounded(
+            client_pool.size() - cfg.clients_per_query);
+        req.clients.assign(
+            client_pool.begin() + static_cast<std::ptrdiff_t>(start),
+            client_pool.begin() +
+                static_cast<std::ptrdiff_t>(start + cfg.clients_per_query));
+        const ServiceReply reply = service.Query(std::move(req));
+        if (reply.status.ok()) {
+          queries_ok.fetch_add(1, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(epochs_mu);
+          epochs_answering.insert(reply.snapshot_epoch);
+        } else if (reply.status.IsUnavailable()) {
+          queries_shed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          queries_failed.fetch_add(1, std::memory_order_relaxed);
+          std::cerr << "[service] query failed: " << reply.status.ToString()
+                    << "\n";
+        }
+        ++done;
+        per_thread_done[static_cast<std::size_t>(t)].store(
+            done, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // The mutator walks the churn pool adding and then removing candidate /
+  // existing roles; every flip drifts the overlay until the compactor cuts
+  // a snapshot. Mutations on partitions the snapshot just absorbed are
+  // rejected harmlessly (kAlreadyExists / kNotFound) and retried elsewhere.
+  std::atomic<std::uint64_t> mutations_ok{0};
+  std::thread mutator([&] {
+    Rng mrng(77);
+    std::vector<PartitionId> live;  // pool partitions we gave a role
+    while (!stop.load(std::memory_order_relaxed)) {
+      const bool remove = !live.empty() && (live.size() > pool.size() / 2 ||
+                                            mrng.NextBounded(2) == 0);
+      Status st;
+      if (remove) {
+        const std::size_t i = mrng.NextBounded(live.size());
+        const PartitionId p = live[i];
+        st = service.Mutate({mrng.NextBounded(2) == 0
+                                 ? MutationKind::kRemoveCandidate
+                                 : MutationKind::kRemoveFacility,
+                             p});
+        if (!st.ok()) {
+          // Wrong role guessed: flip the verb.
+          st = service.Mutate({st.IsNotFound() ? MutationKind::kRemoveFacility
+                                               : MutationKind::kRemoveCandidate,
+                               p});
+        }
+        if (st.ok()) {
+          live[i] = live.back();
+          live.pop_back();
+        }
+      } else {
+        const PartitionId p =
+            pool[mrng.NextBounded(pool.size())];
+        st = service.Mutate({mrng.NextBounded(2) == 0
+                                 ? MutationKind::kAddCandidate
+                                 : MutationKind::kAddFacility,
+                             p});
+        if (st.ok()) live.push_back(p);
+      }
+      if (st.ok()) mutations_ok.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  // Run until every query thread met its quota and the compactor published
+  // enough snapshots (or the safety timeout trips).
+  bool timed_out = false;
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::uint64_t slowest = ~std::uint64_t{0};
+    for (const auto& done : per_thread_done) {
+      slowest = std::min(slowest, done.load(std::memory_order_relaxed));
+    }
+    const std::uint64_t publications = service.snapshot_epoch();
+    if (slowest >= cfg.min_queries_per_thread &&
+        publications >= cfg.min_publications) {
+      break;
+    }
+    if (watch.ElapsedSeconds() > cfg.max_seconds) {
+      timed_out = true;
+      break;
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : query_threads) t.join();
+  mutator.join();
+  service.Drain();
+  const double elapsed = watch.ElapsedSeconds();
+  const ServiceMetrics metrics = service.Metrics();
+  service.Stop();
+
+  const std::uint64_t ok = queries_ok.load();
+  const std::uint64_t shed = queries_shed.load();
+  const std::uint64_t failed = queries_failed.load();
+  const std::uint64_t publications = metrics.snapshot_epoch;
+  const bool zero_reader_blocking = failed == 0;
+
+  std::cerr << "[service] " << ok << " queries ok (" << shed << " shed, "
+            << failed << " failed) across " << publications
+            << " snapshot publications in " << elapsed << "s; "
+            << metrics.ToString() << "\n";
+
+  std::size_t epochs_count;
+  {
+    std::lock_guard<std::mutex> lock(epochs_mu);
+    epochs_count = epochs_answering.size();
+  }
+
+  const Status written = WriteBenchReport(
+      "service_throughput", [&](JsonWriter& w) {
+        w.Field("scale", scale.name);
+        w.Field("venue", std::string(
+                             VenuePresetName(VenuePreset::kMelbourneCentral)));
+        w.Field("query_threads", cfg.query_threads);
+        w.Field("clients_per_query", cfg.clients_per_query);
+        w.Field("duration_seconds", elapsed);
+        w.Field("queries_ok", ok);
+        w.Field("queries_shed", shed);
+        w.Field("queries_failed", failed);
+        w.Field("throughput_qps",
+                elapsed > 0.0 ? static_cast<double>(ok) / elapsed : 0.0);
+        w.Field("latency_p50_seconds", metrics.latency_p50_seconds);
+        w.Field("latency_p99_seconds", metrics.latency_p99_seconds);
+        w.Field("latency_mean_seconds", metrics.latency_mean_seconds);
+        w.Field("mutations_applied", metrics.mutations_applied);
+        w.Field("mutations_rejected", metrics.mutations_rejected);
+        w.Field("compactions", metrics.compactions);
+        w.Field("snapshot_publications", publications);
+        w.Field("epochs_answering_queries", epochs_count);
+        w.Field("final_overlay_size", metrics.overlay_size);
+        w.Field("zero_reader_blocking", zero_reader_blocking);
+        w.Field("timed_out", timed_out);
+      });
+  IFLS_CHECK(written.ok()) << written.ToString();
+  std::cerr << "[service] wrote " << BenchReportPath("service_throughput")
+            << "\n";
+
+  if (failed != 0) {
+    std::cerr << "[service] FAILURE: " << failed << " queries errored\n";
+    return 1;
+  }
+  if (publications < cfg.min_publications) {
+    std::cerr << "[service] FAILURE: only " << publications
+              << " snapshot publications (wanted >= "
+              << cfg.min_publications << ")\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ifls
+
+int main() { return ifls::Main(); }

@@ -4,11 +4,39 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 namespace ifls {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+/// Built-in destination: one line, one fputs, flushed per message.
+class StderrSink : public LogSink {
+ public:
+  void Write(LogLevel /*level*/, const std::string& line) override {
+    std::fputs(line.c_str(), stderr);
+    std::fputc('\n', stderr);
+  }
+};
+
+/// Emission mutex: guards the sink pointer and every Write() call, so a
+/// message is an atomic unit and SwapLogSink never races an in-flight
+/// emission. Function-local statics so logging works during static init.
+std::mutex& SinkMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+LogSink*& SinkSlot() {
+  static LogSink* sink = nullptr;  // null = default stderr sink
+  return sink;
+}
+
+StderrSink& DefaultSink() {
+  static StderrSink* sink = new StderrSink;
+  return *sink;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -41,6 +69,13 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+LogSink* SwapLogSink(LogSink* sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  LogSink* previous = SinkSlot();
+  SinkSlot() = sink;
+  return previous;
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -53,7 +88,11 @@ LogMessage::~LogMessage() {
   if (static_cast<int>(level_) >=
           g_min_level.load(std::memory_order_relaxed) ||
       level_ == LogLevel::kFatal) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    const std::string line = stream_.str();
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    LogSink* sink = SinkSlot();
+    (sink != nullptr ? *sink : static_cast<LogSink&>(DefaultSink()))
+        .Write(level_, line);
   }
   if (level_ == LogLevel::kFatal) std::abort();
 }

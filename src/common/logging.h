@@ -12,10 +12,30 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Destination for fully formatted log lines. Write() is always invoked
+/// under the logger's emission mutex, so implementations need no locking of
+/// their own and lines from concurrent threads never interleave.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  /// `line` is the complete "[LEVEL file:line] message" text, no newline.
+  virtual void Write(LogLevel level, const std::string& line) = 0;
+};
+
+/// Installs `sink` as the global destination and returns the previous one
+/// (nullptr means the default stderr sink). The swap and every in-flight
+/// emission are serialized on one mutex, so replacing the sink while other
+/// threads log is safe; the caller owns both sinks' lifetimes and must keep
+/// the installed sink alive until it is swapped back out.
+LogSink* SwapLogSink(LogSink* sink);
+
 namespace internal {
 
-/// Stream-style log sink. Emits on destruction; aborts the process for
-/// kFatal. Used through the IFLS_LOG / IFLS_CHECK macros only.
+/// Stream-style log message. Formats into a thread-private buffer, then
+/// emits the whole line in one critical section on destruction (so worker
+/// and compactor threads logging concurrently can never tear or interleave
+/// a line); aborts the process for kFatal. Used through the IFLS_LOG /
+/// IFLS_CHECK macros only.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

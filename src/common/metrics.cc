@@ -1,0 +1,78 @@
+#include "src/common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ifls {
+namespace {
+
+/// Bucket index of a sample, clamped into [0, kNumBuckets).
+int BucketOf(double seconds) {
+  const double us = seconds * 1e6;
+  if (us < 1.0) return 0;
+  int bucket = 0;
+  double bound = 2.0;  // upper bound of bucket 0 is 2^1 us
+  while (us >= bound && bucket + 1 < LatencyHistogram::kNumBuckets) {
+    bound *= 2.0;
+    ++bucket;
+  }
+  return bucket;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(double seconds) {
+  if (!(seconds >= 0.0)) seconds = 0.0;  // NaN/negative clock glitches
+  buckets_[static_cast<std::size_t>(BucketOf(seconds))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
+                         std::memory_order_relaxed);
+}
+
+double LatencyHistogram::total_seconds() const {
+  return static_cast<double>(total_nanos_.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+double LatencyHistogram::MeanSeconds() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : total_seconds() / static_cast<double>(n);
+}
+
+double LatencyHistogram::PercentileSeconds(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  // Rank of the requested sample, 1-based, ceil(q * n) with a floor of 1.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n))));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+    if (seen >= rank) {
+      return std::ldexp(1.0, b + 1) * 1e-6;  // bucket upper bound, seconds
+    }
+  }
+  return std::ldexp(1.0, kNumBuckets) * 1e-6;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_nanos_.store(0, std::memory_order_relaxed);
+}
+
+std::string LatencyHistogram::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1fus p50=%.1fus p99=%.1fus",
+                static_cast<unsigned long long>(count()),
+                MeanSeconds() * 1e6, PercentileSeconds(0.5) * 1e6,
+                PercentileSeconds(0.99) * 1e6);
+  return buf;
+}
+
+}  // namespace ifls

@@ -1,0 +1,57 @@
+#ifndef IFLS_COMMON_METRICS_H_
+#define IFLS_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ifls {
+
+/// Lock-free log-bucketed latency histogram: Record() is a couple of relaxed
+/// atomic increments, safe from any number of threads, and percentile reads
+/// may run concurrently with writers (they see some consistent-enough recent
+/// state — metrics, not synchronization).
+///
+/// Buckets are powers of two over microseconds: bucket k holds samples in
+/// [2^k, 2^(k+1)) us, bucket 0 additionally catches sub-microsecond samples.
+/// PercentileSeconds returns the upper bound of the bucket containing the
+/// requested quantile, so the error is at most 2x — plenty for p50/p99
+/// service dashboards, and the fixed layout means zero allocation on the
+/// record path.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 40;  // 2^40 us ~ 12.7 days
+
+  LatencyHistogram() = default;
+
+  void Record(double seconds);
+
+  /// Total samples recorded.
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Sum of all recorded values (seconds); mean = sum / count.
+  double total_seconds() const;
+  double MeanSeconds() const;
+
+  /// Upper bound of the bucket holding quantile `q` in [0, 1]; 0 when empty.
+  double PercentileSeconds(double q) const;
+
+  void Reset();
+
+  /// "count=N mean=Xus p50=Yus p99=Zus".
+  std::string ToString() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  /// Seconds accumulated as fixed-point nanoseconds (atomic doubles lack
+  /// fetch_add everywhere we build).
+  std::atomic<std::uint64_t> total_nanos_{0};
+};
+
+}  // namespace ifls
+
+#endif  // IFLS_COMMON_METRICS_H_

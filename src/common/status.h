@@ -19,6 +19,10 @@ enum class StatusCode {
   kIOError,
   kAlreadyExists,
   kUnimplemented,
+  /// Transient overload: the caller may retry later (serving backpressure).
+  kUnavailable,
+  /// The request's deadline passed before the work could run.
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -60,6 +64,12 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -77,6 +87,10 @@ class Status {
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -7,18 +7,6 @@
 
 namespace ifls {
 
-const char* IflsObjectiveName(IflsObjective objective) {
-  switch (objective) {
-    case IflsObjective::kMinMax:
-      return "MinMax";
-    case IflsObjective::kMinDist:
-      return "MinDist";
-    case IflsObjective::kMaxSum:
-      return "MaxSum";
-  }
-  return "unknown";
-}
-
 BatchQueryEngine::BatchQueryEngine(BatchEngineOptions options)
     : options_(options),
       pool_(options.num_threads <= 0 ? ThreadPool::DefaultThreads()
@@ -26,17 +14,9 @@ BatchQueryEngine::BatchQueryEngine(BatchEngineOptions options)
 
 BatchQueryOutcome BatchQueryEngine::RunOne(const BatchQuery& query) const {
   BatchQueryOutcome outcome;
-  Result<IflsResult> solved = [&]() -> Result<IflsResult> {
-    switch (query.objective) {
-      case IflsObjective::kMinMax:
-        return SolveEfficient(query.context, options_.minmax);
-      case IflsObjective::kMinDist:
-        return SolveMinDist(query.context, options_.mindist);
-      case IflsObjective::kMaxSum:
-        return SolveMaxSum(query.context, options_.maxsum);
-    }
-    return Status::Internal("unknown batch objective");
-  }();
+  Result<IflsResult> solved =
+      SolveWithObjective(query.objective, query.context,
+                         {options_.minmax, options_.mindist, options_.maxsum});
   if (solved.ok()) {
     outcome.result = std::move(solved).value();
   } else {

@@ -6,18 +6,10 @@
 #include <vector>
 
 #include "src/common/thread_pool.h"
-#include "src/core/efficient.h"
-#include "src/core/maxsum.h"
-#include "src/core/mindist.h"
 #include "src/core/query.h"
+#include "src/core/solve_dispatch.h"
 
 namespace ifls {
-
-/// Which IFLS objective a batch item optimizes (paper §4 / §7).
-enum class IflsObjective : std::uint8_t { kMinMax, kMinDist, kMaxSum };
-
-/// "MinMax" / "MinDist" / "MaxSum".
-const char* IflsObjectiveName(IflsObjective objective);
 
 /// One item of a batch: an objective plus the query's immutable inputs. All
 /// items of a batch must reference trees over venues that stay alive for

@@ -1,0 +1,31 @@
+#include "src/core/solve_dispatch.h"
+
+namespace ifls {
+
+const char* IflsObjectiveName(IflsObjective objective) {
+  switch (objective) {
+    case IflsObjective::kMinMax:
+      return "MinMax";
+    case IflsObjective::kMinDist:
+      return "MinDist";
+    case IflsObjective::kMaxSum:
+      return "MaxSum";
+  }
+  return "unknown";
+}
+
+Result<IflsResult> SolveWithObjective(IflsObjective objective,
+                                      const IflsContext& ctx,
+                                      const SolverOptionSet& options) {
+  switch (objective) {
+    case IflsObjective::kMinMax:
+      return SolveEfficient(ctx, options.minmax);
+    case IflsObjective::kMinDist:
+      return SolveMinDist(ctx, options.mindist);
+    case IflsObjective::kMaxSum:
+      return SolveMaxSum(ctx, options.maxsum);
+  }
+  return Status::Internal("unknown objective");
+}
+
+}  // namespace ifls

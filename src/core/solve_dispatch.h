@@ -1,0 +1,37 @@
+#ifndef IFLS_CORE_SOLVE_DISPATCH_H_
+#define IFLS_CORE_SOLVE_DISPATCH_H_
+
+#include <cstdint>
+
+#include "src/core/efficient.h"
+#include "src/core/maxsum.h"
+#include "src/core/mindist.h"
+#include "src/core/query.h"
+
+namespace ifls {
+
+/// Which IFLS objective a query optimizes (paper §4 / §7).
+enum class IflsObjective : std::uint8_t { kMinMax, kMinDist, kMaxSum };
+
+/// "MinMax" / "MinDist" / "MaxSum".
+const char* IflsObjectiveName(IflsObjective objective);
+
+/// One option struct per objective, so every execution front (batch engine,
+/// online service, CLI) configures the solvers identically.
+struct SolverOptionSet {
+  EfficientOptions minmax;
+  MinDistOptions mindist;
+  MaxSumOptions maxsum;
+};
+
+/// Runs the matching efficient solver on `ctx`: the single
+/// objective-dispatch point shared by the batch engine and the online
+/// service, so both fronts produce bit-identical results for the same
+/// context and options.
+Result<IflsResult> SolveWithObjective(IflsObjective objective,
+                                      const IflsContext& ctx,
+                                      const SolverOptionSet& options = {});
+
+}  // namespace ifls
+
+#endif  // IFLS_CORE_SOLVE_DISPATCH_H_

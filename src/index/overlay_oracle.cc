@@ -1,0 +1,118 @@
+#include "src/index/overlay_oracle.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace ifls {
+namespace {
+
+bool IsSortedUnique(std::span<const PartitionId> ids) {
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    if (ids[i - 1] >= ids[i]) return false;
+  }
+  return true;
+}
+
+bool Contains(std::span<const PartitionId> sorted, PartitionId p) {
+  return std::binary_search(sorted.begin(), sorted.end(), p);
+}
+
+Status CheckSortedUnique(std::span<const PartitionId> ids, const char* what) {
+  if (!IsSortedUnique(ids)) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " must be sorted ascending and unique");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<PartitionId> ComposeFacilitySet(
+    std::span<const PartitionId> base, std::span<const PartitionId> added,
+    std::span<const PartitionId> removed) {
+  std::vector<PartitionId> kept;
+  kept.reserve(base.size() + added.size());
+  std::set_difference(base.begin(), base.end(), removed.begin(),
+                      removed.end(), std::back_inserter(kept));
+  std::vector<PartitionId> out;
+  out.reserve(kept.size() + added.size());
+  std::set_union(kept.begin(), kept.end(), added.begin(), added.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+Status ValidateFacilityDelta(const FacilityDelta& delta,
+                             std::span<const PartitionId> base_existing,
+                             std::span<const PartitionId> base_candidates) {
+  IFLS_RETURN_NOT_OK(CheckSortedUnique(base_existing, "base existing set"));
+  IFLS_RETURN_NOT_OK(CheckSortedUnique(base_candidates, "base candidate set"));
+  IFLS_RETURN_NOT_OK(CheckSortedUnique(delta.added_existing,
+                                       "delta.added_existing"));
+  IFLS_RETURN_NOT_OK(CheckSortedUnique(delta.removed_existing,
+                                       "delta.removed_existing"));
+  IFLS_RETURN_NOT_OK(CheckSortedUnique(delta.added_candidates,
+                                       "delta.added_candidates"));
+  IFLS_RETURN_NOT_OK(CheckSortedUnique(delta.removed_candidates,
+                                       "delta.removed_candidates"));
+  for (PartitionId p : delta.removed_existing) {
+    if (!Contains(base_existing, p)) {
+      return Status::InvalidArgument(
+          "removed_existing partition " + std::to_string(p) +
+          " is not in the base existing set");
+    }
+  }
+  for (PartitionId p : delta.added_existing) {
+    if (Contains(base_existing, p)) {
+      return Status::InvalidArgument("added_existing partition " +
+                                     std::to_string(p) +
+                                     " already in the base existing set");
+    }
+  }
+  for (PartitionId p : delta.removed_candidates) {
+    if (!Contains(base_candidates, p)) {
+      return Status::InvalidArgument(
+          "removed_candidates partition " + std::to_string(p) +
+          " is not in the base candidate set");
+    }
+  }
+  for (PartitionId p : delta.added_candidates) {
+    if (Contains(base_candidates, p)) {
+      return Status::InvalidArgument("added_candidates partition " +
+                                     std::to_string(p) +
+                                     " already in the base candidate set");
+    }
+  }
+  const std::vector<PartitionId> fe = ComposeFacilitySet(
+      base_existing, delta.added_existing, delta.removed_existing);
+  const std::vector<PartitionId> fn = ComposeFacilitySet(
+      base_candidates, delta.added_candidates, delta.removed_candidates);
+  std::vector<PartitionId> both;
+  std::set_intersection(fe.begin(), fe.end(), fn.begin(), fn.end(),
+                        std::back_inserter(both));
+  if (!both.empty()) {
+    return Status::InvalidArgument(
+        "composed existing and candidate sets intersect at partition " +
+        std::to_string(both.front()));
+  }
+  return Status::OK();
+}
+
+OverlayOracle::OverlayOracle(const DistanceOracle* base,
+                             std::span<const PartitionId> base_existing,
+                             std::span<const PartitionId> base_candidates,
+                             FacilityDelta delta)
+    : base_(base), delta_(std::move(delta)) {
+  IFLS_CHECK(base_ != nullptr);
+  const Status valid =
+      ValidateFacilityDelta(delta_, base_existing, base_candidates);
+  IFLS_CHECK(valid.ok()) << valid.ToString();
+  effective_existing_ = ComposeFacilitySet(
+      base_existing, delta_.added_existing, delta_.removed_existing);
+  effective_candidates_ = ComposeFacilitySet(
+      base_candidates, delta_.added_candidates, delta_.removed_candidates);
+}
+
+}  // namespace ifls

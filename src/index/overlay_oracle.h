@@ -1,0 +1,143 @@
+#ifndef IFLS_INDEX_OVERLAY_ORACLE_H_
+#define IFLS_INDEX_OVERLAY_ORACLE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/index/distance_oracle.h"
+
+namespace ifls {
+
+/// Net facility-set difference between a base index snapshot and the live
+/// serving state: partitions opened/closed as existing facilities (Fe) and
+/// added/withdrawn candidate locations (Fn) since the snapshot was built.
+/// All four vectors are sorted ascending and mutually consistent: a
+/// partition appears in at most one of them, `removed_*` entries are members
+/// of the base set and `added_*` entries are not.
+struct FacilityDelta {
+  std::vector<PartitionId> added_existing;
+  std::vector<PartitionId> removed_existing;
+  std::vector<PartitionId> added_candidates;
+  std::vector<PartitionId> removed_candidates;
+
+  bool empty() const {
+    return added_existing.empty() && removed_existing.empty() &&
+           added_candidates.empty() && removed_candidates.empty();
+  }
+  /// Number of net changes carried.
+  std::size_t size() const {
+    return added_existing.size() + removed_existing.size() +
+           added_candidates.size() + removed_candidates.size();
+  }
+};
+
+/// Canonical composition base ∪ added ∖ removed. `base` must be sorted
+/// ascending; the result is sorted ascending — the same canonical order a
+/// from-scratch rebuild over the composed set uses, which is what makes
+/// solver tie-breaks on (snapshot ⊕ delta) bit-identical to a rebuild.
+std::vector<PartitionId> ComposeFacilitySet(
+    std::span<const PartitionId> base, std::span<const PartitionId> added,
+    std::span<const PartitionId> removed);
+
+/// Validates a delta against sorted base Fe/Fn: sortedness, uniqueness,
+/// membership of removals, non-membership of additions, and Fe/Fn
+/// disjointness of the composed sets.
+Status ValidateFacilityDelta(const FacilityDelta& delta,
+                             std::span<const PartitionId> base_existing,
+                             std::span<const PartitionId> base_candidates);
+
+/// DistanceOracle view of (base snapshot ⊕ facility delta): every distance
+/// and hierarchy method forwards verbatim to the base oracle — the venue
+/// geometry is unchanged by facility mutations, so distances, pruning bounds
+/// and work counters are exactly the base's — while the *facility streams*
+/// (effective Fe and Fn) are the delta-composed sets in canonical sorted
+/// order. Solvers consume an OverlayOracle through IflsContext exactly like
+/// any other backend, and their answers (argmin ids, objective values,
+/// tie-breaks) are bit-identical to running against a freshly rebuilt index
+/// whose base sets equal the composed sets.
+///
+/// Thread-safety: immutable after construction; forwards to a base oracle
+/// whose const methods are themselves safe for concurrent callers. Counter
+/// updates land on the calling thread's sink when installed, else on the
+/// *base* oracle's aggregate (delegation does not duplicate counts).
+class OverlayOracle : public DistanceOracle {
+ public:
+  /// `base` must outlive the overlay. `base_existing`/`base_candidates` are
+  /// the snapshot's canonical (sorted) facility sets; `delta` must validate
+  /// against them (IFLS_CHECKed).
+  OverlayOracle(const DistanceOracle* base,
+                std::span<const PartitionId> base_existing,
+                std::span<const PartitionId> base_candidates,
+                FacilityDelta delta);
+
+  const DistanceOracle& base() const { return *base_; }
+  const FacilityDelta& delta() const { return delta_; }
+
+  /// Composed facility sets, sorted ascending.
+  const std::vector<PartitionId>& effective_existing() const {
+    return effective_existing_;
+  }
+  const std::vector<PartitionId>& effective_candidates() const {
+    return effective_candidates_;
+  }
+
+  // ---- DistanceOracle: pure forwarding ---------------------------------
+
+  const Venue& venue() const override { return base_->venue(); }
+
+  double DoorToDoor(DoorId a, DoorId b) const override {
+    return base_->DoorToDoor(a, b);
+  }
+  double PointToDoor(const Point& a, PartitionId pa,
+                     DoorId d) const override {
+    return base_->PointToDoor(a, pa, d);
+  }
+  double PointToPoint(const Point& a, PartitionId pa, const Point& b,
+                      PartitionId pb) const override {
+    return base_->PointToPoint(a, pa, b, pb);
+  }
+  double PointToPartition(const Point& a, PartitionId pa,
+                          PartitionId target) const override {
+    return base_->PointToPartition(a, pa, target);
+  }
+  double DoorToPartition(DoorId d, PartitionId target) const override {
+    return base_->DoorToPartition(d, target);
+  }
+  double PartitionToPartition(PartitionId p, PartitionId q) const override {
+    return base_->PartitionToPartition(p, q);
+  }
+
+  NodeId root() const override { return base_->root(); }
+  std::size_t num_nodes() const override { return base_->num_nodes(); }
+  bool IsLeaf(NodeId n) const override { return base_->IsLeaf(n); }
+  NodeId Parent(NodeId n) const override { return base_->Parent(n); }
+  NodeId LeafOf(PartitionId p) const override { return base_->LeafOf(p); }
+  std::span<const NodeId> Children(NodeId n) const override {
+    return base_->Children(n);
+  }
+  std::span<const PartitionId> NodePartitions(NodeId n) const override {
+    return base_->NodePartitions(n);
+  }
+  bool NodeContainsPartition(NodeId n, PartitionId p) const override {
+    return base_->NodeContainsPartition(n, p);
+  }
+  double PartitionToNode(PartitionId p, NodeId n) const override {
+    return base_->PartitionToNode(p, n);
+  }
+  double PointToNode(const Point& a, PartitionId pa,
+                     NodeId n) const override {
+    return base_->PointToNode(a, pa, n);
+  }
+
+ private:
+  const DistanceOracle* base_;
+  FacilityDelta delta_;
+  std::vector<PartitionId> effective_existing_;
+  std::vector<PartitionId> effective_candidates_;
+};
+
+}  // namespace ifls
+
+#endif  // IFLS_INDEX_OVERLAY_ORACLE_H_

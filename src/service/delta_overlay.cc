@@ -1,0 +1,151 @@
+#include "src/service/delta_overlay.h"
+
+#include <string>
+
+namespace ifls {
+namespace {
+
+std::vector<FacilityKind> BuildKinds(
+    std::size_t num_partitions, std::span<const PartitionId> existing,
+    std::span<const PartitionId> candidates) {
+  std::vector<FacilityKind> kinds(num_partitions, FacilityKind::kNone);
+  for (PartitionId p : existing) {
+    kinds[static_cast<std::size_t>(p)] = FacilityKind::kExisting;
+  }
+  for (PartitionId p : candidates) {
+    kinds[static_cast<std::size_t>(p)] = FacilityKind::kCandidate;
+  }
+  return kinds;
+}
+
+const char* RoleName(FacilityKind kind) {
+  switch (kind) {
+    case FacilityKind::kNone:
+      return "unassigned";
+    case FacilityKind::kExisting:
+      return "an existing facility";
+    case FacilityKind::kCandidate:
+      return "a candidate location";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* MutationKindName(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kAddFacility:
+      return "AddFacility";
+    case MutationKind::kRemoveFacility:
+      return "RemoveFacility";
+    case MutationKind::kAddCandidate:
+      return "AddCandidate";
+    case MutationKind::kRemoveCandidate:
+      return "RemoveCandidate";
+  }
+  return "unknown";
+}
+
+DeltaOverlay::DeltaOverlay(std::size_t num_partitions,
+                           std::span<const PartitionId> base_existing,
+                           std::span<const PartitionId> base_candidates)
+    : base_kind_(BuildKinds(num_partitions, base_existing, base_candidates)) {}
+
+FacilityKind DeltaOverlay::EffectiveKind(PartitionId p) const {
+  const auto it = overrides_.find(p);
+  if (it != overrides_.end()) return it->second;
+  return base_kind_[static_cast<std::size_t>(p)];
+}
+
+Status DeltaOverlay::Apply(const Mutation& m) {
+  const PartitionId p = m.partition;
+  if (p < 0 || static_cast<std::size_t>(p) >= base_kind_.size()) {
+    return Status::OutOfRange(std::string(MutationKindName(m.kind)) + "(" +
+                              std::to_string(p) + "): partition out of range");
+  }
+  const FacilityKind effective = EffectiveKind(p);
+  FacilityKind target = FacilityKind::kNone;
+  switch (m.kind) {
+    case MutationKind::kAddFacility:
+    case MutationKind::kAddCandidate: {
+      target = m.kind == MutationKind::kAddFacility ? FacilityKind::kExisting
+                                                    : FacilityKind::kCandidate;
+      if (effective == target) {
+        return Status::AlreadyExists(
+            std::string(MutationKindName(m.kind)) + "(" + std::to_string(p) +
+            "): partition is already " + RoleName(target));
+      }
+      if (effective != FacilityKind::kNone) {
+        return Status::FailedPrecondition(
+            std::string(MutationKindName(m.kind)) + "(" + std::to_string(p) +
+            "): partition is currently " + RoleName(effective) +
+            "; remove that role first");
+      }
+      break;
+    }
+    case MutationKind::kRemoveFacility:
+    case MutationKind::kRemoveCandidate: {
+      const FacilityKind required = m.kind == MutationKind::kRemoveFacility
+                                        ? FacilityKind::kExisting
+                                        : FacilityKind::kCandidate;
+      if (effective != required) {
+        return Status::NotFound(std::string(MutationKindName(m.kind)) + "(" +
+                                std::to_string(p) + "): partition is " +
+                                RoleName(effective) + ", not " +
+                                RoleName(required));
+      }
+      target = FacilityKind::kNone;
+      break;
+    }
+  }
+  if (base_kind_[static_cast<std::size_t>(p)] == target) {
+    overrides_.erase(p);  // back to its base role: net change cancels
+  } else {
+    overrides_[p] = target;
+  }
+  ++mutations_applied_;
+  return Status::OK();
+}
+
+FacilityDelta DeltaOverlay::delta() const {
+  FacilityDelta d;
+  for (const auto& [p, kind] : overrides_) {
+    const FacilityKind base = base_kind_[static_cast<std::size_t>(p)];
+    if (base == FacilityKind::kExisting && kind != FacilityKind::kExisting) {
+      d.removed_existing.push_back(p);
+    }
+    if (base == FacilityKind::kCandidate && kind != FacilityKind::kCandidate) {
+      d.removed_candidates.push_back(p);
+    }
+    if (kind == FacilityKind::kExisting && base != FacilityKind::kExisting) {
+      d.added_existing.push_back(p);
+    }
+    if (kind == FacilityKind::kCandidate &&
+        base != FacilityKind::kCandidate) {
+      d.added_candidates.push_back(p);
+    }
+  }
+  return d;  // map iteration order keeps every bucket sorted
+}
+
+void DeltaOverlay::RebaseTo(std::span<const PartitionId> new_existing,
+                            std::span<const PartitionId> new_candidates) {
+  std::vector<FacilityKind> new_base =
+      BuildKinds(base_kind_.size(), new_existing, new_candidates);
+  std::map<PartitionId, FacilityKind> new_overrides;
+  // Effective roles are unchanged by a rebase; only the reference point
+  // moves: a partition is overridden afterwards iff its effective role
+  // differs from the *new* base. The full scan matters — a mutation undone
+  // *after* the compaction cut leaves no override here, yet its pre-cut
+  // effect is folded into the new base, so the difference shows up exactly
+  // at such unoverridden partitions.
+  for (std::size_t i = 0; i < base_kind_.size(); ++i) {
+    const auto p = static_cast<PartitionId>(i);
+    const FacilityKind effective = EffectiveKind(p);
+    if (new_base[i] != effective) new_overrides.emplace(p, effective);
+  }
+  base_kind_ = std::move(new_base);
+  overrides_ = std::move(new_overrides);
+}
+
+}  // namespace ifls

@@ -1,0 +1,424 @@
+#include "src/service/service.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/stopwatch.h"
+
+namespace ifls {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point DeadlineFor(Clock::time_point admitted_at,
+                              double request_seconds,
+                              double default_seconds) {
+  double seconds = request_seconds;
+  if (seconds == 0.0) seconds = default_seconds;
+  if (seconds <= 0.0) return Clock::time_point::max();
+  return admitted_at + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+}
+
+double Seconds(Clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace
+
+std::string ServiceMetrics::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "submitted=%llu admitted=%llu shed=%llu completed=%llu failed=%llu "
+      "deadline_expired=%llu mutations=%llu rejected=%llu compactions=%llu "
+      "epoch=%llu overlay=%zu queue_depth=%zu p50=%.1fus p99=%.1fus",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(admitted),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(failed),
+      static_cast<unsigned long long>(deadline_expired),
+      static_cast<unsigned long long>(mutations_applied),
+      static_cast<unsigned long long>(mutations_rejected),
+      static_cast<unsigned long long>(compactions),
+      static_cast<unsigned long long>(snapshot_epoch), overlay_size,
+      queue_depth, latency_p50_seconds * 1e6, latency_p99_seconds * 1e6);
+  return buf;
+}
+
+Result<std::unique_ptr<IflsService>> IflsService::Create(
+    Venue venue, std::vector<PartitionId> existing,
+    std::vector<PartitionId> candidates, const ServiceOptions& options) {
+  if (options.num_workers < 0) {
+    return Status::InvalidArgument("num_workers must be >= 0");
+  }
+  if (options.queue_capacity == 0) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  auto shared_venue = std::make_shared<const Venue>(std::move(venue));
+  const std::size_t num_partitions = shared_venue->num_partitions();
+  Result<std::shared_ptr<const IndexSnapshot>> boot = IndexSnapshot::Build(
+      std::move(shared_venue), std::move(existing), std::move(candidates),
+      /*epoch=*/0, options.tree);
+  if (!boot.ok()) return boot.status();
+  std::unique_ptr<IflsService> service(new IflsService(
+      options, std::move(boot).value(), num_partitions));
+  service->StartThreads();
+  return service;
+}
+
+IflsService::IflsService(ServiceOptions options,
+                         std::shared_ptr<const IndexSnapshot> boot,
+                         std::size_t num_partitions)
+    : options_(std::move(options)),
+      overlay_(num_partitions, boot->existing(), boot->candidates()),
+      snapshot_(std::move(boot)) {
+  // Publish the boot state before any thread exists, so AcquireState() is
+  // never null and needs no locking.
+  state_.Store(std::make_shared<const ServingState>(snapshot_,
+                                                    overlay_.delta()));
+}
+
+IflsService::~IflsService() { Stop(); }
+
+void IflsService::StartThreads() {
+  workers_.reserve(static_cast<std::size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  compactor_ = std::thread([this] { CompactorLoop(); });
+}
+
+std::shared_ptr<const ServingState> IflsService::AcquireState() const {
+  return state_.Acquire();
+}
+
+std::uint64_t IflsService::snapshot_epoch() const {
+  return state_.Acquire()->snapshot->epoch();
+}
+
+// ---------------------------------------------------------------------------
+// Query path
+// ---------------------------------------------------------------------------
+
+Result<std::future<ServiceReply>> IflsService::SubmitQuery(
+    ServiceRequest request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  PendingQuery item;
+  item.request = std::move(request);
+  item.admitted_at = Clock::now();
+  item.deadline = DeadlineFor(item.admitted_at, item.request.deadline_seconds,
+                              options_.default_deadline_seconds);
+  std::future<ServiceReply> future = item.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("service is stopping");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("admission queue full (" +
+                                 std::to_string(options_.queue_capacity) +
+                                 " queries)");
+    }
+    queue_.push_back(std::move(item));
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+ServiceReply IflsService::Query(ServiceRequest request) {
+  Result<std::future<ServiceReply>> submitted =
+      SubmitQuery(std::move(request));
+  ServiceReply reply;
+  if (!submitted.ok()) {
+    reply.status = submitted.status();
+    return reply;
+  }
+  std::future<ServiceReply> future = std::move(submitted).value();
+  if (options_.num_workers == 0) {
+    // Admission-only mode: pump the queue on the calling thread until this
+    // request's reply materializes (it may not be the next item in line).
+    while (future.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!ProcessOneInline()) break;
+    }
+  }
+  return future.get();
+}
+
+bool IflsService::ProcessOneInline() {
+  PendingQuery item;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_.empty()) return false;
+    item = std::move(queue_.front());
+    queue_.pop_front();
+    ++executing_;
+  }
+  Execute(std::move(item));
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    --executing_;
+    if (queue_.empty() && executing_ == 0) drained_cv_.notify_all();
+  }
+  return true;
+}
+
+void IflsService::WorkerLoop() {
+  for (;;) {
+    PendingQuery item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_, queue already drained
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      ++executing_;
+    }
+    Execute(std::move(item));
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --executing_;
+      if (queue_.empty() && executing_ == 0) drained_cv_.notify_all();
+    }
+  }
+}
+
+void IflsService::Execute(PendingQuery item) {
+  const Clock::time_point start = Clock::now();
+  ServiceReply reply;
+  reply.queue_seconds = Seconds(start - item.admitted_at);
+
+  if (start > item.deadline) {
+    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    reply.status = Status::DeadlineExceeded(
+        "deadline passed after " + std::to_string(reply.queue_seconds) +
+        "s in queue");
+    latency_.Record(reply.queue_seconds);
+    item.promise.set_value(std::move(reply));
+    return;
+  }
+
+  // One atomic acquire pins a mutually consistent (snapshot, overlay) pair
+  // for the whole solve; concurrent mutations and snapshot publications
+  // build fresh states and never touch this one.
+  const std::shared_ptr<const ServingState> state = state_.Acquire();
+  reply.snapshot_epoch = state->snapshot->epoch();
+  reply.overlay_size = state->overlay.delta().size();
+
+  IflsContext ctx;
+  ctx.oracle = &state->oracle();
+  ctx.existing = state->overlay.effective_existing();
+  ctx.candidates = state->overlay.effective_candidates();
+  ctx.clients = std::move(item.request.clients);
+
+  Stopwatch solve_watch;
+  Result<IflsResult> solved =
+      SolveWithObjective(item.request.objective, ctx, options_.solvers);
+  reply.solve_seconds = solve_watch.ElapsedSeconds();
+
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (solved.ok()) {
+    reply.result = std::move(solved).value();
+  } else {
+    reply.status = solved.status();
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  latency_.Record(Seconds(Clock::now() - item.admitted_at));
+  item.promise.set_value(std::move(reply));
+}
+
+// ---------------------------------------------------------------------------
+// Mutation path
+// ---------------------------------------------------------------------------
+
+Status IflsService::Mutate(const Mutation& mutation) {
+  bool trigger_compaction = false;
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    const Status applied = overlay_.Apply(mutation);
+    if (!applied.ok()) {
+      mutations_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return applied;
+    }
+    PublishStateLocked();
+    mutations_applied_.fetch_add(1, std::memory_order_relaxed);
+    trigger_compaction = options_.compaction_threshold > 0 &&
+                         overlay_.net_size() >= options_.compaction_threshold;
+  }
+  if (trigger_compaction) {
+    std::lock_guard<std::mutex> lock(compact_mu_);
+    // Coalesce: only request when the compactor has no pending work.
+    if (compactions_requested_ == compactions_done_ && !compactor_stop_) {
+      ++compactions_requested_;
+      compact_cv_.notify_one();
+    }
+  }
+  return Status::OK();
+}
+
+void IflsService::PublishStateLocked() {
+  state_.Store(
+      std::make_shared<const ServingState>(snapshot_, overlay_.delta()));
+}
+
+// ---------------------------------------------------------------------------
+// Compaction
+// ---------------------------------------------------------------------------
+
+Status IflsService::CompactNow() {
+  std::uint64_t target = 0;
+  {
+    std::lock_guard<std::mutex> lock(compact_mu_);
+    if (compactor_stop_) return Status::Unavailable("service is stopping");
+    target = ++compactions_requested_;
+    compact_cv_.notify_one();
+  }
+  std::unique_lock<std::mutex> lock(compact_mu_);
+  compacted_cv_.wait(lock, [this, target] {
+    return compactions_done_ >= target || compactor_stop_;
+  });
+  if (compactions_done_ < target) {
+    return Status::Unavailable("service stopped before compaction finished");
+  }
+  return Status::OK();
+}
+
+void IflsService::CompactorLoop() {
+  for (;;) {
+    std::uint64_t target = 0;
+    {
+      std::unique_lock<std::mutex> lock(compact_mu_);
+      compact_cv_.wait(lock, [this] {
+        return compactor_stop_ || compactions_requested_ > compactions_done_;
+      });
+      if (compactor_stop_) {
+        compacted_cv_.notify_all();
+        return;
+      }
+      target = compactions_requested_;
+    }
+    CompactOnce();
+    {
+      std::lock_guard<std::mutex> lock(compact_mu_);
+      compactions_done_ = std::max(compactions_done_, target);
+      compacted_cv_.notify_all();
+    }
+  }
+}
+
+void IflsService::CompactOnce() {
+  // Cut: capture the base snapshot and the net delta under the writer lock.
+  // Everything folded into the new snapshot is exactly this cut; mutations
+  // racing the build stay in the overlay via the rebase below.
+  std::shared_ptr<const IndexSnapshot> base;
+  FacilityDelta cut;
+  std::uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    base = snapshot_;
+    cut = overlay_.delta();
+    epoch = next_epoch_;
+  }
+
+  const std::vector<PartitionId> new_existing = ComposeFacilitySet(
+      base->existing(), cut.added_existing, cut.removed_existing);
+  const std::vector<PartitionId> new_candidates = ComposeFacilitySet(
+      base->candidates(), cut.added_candidates, cut.removed_candidates);
+
+  // The slow part — FacilityIndex (and optionally the VIP-tree) rebuild —
+  // runs without any lock: queries and mutations proceed against the old
+  // state throughout.
+  Result<std::shared_ptr<const IndexSnapshot>> built = IndexSnapshot::Build(
+      base->shared_venue(), new_existing, new_candidates, epoch,
+      options_.tree,
+      options_.rebuild_tree_on_compact ? nullptr : base->shared_tree());
+  if (!built.ok()) {
+    // Composed sets come from validated mutations, so this is a logic error;
+    // keep serving the old snapshot rather than dying mid-flight.
+    IFLS_LOG(ERROR) << "compaction failed, keeping epoch "
+                    << base->epoch() << ": " << built.status().ToString();
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    snapshot_ = std::move(built).value();
+    next_epoch_ = epoch + 1;
+    overlay_.RebaseTo(snapshot_->existing(), snapshot_->candidates());
+    PublishStateLocked();
+  }
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle & metrics
+// ---------------------------------------------------------------------------
+
+void IflsService::Drain() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  drained_cv_.wait(lock,
+                   [this] { return queue_.empty() && executing_ == 0; });
+}
+
+void IflsService::Stop() {
+  std::deque<PendingQuery> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+    orphaned.swap(queue_);
+  }
+  queue_cv_.notify_all();
+  for (PendingQuery& item : orphaned) {
+    ServiceReply reply;
+    reply.status = Status::Unavailable("service stopped before execution");
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    item.promise.set_value(std::move(reply));
+  }
+  {
+    std::lock_guard<std::mutex> lock(compact_mu_);
+    compactor_stop_ = true;
+  }
+  compact_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  if (compactor_.joinable()) compactor_.join();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_.empty() && executing_ == 0) drained_cv_.notify_all();
+  }
+}
+
+ServiceMetrics IflsService::Metrics() const {
+  ServiceMetrics m;
+  m.submitted = submitted_.load(std::memory_order_relaxed);
+  m.admitted = admitted_.load(std::memory_order_relaxed);
+  m.shed = shed_.load(std::memory_order_relaxed);
+  m.completed = completed_.load(std::memory_order_relaxed);
+  m.failed = failed_.load(std::memory_order_relaxed);
+  m.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  m.mutations_applied = mutations_applied_.load(std::memory_order_relaxed);
+  m.mutations_rejected = mutations_rejected_.load(std::memory_order_relaxed);
+  m.compactions = compactions_.load(std::memory_order_relaxed);
+  const std::shared_ptr<const ServingState> state = state_.Acquire();
+  m.snapshot_epoch = state->snapshot->epoch();
+  m.overlay_size = state->overlay.delta().size();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    m.queue_depth = queue_.size();
+  }
+  m.latency_p50_seconds = latency_.PercentileSeconds(0.5);
+  m.latency_p99_seconds = latency_.PercentileSeconds(0.99);
+  m.latency_mean_seconds = latency_.MeanSeconds();
+  return m;
+}
+
+}  // namespace ifls

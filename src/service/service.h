@@ -1,0 +1,225 @@
+#ifndef IFLS_SERVICE_SERVICE_H_
+#define IFLS_SERVICE_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/common/status.h"
+#include "src/common/versioned.h"
+#include "src/core/solve_dispatch.h"
+#include "src/service/delta_overlay.h"
+#include "src/service/snapshot.h"
+
+namespace ifls {
+
+/// Configuration of the online serving front.
+struct ServiceOptions {
+  /// Query worker threads. 0 = admission-only mode: requests queue but
+  /// nothing drains until the caller pumps ProcessOneInline() (embedders,
+  /// deterministic tests).
+  int num_workers = 2;
+  /// Admission queue bound; a submit finding the queue full is shed with
+  /// Status::kUnavailable instead of growing latency without bound.
+  std::size_t queue_capacity = 256;
+  /// Net overlay size (partitions whose role drifted from the snapshot
+  /// base) at which the background compactor cuts a fresh snapshot.
+  /// 0 disables automatic compaction; CompactNow() always works.
+  std::size_t compaction_threshold = 64;
+  /// When true the compactor rebuilds the VIP-tree from the venue on every
+  /// compaction (bit-identical to the shared tree — construction is
+  /// deterministic — so this only buys distrust of the sharing fast path).
+  bool rebuild_tree_on_compact = false;
+  /// Default per-query deadline, measured from admission; <= 0 = none.
+  /// A request whose deadline passes while still queued is answered with
+  /// Status::kDeadlineExceeded without running the solver.
+  double default_deadline_seconds = 0.0;
+  VipTreeOptions tree;
+  SolverOptionSet solvers;
+};
+
+/// One query submitted to the service: an objective plus its client set.
+/// Facility sets come from the service's serving state, not the request.
+struct ServiceRequest {
+  IflsObjective objective = IflsObjective::kMinMax;
+  std::vector<Client> clients;
+  /// Per-request deadline override; 0 uses the service default, < 0 forces
+  /// no deadline.
+  double deadline_seconds = 0.0;
+};
+
+/// Outcome of one request. `status` is kOk with `result` filled, or the
+/// validation/solver error, or kDeadlineExceeded/kUnavailable from the
+/// serving layer itself.
+struct ServiceReply {
+  Status status;
+  IflsResult result;
+  /// Epoch of the snapshot the query ran against.
+  std::uint64_t snapshot_epoch = 0;
+  /// Net overlay size composed on top of that snapshot.
+  std::size_t overlay_size = 0;
+  double queue_seconds = 0.0;
+  double solve_seconds = 0.0;
+};
+
+/// Counter block sampled by Metrics(); all fields are totals since start
+/// except the gauges (queue_depth, snapshot_epoch, overlay_size).
+struct ServiceMetrics {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;               // kUnavailable at admission
+  std::uint64_t completed = 0;          // solver ran (ok or solver error)
+  std::uint64_t failed = 0;             // completed with non-ok status
+  std::uint64_t deadline_expired = 0;   // expired while queued
+  std::uint64_t mutations_applied = 0;
+  std::uint64_t mutations_rejected = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t snapshot_epoch = 0;     // gauge
+  std::size_t overlay_size = 0;         // gauge
+  std::size_t queue_depth = 0;          // gauge
+  double latency_p50_seconds = 0.0;     // admission -> reply
+  double latency_p99_seconds = 0.0;
+  double latency_mean_seconds = 0.0;
+
+  std::string ToString() const;
+};
+
+/// The online IFLS serving front (DESIGN.md §8): owns a chain of immutable
+/// IndexSnapshots published RCU-style, a DeltaOverlay absorbing facility
+/// mutations between snapshots, a background compactor folding the overlay
+/// into fresh snapshots, and a bounded worker pool answering
+/// MinMax/MinDist/MaxSum queries against a pinned (snapshot ⊕ overlay) view.
+///
+/// Consistency contract: every query runs against exactly one ServingState —
+/// one atomic acquire yields a snapshot and the overlay delta cut against
+/// that same snapshot, and answers are bit-identical to a from-scratch
+/// rebuild over the composed facility sets (tests/service_differential_test
+/// locks this in). Readers never block on mutations or compaction: both
+/// publish a fresh immutable state and never touch a published one.
+class IflsService {
+ public:
+  /// Builds the boot snapshot (epoch 0) and starts the worker + compactor
+  /// threads. The venue is moved in and owned by the service's snapshots.
+  static Result<std::unique_ptr<IflsService>> Create(
+      Venue venue, std::vector<PartitionId> existing,
+      std::vector<PartitionId> candidates, const ServiceOptions& options = {});
+
+  ~IflsService();
+
+  IflsService(const IflsService&) = delete;
+  IflsService& operator=(const IflsService&) = delete;
+
+  /// Admits `request` into the bounded queue. Returns kUnavailable without
+  /// queuing when the queue is full (backpressure) or the service is
+  /// stopping; otherwise the future carries the reply.
+  Result<std::future<ServiceReply>> SubmitQuery(ServiceRequest request);
+
+  /// Submit + wait convenience. Shed/stopped submissions surface in the
+  /// reply's status.
+  ServiceReply Query(ServiceRequest request);
+
+  /// Applies one facility mutation. On success the change is visible to
+  /// every query admitted afterwards (a fresh ServingState is published
+  /// before Mutate returns).
+  Status Mutate(const Mutation& mutation);
+
+  /// Forces a synchronous compaction: blocks until the compactor has cut,
+  /// built and published a snapshot folding the overlay as of this call.
+  /// Returns kUnavailable after Stop().
+  Status CompactNow();
+
+  /// Blocks until the admission queue is empty and no query is executing.
+  void Drain();
+
+  /// Stops admission, drains nothing: queued-but-unprocessed requests are
+  /// answered kUnavailable, then workers and compactor join. Idempotent;
+  /// the destructor calls it.
+  void Stop();
+
+  /// Pops and executes one queued request on the calling thread (admission-
+  /// only mode or manual pumping). Returns false when the queue is empty.
+  bool ProcessOneInline();
+
+  /// The state queries currently run against; pins its snapshot until the
+  /// caller drops the pointer. Never null.
+  std::shared_ptr<const ServingState> AcquireState() const;
+
+  std::uint64_t snapshot_epoch() const;
+  ServiceMetrics Metrics() const;
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct PendingQuery {
+    ServiceRequest request;
+    std::promise<ServiceReply> promise;
+    std::chrono::steady_clock::time_point admitted_at;
+    /// time_point::max() when the request has no deadline.
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  IflsService(ServiceOptions options,
+              std::shared_ptr<const IndexSnapshot> boot,
+              std::size_t num_partitions);
+
+  void StartThreads();
+  void WorkerLoop();
+  void CompactorLoop();
+  /// Builds and publishes a snapshot folding the overlay as cut at call
+  /// time. Runs on the compactor thread (single snapshot writer).
+  void CompactOnce();
+  void Execute(PendingQuery item);
+  void PublishStateLocked();
+
+  const ServiceOptions options_;
+
+  /// What queries read: swapped atomically, never mutated after publish.
+  VersionedPtr<ServingState> state_;
+
+  /// Writer side: serializes mutations, compaction folds and publications.
+  mutable std::mutex writer_mu_;
+  DeltaOverlay overlay_;
+  std::shared_ptr<const IndexSnapshot> snapshot_;  // newest published
+  std::uint64_t next_epoch_ = 1;
+
+  // Admission queue.
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;    // workers: work available / stop
+  std::condition_variable drained_cv_;  // Drain(): queue empty, none running
+  std::deque<PendingQuery> queue_;
+  std::size_t executing_ = 0;
+  bool stopping_ = false;
+
+  // Compactor coordination.
+  std::mutex compact_mu_;
+  std::condition_variable compact_cv_;   // wake the compactor
+  std::condition_variable compacted_cv_; // CompactNow completion
+  std::uint64_t compactions_requested_ = 0;
+  std::uint64_t compactions_done_ = 0;
+  bool compactor_stop_ = false;
+
+  std::vector<std::thread> workers_;
+  std::thread compactor_;
+
+  // Metrics (relaxed atomics; gauges sampled on read).
+  mutable LatencyHistogram latency_;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> deadline_expired_{0};
+  std::atomic<std::uint64_t> mutations_applied_{0};
+  std::atomic<std::uint64_t> mutations_rejected_{0};
+  std::atomic<std::uint64_t> compactions_{0};
+};
+
+}  // namespace ifls
+
+#endif  // IFLS_SERVICE_SERVICE_H_

@@ -1,0 +1,86 @@
+#ifndef IFLS_SERVICE_SNAPSHOT_H_
+#define IFLS_SERVICE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/index/facility_index.h"
+#include "src/index/overlay_oracle.h"
+#include "src/index/vip_tree.h"
+#include "src/indoor/venue.h"
+
+namespace ifls {
+
+/// One immutable, reference-counted version of the serving index: the venue,
+/// the VIP-tree over it, the canonical (sorted) base facility sets Fe/Fn at
+/// the time the snapshot was cut, and the object-layer FacilityIndex over
+/// the base Fe. Snapshots are published RCU-style: once Build() returns, the
+/// object is never mutated, so any number of query threads may read it while
+/// the compactor builds its successor; the shared_ptr refcount keeps a
+/// superseded snapshot alive until its last in-flight query finishes.
+///
+/// The venue and the VIP-tree travel as shared_ptrs because facility
+/// mutations never change venue geometry: successive snapshots of one
+/// service share the tree (bit-identical to rebuilding it, since tree
+/// construction is deterministic) unless the service is configured to
+/// rebuild from scratch on every compaction.
+class IndexSnapshot {
+ public:
+  /// Validates and canonicalizes (sorts) the facility sets, builds the
+  /// FacilityIndex, and — when `tree` is null — builds the VIP-tree.
+  /// Fe/Fn must be in-range, duplicate-free and disjoint.
+  static Result<std::shared_ptr<const IndexSnapshot>> Build(
+      std::shared_ptr<const Venue> venue, std::vector<PartitionId> existing,
+      std::vector<PartitionId> candidates, std::uint64_t epoch,
+      const VipTreeOptions& tree_options,
+      std::shared_ptr<const VipTree> tree = nullptr);
+
+  /// Monotonically increasing publication number (0 = the boot snapshot).
+  std::uint64_t epoch() const { return epoch_; }
+
+  const Venue& venue() const { return *venue_; }
+  const std::shared_ptr<const Venue>& shared_venue() const { return venue_; }
+  const VipTree& tree() const { return *tree_; }
+  const std::shared_ptr<const VipTree>& shared_tree() const { return tree_; }
+  const FacilityIndex& facility_index() const { return *facility_index_; }
+
+  /// Base facility sets, sorted ascending (the canonical order).
+  std::span<const PartitionId> existing() const { return existing_; }
+  std::span<const PartitionId> candidates() const { return candidates_; }
+
+ private:
+  IndexSnapshot() = default;
+
+  std::shared_ptr<const Venue> venue_;
+  std::shared_ptr<const VipTree> tree_;
+  std::unique_ptr<FacilityIndex> facility_index_;
+  std::vector<PartitionId> existing_;
+  std::vector<PartitionId> candidates_;
+  std::uint64_t epoch_ = 0;
+};
+
+/// What one query actually runs against: a pinned snapshot plus the overlay
+/// view composing the net facility delta on top of it. Immutable and
+/// published as a unit (every mutation and every compaction publishes a
+/// fresh ServingState), so a reader's single atomic acquire yields a
+/// mutually consistent (snapshot, delta) pair — no locking, no torn reads.
+struct ServingState {
+  ServingState(std::shared_ptr<const IndexSnapshot> snap, FacilityDelta d)
+      : snapshot(std::move(snap)),
+        overlay(&snapshot->tree(), snapshot->existing(),
+                snapshot->candidates(), std::move(d)) {}
+
+  /// The oracle queries consume: forwards distances to the snapshot tree,
+  /// streams the composed facility sets.
+  const OverlayOracle& oracle() const { return overlay; }
+
+  std::shared_ptr<const IndexSnapshot> snapshot;
+  OverlayOracle overlay;
+};
+
+}  // namespace ifls
+
+#endif  // IFLS_SERVICE_SNAPSHOT_H_

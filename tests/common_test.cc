@@ -1,14 +1,19 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <memory>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "src/common/logging.h"
 #include "src/common/memory_tracker.h"
+#include "src/common/metrics.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/common/stopwatch.h"
+#include "src/common/versioned.h"
 
 namespace ifls {
 namespace {
@@ -295,6 +300,89 @@ TEST(LoggingTest, CheckPassesOnTrueCondition) {
 
 TEST(LoggingDeathTest, CheckAbortsOnFalseCondition) {
   EXPECT_DEATH({ IFLS_CHECK(false) << "boom"; }, "Check failed");
+}
+
+// ------------------------------------------------------ LatencyHistogram
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.MeanSeconds(), 0.0);
+  EXPECT_EQ(h.PercentileSeconds(0.5), 0.0);
+  EXPECT_EQ(h.PercentileSeconds(0.99), 0.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesReturnBucketUpperBounds) {
+  LatencyHistogram h;
+  // 90 samples at 1us (bucket [1,2)us -> bound 2us) and 10 at 1000us
+  // (bucket [512,1024)us -> bound 1024us).
+  for (int i = 0; i < 90; ++i) h.Record(1e-6);
+  for (int i = 0; i < 10; ++i) h.Record(1000e-6);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.PercentileSeconds(0.5), 2e-6);
+  EXPECT_DOUBLE_EQ(h.PercentileSeconds(0.9), 2e-6);
+  EXPECT_DOUBLE_EQ(h.PercentileSeconds(0.99), 1024e-6);
+  EXPECT_DOUBLE_EQ(h.PercentileSeconds(1.0), 1024e-6);
+  EXPECT_NEAR(h.MeanSeconds(), 100.9e-6, 1e-12);
+  EXPECT_NEAR(h.total_seconds(), 100.0 * 100.9e-6, 1e-10);
+  EXPECT_FALSE(h.ToString().empty());
+}
+
+TEST(LatencyHistogramTest, SubMicrosecondAndGarbageSamplesLandInBucketZero) {
+  LatencyHistogram h;
+  h.Record(1e-9);
+  h.Record(-5.0);  // clock glitch: clamped, not UB
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.PercentileSeconds(0.5), 2e-6);  // bucket 0 upper bound
+}
+
+TEST(LatencyHistogramTest, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.Record(5e-6);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.PercentileSeconds(0.99), 0.0);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAllCounted) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Record(3e-6);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_DOUBLE_EQ(h.PercentileSeconds(0.5), 4e-6);  // [2,4)us bucket
+}
+
+// ----------------------------------------------------------- VersionedPtr
+
+TEST(VersionedPtrTest, StorePublishesAndReturnsDisplaced) {
+  VersionedPtr<int> cell;
+  EXPECT_EQ(cell.Acquire(), nullptr);
+  EXPECT_EQ(cell.version(), 0u);
+
+  auto first = std::make_shared<const int>(1);
+  EXPECT_EQ(cell.Store(first), nullptr);
+  EXPECT_EQ(cell.version(), 1u);
+  EXPECT_EQ(*cell.Acquire(), 1);
+
+  auto second = std::make_shared<const int>(2);
+  EXPECT_EQ(cell.Store(second), first);
+  EXPECT_EQ(cell.version(), 2u);
+  EXPECT_EQ(*cell.Acquire(), 2);
+}
+
+TEST(VersionedPtrTest, ReadersKeepDisplacedStateAlive) {
+  VersionedPtr<int> cell(std::make_shared<const int>(7));
+  std::shared_ptr<const int> pinned = cell.Acquire();
+  cell.Store(std::make_shared<const int>(8));
+  EXPECT_EQ(*pinned, 7);  // old state alive until the reader drops it
+  EXPECT_EQ(*cell.Acquire(), 8);
 }
 
 // -------------------------------------------------------------- Stopwatch

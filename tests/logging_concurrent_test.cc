@@ -1,0 +1,136 @@
+// Thread-safety of the logger (run under TSan via the `parallel` label):
+// many threads logging concurrently must produce whole, non-interleaved
+// lines, and SwapLogSink must be safe while other threads are mid-log.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace ifls {
+namespace {
+
+/// Collects every emitted line. Write() runs under the logger's emission
+/// mutex (see LogSink contract), so no extra locking is needed here.
+class CapturingSink : public LogSink {
+ public:
+  void Write(LogLevel level, const std::string& line) override {
+    lines_.push_back(line);
+    if (level >= LogLevel::kWarning) ++warnings_;
+  }
+
+  const std::vector<std::string>& lines() const { return lines_; }
+  int warnings() const { return warnings_; }
+
+ private:
+  std::vector<std::string> lines_;
+  int warnings_ = 0;
+};
+
+TEST(LoggingConcurrentTest, ConcurrentLinesNeverTearOrInterleave) {
+  constexpr int kThreads = 8;
+  constexpr int kMessagesPerThread = 500;
+
+  CapturingSink sink;
+  LogSink* previous = SwapLogSink(&sink);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kMessagesPerThread; ++i) {
+        IFLS_LOG(INFO) << "payload<" << t << ":" << i << ">end";
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  SwapLogSink(previous);
+
+  ASSERT_EQ(sink.lines().size(),
+            static_cast<std::size_t>(kThreads * kMessagesPerThread));
+
+  // Every line is exactly one intact message: one payload marker, properly
+  // terminated, never a fragment of another thread's line spliced in.
+  std::vector<std::vector<bool>> seen(
+      kThreads, std::vector<bool>(kMessagesPerThread, false));
+  for (const std::string& line : sink.lines()) {
+    const std::size_t start = line.find("payload<");
+    ASSERT_NE(start, std::string::npos) << line;
+    ASSERT_EQ(line.find("payload<", start + 1), std::string::npos) << line;
+    const std::size_t colon = line.find(':', start);
+    const std::size_t close = line.find(">end", colon);
+    ASSERT_NE(colon, std::string::npos) << line;
+    ASSERT_NE(close, std::string::npos) << line;
+    ASSERT_EQ(close + 4, line.size()) << line;  // nothing appended after
+    const int t = std::stoi(line.substr(start + 8, colon - start - 8));
+    const int i = std::stoi(line.substr(colon + 1, close - colon - 1));
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, kThreads);
+    ASSERT_GE(i, 0);
+    ASSERT_LT(i, kMessagesPerThread);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(t)][static_cast<std::size_t>(
+        i)])
+        << "duplicate " << line;
+    seen[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)] = true;
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kMessagesPerThread; ++i) {
+      ASSERT_TRUE(seen[static_cast<std::size_t>(t)][static_cast<std::size_t>(
+          i)])
+          << "lost message " << t << ":" << i;
+    }
+  }
+}
+
+TEST(LoggingConcurrentTest, SwapLogSinkIsSafeWhileOthersLog) {
+  constexpr int kThreads = 4;
+  constexpr int kMessagesPerThread = 200;
+
+  CapturingSink a;
+  CapturingSink b;
+  LogSink* previous = SwapLogSink(&a);
+
+  std::atomic<bool> stop{false};
+  std::thread swapper([&] {
+    bool use_b = true;
+    while (!stop.load(std::memory_order_relaxed)) {
+      SwapLogSink(use_b ? static_cast<LogSink*>(&b)
+                        : static_cast<LogSink*>(&a));
+      use_b = !use_b;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kMessagesPerThread; ++i) {
+        IFLS_LOG(WARNING) << "swap-test " << t << ":" << i;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  stop = true;
+  swapper.join();
+  SwapLogSink(previous);
+
+  // Every message landed in exactly one of the two sinks, intact.
+  EXPECT_EQ(a.lines().size() + b.lines().size(),
+            static_cast<std::size_t>(kThreads * kMessagesPerThread));
+  EXPECT_EQ(a.warnings() + b.warnings(), kThreads * kMessagesPerThread);
+}
+
+TEST(LoggingConcurrentTest, SwapReturnsPreviousSink) {
+  CapturingSink sink;
+  LogSink* previous = SwapLogSink(&sink);
+  EXPECT_EQ(SwapLogSink(previous), &sink);
+  IFLS_LOG(INFO) << "after restore";  // goes to the default sink again
+  EXPECT_TRUE(sink.lines().empty());
+}
+
+}  // namespace
+}  // namespace ifls
