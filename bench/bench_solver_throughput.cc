@@ -1,0 +1,439 @@
+// Solver throughput before/after the min-plus kernel + sharded-cache work,
+// measured at three layers:
+//
+//   1. kernel microbench — the blocked min-plus kernels timed under forced
+//      scalar and forced AVX2 dispatch on identical inputs (the headline
+//      single-thread kernel speedup);
+//   2. cache microbench — the legacy mutex + unordered_map door memo
+//      (reconstructed here) vs the sharded seqlock ConcurrentDoorCache,
+//      mixed lookup/insert at 1 and 8 threads;
+//   3. solver throughput — per-objective queries/sec through
+//      BatchQueryEngine at 1 and 8 threads, "before" (scalar kernels, door
+//      cache off) vs "after" (SIMD kernels, sharded door cache on), with
+//      every after-answer differential-checked bit-identical to before.
+//
+// Writes BENCH_solver_throughput.json (shared schema, src/benchlib).
+// Scale via IFLS_BENCH_SCALE=smoke|default|full.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/benchlib/harness.h"
+#include "src/benchlib/json_report.h"
+#include "src/benchlib/table.h"
+#include "src/common/concurrent_cache.h"
+#include "src/common/rng.h"
+#include "src/common/stopwatch.h"
+#include "src/core/batch_engine.h"
+#include "src/index/minplus_kernels.h"
+
+namespace ifls {
+namespace {
+
+/// Sink that keeps the optimizer from deleting the timed kernel calls.
+volatile double g_sink = 0.0;
+
+// ---------------------------------------------------------------------------
+// Layer 1: kernel microbench.
+
+struct KernelInstance {
+  std::vector<double> matrix;
+  std::size_t stride = 0;
+  std::vector<std::int32_t> rows;
+  std::vector<std::int32_t> cols;
+  std::vector<double> a;
+  std::vector<double> b;
+  std::vector<double> out;
+};
+
+KernelInstance MakeKernelInstance(Rng* rng, std::size_t dim, std::size_t n) {
+  KernelInstance inst;
+  inst.stride = dim;
+  inst.matrix.resize(dim * dim);
+  for (double& v : inst.matrix) v = rng->NextUniform(0.0, 1000.0);
+  inst.rows.resize(n);
+  inst.cols.resize(n);
+  for (auto& r : inst.rows) {
+    r = static_cast<std::int32_t>(rng->NextInt(0, static_cast<int>(dim) - 1));
+  }
+  for (auto& c : inst.cols) {
+    c = static_cast<std::int32_t>(rng->NextInt(0, static_cast<int>(dim) - 1));
+  }
+  inst.a.resize(n);
+  inst.b.resize(n);
+  for (double& v : inst.a) v = rng->NextUniform(0.0, 500.0);
+  for (double& v : inst.b) v = rng->NextUniform(0.0, 500.0);
+  inst.out.resize(n);
+  return inst;
+}
+
+/// ns per call of `fn`, averaged over `iters` calls after one warmup call.
+template <typename Fn>
+double TimeNs(int iters, Fn&& fn) {
+  fn();
+  Stopwatch watch;
+  for (int i = 0; i < iters; ++i) fn();
+  return watch.ElapsedSeconds() * 1e9 / iters;
+}
+
+struct KernelRow {
+  std::string name;
+  double scalar_ns = 0.0;
+  double simd_ns = 0.0;
+  double speedup = 0.0;
+};
+
+/// Times one kernel under both forced dispatch modes on the same instances.
+template <typename Fn>
+KernelRow BenchKernel(const std::string& name, int iters, Fn&& fn) {
+  KernelRow row;
+  row.name = name;
+  kernels::SetKernelMode(kernels::KernelMode::kScalar);
+  row.scalar_ns = TimeNs(iters, fn);
+  kernels::SetKernelMode(kernels::KernelMode::kSimd);
+  row.simd_ns = TimeNs(iters, fn);
+  kernels::SetKernelMode(kernels::KernelMode::kAuto);
+  row.speedup = row.simd_ns > 0.0 ? row.scalar_ns / row.simd_ns : 0.0;
+  return row;
+}
+
+std::vector<KernelRow> RunKernelMicrobench(const BenchScale& scale) {
+  // Shapes mirror the hot callers: DoorToDoor joins over 24-48 access
+  // doors, leaf compositions over similar fan-outs, candidate-evaluation
+  // gathers over full partition door lists.
+  const int iters = scale.name == "smoke" ? 20000 : 200000;
+  Rng rng(42);
+  constexpr int kPool = 8;  // rotate instances so no single layout is hot
+  std::vector<KernelInstance> pool;
+  for (int i = 0; i < kPool; ++i) pool.push_back(MakeKernelInstance(&rng, 64, 32));
+
+  std::vector<KernelRow> rows;
+  int which = 0;
+  rows.push_back(BenchKernel("join_32x32", iters, [&] {
+    KernelInstance& in = pool[static_cast<std::size_t>(which++ % kPool)];
+    g_sink = g_sink + kernels::MinPlusJoin(
+                          in.a.data(), in.rows.data(), in.rows.size(),
+                          in.b.data(), in.cols.data(), in.cols.size(),
+                          in.matrix.data(), in.stride);
+  }));
+  rows.push_back(BenchKernel("compose_32x32", iters, [&] {
+    KernelInstance& in = pool[static_cast<std::size_t>(which++ % kPool)];
+    kernels::MinPlusCompose(in.a.data(), in.rows.data(), in.rows.size(),
+                            in.cols.data(), in.cols.size(), in.matrix.data(),
+                            in.stride, in.out.data());
+    g_sink = g_sink + in.out[0];
+  }));
+  rows.push_back(BenchKernel("gather_add_32", iters * 8, [&] {
+    KernelInstance& in = pool[static_cast<std::size_t>(which++ % kPool)];
+    g_sink = g_sink + kernels::MinPlusGatherAdd(1.0, in.matrix.data(),
+                                                in.cols.data(), in.b.data(),
+                                                in.cols.size());
+  }));
+  rows.push_back(BenchKernel("pairwise_32", iters * 8, [&] {
+    KernelInstance& in = pool[static_cast<std::size_t>(which++ % kPool)];
+    g_sink = g_sink + kernels::MinPlusPairwise(in.a.data(), in.b.data(),
+                                               in.a.size());
+  }));
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2: cache microbench — the pre-refactor locked memo vs the sharded
+// seqlock cache, identical mixed workload.
+
+/// Faithful reconstruction of the door-distance memo this PR replaced: one
+/// mutex in front of an unordered_map, every hit and miss serialized.
+class MutexMapCache {
+ public:
+  bool Lookup(std::uint64_t key, double* out) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+  void Insert(std::uint64_t key, double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.emplace(key, value);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::unordered_map<std::uint64_t, double> map_;
+};
+
+/// Million mixed ops/sec over `threads` threads (75% lookup, 25% insert,
+/// 16k-key universe).
+template <typename Cache>
+double CacheMops(Cache* cache, int threads, int ops_per_thread) {
+  Stopwatch watch;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([cache, t, ops_per_thread] {
+      std::uint64_t x = 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(t + 1);
+      double local = 0.0;
+      for (int op = 0; op < ops_per_thread; ++op) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const std::uint64_t key = (x >> 32) & 0x3fff;
+        if (x % 4 == 0) {
+          cache->Insert(key, static_cast<double>(key) * 0.5);
+        } else {
+          double out;
+          if (cache->Lookup(key, &out)) local += out;
+        }
+      }
+      g_sink = g_sink + local;
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double seconds = watch.ElapsedSeconds();
+  const double total_ops = static_cast<double>(threads) * ops_per_thread;
+  return seconds > 0.0 ? total_ops / seconds / 1e6 : 0.0;
+}
+
+struct CacheRow {
+  int threads = 0;
+  double mutex_mops = 0.0;
+  double sharded_mops = 0.0;
+  double speedup = 0.0;
+};
+
+std::vector<CacheRow> RunCacheMicrobench(const BenchScale& scale) {
+  const int ops = scale.name == "smoke" ? 100000 : 1000000;
+  std::vector<CacheRow> rows;
+  for (int threads : {1, 8}) {
+    CacheRow row;
+    row.threads = threads;
+    MutexMapCache locked;
+    row.mutex_mops = CacheMops(&locked, threads, ops);
+    ConcurrentDoorCache sharded(1 << 15);
+    row.sharded_mops = CacheMops(&sharded, threads, ops);
+    row.speedup =
+        row.mutex_mops > 0.0 ? row.sharded_mops / row.mutex_mops : 0.0;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Layer 3: end-to-end solver throughput.
+
+struct SolverRow {
+  std::string objective;
+  int threads = 0;
+  double before_qps = 0.0;
+  double after_qps = 0.0;
+  double speedup = 0.0;
+};
+
+const char* ConfigName(bool after) { return after ? "after" : "before"; }
+
+int Main() {
+  const BenchScale scale = BenchScale::FromEnv();
+  std::printf(
+      "# solver throughput before/after kernels+cache (scale=%s, "
+      "simd=%s, hardware threads=%u)\n\n",
+      scale.name.c_str(), kernels::SimdAvailable() ? "avx2" : "unavailable",
+      std::thread::hardware_concurrency());
+
+  // --- Layer 1.
+  const std::vector<KernelRow> kernel_rows = RunKernelMicrobench(scale);
+  TextTable ktable({"kernel", "scalar ns/op", "avx2 ns/op", "speedup"});
+  double min_speedup = kernel_rows.empty() ? 0.0 : kernel_rows[0].speedup;
+  double log_sum = 0.0;
+  for (const KernelRow& row : kernel_rows) {
+    ktable.AddRow({row.name, TextTable::Num(row.scalar_ns),
+                   TextTable::Num(row.simd_ns), TextTable::Num(row.speedup)});
+    min_speedup = std::min(min_speedup, row.speedup);
+    log_sum += std::log(row.speedup);
+  }
+  const double geomean_speedup =
+      kernel_rows.empty()
+          ? 0.0
+          : std::exp(log_sum / static_cast<double>(kernel_rows.size()));
+  ktable.Print(&std::cout);
+  std::printf("\n");
+
+  // --- Layer 2.
+  const std::vector<CacheRow> cache_rows = RunCacheMicrobench(scale);
+  TextTable ctable({"threads", "mutex memo Mops/s", "sharded Mops/s",
+                    "sharded/mutex"});
+  for (const CacheRow& row : cache_rows) {
+    ctable.AddRow({TextTable::Int(row.threads), TextTable::Num(row.mutex_mops),
+                   TextTable::Num(row.sharded_mops),
+                   TextTable::Num(row.speedup)});
+  }
+  ctable.Print(&std::cout);
+  std::printf("\n");
+
+  // --- Layer 3.
+  VenueCache venue_cache;
+  const Venue& venue = venue_cache.venue(VenuePreset::kMelbourneCentral, false);
+  const ParameterGrid grid =
+      PresetParameterGrid(VenuePreset::kMelbourneCentral);
+
+  // "Before" tree: door cache off (the build default — paper fairness).
+  // "After" tree: the sharded door cache serving repeated DoorToDoor pairs.
+  Result<VipTree> before_tree = VipTree::Build(&venue);
+  IFLS_CHECK(before_tree.ok()) << before_tree.status().ToString();
+  VipTreeOptions cached_opts;
+  cached_opts.enable_door_distance_cache = true;
+  Result<VipTree> after_tree = VipTree::Build(&venue, cached_opts);
+  IFLS_CHECK(after_tree.ok()) << after_tree.status().ToString();
+
+  WorkloadSpec spec;
+  spec.preset = VenuePreset::kMelbourneCentral;
+  spec.num_existing = grid.default_existing;
+  spec.num_candidates = grid.default_candidates;
+  spec.num_clients = scale.Clients(kDefaultClients);
+
+  const IflsObjective objectives[3] = {IflsObjective::kMinMax,
+                                       IflsObjective::kMinDist,
+                                       IflsObjective::kMaxSum};
+  const int workloads_per_objective = 8 * scale.repeats;
+
+  // Per objective: one batch against each tree (identical workloads).
+  std::vector<SolverRow> solver_rows;
+  bool all_identical = true;
+  for (const IflsObjective objective : objectives) {
+    std::vector<BatchQuery> before_batch;
+    std::vector<BatchQuery> after_batch;
+    for (int r = 0; r < workloads_per_objective; ++r) {
+      Rng rng(100 + static_cast<std::uint64_t>(r));
+      IflsContext ctx;
+      Result<FacilitySets> sets = MakeFacilities(venue, spec, &rng);
+      IFLS_CHECK(sets.ok()) << sets.status().ToString();
+      ctx.existing = sets->existing;
+      ctx.candidates = sets->candidates;
+      ctx.clients = MakeClients(venue, spec, &rng);
+      ctx.oracle = &*before_tree;
+      before_batch.push_back(BatchQuery{objective, ctx});
+      ctx.oracle = &*after_tree;
+      after_batch.push_back(BatchQuery{objective, std::move(ctx)});
+    }
+
+    // Warm the after-tree's cache once (steady-state serving is the target
+    // of the cache; the cold fill is measured implicitly by layer 2).
+    {
+      BatchQueryEngine warm{BatchEngineOptions{}};
+      kernels::SetKernelMode(kernels::KernelMode::kSimd);
+      (void)warm.RunSequential(after_batch);
+      kernels::SetKernelMode(kernels::KernelMode::kAuto);
+    }
+
+    std::vector<BatchQueryOutcome> reference;  // before-config answers, 1t
+    for (const int threads : {1, 8}) {
+      SolverRow row;
+      row.objective = IflsObjectiveName(objective);
+      row.threads = threads;
+      for (const bool after : {false, true}) {
+        BatchEngineOptions opts;
+        opts.num_threads = threads;
+        BatchQueryEngine engine(opts);
+        kernels::SetKernelMode(after ? kernels::KernelMode::kSimd
+                                     : kernels::KernelMode::kScalar);
+        const std::vector<BatchQueryOutcome> outcomes =
+            engine.Run(after ? after_batch : before_batch);
+        kernels::SetKernelMode(kernels::KernelMode::kAuto);
+        const double qps = engine.last_report().queries_per_second;
+        if (after) {
+          row.after_qps = qps;
+        } else {
+          row.before_qps = qps;
+        }
+        if (threads == 1 && !after) reference = outcomes;
+        // Differential check: every config must reproduce the before/1t
+        // answers bit for bit.
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+          const IflsResult& got = outcomes[i].result;
+          const IflsResult& want = reference[i].result;
+          if (got.found != want.found || got.answer != want.answer ||
+              got.objective != want.objective) {
+            all_identical = false;
+            std::fprintf(stderr,
+                         "FATAL: %s/%dt/%s diverged from before/1t on "
+                         "query %zu\n",
+                         row.objective.c_str(), threads, ConfigName(after), i);
+          }
+        }
+      }
+      row.speedup = row.before_qps > 0.0 ? row.after_qps / row.before_qps : 0.0;
+      solver_rows.push_back(row);
+    }
+  }
+
+  TextTable stable({"objective", "threads", "before q/s", "after q/s",
+                    "after/before"});
+  for (const SolverRow& row : solver_rows) {
+    stable.AddRow({row.objective, TextTable::Int(row.threads),
+                   TextTable::Num(row.before_qps), TextTable::Num(row.after_qps),
+                   TextTable::Num(row.speedup)});
+  }
+  stable.Print(&std::cout);
+
+  const Status written = WriteBenchReport(
+      "solver_throughput", [&](JsonWriter& w) {
+        w.Field("scale", scale.name);
+        w.Field("simd_available", kernels::SimdAvailable());
+        w.Field("venue", std::string(
+                             VenuePresetName(VenuePreset::kMelbourneCentral)));
+        w.Field("before_config", "scalar kernels, door cache off");
+        w.Field("after_config", "avx2 kernels, sharded door cache");
+        w.Key("kernel_microbench");
+        w.BeginArray();
+        for (const KernelRow& row : kernel_rows) {
+          w.BeginObject();
+          w.Field("kernel", row.name);
+          w.Field("scalar_ns_per_op", row.scalar_ns);
+          w.Field("simd_ns_per_op", row.simd_ns);
+          w.Field("speedup", row.speedup);
+          w.EndObject();
+        }
+        w.EndArray();
+        w.Field("kernel_speedup_min", min_speedup);
+        w.Field("kernel_speedup_geomean", geomean_speedup);
+        w.Key("cache_microbench");
+        w.BeginArray();
+        for (const CacheRow& row : cache_rows) {
+          w.BeginObject();
+          w.Field("threads", row.threads);
+          w.Field("mutex_memo_mops", row.mutex_mops);
+          w.Field("sharded_cache_mops", row.sharded_mops);
+          w.Field("speedup", row.speedup);
+          w.EndObject();
+        }
+        w.EndArray();
+        w.Key("solver_throughput");
+        w.BeginArray();
+        for (const SolverRow& row : solver_rows) {
+          w.BeginObject();
+          w.Field("objective", row.objective);
+          w.Field("threads", row.threads);
+          w.Field("before_qps", row.before_qps);
+          w.Field("after_qps", row.after_qps);
+          w.Field("speedup", row.speedup);
+          w.EndObject();
+        }
+        w.EndArray();
+        w.Field("answers_bit_identical", all_identical);
+      });
+  IFLS_CHECK(written.ok()) << written.ToString();
+  std::cerr << "wrote " << BenchReportPath("solver_throughput") << "\n";
+
+  if (!all_identical) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace ifls
+
+int main() { return ifls::Main(); }

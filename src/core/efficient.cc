@@ -8,6 +8,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/memory_tracker.h"
+#include "src/index/minplus_kernels.h"
 
 namespace ifls {
 namespace {
@@ -264,16 +265,21 @@ class EfficientSolver {
         base_distances_.push_back(oracle_.DoorToPartition(d, facility));
       }
       ++stats_.distance_computations;
+      // Per-client evaluation is a pairwise min-plus reduce: fill the local
+      // legs once, then let the kernel scan legs[i] + base[i]. The sum is
+      // the exact two-term expression of the original loop, so answers stay
+      // bit-identical across kernel backends.
+      const std::size_t n_doors = home.doors.size();
+      client_legs_.resize(n_doors);
       for (std::uint32_t ci : g.clients) {
         if (!clients_[ci].active) continue;
         const Client& c = ctx_.clients[ci];
-        double dist = kInfDistance;
-        for (std::size_t i = 0; i < home.doors.size(); ++i) {
-          const double cand =
-              PointToDoorDistance(c.position, venue_.door(home.doors[i])) +
-              base_distances_[i];
-          if (cand < dist) dist = cand;
+        for (std::size_t i = 0; i < n_doors; ++i) {
+          client_legs_[i] =
+              PointToDoorDistance(c.position, venue_.door(home.doors[i]));
         }
+        const double dist = kernels::MinPlusPairwise(
+            client_legs_.data(), base_distances_.data(), n_doors);
         RecordRetrieval(ci, facility, dist);
       }
       return;
@@ -533,6 +539,7 @@ class EfficientSolver {
   std::vector<char> candidate_collected_;        // top-k bookkeeping
   std::vector<std::pair<PartitionId, double>> collected_;
   std::vector<double> base_distances_;           // AddFacilityToGroup scratch
+  std::vector<double> client_legs_;              // AddFacilityToGroup scratch
   TrackedVector<std::uint32_t> pending_first_;
   TrackedVector<std::uint32_t> pruned_clients_;
 

@@ -73,6 +73,7 @@ std::string QueryStats::ToString() const {
      << ", pop=" << queue_pops << ", nn=" << nn_searches
      << ", pruned=" << clients_pruned
      << ", retrieved=" << facilities_retrieved
+     << ", cache_hit=" << cache_hits << ", cache_miss=" << cache_misses
      << ", peak_mem=" << peak_memory_bytes / 1024.0 / 1024.0 << "MiB}";
   return os.str();
 }
@@ -93,6 +94,8 @@ void SolverScope::Finish() {
       std::max<std::int64_t>(stats_->peak_memory_bytes, tracker_.peak_bytes());
   stats_->door_distance_evals += counters_.door_distance_evals;
   stats_->matrix_lookups += counters_.matrix_lookups;
+  stats_->cache_hits += counters_.cache_hits;
+  stats_->cache_misses += counters_.cache_misses;
 }
 
 SolverScope::~SolverScope() {

@@ -50,9 +50,14 @@ struct QueryStats {
   std::int64_t check_list_calls = 0;
   std::int64_t check_answer_calls = 0;
   std::int64_t peak_memory_bytes = 0;
-  /// Index-level counters attributed to this query.
+  /// Index-level counters attributed to this query. Hits/misses cover the
+  /// oracle's door-distance memo (sharded concurrent cache); they are
+  /// attributed per-thread through the scope's counter sink, so concurrent
+  /// queries against one shared oracle each see exactly their own traffic.
   std::uint64_t door_distance_evals = 0;
   std::uint64_t matrix_lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
 
   void AddNnStats(const NnSearchStats& nn) {
     queue_pushes += nn.queue_pushes;

@@ -47,12 +47,21 @@ void DistanceOracle::BumpCacheHits() const {
   shared_cache_hits_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void DistanceOracle::BumpCacheMisses() const {
+  if (OracleCounters* sink = ScopedOracleCounterSink::Active()) {
+    ++sink->cache_misses;
+    return;
+  }
+  shared_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+}
+
 OracleCounters DistanceOracle::counters() const {
   OracleCounters c;
   c.door_distance_evals =
       shared_door_distance_evals_.load(std::memory_order_relaxed);
   c.matrix_lookups = shared_matrix_lookups_.load(std::memory_order_relaxed);
   c.cache_hits = shared_cache_hits_.load(std::memory_order_relaxed);
+  c.cache_misses = shared_cache_misses_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -60,6 +69,7 @@ void DistanceOracle::ResetCounters() const {
   shared_door_distance_evals_.store(0, std::memory_order_relaxed);
   shared_matrix_lookups_.store(0, std::memory_order_relaxed);
   shared_cache_hits_.store(0, std::memory_order_relaxed);
+  shared_cache_misses_.store(0, std::memory_order_relaxed);
 }
 
 void DistanceOracle::CopyCountersFrom(const DistanceOracle& other) {
@@ -71,6 +81,9 @@ void DistanceOracle::CopyCountersFrom(const DistanceOracle& other) {
       std::memory_order_relaxed);
   shared_cache_hits_.store(
       other.shared_cache_hits_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  shared_cache_misses_.store(
+      other.shared_cache_misses_.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
 }
 

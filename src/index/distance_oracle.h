@@ -21,6 +21,7 @@ struct OracleCounters {
   std::uint64_t door_distance_evals = 0;  // DoorToDoor compositions
   std::uint64_t matrix_lookups = 0;       // individual matrix cell reads
   std::uint64_t cache_hits = 0;           // memoized DoorToDoor answers
+  std::uint64_t cache_misses = 0;         // memo lookups that fell through
 };
 /// Historical name from when the VIP-tree was the only counted backend.
 using VipTreeCounters = OracleCounters;
@@ -151,6 +152,7 @@ class DistanceOracle {
   void BumpDoorDistanceEvals() const;
   void BumpMatrixLookups(std::uint64_t n) const;
   void BumpCacheHits() const;
+  void BumpCacheMisses() const;
 
   /// Moves implemented by derived classes carry the aggregate forward.
   void CopyCountersFrom(const DistanceOracle& other);
@@ -166,6 +168,7 @@ class DistanceOracle {
   mutable std::atomic<std::uint64_t> shared_door_distance_evals_{0};
   mutable std::atomic<std::uint64_t> shared_matrix_lookups_{0};
   mutable std::atomic<std::uint64_t> shared_cache_hits_{0};
+  mutable std::atomic<std::uint64_t> shared_cache_misses_{0};
 
   mutable std::once_flag flat_partitions_once_;
   mutable std::vector<PartitionId> flat_partitions_;

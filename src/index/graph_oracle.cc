@@ -1,6 +1,9 @@
 #include "src/index/graph_oracle.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
+#include "src/index/minplus_kernels.h"
 
 namespace ifls {
 
@@ -24,23 +27,47 @@ const ShortestPaths& GraphDistanceOracle::PathsFrom(DoorId source) const {
 
 double GraphDistanceOracle::DoorToDoor(DoorId a, DoorId b) const {
   if (a == b) return 0.0;
-  return PathsFrom(a).distance[static_cast<std::size_t>(b)];
+  // Pair memo first: a hit answers without touching the per-source row.
+  // The key is per-orientation (not normalized): two opposite Dijkstra
+  // runs agree mathematically but not necessarily bit-for-bit, and the
+  // repo-wide contract is that caching never changes a single bit.
+  const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) |
+                            static_cast<std::uint32_t>(b);
+  double cached = 0.0;
+  if (pair_cache_.Lookup(key, &cached)) {
+    BumpCacheHits();
+    return cached;
+  }
+  BumpCacheMisses();
+  BumpDoorDistanceEvals();
+  const double result = PathsFrom(a).distance[static_cast<std::size_t>(b)];
+  pair_cache_.Insert(key, result);
+  return result;
 }
 
 double GraphDistanceOracle::PointToPoint(const Point& a, PartitionId pa,
                                          const Point& b,
                                          PartitionId pb) const {
   if (pa == pb) return PlanarDistance(a, b);
+  const std::vector<DoorId>& doors_b = venue_->partition(pb).doors;
+  // Hoist the target-side legs: they are identical for every source door,
+  // and PointToDoorDistance is deterministic, so precomputing them keeps
+  // every candidate term (leg_a + dist) + leg_b bit-identical to the
+  // original nested loop.
+  static thread_local std::vector<double> legs_b;
+  legs_b.resize(doors_b.size());
+  for (std::size_t j = 0; j < doors_b.size(); ++j) {
+    legs_b[j] = PointToDoorDistance(b, venue_->door(doors_b[j]));
+  }
   double best = kInfDistance;
   for (DoorId d1 : venue_->partition(pa).doors) {
     const double leg_a = PointToDoorDistance(a, venue_->door(d1));
     const ShortestPaths& paths = PathsFrom(d1);
-    for (DoorId d2 : venue_->partition(pb).doors) {
-      const double leg_b = PointToDoorDistance(b, venue_->door(d2));
-      const double cand =
-          leg_a + paths.distance[static_cast<std::size_t>(d2)] + leg_b;
-      if (cand < best) best = cand;
-    }
+    const double cand =
+        kernels::MinPlusGatherAdd(leg_a, paths.distance.data(),
+                                  doors_b.data(), legs_b.data(),
+                                  doors_b.size());
+    if (cand < best) best = cand;
   }
   return best;
 }
@@ -48,14 +75,14 @@ double GraphDistanceOracle::PointToPoint(const Point& a, PartitionId pa,
 double GraphDistanceOracle::PointToPartition(const Point& a, PartitionId pa,
                                              PartitionId target) const {
   if (pa == target) return 0.0;
+  const std::vector<DoorId>& doors_t = venue_->partition(target).doors;
   double best = kInfDistance;
   for (DoorId d1 : venue_->partition(pa).doors) {
     const double leg = PointToDoorDistance(a, venue_->door(d1));
     const ShortestPaths& paths = PathsFrom(d1);
-    for (DoorId d2 : venue_->partition(target).doors) {
-      const double cand = leg + paths.distance[static_cast<std::size_t>(d2)];
-      if (cand < best) best = cand;
-    }
+    const double cand = kernels::MinPlusGather(leg, paths.distance.data(),
+                                               doors_t.data(), doors_t.size());
+    if (cand < best) best = cand;
   }
   return best;
 }
@@ -63,13 +90,15 @@ double GraphDistanceOracle::PointToPartition(const Point& a, PartitionId pa,
 double GraphDistanceOracle::PartitionToPartition(PartitionId p,
                                                  PartitionId q) const {
   if (p == q) return 0.0;
+  const std::vector<DoorId>& doors_q = venue_->partition(q).doors;
   double best = kInfDistance;
   for (DoorId d1 : venue_->partition(p).doors) {
     const ShortestPaths& paths = PathsFrom(d1);
-    for (DoorId d2 : venue_->partition(q).doors) {
-      const double cand = paths.distance[static_cast<std::size_t>(d2)];
-      if (cand < best) best = cand;
-    }
+    // s = 0.0 is bit-neutral: 0.0 + x == x for every nonnegative distance
+    // and for +inf.
+    const double cand = kernels::MinPlusGather(0.0, paths.distance.data(),
+                                               doors_q.data(), doors_q.size());
+    if (cand < best) best = cand;
   }
   return best;
 }

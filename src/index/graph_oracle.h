@@ -6,6 +6,7 @@
 #include <mutex>
 #include <vector>
 
+#include "src/common/concurrent_cache.h"
 #include "src/common/workspace_pool.h"
 #include "src/graph/dijkstra.h"
 #include "src/graph/door_graph.h"
@@ -25,7 +26,9 @@ namespace ifls {
 /// Dijkstra run is computed exactly once (std::call_once per cache slot);
 /// runs for distinct sources proceed in parallel, each on a pooled
 /// workspace. Memoized slots are immutable after publication, so the read
-/// path is lock-free.
+/// path is lock-free. DoorToDoor additionally fronts the per-source rows
+/// with a sharded pair-level memo (ConcurrentDoorCache) so repeated pair
+/// queries skip even the row indirection.
 class GraphDistanceOracle : public DistanceOracle {
  public:
   explicit GraphDistanceOracle(const Venue* venue);
@@ -53,6 +56,11 @@ class GraphDistanceOracle : public DistanceOracle {
     return num_runs_.load(std::memory_order_relaxed);
   }
 
+  /// Occupancy/eviction gauges of the pair-level door-distance memo.
+  ConcurrentDoorCache::Stats pair_cache_stats() const {
+    return pair_cache_.stats();
+  }
+
  private:
   /// One memoized source door. `once` guarantees a single compute even
   /// under a concurrent stampede; `paths` is written exactly once.
@@ -68,6 +76,9 @@ class GraphDistanceOracle : public DistanceOracle {
   mutable std::vector<CacheSlot> cache_;  // fixed size, slots never move
   mutable WorkspacePool<DijkstraWorkspace> workspaces_;
   mutable std::atomic<std::size_t> num_runs_{0};
+  /// Pair-level memo keyed (from_door << 32) | to_door, per orientation —
+  /// opposite Dijkstra runs agree only mathematically, not bit-for-bit.
+  mutable ConcurrentDoorCache pair_cache_;
 };
 
 }  // namespace ifls

@@ -1,0 +1,414 @@
+#include "src/index/minplus_kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+// The AVX2 backend is compiled whenever the build enables IFLS_KERNEL_SIMD
+// on an x86-64 gcc/clang toolchain. Each SIMD function carries its own
+// __attribute__((target("avx2"))), so no global -mavx2 flag is required and
+// the scalar reference in the same TU stays runnable on any CPU; the
+// dispatch below only installs the AVX2 table when the running CPU reports
+// the feature.
+#if defined(IFLS_KERNEL_SIMD) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define IFLS_KERNEL_SIMD_COMPILED 1
+#include <immintrin.h>
+#else
+#define IFLS_KERNEL_SIMD_COMPILED 0
+#endif
+
+namespace ifls {
+namespace kernels {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// Scalar reference backend. These loops ARE the specification: the SIMD
+// backend must reproduce them bit for bit (same left-associated sums, min
+// picks an operand, argmin ties to the lowest index).
+// ---------------------------------------------------------------------------
+
+namespace scalar {
+
+double MinPlusJoin(const double* a, const std::int32_t* rows, std::size_t nr,
+                   const double* b, const std::int32_t* cols, std::size_t nc,
+                   const double* m, std::size_t stride) {
+  double best = kInf;
+  for (std::size_t i = 0; i < nr; ++i) {
+    const double ai = a[i];
+    const double* row = m + static_cast<std::size_t>(rows[i]) * stride;
+    for (std::size_t j = 0; j < nc; ++j) {
+      const double cand = (ai + row[cols[j]]) + b[j];
+      if (cand < best) best = cand;
+    }
+  }
+  return best;
+}
+
+void MinPlusCompose(const double* a, const std::int32_t* rows, std::size_t nr,
+                    const std::int32_t* cols, std::size_t nc, const double* m,
+                    std::size_t stride, double* out) {
+  for (std::size_t j = 0; j < nc; ++j) out[j] = kInf;
+  for (std::size_t i = 0; i < nr; ++i) {
+    const double ai = a[i];
+    const double* row = m + static_cast<std::size_t>(rows[i]) * stride;
+    for (std::size_t j = 0; j < nc; ++j) {
+      const double cand = ai + row[cols[j]];
+      if (cand < out[j]) out[j] = cand;
+    }
+  }
+}
+
+double MinPlusGather(double s, const double* row, const std::int32_t* idx,
+                     std::size_t n) {
+  double best = kInf;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double cand = s + row[idx[j]];
+    if (cand < best) best = cand;
+  }
+  return best;
+}
+
+double MinPlusGatherAdd(double s, const double* row, const std::int32_t* idx,
+                        const double* b, std::size_t n) {
+  double best = kInf;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double cand = (s + row[idx[j]]) + b[j];
+    if (cand < best) best = cand;
+  }
+  return best;
+}
+
+double MinPlusPairwise(const double* a, const double* b, std::size_t n) {
+  double best = kInf;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double cand = a[k] + b[k];
+    if (cand < best) best = cand;
+  }
+  return best;
+}
+
+std::size_t MinPlusArgmin(double s, const double* row, std::size_t n) {
+  std::size_t best_k = 0;
+  double best = s + row[0];
+  for (std::size_t k = 1; k < n; ++k) {
+    const double cand = s + row[k];
+    if (cand < best) {
+      best = cand;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+void GatherCells(const double* row, const std::int32_t* idx, std::size_t n,
+                 double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = row[idx[i]];
+}
+
+}  // namespace scalar
+
+// ---------------------------------------------------------------------------
+// AVX2 backend: 4-lane blocked reductions, scalar tails. Gathers use
+// vgatherdpd over the int32 index lists exactly as laid out in the arenas.
+// ---------------------------------------------------------------------------
+
+#if IFLS_KERNEL_SIMD_COMPILED
+
+namespace avx2 {
+
+/// min over the 4 lanes, folded against `tail` (value-exact: every operand
+/// is one of the candidate sums, so picking between equals is bit-neutral).
+__attribute__((target("avx2"))) inline double HorizontalMin(__m256d acc,
+                                                            double tail) {
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double best = tail;
+  for (int l = 0; l < 4; ++l) {
+    if (lanes[l] < best) best = lanes[l];
+  }
+  return best;
+}
+
+__attribute__((target("avx2"))) double MinPlusJoin(
+    const double* a, const std::int32_t* rows, std::size_t nr, const double* b,
+    const std::int32_t* cols, std::size_t nc, const double* m,
+    std::size_t stride) {
+  __m256d acc = _mm256_set1_pd(kInf);
+  double tail_best = kInf;
+  const std::size_t nc4 = nc & ~std::size_t{3};
+  for (std::size_t i = 0; i < nr; ++i) {
+    const double ai = a[i];
+    const double* row = m + static_cast<std::size_t>(rows[i]) * stride;
+    const __m256d va = _mm256_set1_pd(ai);
+    for (std::size_t j = 0; j < nc4; j += 4) {
+      const __m128i vidx =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(cols + j));
+      const __m256d g = _mm256_i32gather_pd(row, vidx, 8);
+      const __m256d vb = _mm256_loadu_pd(b + j);
+      const __m256d cand = _mm256_add_pd(_mm256_add_pd(va, g), vb);
+      acc = _mm256_min_pd(acc, cand);
+    }
+    for (std::size_t j = nc4; j < nc; ++j) {
+      const double cand = (ai + row[cols[j]]) + b[j];
+      if (cand < tail_best) tail_best = cand;
+    }
+  }
+  return HorizontalMin(acc, tail_best);
+}
+
+__attribute__((target("avx2"))) void MinPlusCompose(
+    const double* a, const std::int32_t* rows, std::size_t nr,
+    const std::int32_t* cols, std::size_t nc, const double* m,
+    std::size_t stride, double* out) {
+  const std::size_t nc4 = nc & ~std::size_t{3};
+  for (std::size_t j = 0; j < nc4; j += 4) {
+    __m256d acc = _mm256_set1_pd(kInf);
+    const __m128i vidx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cols + j));
+    for (std::size_t i = 0; i < nr; ++i) {
+      const double* row = m + static_cast<std::size_t>(rows[i]) * stride;
+      const __m256d g = _mm256_i32gather_pd(row, vidx, 8);
+      const __m256d cand = _mm256_add_pd(_mm256_set1_pd(a[i]), g);
+      acc = _mm256_min_pd(acc, cand);
+    }
+    _mm256_storeu_pd(out + j, acc);
+  }
+  for (std::size_t j = nc4; j < nc; ++j) {
+    double best = kInf;
+    for (std::size_t i = 0; i < nr; ++i) {
+      const double cand =
+          a[i] + m[static_cast<std::size_t>(rows[i]) * stride + cols[j]];
+      if (cand < best) best = cand;
+    }
+    out[j] = best;
+  }
+}
+
+__attribute__((target("avx2"))) double MinPlusGather(double s,
+                                                     const double* row,
+                                                     const std::int32_t* idx,
+                                                     std::size_t n) {
+  __m256d acc = _mm256_set1_pd(kInf);
+  const __m256d vs = _mm256_set1_pd(s);
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t j = 0; j < n4; j += 4) {
+    const __m128i vidx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + j));
+    const __m256d g = _mm256_i32gather_pd(row, vidx, 8);
+    acc = _mm256_min_pd(acc, _mm256_add_pd(vs, g));
+  }
+  double tail_best = kInf;
+  for (std::size_t j = n4; j < n; ++j) {
+    const double cand = s + row[idx[j]];
+    if (cand < tail_best) tail_best = cand;
+  }
+  return HorizontalMin(acc, tail_best);
+}
+
+__attribute__((target("avx2"))) double MinPlusGatherAdd(
+    double s, const double* row, const std::int32_t* idx, const double* b,
+    std::size_t n) {
+  __m256d acc = _mm256_set1_pd(kInf);
+  const __m256d vs = _mm256_set1_pd(s);
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t j = 0; j < n4; j += 4) {
+    const __m128i vidx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + j));
+    const __m256d g = _mm256_i32gather_pd(row, vidx, 8);
+    const __m256d vb = _mm256_loadu_pd(b + j);
+    acc = _mm256_min_pd(acc, _mm256_add_pd(_mm256_add_pd(vs, g), vb));
+  }
+  double tail_best = kInf;
+  for (std::size_t j = n4; j < n; ++j) {
+    const double cand = (s + row[idx[j]]) + b[j];
+    if (cand < tail_best) tail_best = cand;
+  }
+  return HorizontalMin(acc, tail_best);
+}
+
+__attribute__((target("avx2"))) double MinPlusPairwise(const double* a,
+                                                       const double* b,
+                                                       std::size_t n) {
+  __m256d acc = _mm256_set1_pd(kInf);
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t k = 0; k < n4; k += 4) {
+    const __m256d cand =
+        _mm256_add_pd(_mm256_loadu_pd(a + k), _mm256_loadu_pd(b + k));
+    acc = _mm256_min_pd(acc, cand);
+  }
+  double tail_best = kInf;
+  for (std::size_t k = n4; k < n; ++k) {
+    const double cand = a[k] + b[k];
+    if (cand < tail_best) tail_best = cand;
+  }
+  return HorizontalMin(acc, tail_best);
+}
+
+/// Two passes: a vectorized min over the sums, then a scalar scan for the
+/// first index attaining it — trivially reproduces the reference tie-break.
+__attribute__((target("avx2"))) std::size_t MinPlusArgmin(double s,
+                                                          const double* row,
+                                                          std::size_t n) {
+  __m256d acc = _mm256_set1_pd(kInf);
+  const __m256d vs = _mm256_set1_pd(s);
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t k = 0; k < n4; k += 4) {
+    acc = _mm256_min_pd(acc, _mm256_add_pd(vs, _mm256_loadu_pd(row + k)));
+  }
+  double best = kInf;
+  for (std::size_t k = n4; k < n; ++k) {
+    const double cand = s + row[k];
+    if (cand < best) best = cand;
+  }
+  best = HorizontalMin(acc, best);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (s + row[k] == best) return k;
+  }
+  // best == +inf with every sum +inf (or NaN inputs, which the distance
+  // arrays never contain): the reference scan returns index 0.
+  return 0;
+}
+
+__attribute__((target("avx2"))) void GatherCells(const double* row,
+                                                 const std::int32_t* idx,
+                                                 std::size_t n, double* out) {
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const __m128i vidx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+    _mm256_storeu_pd(out + i, _mm256_i32gather_pd(row, vidx, 8));
+  }
+  for (std::size_t i = n4; i < n; ++i) out[i] = row[idx[i]];
+}
+
+}  // namespace avx2
+
+#endif  // IFLS_KERNEL_SIMD_COMPILED
+
+// ---------------------------------------------------------------------------
+// Runtime dispatch: one immutable table per backend, swapped atomically.
+// ---------------------------------------------------------------------------
+
+struct KernelTable {
+  KernelMode mode;
+  const char* name;
+  double (*min_plus_join)(const double*, const std::int32_t*, std::size_t,
+                          const double*, const std::int32_t*, std::size_t,
+                          const double*, std::size_t);
+  void (*min_plus_compose)(const double*, const std::int32_t*, std::size_t,
+                           const std::int32_t*, std::size_t, const double*,
+                           std::size_t, double*);
+  double (*min_plus_gather)(double, const double*, const std::int32_t*,
+                            std::size_t);
+  double (*min_plus_gather_add)(double, const double*, const std::int32_t*,
+                                const double*, std::size_t);
+  double (*min_plus_pairwise)(const double*, const double*, std::size_t);
+  std::size_t (*min_plus_argmin)(double, const double*, std::size_t);
+  void (*gather_cells)(const double*, const std::int32_t*, std::size_t,
+                       double*);
+};
+
+constexpr KernelTable kScalarTable = {
+    KernelMode::kScalar,     "scalar",
+    scalar::MinPlusJoin,     scalar::MinPlusCompose,
+    scalar::MinPlusGather,   scalar::MinPlusGatherAdd,
+    scalar::MinPlusPairwise, scalar::MinPlusArgmin,
+    scalar::GatherCells,
+};
+
+#if IFLS_KERNEL_SIMD_COMPILED
+constexpr KernelTable kSimdTable = {
+    KernelMode::kSimd,     "avx2",
+    avx2::MinPlusJoin,     avx2::MinPlusCompose,
+    avx2::MinPlusGather,   avx2::MinPlusGatherAdd,
+    avx2::MinPlusPairwise, avx2::MinPlusArgmin,
+    avx2::GatherCells,
+};
+#endif
+
+bool CpuHasAvx2() {
+#if IFLS_KERNEL_SIMD_COMPILED
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+const KernelTable* ResolveTable(KernelMode mode) {
+  if (mode == KernelMode::kAuto) {
+    if (const char* env = std::getenv("IFLS_KERNELS")) {
+      if (std::strcmp(env, "scalar") == 0) mode = KernelMode::kScalar;
+      if (std::strcmp(env, "simd") == 0 || std::strcmp(env, "avx2") == 0) {
+        mode = KernelMode::kSimd;
+      }
+    }
+  }
+#if IFLS_KERNEL_SIMD_COMPILED
+  if (mode != KernelMode::kScalar && CpuHasAvx2()) return &kSimdTable;
+#endif
+  return &kScalarTable;
+}
+
+std::atomic<const KernelTable*>& ActiveTableSlot() {
+  static std::atomic<const KernelTable*> slot{
+      ResolveTable(KernelMode::kAuto)};
+  return slot;
+}
+
+const KernelTable& Active() {
+  return *ActiveTableSlot().load(std::memory_order_acquire);
+}
+
+}  // namespace
+
+bool SimdAvailable() { return CpuHasAvx2(); }
+
+void SetKernelMode(KernelMode mode) {
+  ActiveTableSlot().store(ResolveTable(mode), std::memory_order_release);
+}
+
+KernelMode ActiveKernelMode() { return Active().mode; }
+
+const char* ActiveKernelName() { return Active().name; }
+
+double MinPlusJoin(const double* a, const std::int32_t* rows, std::size_t nr,
+                   const double* b, const std::int32_t* cols, std::size_t nc,
+                   const double* m, std::size_t stride) {
+  return Active().min_plus_join(a, rows, nr, b, cols, nc, m, stride);
+}
+
+void MinPlusCompose(const double* a, const std::int32_t* rows, std::size_t nr,
+                    const std::int32_t* cols, std::size_t nc, const double* m,
+                    std::size_t stride, double* out) {
+  Active().min_plus_compose(a, rows, nr, cols, nc, m, stride, out);
+}
+
+double MinPlusGather(double s, const double* row, const std::int32_t* idx,
+                     std::size_t n) {
+  return Active().min_plus_gather(s, row, idx, n);
+}
+
+double MinPlusGatherAdd(double s, const double* row, const std::int32_t* idx,
+                        const double* b, std::size_t n) {
+  return Active().min_plus_gather_add(s, row, idx, b, n);
+}
+
+double MinPlusPairwise(const double* a, const double* b, std::size_t n) {
+  return Active().min_plus_pairwise(a, b, n);
+}
+
+std::size_t MinPlusArgmin(double s, const double* row, std::size_t n) {
+  return Active().min_plus_argmin(s, row, n);
+}
+
+void GatherCells(const double* row, const std::int32_t* idx, std::size_t n,
+                 double* out) {
+  Active().gather_cells(row, idx, n, out);
+}
+
+}  // namespace kernels
+}  // namespace ifls

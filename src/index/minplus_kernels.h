@@ -1,0 +1,95 @@
+#ifndef IFLS_INDEX_MINPLUS_KERNELS_H_
+#define IFLS_INDEX_MINPLUS_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ifls {
+namespace kernels {
+
+/// Every IFLS objective bottoms out in min-plus reductions over VIP-tree
+/// door matrices: min_k (src[k] + M[k][j] + dst[j]) and friends, executed
+/// millions of times per workload directly on the arena-resident matrix
+/// spans. This family implements those reductions as blocked, contiguous
+/// kernels with two interchangeable backends:
+///
+///  * a portable scalar reference (always compiled, always available), and
+///  * an AVX2 implementation (compiled per-function with
+///    __attribute__((target("avx2"))) when IFLS_KERNEL_SIMD is on, selected
+///    at runtime only if the CPU reports AVX2).
+///
+/// Bit-identity contract: both backends produce bit-identical doubles. The
+/// candidate terms are the exact same IEEE expressions — left-associated
+/// sums like (a[i] + m) + b[j], no FMA contraction, no reassociation — and
+/// the reduction operator `min` always returns one of its operands, so the
+/// reduction order (scalar loop vs 4-lane tree) cannot change a single bit.
+/// Argmin kernels additionally pin the tie-break: lowest index attaining
+/// the minimal sum wins, matching the reference `cand < best` loops.
+/// tests/minplus_kernels_test.cc locks both properties in under ASan.
+
+enum class KernelMode {
+  kAuto = 0,    // env IFLS_KERNELS=scalar|simd, else best available
+  kScalar = 1,  // portable reference
+  kSimd = 2,    // AVX2 (falls back to scalar when unavailable)
+};
+
+/// True when the AVX2 backend is compiled in AND this CPU supports it.
+bool SimdAvailable();
+
+/// Selects the dispatch table. kAuto re-reads the IFLS_KERNELS environment
+/// override, then picks the best available backend. Thread-safe (atomic
+/// pointer swap); in-flight kernel calls finish on the table they started
+/// with. Tests use this to force both paths on one machine.
+void SetKernelMode(KernelMode mode);
+
+/// The backend calls currently dispatch to: kScalar or kSimd (never kAuto).
+KernelMode ActiveKernelMode();
+
+/// "scalar" or "avx2" — for bench reports and logs.
+const char* ActiveKernelName();
+
+// ---------------------------------------------------------------------------
+// Kernels. All matrices are row-major with a fixed row stride; `rows`/`cols`
+// are int32 index lists selecting matrix rows/columns (the arena layout's
+// access-door index maps are exactly that). Empty inputs reduce to
+// +infinity / are no-ops.
+// ---------------------------------------------------------------------------
+
+/// Row+matrix+col join (the DoorToDoor LCA composition):
+///   min over i,j of (a[i] + m[rows[i]*stride + cols[j]]) + b[j].
+double MinPlusJoin(const double* a, const std::int32_t* rows, std::size_t nr,
+                   const double* b, const std::int32_t* cols, std::size_t nc,
+                   const double* m, std::size_t stride);
+
+/// Fold distances through a matrix (IP-mode chain composition):
+///   out[j] = min over i of a[i] + m[rows[i]*stride + cols[j]].
+void MinPlusCompose(const double* a, const std::int32_t* rows, std::size_t nr,
+                    const std::int32_t* cols, std::size_t nc, const double* m,
+                    std::size_t stride, double* out);
+
+/// Scalar-source gather reduce: min over j of s + row[idx[j]].
+double MinPlusGather(double s, const double* row, const std::int32_t* idx,
+                     std::size_t n);
+
+/// Scalar-source gather join: min over j of (s + row[idx[j]]) + b[j].
+double MinPlusGatherAdd(double s, const double* row, const std::int32_t* idx,
+                        const double* b, std::size_t n);
+
+/// Batched pairwise reduce (many-clients-one-candidate):
+///   min over k of a[k] + b[k].
+double MinPlusPairwise(const double* a, const double* b, std::size_t n);
+
+/// First-hop extraction: the lowest index k attaining
+///   min over k of s + row[k].
+/// Precondition: n > 0. Ties resolve to the lowest index, matching the
+/// reference `cand < best` scan.
+std::size_t MinPlusArgmin(double s, const double* row, std::size_t n);
+
+/// out[i] = row[idx[i]] (row extraction by access-door index map).
+void GatherCells(const double* row, const std::int32_t* idx, std::size_t n,
+                 double* out);
+
+}  // namespace kernels
+}  // namespace ifls
+
+#endif  // IFLS_INDEX_MINPLUS_KERNELS_H_

@@ -31,6 +31,12 @@ bool MatchesFilter(const FacilityIndex& index, PartitionId p,
 
 /// Best-first traversal emitting facilities in ascending exact distance.
 /// `emit` returns false to stop the search.
+///
+/// Every key computed here (PointToPartition exact distances, PointToNode
+/// lower bounds) bottoms out in the oracle's min-plus reductions, which run
+/// on the blocked kernels in src/index/minplus_kernels.h — the kernels'
+/// bit-identity contract is what keeps this traversal's pop order, and thus
+/// NN tie-breaks, identical across scalar and SIMD dispatch.
 void IncrementalSearch(const FacilityIndex& index, const Point& query,
                        PartitionId query_partition, FacilityFilter filter,
                        NnSearchStats* stats,

@@ -51,7 +51,12 @@ Status ValidateFacilityDelta(const FacilityDelta& delta,
 /// DistanceOracle view of (base snapshot ⊕ facility delta): every distance
 /// and hierarchy method forwards verbatim to the base oracle — the venue
 /// geometry is unchanged by facility mutations, so distances, pruning bounds
-/// and work counters are exactly the base's — while the *facility streams*
+/// and work counters are exactly the base's. Forwarding means the overlay
+/// inherits the base's hot-path machinery for free: the min-plus kernels
+/// (src/index/minplus_kernels.h) and the sharded door-distance memo both
+/// run inside the base tree's DoorToDoor/composition paths, so serving
+/// queries through an overlay costs one virtual hop and nothing more —
+/// while the *facility streams*
 /// (effective Fe and Fn) are the delta-composed sets in canonical sorted
 /// order. Solvers consume an OverlayOracle through IflsContext exactly like
 /// any other backend, and their answers (argmin ids, objective values,

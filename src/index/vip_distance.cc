@@ -1,6 +1,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/index/minplus_kernels.h"
 #include "src/index/vip_tree.h"
 
 namespace ifls {
@@ -29,11 +30,13 @@ void VipTree::DistancesToAncestorAccessDoors(DoorId a, NodeId leaf,
   if (ancestor == leaf) {
     const int row = leaf_node.matrix.RowIndex(a);
     IFLS_DCHECK(row >= 0);
-    out->reserve(leaf_node.access_door_idx.size());
-    for (std::int32_t col : leaf_node.access_door_idx) {
-      out->push_back(leaf_node.matrix.At(row, col));
-    }
-    BumpMatrixLookups(leaf_node.access_door_idx.size());
+    const std::size_t n = leaf_node.access_door_idx.size();
+    out->resize(n);
+    kernels::GatherCells(
+        leaf_node.matrix.dist_data() +
+            static_cast<std::size_t>(row) * leaf_node.matrix.num_cols(),
+        leaf_node.access_door_idx.data(), n, out->data());
+    BumpMatrixLookups(n);
     return;
   }
   if (options_.build_leaf_to_ancestor) {
@@ -69,13 +72,10 @@ void VipTree::DistancesToAncestorAccessDoors(DoorId a, NodeId leaf,
     const std::span<const std::int32_t> rows =
         parent.child_access_idx(child_pos);
     const std::span<const std::int32_t> cols = parent.access_door_idx;
-    std::vector<double> next(cols.size(), kInfDistance);
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      for (std::size_t j = 0; j < cols.size(); ++j) {
-        const double cand = dist[i] + parent.matrix.At(rows[i], cols[j]);
-        if (cand < next[j]) next[j] = cand;
-      }
-    }
+    std::vector<double> next(cols.size());
+    kernels::MinPlusCompose(dist.data(), rows.data(), rows.size(), cols.data(),
+                            cols.size(), parent.matrix.dist_data(),
+                            parent.matrix.num_cols(), next.data());
     BumpMatrixLookups(rows.size() * cols.size());
     dist = std::move(next);
     cur = parent_id;
@@ -85,15 +85,21 @@ void VipTree::DistancesToAncestorAccessDoors(DoorId a, NodeId leaf,
 
 double VipTree::DoorToDoor(DoorId a, DoorId b) const {
   if (a == b) return 0.0;
-  const std::uint64_t cache_key =
-      (static_cast<std::uint64_t>(std::min(a, b)) << 32) |
-      static_cast<std::uint32_t>(std::max(a, b));
+  // Per-orientation key, deliberately NOT normalized to (min, max): the
+  // composed value for (a, b) associates its sums in the opposite order
+  // from (b, a) and may differ in the last ULP, so serving one orientation
+  // from the other's entry would make a warm cache visibly diverge from a
+  // cold recompute. Caching each orientation separately keeps cached and
+  // uncached answers bit-identical.
+  const std::uint64_t cache_key = (static_cast<std::uint64_t>(a) << 32) |
+                                  static_cast<std::uint32_t>(b);
   if (options_.enable_door_distance_cache) {
     double cached = 0.0;
     if (CachedDoorDistance(cache_key, &cached)) {
       BumpCacheHits();
       return cached;
     }
+    BumpCacheMisses();
   }
   BumpDoorDistanceEvals();
   const Door& door_a = venue_->door(a);
@@ -152,15 +158,13 @@ double VipTree::DoorToDoor(DoorId a, DoorId b) const {
   const std::span<const std::int32_t> rows = lca.child_access_idx(pos_a);
   const std::span<const std::int32_t> cols = lca.child_access_idx(pos_b);
 
-  double best = kInfDistance;
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    if (dist_a[i] == kInfDistance) continue;
-    const std::int32_t row = rows[i];
-    for (std::size_t j = 0; j < cols.size(); ++j) {
-      const double cand = dist_a[i] + lca.matrix.At(row, cols[j]) + dist_b[j];
-      if (cand < best) best = cand;
-    }
-  }
+  // The kernel evaluates the exact reference expression
+  // (dist_a[i] + m) + dist_b[j]; unreachable rows (dist_a[i] == inf) yield
+  // +inf candidates, which never beat a finite minimum, so skipping them is
+  // unnecessary for bit-identity.
+  const double best = kernels::MinPlusJoin(
+      dist_a.data(), rows.data(), rows.size(), dist_b.data(), cols.data(),
+      cols.size(), lca.matrix.dist_data(), lca.matrix.num_cols());
   BumpMatrixLookups(rows.size() * cols.size());
   if (options_.enable_door_distance_cache) {
     StoreDoorDistance(cache_key, best);

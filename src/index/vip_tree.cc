@@ -146,26 +146,24 @@ VipTree& VipTree::operator=(VipTree&& other) noexcept {
 }
 
 bool VipTree::CachedDoorDistance(std::uint64_t key, double* out) const {
-  std::lock_guard<std::mutex> lock(door_cache_->mu);
-  const auto it = door_cache_->map.find(key);
-  if (it == door_cache_->map.end()) return false;
-  *out = it->second;
-  return true;
+  return door_cache_ != nullptr && door_cache_->Lookup(key, out);
 }
 
 void VipTree::StoreDoorDistance(std::uint64_t key, double value) const {
-  std::lock_guard<std::mutex> lock(door_cache_->mu);
-  door_cache_->map.emplace(key, value);
+  if (door_cache_ != nullptr) door_cache_->Insert(key, value);
 }
 
 void VipTree::ClearDistanceCache() const {
-  std::lock_guard<std::mutex> lock(door_cache_->mu);
-  door_cache_->map.clear();
+  if (door_cache_ != nullptr) door_cache_->Clear();
 }
 
 std::size_t VipTree::distance_cache_size() const {
-  std::lock_guard<std::mutex> lock(door_cache_->mu);
-  return door_cache_->map.size();
+  return door_cache_ != nullptr ? door_cache_->size() : 0;
+}
+
+ConcurrentDoorCache::Stats VipTree::door_cache_stats() const {
+  return door_cache_ != nullptr ? door_cache_->stats()
+                                : ConcurrentDoorCache::Stats{};
 }
 
 Result<VipTree> VipTree::Build(const Venue* venue, VipTreeOptions options) {
@@ -389,6 +387,16 @@ Result<VipTree> VipTree::Build(const Venue* venue, VipTreeOptions options) {
 }
 
 Status VipTree::InitFromStructure(const VipTreeStructure& structure) {
+  // Both Build and Load funnel through here with options_ already set, so
+  // this is the one place the door memo gets sized. Allocated only when
+  // enabled: the sharded slot array is a fixed upfront cost.
+  if (options_.enable_door_distance_cache) {
+    door_cache_ = std::make_unique<ConcurrentDoorCache>(
+        options_.door_distance_cache_capacity);
+  } else {
+    door_cache_.reset();
+  }
+
   const std::size_t n_nodes = structure.nodes.size();
   if (n_nodes == 0) {
     return Status::InvalidArgument("tree has no nodes");
@@ -669,10 +677,9 @@ std::size_t VipTree::MemoryFootprintBytes() const {
   total += hops_.MemoryFootprintBytes();
   total += ancestor_views_.capacity() * sizeof(DoorMatrixView);
   total += leaf_of_partition_.capacity() * sizeof(NodeId);
-  // Memoized door distances (conceptually part of the index; grows with
-  // query traffic up to doors^2 entries).
-  total += distance_cache_size() *
-           (sizeof(std::uint64_t) + sizeof(double) + 2 * sizeof(void*));
+  // Memoized door distances (conceptually part of the index; the sharded
+  // slot array is allocated up front when the memo is enabled).
+  if (door_cache_ != nullptr) total += door_cache_->MemoryFootprintBytes();
   return total;
 }
 

@@ -4,13 +4,12 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/arena.h"
+#include "src/common/concurrent_cache.h"
 #include "src/common/status.h"
 #include "src/index/distance_oracle.h"
 #include "src/index/door_matrix.h"
@@ -49,6 +48,10 @@ struct VipTreeOptions {
   /// memo would hand that advantage to the baseline too. The ablation bench
   /// measures the memoized configuration separately.
   bool enable_door_distance_cache = false;
+  /// Slot budget for the sharded door-distance memo (rounded up to a power
+  /// of two per shard). Runtime tuning only — not part of the serialized
+  /// index format.
+  std::size_t door_distance_cache_capacity = ConcurrentDoorCache::kDefaultCapacity;
 };
 
 /// One tree node. Leaves own a contiguous group of adjacent partitions;
@@ -155,8 +158,9 @@ struct VipTreeLayoutStats {
 /// Thread-safety: after Build/Load, every distance/structure accessor is a
 /// read-only path safe to call from any number of threads concurrently —
 /// counters go to per-thread sinks or the atomic aggregate, and the door
-/// memo (when enabled) is guarded by its own mutex. Only Save/Load/Build and
-/// moves require external exclusivity.
+/// memo (when enabled) is a sharded lock-free cache (ConcurrentDoorCache),
+/// so query threads never serialize on it. Only Save/Load/Build and moves
+/// require external exclusivity.
 class VipTree : public DistanceOracle {
  public:
   /// Builds the index over `venue`. The venue must outlive the tree.
@@ -247,6 +251,9 @@ class VipTree : public DistanceOracle {
   void ClearDistanceCache() const;
   std::size_t distance_cache_size() const;
 
+  /// Occupancy/eviction gauges of the sharded door-distance memo.
+  ConcurrentDoorCache::Stats door_cache_stats() const;
+
   /// Total bytes held by arenas, node descriptors and auxiliary tables.
   std::size_t MemoryFootprintBytes() const;
 
@@ -279,14 +286,11 @@ class VipTree : public DistanceOracle {
   void DistancesToAncestorAccessDoors(DoorId a, NodeId leaf, NodeId ancestor,
                                       std::vector<double>* out) const;
 
-  /// Memoized DoorToDoor answers, keyed (min_door << 32) | max_door. Mutex
-  /// and map live behind one pointer so the tree stays movable.
-  struct DoorCache {
-    mutable std::mutex mu;
-    std::unordered_map<std::uint64_t, double> map;
-  };
-
   /// Memo lookup/insert used by DoorToDoor when the cache is enabled.
+  /// Keys are (from_door << 32) | to_door — per orientation, since the two
+  /// orientations' compositions may differ in the last ULP and the cache
+  /// must never change a bit. The backing store is a sharded lock-free
+  /// ConcurrentDoorCache held behind a pointer so the tree stays movable.
   bool CachedDoorDistance(std::uint64_t key, double* out) const;
   void StoreDoorDistance(std::uint64_t key, double value) const;
 
@@ -310,8 +314,7 @@ class VipTree : public DistanceOracle {
   NodeId root_ = kInvalidNode;
   std::size_t num_leaves_ = 0;
   int height_ = 0;
-  mutable std::unique_ptr<DoorCache> door_cache_ =
-      std::make_unique<DoorCache>();
+  mutable std::unique_ptr<ConcurrentDoorCache> door_cache_;
 };
 
 /// The materialized-index implementation of DistanceOracle.

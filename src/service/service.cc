@@ -29,11 +29,12 @@ double Seconds(Clock::duration d) {
 }  // namespace
 
 std::string ServiceMetrics::ToString() const {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "submitted=%llu admitted=%llu shed=%llu completed=%llu failed=%llu "
       "deadline_expired=%llu mutations=%llu rejected=%llu compactions=%llu "
+      "cache_hit=%llu cache_miss=%llu cache_entries=%llu cache_evict=%llu "
       "epoch=%llu overlay=%zu queue_depth=%zu p50=%.1fus p99=%.1fus",
       static_cast<unsigned long long>(submitted),
       static_cast<unsigned long long>(admitted),
@@ -44,6 +45,10 @@ std::string ServiceMetrics::ToString() const {
       static_cast<unsigned long long>(mutations_applied),
       static_cast<unsigned long long>(mutations_rejected),
       static_cast<unsigned long long>(compactions),
+      static_cast<unsigned long long>(oracle_cache_hits),
+      static_cast<unsigned long long>(oracle_cache_misses),
+      static_cast<unsigned long long>(oracle_cache_entries),
+      static_cast<unsigned long long>(oracle_cache_evictions),
       static_cast<unsigned long long>(snapshot_epoch), overlay_size,
       queue_depth, latency_p50_seconds * 1e6, latency_p99_seconds * 1e6);
   return buf;
@@ -226,6 +231,12 @@ void IflsService::Execute(PendingQuery item) {
   completed_.fetch_add(1, std::memory_order_relaxed);
   if (solved.ok()) {
     reply.result = std::move(solved).value();
+    // Fold the query's per-thread-attributed memo traffic into the service
+    // totals; the sink mechanism guarantees these are exactly this query's.
+    oracle_cache_hits_.fetch_add(reply.result.stats.cache_hits,
+                                 std::memory_order_relaxed);
+    oracle_cache_misses_.fetch_add(reply.result.stats.cache_misses,
+                                   std::memory_order_relaxed);
   } else {
     reply.status = solved.status();
     failed_.fetch_add(1, std::memory_order_relaxed);
@@ -408,9 +419,16 @@ ServiceMetrics IflsService::Metrics() const {
   m.mutations_applied = mutations_applied_.load(std::memory_order_relaxed);
   m.mutations_rejected = mutations_rejected_.load(std::memory_order_relaxed);
   m.compactions = compactions_.load(std::memory_order_relaxed);
+  m.oracle_cache_hits = oracle_cache_hits_.load(std::memory_order_relaxed);
+  m.oracle_cache_misses =
+      oracle_cache_misses_.load(std::memory_order_relaxed);
   const std::shared_ptr<const ServingState> state = state_.Acquire();
   m.snapshot_epoch = state->snapshot->epoch();
   m.overlay_size = state->overlay.delta().size();
+  const ConcurrentDoorCache::Stats cache =
+      state->snapshot->tree().door_cache_stats();
+  m.oracle_cache_entries = cache.entries;
+  m.oracle_cache_evictions = cache.evictions;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     m.queue_depth = queue_.size();

@@ -20,6 +20,17 @@
 
 namespace ifls {
 
+/// Serving defaults for the index build: unlike offline paper-comparison
+/// runs (where memoizing door distances would blur the baseline-vs-efficient
+/// comparison, see VipTreeOptions), a long-lived service wants the sharded
+/// door-distance cache on — repeated client traffic against one snapshot is
+/// exactly the workload it pays off for.
+inline VipTreeOptions DefaultServiceTreeOptions() {
+  VipTreeOptions tree;
+  tree.enable_door_distance_cache = true;
+  return tree;
+}
+
 /// Configuration of the online serving front.
 struct ServiceOptions {
   /// Query worker threads. 0 = admission-only mode: requests queue but
@@ -41,7 +52,7 @@ struct ServiceOptions {
   /// A request whose deadline passes while still queued is answered with
   /// Status::kDeadlineExceeded without running the solver.
   double default_deadline_seconds = 0.0;
-  VipTreeOptions tree;
+  VipTreeOptions tree = DefaultServiceTreeOptions();
   SolverOptionSet solvers;
 };
 
@@ -81,9 +92,17 @@ struct ServiceMetrics {
   std::uint64_t mutations_applied = 0;
   std::uint64_t mutations_rejected = 0;
   std::uint64_t compactions = 0;
+  /// Oracle door-distance memo traffic attributed to completed queries
+  /// (per-thread sinks -> QueryStats -> these totals).
+  std::uint64_t oracle_cache_hits = 0;
+  std::uint64_t oracle_cache_misses = 0;
   std::uint64_t snapshot_epoch = 0;     // gauge
   std::size_t overlay_size = 0;         // gauge
   std::size_t queue_depth = 0;          // gauge
+  /// Sharded door-distance cache occupancy/evictions of the serving
+  /// snapshot's tree (gauges).
+  std::uint64_t oracle_cache_entries = 0;
+  std::uint64_t oracle_cache_evictions = 0;
   double latency_p50_seconds = 0.0;     // admission -> reply
   double latency_p99_seconds = 0.0;
   double latency_mean_seconds = 0.0;
@@ -218,6 +237,8 @@ class IflsService {
   std::atomic<std::uint64_t> mutations_applied_{0};
   std::atomic<std::uint64_t> mutations_rejected_{0};
   std::atomic<std::uint64_t> compactions_{0};
+  std::atomic<std::uint64_t> oracle_cache_hits_{0};
+  std::atomic<std::uint64_t> oracle_cache_misses_{0};
 };
 
 }  // namespace ifls

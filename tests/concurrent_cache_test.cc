@@ -1,0 +1,164 @@
+// ConcurrentDoorCache: single-thread semantics plus a 16-thread mixed
+// insert/lookup/evict stress. Runs under `ctest -L parallel`, which is the
+// label the TSan CI job executes — the cache is all atomics, so the seqlock
+// protocol is checked there by construction, not by sampling.
+
+#include "src/common/concurrent_cache.h"
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ifls {
+namespace {
+
+/// The deterministic key -> value function the callers guarantee (a cached
+/// door distance is a pure function of the door pair). The stress threads
+/// verify every hit against it.
+double ValueFor(std::uint64_t key) {
+  return static_cast<double>(key % 100003) * 0.5;
+}
+
+TEST(ConcurrentDoorCacheTest, InsertThenLookup) {
+  ConcurrentDoorCache cache(1024);
+  double out = -1.0;
+  EXPECT_FALSE(cache.Lookup(7, &out));
+  cache.Insert(7, 3.25);
+  ASSERT_TRUE(cache.Lookup(7, &out));
+  EXPECT_EQ(out, 3.25);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ConcurrentDoorCacheTest, ValueBitsRoundTripExactly) {
+  ConcurrentDoorCache cache(256);
+  const double values[] = {0.0, -0.0, 1.0 / 3.0, 1e-300, 1e300,
+                           std::numeric_limits<double>::infinity()};
+  std::uint64_t key = 1;
+  for (double v : values) {
+    cache.Insert(key, v);
+    double out = -1.0;
+    ASSERT_TRUE(cache.Lookup(key, &out));
+    std::uint64_t want_bits, got_bits;
+    std::memcpy(&want_bits, &v, sizeof(want_bits));
+    std::memcpy(&got_bits, &out, sizeof(got_bits));
+    EXPECT_EQ(want_bits, got_bits);
+    ++key;
+  }
+}
+
+TEST(ConcurrentDoorCacheTest, ClearEmptiesEverySlot) {
+  ConcurrentDoorCache cache(512);
+  for (std::uint64_t k = 0; k < 200; ++k) cache.Insert(k, ValueFor(k));
+  EXPECT_GT(cache.size(), 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  double out;
+  for (std::uint64_t k = 0; k < 200; ++k) EXPECT_FALSE(cache.Lookup(k, &out));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(ConcurrentDoorCacheTest, CapacityRoundsUpAndShardsArePowerOfTwo) {
+  ConcurrentDoorCache cache(1000, 3);
+  EXPECT_EQ(cache.num_shards(), 4u);
+  EXPECT_GE(cache.capacity(), 1000u);
+  // Power-of-two slots per shard.
+  EXPECT_EQ(cache.capacity() % cache.num_shards(), 0u);
+  const std::size_t per_shard = cache.capacity() / cache.num_shards();
+  EXPECT_EQ(per_shard & (per_shard - 1), 0u);
+  EXPECT_GT(cache.MemoryFootprintBytes(), cache.capacity() * 24);
+}
+
+TEST(ConcurrentDoorCacheTest, OverflowEvictsInsteadOfGrowing) {
+  // Tiny cache, far more keys than slots: inserts must stay bounded and
+  // evict, and every hit must still return the key's own value.
+  ConcurrentDoorCache cache(64, 1);
+  const std::uint64_t kKeys = 10000;
+  for (std::uint64_t k = 0; k < kKeys; ++k) cache.Insert(k, ValueFor(k));
+  EXPECT_LE(cache.size(), cache.capacity());
+  const auto st = cache.stats();
+  EXPECT_GT(st.evictions, 0u);
+  std::size_t hits = 0;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    double out;
+    if (cache.Lookup(k, &out)) {
+      ++hits;
+      EXPECT_EQ(out, ValueFor(k));
+    }
+  }
+  EXPECT_GT(hits, 0u);
+}
+
+// 16 threads hammer one small cache with a mixed workload: inserts of a
+// shared key universe (forcing claim races and evictions), lookups verifying
+// the key -> value contract bit-exactly, and periodic clears from one
+// designated thread. Any torn read the seqlock failed to suppress shows up
+// as a value mismatch; any write-write race as TSan noise in the sanitizer
+// job.
+TEST(ConcurrentDoorCacheTest, SixteenThreadMixedStress) {
+  constexpr int kThreads = 16;
+  constexpr int kOpsPerThread = 40000;
+  constexpr std::uint64_t kKeyUniverse = 4096;
+  ConcurrentDoorCache cache(/*capacity=*/512, /*shards=*/8);
+  std::atomic<std::uint64_t> wrong_values{0};
+  std::atomic<std::uint64_t> total_hits{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &cache, &wrong_values, &total_hits] {
+      // Cheap per-thread xorshift; no shared RNG state.
+      std::uint64_t x = 0x9e3779b97f4a7c15ull * (t + 1);
+      std::uint64_t hits = 0;
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        // Key from the high half: op below uses the low bits, and sharing
+        // them would partition the key space between inserters and readers.
+        const std::uint64_t key = (x >> 32) % kKeyUniverse;
+        switch (x % 4) {
+          case 0: {
+            cache.Insert(key, ValueFor(key));
+            break;
+          }
+          case 3: {
+            if (t == 0 && op % 8192 == 0) {
+              cache.Clear();
+              break;
+            }
+            [[fallthrough]];
+          }
+          default: {
+            double out = -1.0;
+            if (cache.Lookup(key, &out)) {
+              ++hits;
+              std::uint64_t want, got;
+              const double expect = ValueFor(key);
+              std::memcpy(&want, &expect, sizeof(want));
+              std::memcpy(&got, &out, sizeof(got));
+              if (want != got) {
+                wrong_values.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+            break;
+          }
+        }
+      }
+      total_hits.fetch_add(hits, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(wrong_values.load(), 0u)
+      << "a reader observed a value that was not its key's";
+  // With a 4096-key universe over a 512-slot cache and 640k ops, hits are
+  // statistically certain; zero would mean lookups are broken.
+  EXPECT_GT(total_hits.load(), 0u);
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+}  // namespace
+}  // namespace ifls

@@ -1,0 +1,236 @@
+// Equivalence suite for the min-plus kernels: the scalar reference loops are
+// the specification, and the SIMD backend must reproduce them bit for bit —
+// EXPECT_EQ on doubles throughout, never EXPECT_NEAR. CI runs this under
+// ASan in both dispatch modes (Release job: once with IFLS_KERNELS=scalar,
+// once with IFLS_KERNELS=simd).
+
+#include "src/index/minplus_kernels.h"
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace ifls {
+namespace kernels {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Runs `fn` under both dispatch modes and returns the pair of results.
+/// When the machine cannot run AVX2 both runs are scalar, which keeps the
+/// test green (vacuously) instead of flaky.
+template <typename Fn>
+auto BothModes(Fn&& fn) {
+  SetKernelMode(KernelMode::kScalar);
+  EXPECT_EQ(ActiveKernelMode(), KernelMode::kScalar);
+  auto scalar_result = fn();
+  SetKernelMode(KernelMode::kSimd);
+  if (SimdAvailable()) {
+    EXPECT_EQ(ActiveKernelMode(), KernelMode::kSimd);
+  }
+  auto simd_result = fn();
+  SetKernelMode(KernelMode::kAuto);
+  return std::make_pair(scalar_result, simd_result);
+}
+
+struct RandomInstance {
+  std::vector<double> matrix;  // rows x stride, row-major
+  std::size_t stride = 0;
+  std::vector<std::int32_t> row_idx;
+  std::vector<std::int32_t> col_idx;
+  std::vector<double> a;  // aligned with row_idx
+  std::vector<double> b;  // aligned with col_idx
+};
+
+/// Random door-matrix-shaped instance: distances in [0, 1000], a sprinkle
+/// of +inf cells (disconnected components) and duplicated indices (access
+/// doors repeat across levels).
+RandomInstance MakeInstance(Rng& rng, std::size_t matrix_dim, std::size_t nr,
+                            std::size_t nc) {
+  RandomInstance inst;
+  inst.stride = matrix_dim;
+  inst.matrix.resize(matrix_dim * matrix_dim);
+  for (double& v : inst.matrix) {
+    v = rng.NextUniform(0.0, 1000.0);
+    if (rng.NextUniform(0.0, 1.0) < 0.05) v = kInf;
+  }
+  const auto rand_idx = [&] {
+    return static_cast<std::int32_t>(
+        rng.NextInt(0, static_cast<int>(matrix_dim) - 1));
+  };
+  inst.row_idx.resize(nr);
+  inst.col_idx.resize(nc);
+  for (auto& r : inst.row_idx) r = rand_idx();
+  for (auto& c : inst.col_idx) c = rand_idx();
+  inst.a.resize(nr);
+  inst.b.resize(nc);
+  for (double& v : inst.a) {
+    v = rng.NextUniform(0.0, 500.0);
+    if (rng.NextUniform(0.0, 1.0) < 0.05) v = kInf;
+  }
+  for (double& v : inst.b) v = rng.NextUniform(0.0, 500.0);
+  return inst;
+}
+
+TEST(MinPlusKernelsTest, SimdCompiledMatchesBuildFlag) {
+#if defined(IFLS_KERNEL_SIMD) && defined(__x86_64__)
+  // The build compiled the AVX2 backend; whether it dispatches depends on
+  // the CPU. On any x86-64 CI runner of this project AVX2 is present.
+  EXPECT_TRUE(SimdAvailable());
+#endif
+  SetKernelMode(KernelMode::kAuto);
+  EXPECT_NE(ActiveKernelMode(), KernelMode::kAuto);
+}
+
+TEST(MinPlusKernelsTest, JoinBitIdenticalAcrossBackends) {
+  Rng rng(20260806);
+  // Sizes straddle the 4-lane block boundary: tails of 0..3 plus tiny and
+  // empty shapes.
+  for (const std::size_t nr : {0u, 1u, 3u, 4u, 5u, 8u, 17u}) {
+    for (const std::size_t nc : {0u, 1u, 2u, 4u, 7u, 16u, 33u}) {
+      for (int trial = 0; trial < 8; ++trial) {
+        const RandomInstance in = MakeInstance(rng, 64, nr, nc);
+        const auto [s, v] = BothModes([&] {
+          return MinPlusJoin(in.a.data(), in.row_idx.data(), nr, in.b.data(),
+                             in.col_idx.data(), nc, in.matrix.data(),
+                             in.stride);
+        });
+        EXPECT_EQ(s, v) << "nr=" << nr << " nc=" << nc << " trial=" << trial;
+        if (nr == 0 || nc == 0) {
+          EXPECT_EQ(s, kInf);
+        }
+      }
+    }
+  }
+}
+
+TEST(MinPlusKernelsTest, ComposeBitIdenticalAcrossBackends) {
+  Rng rng(20260807);
+  for (const std::size_t nr : {0u, 1u, 4u, 9u}) {
+    for (const std::size_t nc : {0u, 1u, 3u, 4u, 6u, 21u}) {
+      const RandomInstance in = MakeInstance(rng, 48, nr, nc);
+      const auto [s, v] = BothModes([&] {
+        std::vector<double> out(nc, -1.0);
+        MinPlusCompose(in.a.data(), in.row_idx.data(), nr, in.col_idx.data(),
+                       nc, in.matrix.data(), in.stride, out.data());
+        return out;
+      });
+      ASSERT_EQ(s.size(), v.size());
+      for (std::size_t j = 0; j < s.size(); ++j) {
+        EXPECT_EQ(s[j], v[j]) << "nr=" << nr << " nc=" << nc << " j=" << j;
+        if (nr == 0) {
+          EXPECT_EQ(s[j], kInf);
+        }
+      }
+    }
+  }
+}
+
+TEST(MinPlusKernelsTest, GatherFamilyBitIdenticalAcrossBackends) {
+  Rng rng(20260808);
+  for (const std::size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 8u, 13u, 64u, 100u}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const RandomInstance in = MakeInstance(rng, 128, n, n);
+      const double s0 = rng.NextUniform(0.0, 100.0);
+      const double* row = in.matrix.data();  // any row works
+      {
+        const auto [s, v] = BothModes(
+            [&] { return MinPlusGather(s0, row, in.col_idx.data(), n); });
+        EXPECT_EQ(s, v) << "gather n=" << n;
+      }
+      {
+        const auto [s, v] = BothModes([&] {
+          return MinPlusGatherAdd(s0, row, in.col_idx.data(), in.b.data(), n);
+        });
+        EXPECT_EQ(s, v) << "gather_add n=" << n;
+      }
+      {
+        const auto [s, v] = BothModes(
+            [&] { return MinPlusPairwise(in.a.data(), in.b.data(), n); });
+        EXPECT_EQ(s, v) << "pairwise n=" << n;
+      }
+      {
+        const auto [s, v] = BothModes([&] {
+          std::vector<double> out(n, -1.0);
+          GatherCells(row, in.col_idx.data(), n, out.data());
+          return out;
+        });
+        EXPECT_EQ(s, v) << "gather_cells n=" << n;
+      }
+    }
+  }
+}
+
+TEST(MinPlusKernelsTest, ArgminBitIdenticalAndLowestIndexTieBreak) {
+  Rng rng(20260809);
+  for (const std::size_t n : {1u, 2u, 4u, 5u, 9u, 32u, 77u}) {
+    for (int trial = 0; trial < 16; ++trial) {
+      std::vector<double> row(n);
+      for (double& v : row) {
+        // Coarse quantization to force plenty of exact ties.
+        v = static_cast<double>(rng.NextInt(0, 8)) * 0.5;
+      }
+      const double s0 = rng.NextUniform(0.0, 4.0);
+      const auto [si, vi] =
+          BothModes([&] { return MinPlusArgmin(s0, row.data(), n); });
+      EXPECT_EQ(si, vi) << "argmin n=" << n;
+      // Lowest-index contract, checked against a fresh scan.
+      double best = kInf;
+      std::size_t best_k = 0;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (s0 + row[k] < best) {
+          best = s0 + row[k];
+          best_k = k;
+        }
+      }
+      EXPECT_EQ(si, best_k);
+    }
+  }
+}
+
+TEST(MinPlusKernelsTest, ArgminAllInfinityReturnsIndexZero) {
+  std::vector<double> row(7, kInf);
+  const auto [si, vi] =
+      BothModes([&] { return MinPlusArgmin(3.0, row.data(), row.size()); });
+  EXPECT_EQ(si, 0u);
+  EXPECT_EQ(vi, 0u);
+}
+
+TEST(MinPlusKernelsTest, InfinityRowsNeverBeatFiniteCandidates) {
+  // The DoorToDoor caller dropped its dist_a[i] == inf skip when moving to
+  // the kernel; this is the property that makes the drop safe.
+  const std::vector<double> a = {kInf, 2.0};
+  const std::vector<double> b = {1.0, kInf};
+  const std::vector<std::int32_t> rows = {0, 1};
+  const std::vector<std::int32_t> cols = {0, 1};
+  const std::vector<double> m = {0.5, kInf, 1.5, 2.5};  // 2x2, stride 2
+  const auto [s, v] = BothModes([&] {
+    return MinPlusJoin(a.data(), rows.data(), 2, b.data(), cols.data(), 2,
+                       m.data(), 2);
+  });
+  EXPECT_EQ(s, (2.0 + 1.5) + 1.0);
+  EXPECT_EQ(s, v);
+}
+
+TEST(MinPlusKernelsTest, EnvOverrideSelectsBackend) {
+  // SetKernelMode(kAuto) re-reads IFLS_KERNELS; the explicit modes ignore
+  // it. The test leaves the environment untouched and only checks the
+  // explicit-mode half unless the variable happens to be set.
+  SetKernelMode(KernelMode::kScalar);
+  EXPECT_STREQ(ActiveKernelName(), "scalar");
+  SetKernelMode(KernelMode::kSimd);
+  if (SimdAvailable()) {
+    EXPECT_STREQ(ActiveKernelName(), "avx2");
+  } else {
+    EXPECT_STREQ(ActiveKernelName(), "scalar");
+  }
+  SetKernelMode(KernelMode::kAuto);
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace ifls

@@ -18,6 +18,7 @@
 #include "src/core/efficient.h"
 #include "src/core/maxsum.h"
 #include "src/core/mindist.h"
+#include "src/index/minplus_kernels.h"
 #include "tests/test_util.h"
 
 namespace ifls {
@@ -213,6 +214,63 @@ TEST_P(ParallelDifferentialTest, ParallelMatchesSequentialAndOracle) {
 
 INSTANTIATE_TEST_SUITE_P(RandomVenues, ParallelDifferentialTest,
                          ::testing::Range<std::uint64_t>(1, 22));
+
+/// Answer-level equality only: the door-cache axis legitimately changes the
+/// work counters (a warm memo skips matrix compositions), so across that
+/// axis we assert the *results* are bit-identical and leave the counters to
+/// ExpectIdentical on the counter-preserving axes.
+void ExpectSameAnswer(const BatchQueryOutcome& a, const BatchQueryOutcome& b,
+                      const char* which, std::size_t i) {
+  SCOPED_TRACE(::testing::Message() << which << " query " << i);
+  ASSERT_EQ(a.status.ok(), b.status.ok());
+  if (!a.status.ok()) return;
+  EXPECT_EQ(a.result.found, b.result.found);
+  EXPECT_EQ(a.result.answer, b.result.answer);
+  EXPECT_EQ(a.result.objective, b.result.objective);  // bit-level double
+  EXPECT_EQ(a.result.ranked, b.result.ranked);
+}
+
+// The tentpole's contract, checked end to end: solver answers must be
+// bit-identical across the kernel-dispatch axis (scalar reference vs AVX2)
+// and the door-cache axis (sharded memo on vs off), in every combination.
+// The dispatch axis must preserve even the per-query work counters; the
+// cache axis preserves answers while (intentionally) changing the counters.
+TEST(DispatchCacheDifferentialTest, AnswersBitIdenticalAcrossBothAxes) {
+  for (const std::uint64_t seed : {3, 11, 19}) {
+    Scenario s = BuildScenario(seed);  // default tree: door cache OFF
+    VipTreeOptions cached_opts;
+    cached_opts.enable_door_distance_cache = true;
+    VipTree cached_tree = Unwrap(VipTree::Build(&s.venue, cached_opts));
+    std::vector<BatchQuery> cached_batch = s.batch;
+    for (BatchQuery& q : cached_batch) q.context.oracle = &cached_tree;
+
+    BatchEngineOptions opts;
+    opts.num_threads = 4;
+    BatchQueryEngine engine(opts);
+
+    kernels::SetKernelMode(kernels::KernelMode::kScalar);
+    const std::vector<BatchQueryOutcome> scalar_plain = engine.Run(s.batch);
+    const std::vector<BatchQueryOutcome> scalar_cached =
+        engine.Run(cached_batch);  // cold cache, 4 threads racing to fill it
+    kernels::SetKernelMode(kernels::KernelMode::kSimd);
+    const std::vector<BatchQueryOutcome> simd_plain = engine.Run(s.batch);
+    const std::vector<BatchQueryOutcome> simd_cached =
+        engine.Run(cached_batch);  // warm cache
+    kernels::SetKernelMode(kernels::KernelMode::kAuto);
+
+    ASSERT_EQ(scalar_plain.size(), s.batch.size());
+    for (std::size_t i = 0; i < s.batch.size(); ++i) {
+      // Dispatch axis, cache off: identical down to the work counters.
+      ExpectIdentical(scalar_plain[i], simd_plain[i], "scalar-vs-simd", i);
+      // Cache axis (and cold-vs-warm cache): answers identical to the last
+      // bit even though the counters differ.
+      ExpectSameAnswer(scalar_plain[i], scalar_cached[i],
+                       "plain-vs-cold-cache", i);
+      ExpectSameAnswer(scalar_plain[i], simd_cached[i],
+                       "plain-vs-warm-cache-simd", i);
+    }
+  }
+}
 
 TEST(BatchQueryEngineTest, InvalidQueryFailsAloneAndIdentically) {
   Scenario s = BuildScenario(1234);

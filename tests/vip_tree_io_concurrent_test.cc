@@ -1,9 +1,9 @@
 // Concurrent-reader guarantees of the serialized VIP-tree: after a
 // Save/Load round trip, many threads may load their own copies and query
 // one shared loaded instance simultaneously, and every distance/solver
-// answer must equal the single-threaded truth. This exercises the locked
-// door-distance cache, the atomic counter aggregate, and the call_once
-// memoization under real contention.
+// answer must equal the single-threaded truth. This exercises the sharded
+// lock-free door-distance cache, the atomic counter aggregate, and the
+// call_once memoization under real contention.
 
 #include <gtest/gtest.h>
 
