@@ -4,6 +4,16 @@
 #include <cstdio>
 #include <fstream>
 
+#include "src/index/minplus_kernels.h"
+
+// Build attribution, injected per-source by src/CMakeLists.txt.
+#ifndef IFLS_GIT_SHA
+#define IFLS_GIT_SHA "unknown"
+#endif
+#ifndef IFLS_BUILD_TYPE
+#define IFLS_BUILD_TYPE ""
+#endif
+
 namespace ifls {
 namespace {
 
@@ -147,7 +157,13 @@ Status WriteBenchReportToFile(const std::string& path, const std::string& name,
   JsonWriter w(&out);
   w.BeginObject();
   w.Field("benchmark", name);
-  w.Field("schema_version", std::int64_t{1});
+  w.Field("schema_version", std::int64_t{2});
+  // Attribution envelope (schema v2): which commit, build flavor and kernel
+  // dispatch produced the numbers, so archived BENCH_*.json artifacts stay
+  // comparable.
+  w.Field("git_sha", IFLS_GIT_SHA);
+  w.Field("build_type", IFLS_BUILD_TYPE);
+  w.Field("kernel_dispatch", kernels::ActiveKernelName());
   body(w);
   w.EndObject();
   out << '\n';

@@ -3,6 +3,7 @@
 
 #include <array>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -40,6 +41,18 @@ class LatencyHistogram {
   double PercentileSeconds(double q) const;
 
   void Reset();
+
+  /// Samples recorded into bucket `b` in [0, kNumBuckets); used by the
+  /// metrics registry's Prometheus exposition.
+  std::uint64_t bucket_count(int b) const {
+    return buckets_[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Upper bound of bucket `b` in seconds: 2^(b+1) microseconds.
+  static double BucketUpperBoundSeconds(int b) {
+    return std::ldexp(1.0, b + 1) * 1e-6;
+  }
 
   /// "count=N mean=Xus p50=Yus p99=Zus".
   std::string ToString() const;

@@ -1,0 +1,221 @@
+#include "src/common/metrics_registry.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace ifls {
+namespace {
+
+const char* TypeName(int type) {
+  switch (type) {
+    case 0:
+      return "counter";
+    case 1:
+      return "gauge";
+    default:
+      return "histogram";
+  }
+}
+
+/// "name", "name{labels}" or "name_bucket{labels,le=\"x\"}".
+void WriteSeriesName(std::ostream& out, const std::string& name,
+                     const char* suffix, const std::string& labels,
+                     const char* extra_label) {
+  out << name << suffix;
+  if (labels.empty() && extra_label == nullptr) return;
+  out << '{' << labels;
+  if (extra_label != nullptr) {
+    if (!labels.empty()) out << ',';
+    out << extra_label;
+  }
+  out << '}';
+}
+
+void WriteDouble(std::ostream& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out << buf;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked like TraceRecorder: instruments may be touched from exiting
+  // threads during static destruction.
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+MetricsRegistry::Series* MetricsRegistry::Insert(const std::string& name,
+                                                 const std::string& labels,
+                                                 MetricType type) {
+  Series& series = families_[name][labels];
+  if (series.counter || series.gauge || series.histogram ||
+      series.counter_fn || series.gauge_fn || series.histogram_ref) {
+    IFLS_CHECK(series.type == type)
+        << "metric " << name << " re-registered with a different type";
+  }
+  series.type = type;
+  return &series;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series* series = Insert(name, labels, MetricType::kCounter);
+  if (!series->counter) series->counter = std::make_unique<Counter>();
+  return series->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series* series = Insert(name, labels, MetricType::kGauge);
+  if (!series->gauge) series->gauge = std::make_unique<Gauge>();
+  return series->gauge.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                                const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series* series = Insert(name, labels, MetricType::kHistogram);
+  if (!series->histogram) {
+    series->histogram = std::make_unique<LatencyHistogram>();
+  }
+  return series->histogram.get();
+}
+
+MetricsRegistry::Registration& MetricsRegistry::Registration::operator=(
+    Registration&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+void MetricsRegistry::Registration::Reset() {
+  if (registry_ != nullptr && id_ != 0) {
+    registry_->Unregister(id_);
+  }
+  registry_ = nullptr;
+  id_ = 0;
+}
+
+MetricsRegistry::Registration MetricsRegistry::RegisterCallbackCounter(
+    const std::string& name, const std::string& labels,
+    std::function<std::uint64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series* series = Insert(name, labels, MetricType::kCounter);
+  series->counter_fn = std::move(fn);
+  series->registration_id = next_registration_id_++;
+  return Registration(this, series->registration_id);
+}
+
+MetricsRegistry::Registration MetricsRegistry::RegisterCallbackGauge(
+    const std::string& name, const std::string& labels,
+    std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series* series = Insert(name, labels, MetricType::kGauge);
+  series->gauge_fn = std::move(fn);
+  series->registration_id = next_registration_id_++;
+  return Registration(this, series->registration_id);
+}
+
+MetricsRegistry::Registration MetricsRegistry::RegisterCallbackHistogram(
+    const std::string& name, const std::string& labels,
+    const LatencyHistogram* histogram) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series* series = Insert(name, labels, MetricType::kHistogram);
+  series->histogram_ref = histogram;
+  series->registration_id = next_registration_id_++;
+  return Registration(this, series->registration_id);
+}
+
+void MetricsRegistry::Unregister(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto family = families_.begin(); family != families_.end();) {
+    auto& by_labels = family->second;
+    for (auto it = by_labels.begin(); it != by_labels.end();) {
+      if (it->second.registration_id == id) {
+        it = by_labels.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (by_labels.empty()) {
+      family = families_.erase(family);
+    } else {
+      ++family;
+    }
+  }
+}
+
+void MetricsRegistry::DumpPrometheusText(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, by_labels] : families_) {
+    if (by_labels.empty()) continue;
+    out << "# TYPE " << name << ' '
+        << TypeName(static_cast<int>(by_labels.begin()->second.type)) << '\n';
+    for (const auto& [labels, series] : by_labels) {
+      switch (series.type) {
+        case MetricType::kCounter: {
+          const std::uint64_t v = series.counter_fn ? series.counter_fn()
+                                  : series.counter  ? series.counter->value()
+                                                    : 0;
+          WriteSeriesName(out, name, "", labels, nullptr);
+          out << ' ' << v << '\n';
+          break;
+        }
+        case MetricType::kGauge: {
+          const double v = series.gauge_fn ? series.gauge_fn()
+                           : series.gauge ? series.gauge->value()
+                                          : 0.0;
+          WriteSeriesName(out, name, "", labels, nullptr);
+          out << ' ';
+          WriteDouble(out, v);
+          out << '\n';
+          break;
+        }
+        case MetricType::kHistogram: {
+          const LatencyHistogram* h = series.histogram_ref != nullptr
+                                          ? series.histogram_ref
+                                          : series.histogram.get();
+          if (h == nullptr) break;
+          std::uint64_t cumulative = 0;
+          for (int b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+            cumulative += h->bucket_count(b);
+            char le[48];
+            std::snprintf(le, sizeof(le), "le=\"%.9g\"",
+                          LatencyHistogram::BucketUpperBoundSeconds(b));
+            WriteSeriesName(out, name, "_bucket", labels, le);
+            out << ' ' << cumulative << '\n';
+          }
+          WriteSeriesName(out, name, "_bucket", labels, "le=\"+Inf\"");
+          out << ' ' << h->count() << '\n';
+          WriteSeriesName(out, name, "_sum", labels, nullptr);
+          out << ' ';
+          WriteDouble(out, h->total_seconds());
+          out << '\n';
+          WriteSeriesName(out, name, "_count", labels, nullptr);
+          out << ' ' << h->count() << '\n';
+          break;
+        }
+      }
+    }
+  }
+}
+
+std::string DumpMetricsText() {
+  std::ostringstream out;
+  MetricsRegistry::Global().DumpPrometheusText(out);
+  return out.str();
+}
+
+}  // namespace ifls

@@ -1,0 +1,141 @@
+#ifndef IFLS_COMMON_METRICS_REGISTRY_H_
+#define IFLS_COMMON_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "src/common/metrics.h"
+
+namespace ifls {
+
+/// Monotonic counter: Add() is one relaxed fetch_add, safe from any thread.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins gauge.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Central registry of named metrics with Prometheus-style text exposition
+/// (DESIGN.md §10). Two registration styles:
+///
+///  - Registry-owned instruments: GetCounter/GetGauge/GetHistogram create on
+///    first use and return stable pointers, never removed. For process-wide
+///    series (e.g. the ifls_query_* solver-work rollups).
+///  - Callback instruments: sampled at exposition time from live objects
+///    (e.g. an IflsService's queue depth). The returned Registration handle
+///    removes the series on destruction, so a service can register gauges
+///    that read `this` and tear them down before dying.
+///
+/// Naming scheme: `ifls_<layer>_<what>[_total]` with snake_case names and
+/// optional label sets preformatted as `key="value"[,key="value"...]`.
+/// Series with the same name must share one metric type; per-instance series
+/// differ in labels only (e.g. `ifls_service_completed_total{instance="3"}`).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name, const std::string& labels = "");
+  Gauge* GetGauge(const std::string& name, const std::string& labels = "");
+  LatencyHistogram* GetHistogram(const std::string& name,
+                                 const std::string& labels = "");
+
+  /// Move-only RAII handle for callback series; destruction (or Reset())
+  /// removes the series from the registry. After Reset() returns the
+  /// callback is guaranteed not to be running and never runs again.
+  class Registration {
+   public:
+    Registration() = default;
+    Registration(Registration&& other) noexcept { *this = std::move(other); }
+    Registration& operator=(Registration&& other) noexcept;
+    ~Registration() { Reset(); }
+    void Reset();
+
+    Registration(const Registration&) = delete;
+    Registration& operator=(const Registration&) = delete;
+
+   private:
+    friend class MetricsRegistry;
+    Registration(MetricsRegistry* registry, std::uint64_t id)
+        : registry_(registry), id_(id) {}
+    MetricsRegistry* registry_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+
+  Registration RegisterCallbackCounter(const std::string& name,
+                                       const std::string& labels,
+                                       std::function<std::uint64_t()> fn);
+  Registration RegisterCallbackGauge(const std::string& name,
+                                     const std::string& labels,
+                                     std::function<double()> fn);
+  /// Exposes an externally-owned histogram; `histogram` must outlive the
+  /// Registration.
+  Registration RegisterCallbackHistogram(const std::string& name,
+                                         const std::string& labels,
+                                         const LatencyHistogram* histogram);
+
+  /// Prometheus text exposition: one `# TYPE` line per metric family, then
+  /// one sample line per series (histograms expand to cumulative `le`
+  /// buckets plus `_sum` and `_count`).
+  void DumpPrometheusText(std::ostream& out) const;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  enum class MetricType { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    MetricType type = MetricType::kCounter;
+    std::uint64_t registration_id = 0;  // 0 = registry-owned
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+    std::function<std::uint64_t()> counter_fn;
+    std::function<double()> gauge_fn;
+    const LatencyHistogram* histogram_ref = nullptr;
+  };
+
+  MetricsRegistry() = default;
+
+  Series* Insert(const std::string& name, const std::string& labels,
+                 MetricType type);
+  void Unregister(std::uint64_t id);
+
+  /// Held across the whole exposition pass, so Registration::Reset() cannot
+  /// return while a callback is mid-flight.
+  mutable std::mutex mu_;
+  /// name -> labels -> series; the map nesting yields the family grouping
+  /// the exposition format wants.
+  std::map<std::string, std::map<std::string, Series>> families_;
+  std::uint64_t next_registration_id_ = 1;
+};
+
+/// The Prometheus exposition of the global registry as a string — the
+/// admin/debug surface used by `ifls_cli trace --metrics` and tests.
+std::string DumpMetricsText();
+
+}  // namespace ifls
+
+#endif  // IFLS_COMMON_METRICS_REGISTRY_H_

@@ -1,0 +1,410 @@
+#include "src/common/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+namespace ifls {
+
+namespace trace_internal {
+
+std::atomic<bool> g_enabled{false};
+
+ThreadTraceState& ThreadState() {
+  thread_local ThreadTraceState state;
+  return state;
+}
+
+}  // namespace trace_internal
+
+const char* TraceCategoryName(TraceCategory category) {
+  switch (category) {
+    case TraceCategory::kSolver:
+      return "solver";
+    case TraceCategory::kOracle:
+      return "oracle";
+    case TraceCategory::kCache:
+      return "cache";
+    case TraceCategory::kService:
+      return "service";
+    case TraceCategory::kCompaction:
+      return "compaction";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::chrono::steady_clock::time_point TraceClockBase() {
+  static const std::chrono::steady_clock::time_point base =
+      std::chrono::steady_clock::now();
+  return base;
+}
+
+/// Opt-in tracing from the environment (same idiom as IFLS_KERNELS):
+/// IFLS_TRACE=1 records every query, IFLS_TRACE=N samples 1-in-N, unset/0
+/// leaves tracing off. Lets CI rerun existing suites — e.g. the TSan
+/// `parallel` label — with the recorder live, without touching the tests.
+const bool g_env_enable = [] {
+  const char* env = std::getenv("IFLS_TRACE");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "0") == 0) {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long n = std::strtoul(env, &end, 10);
+  TraceRecorder::Global().Enable(
+      (end != nullptr && *end == '\0' && n > 0) ? static_cast<std::uint32_t>(n)
+                                                : 1);
+  return true;
+}();
+
+}  // namespace
+
+std::uint64_t TraceNowNanos() {
+  return TraceNanosFrom(std::chrono::steady_clock::now());
+}
+
+std::uint64_t TraceNanosFrom(std::chrono::steady_clock::time_point tp) {
+  const auto delta = tp - TraceClockBase();
+  if (delta.count() < 0) return 0;  // tp predates the base capture
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(delta).count());
+}
+
+/// One ring of seqlock-guarded span slots, written by exactly one thread at
+/// a time and read concurrently by the exporter. Slot protocol (mirrors
+/// ConcurrentDoorCache): the writer bumps `seq` to odd (acq_rel RMW, so the
+/// payload stores below cannot be hoisted above it), fills the payload with
+/// relaxed stores, then publishes by storing the next even value with
+/// release order. Readers accept a slot only when `seq` reads even and
+/// identical before and after the payload loads.
+struct TraceRecorder::ThreadBuffer {
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<std::uint64_t> trace_id{0};
+    std::atomic<std::uint64_t> start_nanos{0};
+    std::atomic<std::uint64_t> end_nanos{0};
+    std::atomic<std::uint32_t> category{0};
+  };
+
+  explicit ThreadBuffer(std::uint32_t tid_in) : tid(tid_in) {}
+
+  const std::uint32_t tid;
+  /// True while a live thread owns this ring; cleared at thread exit so a
+  /// later thread can adopt it (events are kept until adoption).
+  std::atomic<bool> in_use{true};
+  /// Total spans ever pushed; slot index is head % kSlotsPerThread.
+  std::atomic<std::uint64_t> head{0};
+  std::array<Slot, kSlotsPerThread> slots;
+
+  void Push(TraceCategory category, const char* name, std::uint64_t trace_id,
+            std::uint64_t start_nanos, std::uint64_t end_nanos) {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    Slot& slot = slots[h % kSlotsPerThread];
+    std::uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+    // Single writer: the claim CAS cannot fail; acq_rel keeps the payload
+    // stores from moving above the odd mark.
+    slot.seq.compare_exchange_strong(seq, seq + 1, std::memory_order_acq_rel);
+    slot.name.store(name, std::memory_order_relaxed);
+    slot.trace_id.store(trace_id, std::memory_order_relaxed);
+    slot.start_nanos.store(start_nanos, std::memory_order_relaxed);
+    slot.end_nanos.store(end_nanos, std::memory_order_relaxed);
+    slot.category.store(static_cast<std::uint32_t>(category),
+                        std::memory_order_relaxed);
+    slot.seq.store(seq + 2, std::memory_order_release);
+    head.store(h + 1, std::memory_order_release);
+  }
+
+  /// Seqlock read of one slot; false when a writer was mid-publish.
+  bool Read(std::size_t index, TraceEvent* out) const {
+    const Slot& slot = slots[index];
+    const std::uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+    if (seq_before & 1) return false;
+    out->name = slot.name.load(std::memory_order_relaxed);
+    out->trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    out->start_nanos = slot.start_nanos.load(std::memory_order_relaxed);
+    out->end_nanos = slot.end_nanos.load(std::memory_order_relaxed);
+    out->category = static_cast<TraceCategory>(
+        slot.category.load(std::memory_order_relaxed));
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint64_t seq_after = slot.seq.load(std::memory_order_relaxed);
+    if (seq_before != seq_after || out->name == nullptr) return false;
+    out->tid = tid;
+    return true;
+  }
+};
+
+TraceRecorder::TraceRecorder() = default;
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder& TraceRecorder::Global() {
+  // Leaked on purpose: threads may still be recording during static
+  // destruction, and their thread_local handles outlive function statics.
+  static TraceRecorder* instance = new TraceRecorder();
+  return *instance;
+}
+
+void TraceRecorder::Enable(std::uint32_t sample_every) {
+  sample_every_.store(sample_every == 0 ? 1 : sample_every,
+                      std::memory_order_relaxed);
+  trace_internal::g_enabled.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::Disable() {
+  trace_internal::g_enabled.store(false, std::memory_order_release);
+}
+
+std::uint32_t TraceRecorder::sample_every() const {
+  return sample_every_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t TraceRecorder::NewTraceId() {
+  return next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool TraceRecorder::Sampled(std::uint64_t trace_id) const {
+  const std::uint32_t n = sample_every();
+  return n <= 1 || trace_id % n == 1;
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::LocalBuffer() {
+  // The handle hands the ring back (events intact) when the thread exits; a
+  // later thread adopts the ring and resets it, so the total footprint is
+  // bounded by the peak number of concurrently-recording threads.
+  struct Handle {
+    ThreadBuffer* buffer = nullptr;
+    ~Handle() {
+      if (buffer != nullptr) {
+        buffer->in_use.store(false, std::memory_order_release);
+      }
+    }
+  };
+  thread_local Handle handle;
+  if (handle.buffer != nullptr) return handle.buffer;
+
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (auto& buffer : buffers_) {
+    if (!buffer->in_use.load(std::memory_order_acquire)) {
+      const std::uint64_t stale = buffer->head.load(std::memory_order_relaxed);
+      dropped_.fetch_add(std::min<std::uint64_t>(stale, kSlotsPerThread),
+                         std::memory_order_relaxed);
+      buffer->head.store(0, std::memory_order_relaxed);
+      buffer->in_use.store(true, std::memory_order_relaxed);
+      handle.buffer = buffer.get();
+      return handle.buffer;
+    }
+  }
+  buffers_.push_back(
+      std::make_unique<ThreadBuffer>(static_cast<std::uint32_t>(buffers_.size())));
+  handle.buffer = buffers_.back().get();
+  return handle.buffer;
+}
+
+void TraceRecorder::Record(TraceCategory category, const char* name,
+                           std::uint64_t trace_id, std::uint64_t start_nanos,
+                           std::uint64_t end_nanos) {
+  if (!TraceEnabled() || name == nullptr) return;
+  if (end_nanos < start_nanos) end_nanos = start_nanos;
+  ThreadBuffer* buffer = LocalBuffer();
+  if (buffer->head.load(std::memory_order_relaxed) >= kSlotsPerThread) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);  // overwriting oldest
+  }
+  buffer->Push(category, name, trace_id, start_nanos, end_nanos);
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (auto& buffer : buffers_) {
+    buffer->head.store(0, std::memory_order_relaxed);
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t TraceRecorder::dropped_events() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::vector<TraceEvent> events;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& buffer : buffers_) {
+    const std::uint64_t head = buffer->head.load(std::memory_order_acquire);
+    const std::uint64_t count = std::min<std::uint64_t>(head, kSlotsPerThread);
+    for (std::uint64_t i = head - count; i < head; ++i) {
+      TraceEvent event;
+      if (buffer->Read(static_cast<std::size_t>(i % kSlotsPerThread),
+                       &event)) {
+        events.push_back(event);
+      }
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_nanos != b.start_nanos) {
+                return a.start_nanos < b.start_nanos;
+              }
+              return a.end_nanos > b.end_nanos;  // parents before children
+            });
+  return events;
+}
+
+std::vector<TraceEvent> TraceRecorder::SnapshotTrace(
+    std::uint64_t trace_id) const {
+  std::vector<TraceEvent> events = Snapshot();
+  events.erase(std::remove_if(events.begin(), events.end(),
+                              [trace_id](const TraceEvent& e) {
+                                return e.trace_id != trace_id;
+                              }),
+               events.end());
+  return events;
+}
+
+namespace {
+
+void WriteJsonString(std::ostream& out, const char* s) {
+  out << '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out << buf;
+    } else {
+      out << c;
+    }
+  }
+  out << '"';
+}
+
+/// Emits one Chrome trace event line. `ph` is "B" or "E"; ts is in
+/// microseconds (Chrome's unit) with nanosecond decimals preserved.
+void WriteChromeEvent(std::ostream& out, bool* first, const char* ph,
+                      const TraceEvent& event, std::uint64_t ts_nanos) {
+  if (!*first) out << ",\n";
+  *first = false;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ts_nanos / 1000,
+                static_cast<unsigned>(ts_nanos % 1000));
+  out << "    {\"ph\": \"" << ph << "\", \"pid\": 1, \"tid\": " << event.tid
+      << ", \"ts\": " << buf;
+  if (ph[0] == 'B') {
+    out << ", \"name\": ";
+    WriteJsonString(out, event.name);
+    out << ", \"cat\": \"" << TraceCategoryName(event.category) << '"';
+    if (event.trace_id != 0) {
+      out << ", \"args\": {\"trace_id\": " << event.trace_id << '}';
+    }
+  }
+  out << '}';
+}
+
+}  // namespace
+
+Status TraceRecorder::ExportChromeTrace(std::ostream& out) const {
+  const std::vector<TraceEvent> events = Snapshot();  // (tid, start) order
+
+  out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  bool first = true;
+
+  // Complete spans become balanced B/E pairs per thread: within one tid the
+  // events are in pre-order (start ascending, longer span first on ties), so
+  // a stack sweep closes every span that ends before the next one begins.
+  // RAII scoping guarantees proper nesting on each thread; retroactive spans
+  // that would straddle a boundary are clamped to their parent.
+  std::vector<TraceEvent> open;
+  std::uint32_t current_tid = 0;
+  auto close_through = [&](std::uint64_t until_nanos) {
+    while (!open.empty() && open.back().end_nanos <= until_nanos) {
+      WriteChromeEvent(out, &first, "E", open.back(), open.back().end_nanos);
+      open.pop_back();
+    }
+  };
+  for (const TraceEvent& event : events) {
+    if (!open.empty() && event.tid != current_tid) {
+      close_through(UINT64_MAX);
+    }
+    current_tid = event.tid;
+    close_through(event.start_nanos);
+    TraceEvent begin = event;
+    if (!open.empty() && begin.end_nanos > open.back().end_nanos) {
+      begin.end_nanos = open.back().end_nanos;  // keep nesting well-formed
+    }
+    WriteChromeEvent(out, &first, "B", begin, begin.start_nanos);
+    open.push_back(begin);
+  }
+  close_through(UINT64_MAX);
+
+  out << "\n  ]\n}\n";
+  if (!out) return Status::IOError("short write while exporting trace");
+  return Status::OK();
+}
+
+Status TraceRecorder::ExportChromeTraceToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  Status status = ExportChromeTrace(out);
+  if (!status.ok()) return status;
+  out.flush();
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+void TraceSpan::Finish() {
+  TraceRecorder::Global().Record(category_, name_, trace_id_, start_nanos_,
+                                 TraceNowNanos());
+}
+
+std::string FormatSpanTree(const std::vector<TraceEvent>& events,
+                           std::size_t max_lines) {
+  std::vector<TraceEvent> sorted = events;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_nanos != b.start_nanos) {
+                return a.start_nanos < b.start_nanos;
+              }
+              return a.end_nanos > b.end_nanos;
+            });
+
+  std::string result;
+  std::vector<std::uint64_t> open_ends;
+  std::uint32_t current_tid = 0;
+  std::size_t emitted = 0;
+  for (const TraceEvent& event : sorted) {
+    if (event.tid != current_tid) open_ends.clear();
+    current_tid = event.tid;
+    while (!open_ends.empty() && open_ends.back() <= event.start_nanos) {
+      open_ends.pop_back();
+    }
+    if (emitted == max_lines) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "\n  ... (+%zu more spans)",
+                    sorted.size() - emitted);
+      result += buf;
+      break;
+    }
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "\n  %*s[%s] %s %.3fms",
+                  static_cast<int>(2 * open_ends.size()), "",
+                  TraceCategoryName(event.category), event.name,
+                  static_cast<double>(event.end_nanos - event.start_nanos) /
+                      1e6);
+    result += buf;
+    open_ends.push_back(event.end_nanos);
+    ++emitted;
+  }
+  return result;
+}
+
+}  // namespace ifls

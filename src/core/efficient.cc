@@ -8,6 +8,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/memory_tracker.h"
+#include "src/common/trace.h"
 #include "src/index/minplus_kernels.h"
 
 namespace ifls {
@@ -95,29 +96,34 @@ class EfficientSolver {
         index_(ctx.oracle, ctx.existing) {}
 
   void Run() {
-    index_.AddCandidates(ctx_.candidates);
-    candidate_ordinal_.assign(venue_.num_partitions(), -1);
-    for (std::size_t i = 0; i < ctx_.candidates.size(); ++i) {
-      candidate_ordinal_[static_cast<std::size_t>(ctx_.candidates[i])] =
-          static_cast<std::int32_t>(i);
+    TraceSpan run_span(TraceCategory::kSolver, "efficient");
+    {
+      TraceSpan setup_span(TraceCategory::kSolver, "efficient/setup");
+      index_.AddCandidates(ctx_.candidates);
+      candidate_ordinal_.assign(venue_.num_partitions(), -1);
+      for (std::size_t i = 0; i < ctx_.candidates.size(); ++i) {
+        candidate_ordinal_[static_cast<std::size_t>(ctx_.candidates[i])] =
+            static_cast<std::int32_t>(i);
+      }
+      coverage_.assign(ctx_.candidates.size(), 0);
+
+      candidate_collected_.assign(ctx_.candidates.size(), 0);
+
+      InitClients();
+      if (alive_count_ == 0) {
+        FinishNoAnswer();
+        return;
+      }
+      // Paper Algorithm 2 lines 1-10: clients located inside facilities are
+      // served (and possibly pruned) before the traversal starts.
+      ProcessEvents(0.0);
+      if (done_) return;
+
+      BuildGroups();
+      SeedQueue();
     }
-    coverage_.assign(ctx_.candidates.size(), 0);
 
-    candidate_collected_.assign(ctx_.candidates.size(), 0);
-
-    InitClients();
-    if (alive_count_ == 0) {
-      FinishNoAnswer();
-      return;
-    }
-    // Paper Algorithm 2 lines 1-10: clients located inside facilities are
-    // served (and possibly pruned) before the traversal starts.
-    ProcessEvents(0.0);
-    if (done_) return;
-
-    BuildGroups();
-    SeedQueue();
-
+    TraceSpan traversal_span(TraceCategory::kSolver, "efficient/traversal");
     // Paper Algorithm 3 main loop.
     while (!done_ && !queue_.empty()) {
       const TraversalEntry top = queue_.top();

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "src/common/trace.h"
 #include "src/core/extension_engine.h"
 
 namespace ifls {
@@ -78,6 +79,7 @@ Result<IflsResult> SolveMaxSum(const IflsContext& ctx,
   IFLS_RETURN_NOT_OK(ValidateContext(ctx));
   IflsResult result;
   SolverScope scope(*ctx.oracle, &result.stats);
+  TraceSpan span(TraceCategory::kSolver, "maxsum");
   internal::IncrementalObjectiveSolver<MaxSumPolicy> solver(
       ctx, options.group_clients, &result);
   solver.Run();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/common/trace.h"
 #include "src/core/extension_engine.h"
 
 namespace ifls {
@@ -79,6 +80,7 @@ Result<IflsResult> SolveMinDist(const IflsContext& ctx,
   IFLS_RETURN_NOT_OK(ValidateContext(ctx));
   IflsResult result;
   SolverScope scope(*ctx.oracle, &result.stats);
+  TraceSpan span(TraceCategory::kSolver, "mindist");
   internal::IncrementalObjectiveSolver<MinDistPolicy> solver(
       ctx, options.group_clients, &result);
   solver.Run();

@@ -7,6 +7,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/memory_tracker.h"
+#include "src/common/trace.h"
 
 namespace ifls {
 namespace {
@@ -36,6 +37,7 @@ Result<IflsResult> SolveModifiedMinMax(const IflsContext& ctx,
   IFLS_RETURN_NOT_OK(ValidateContext(ctx));
   IflsResult result;
   SolverScope scope(*ctx.oracle, &result.stats);
+  TraceSpan solver_span(TraceCategory::kSolver, "minmax_baseline");
   QueryStats& stats = result.stats;
 
   // Degenerate inputs first.
@@ -67,30 +69,36 @@ Result<IflsResult> SolveModifiedMinMax(const IflsContext& ctx,
       << "offline index does not match the context's existing set";
 
   TrackedVector<NefEntry> sorted_list;
-  sorted_list.reserve(ctx.clients.size());
-  for (std::size_t i = 0; i < ctx.clients.size(); ++i) {
-    const Client& c = ctx.clients[i];
-    NnSearchStats nn_stats;
-    std::optional<NnResult> nn =
-        NearestFacility(*fe_index, c.position, c.partition,
-                        FacilityFilter::kExistingOnly, &nn_stats);
-    stats.AddNnStats(nn_stats);
-    ++stats.nn_searches;
-    NefEntry entry;
-    entry.client_index = i;
-    if (nn.has_value()) {
-      entry.nearest_existing = nn->facility;
-      entry.distance = nn->distance;
-    } else {
-      entry.nearest_existing = kInvalidPartition;
-      entry.distance = kInfDistance;  // no existing facilities at all
+  {
+    TraceSpan span(TraceCategory::kSolver, "baseline/nn_phase");
+    sorted_list.reserve(ctx.clients.size());
+    for (std::size_t i = 0; i < ctx.clients.size(); ++i) {
+      const Client& c = ctx.clients[i];
+      NnSearchStats nn_stats;
+      std::optional<NnResult> nn =
+          NearestFacility(*fe_index, c.position, c.partition,
+                          FacilityFilter::kExistingOnly, &nn_stats);
+      stats.AddNnStats(nn_stats);
+      ++stats.nn_searches;
+      NefEntry entry;
+      entry.client_index = i;
+      if (nn.has_value()) {
+        entry.nearest_existing = nn->facility;
+        entry.distance = nn->distance;
+      } else {
+        entry.nearest_existing = kInvalidPartition;
+        entry.distance = kInfDistance;  // no existing facilities at all
+      }
+      sorted_list.push_back(entry);
     }
-    sorted_list.push_back(entry);
+    std::sort(sorted_list.begin(), sorted_list.end(),
+              [](const NefEntry& a, const NefEntry& b) {
+                return a.distance > b.distance;
+              });
   }
-  std::sort(sorted_list.begin(), sorted_list.end(),
-            [](const NefEntry& a, const NefEntry& b) {
-              return a.distance > b.distance;
-            });
+  // Covers steps 2-5 (candidate seeding, refinement, Find_Ans) through every
+  // return path below.
+  TraceSpan refine_span(TraceCategory::kSolver, "baseline/refine");
 
   auto client_of = [&](std::size_t rank) -> const Client& {
     return ctx.clients[sorted_list[rank].client_index];

@@ -34,21 +34,31 @@ Status ValidateContext(const IflsContext& ctx);
 /// high-water mark of the query's data structures (DESIGN.md §2, item 2),
 /// reproducing the paper's "memory cost" metric deterministically.
 struct QueryStats {
+  /// Wall-clock solve time, stamped by SolverScope::Finish().
   double elapsed_seconds = 0.0;
   /// Exact point-based indoor distance evaluations (paper: "indoor distance
   /// computations").
   std::int64_t distance_computations = 0;
   /// iMinD lower-bound evaluations.
   std::int64_t lower_bound_computations = 0;
+  /// Traversal priority-queue traffic (solver main loop + NN searches via
+  /// AddNnStats); the paper's proxy for index navigation effort.
   std::int64_t queue_pushes = 0;
   std::int64_t queue_pops = 0;
   /// Complete NN searches issued (baseline only).
   std::int64_t nn_searches = 0;
+  /// Clients eliminated by the pruning rules before their facility lists
+  /// completed (paper §5.2).
   std::int64_t clients_pruned = 0;
   /// Facility-to-client list insertions (EA) / candidate retrievals.
   std::int64_t facilities_retrieved = 0;
+  /// Invocations of Check_List / Check_Answer (paper Algorithm 2/3
+  /// subroutines; the baseline counts its step-2 seeding as one
+  /// check_answer call).
   std::int64_t check_list_calls = 0;
   std::int64_t check_answer_calls = 0;
+  /// Logical high-water mark of tracked solver allocations, from the
+  /// MemoryTracker installed by SolverScope.
   std::int64_t peak_memory_bytes = 0;
   /// Index-level counters attributed to this query. Hits/misses cover the
   /// oracle's door-distance memo (sharded concurrent cache); they are

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/common/trace.h"
 #include "src/index/minplus_kernels.h"
 
 namespace ifls {
@@ -15,6 +16,10 @@ GraphDistanceOracle::GraphDistanceOracle(const Venue* venue)
 const ShortestPaths& GraphDistanceOracle::PathsFrom(DoorId source) const {
   CacheSlot& slot = cache_[static_cast<std::size_t>(source)];
   std::call_once(slot.once, [&] {
+    // Named span: a full single-source Dijkstra means the distance request
+    // fell through every cheaper path — exactly the "why was this query
+    // slow" signal traces exist for.
+    TraceSpan trace_span(TraceCategory::kOracle, "dijkstra_fallback");
     WorkspacePool<DijkstraWorkspace>::Lease ws = workspaces_.Acquire();
     // Copy out of the workspace: the slot needs exact-size persistent
     // storage while the workspace's buffers go back to the pool.

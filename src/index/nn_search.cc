@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/memory_tracker.h"
+#include "src/common/trace.h"
 
 namespace ifls {
 namespace {
@@ -41,6 +42,7 @@ void IncrementalSearch(const FacilityIndex& index, const Point& query,
                        PartitionId query_partition, FacilityFilter filter,
                        NnSearchStats* stats,
                        const std::function<bool(const NnResult&)>& emit) {
+  TraceSpan span(TraceCategory::kOracle, "nn_search");
   const DistanceOracle& oracle = index.oracle();
   // The queue charges the caller's active MemoryTracker so a query's search
   // footprint shows up in its memory stats.

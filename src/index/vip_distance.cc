@@ -1,6 +1,8 @@
 #include <algorithm>
+#include <optional>
 
 #include "src/common/logging.h"
+#include "src/common/trace.h"
 #include "src/index/minplus_kernels.h"
 #include "src/index/vip_tree.h"
 
@@ -93,6 +95,7 @@ double VipTree::DoorToDoor(DoorId a, DoorId b) const {
   // uncached answers bit-identical.
   const std::uint64_t cache_key = (static_cast<std::uint64_t>(a) << 32) |
                                   static_cast<std::uint32_t>(b);
+  std::optional<TraceSpan> fill_span;
   if (options_.enable_door_distance_cache) {
     double cached = 0.0;
     if (CachedDoorDistance(cache_key, &cached)) {
@@ -100,6 +103,10 @@ double VipTree::DoorToDoor(DoorId a, DoorId b) const {
       return cached;
     }
     BumpCacheMisses();
+    // Everything below is the work a warm cache would have skipped.
+    if (TraceEnabled()) {
+      fill_span.emplace(TraceCategory::kCache, "door_cache_fill");
+    }
   }
   BumpDoorDistanceEvals();
   const Door& door_a = venue_->door(a);
@@ -123,6 +130,7 @@ double VipTree::DoorToDoor(DoorId a, DoorId b) const {
   }
 
   // General case: compose through the LCA of the two home leaves.
+  TraceSpan compose_span(TraceCategory::kOracle, "vip_lca_compose");
   const Door& door_b = venue_->door(b);
   const NodeId la = LeafOf(door_a.partition_a);
   const NodeId lb = LeafOf(door_b.partition_a);

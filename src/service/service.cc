@@ -26,6 +26,14 @@ double Seconds(Clock::duration d) {
   return std::chrono::duration<double>(d).count();
 }
 
+/// Distinguishes concurrently-live services in the metrics registry.
+std::string NextInstanceLabel() {
+  static std::atomic<std::uint64_t> next_instance{0};
+  return "instance=\"" +
+         std::to_string(next_instance.fetch_add(1, std::memory_order_relaxed)) +
+         "\"";
+}
+
 }  // namespace
 
 std::string ServiceMetrics::ToString() const {
@@ -85,9 +93,72 @@ IflsService::IflsService(ServiceOptions options,
   // never null and needs no locking.
   state_.Store(std::make_shared<const ServingState>(snapshot_,
                                                     overlay_.delta()));
+  RegisterMetrics();
 }
 
-IflsService::~IflsService() { Stop(); }
+IflsService::~IflsService() {
+  // Drop the registry callbacks before anything else dies: once clear()
+  // returns, no exposition pass can touch this service again.
+  metric_registrations_.clear();
+  Stop();
+}
+
+void IflsService::RegisterMetrics() {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+
+  query_distance_computations_ =
+      registry.GetCounter("ifls_query_distance_computations_total");
+  query_lower_bound_computations_ =
+      registry.GetCounter("ifls_query_lower_bound_computations_total");
+  query_nn_searches_ = registry.GetCounter("ifls_query_nn_searches_total");
+  query_clients_pruned_ =
+      registry.GetCounter("ifls_query_clients_pruned_total");
+  query_cache_hits_ = registry.GetCounter("ifls_query_cache_hits_total");
+  query_cache_misses_ = registry.GetCounter("ifls_query_cache_misses_total");
+
+  const std::string label = NextInstanceLabel();
+  auto counter = [&](const char* name, const std::atomic<std::uint64_t>* v) {
+    metric_registrations_.push_back(registry.RegisterCallbackCounter(
+        name, label, [v] { return v->load(std::memory_order_relaxed); }));
+  };
+  counter("ifls_service_submitted_total", &submitted_);
+  counter("ifls_service_admitted_total", &admitted_);
+  counter("ifls_service_shed_total", &shed_);
+  counter("ifls_service_completed_total", &completed_);
+  counter("ifls_service_failed_total", &failed_);
+  counter("ifls_service_deadline_expired_total", &deadline_expired_);
+  counter("ifls_service_mutations_applied_total", &mutations_applied_);
+  counter("ifls_service_mutations_rejected_total", &mutations_rejected_);
+  counter("ifls_service_compactions_total", &compactions_);
+  counter("ifls_service_oracle_cache_hits_total", &oracle_cache_hits_);
+  counter("ifls_service_oracle_cache_misses_total", &oracle_cache_misses_);
+
+  metric_registrations_.push_back(registry.RegisterCallbackGauge(
+      "ifls_service_queue_depth", label, [this] {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        return static_cast<double>(queue_.size());
+      }));
+  metric_registrations_.push_back(registry.RegisterCallbackGauge(
+      "ifls_service_snapshot_epoch", label, [this] {
+        return static_cast<double>(state_.Acquire()->snapshot->epoch());
+      }));
+  metric_registrations_.push_back(registry.RegisterCallbackGauge(
+      "ifls_service_overlay_size", label, [this] {
+        return static_cast<double>(state_.Acquire()->overlay.delta().size());
+      }));
+  metric_registrations_.push_back(registry.RegisterCallbackGauge(
+      "ifls_service_door_cache_entries", label, [this] {
+        return static_cast<double>(
+            state_.Acquire()->snapshot->tree().door_cache_stats().entries);
+      }));
+  metric_registrations_.push_back(registry.RegisterCallbackGauge(
+      "ifls_service_door_cache_evictions", label, [this] {
+        return static_cast<double>(
+            state_.Acquire()->snapshot->tree().door_cache_stats().evictions);
+      }));
+  metric_registrations_.push_back(registry.RegisterCallbackHistogram(
+      "ifls_service_latency_seconds", label, &latency_));
+}
 
 void IflsService::StartThreads() {
   workers_.reserve(static_cast<std::size_t>(options_.num_workers));
@@ -115,6 +186,11 @@ Result<std::future<ServiceReply>> IflsService::SubmitQuery(
   PendingQuery item;
   item.request = std::move(request);
   item.admitted_at = Clock::now();
+  // The admission stamp doubles as the queue-wait span start, so tracing
+  // adds no clock read here; the id is one relaxed fetch_add.
+  if (TraceEnabled()) {
+    item.trace_id = TraceRecorder::Global().NewTraceId();
+  }
   item.deadline = DeadlineFor(item.admitted_at, item.request.deadline_seconds,
                               options_.default_deadline_seconds);
   std::future<ServiceReply> future = item.promise.get_future();
@@ -198,7 +274,19 @@ void IflsService::WorkerLoop() {
 void IflsService::Execute(PendingQuery item) {
   const Clock::time_point start = Clock::now();
   ServiceReply reply;
+  reply.trace_id = item.trace_id;
   reply.queue_seconds = Seconds(start - item.admitted_at);
+
+  // Spans below this point carry the query's trace id; a query that lost
+  // the 1-in-N sampling draw records nothing at all.
+  TraceRecorder& recorder = TraceRecorder::Global();
+  const bool sampled =
+      TraceEnabled() && item.trace_id != 0 && recorder.Sampled(item.trace_id);
+  TraceIdScope trace_scope(item.trace_id, sampled);
+  if (sampled) {
+    recorder.Record(TraceCategory::kService, "queue_wait", item.trace_id,
+                    TraceNanosFrom(item.admitted_at), TraceNanosFrom(start));
+  }
 
   if (start > item.deadline) {
     deadline_expired_.fetch_add(1, std::memory_order_relaxed);
@@ -213,19 +301,29 @@ void IflsService::Execute(PendingQuery item) {
   // One atomic acquire pins a mutually consistent (snapshot, overlay) pair
   // for the whole solve; concurrent mutations and snapshot publications
   // build fresh states and never touch this one.
-  const std::shared_ptr<const ServingState> state = state_.Acquire();
+  std::shared_ptr<const ServingState> state;
+  {
+    TraceSpan span(TraceCategory::kService, "snapshot_pin");
+    state = state_.Acquire();
+  }
   reply.snapshot_epoch = state->snapshot->epoch();
   reply.overlay_size = state->overlay.delta().size();
 
   IflsContext ctx;
-  ctx.oracle = &state->oracle();
-  ctx.existing = state->overlay.effective_existing();
-  ctx.candidates = state->overlay.effective_candidates();
-  ctx.clients = std::move(item.request.clients);
+  {
+    TraceSpan span(TraceCategory::kService, "overlay_compose");
+    ctx.oracle = &state->oracle();
+    ctx.existing = state->overlay.effective_existing();
+    ctx.candidates = state->overlay.effective_candidates();
+    ctx.clients = std::move(item.request.clients);
+  }
 
   Stopwatch solve_watch;
-  Result<IflsResult> solved =
-      SolveWithObjective(item.request.objective, ctx, options_.solvers);
+  Result<IflsResult> solved = Status::Internal("solver did not run");
+  {
+    TraceSpan span(TraceCategory::kService, "solve");
+    solved = SolveWithObjective(item.request.objective, ctx, options_.solvers);
+  }
   reply.solve_seconds = solve_watch.ElapsedSeconds();
 
   completed_.fetch_add(1, std::memory_order_relaxed);
@@ -233,16 +331,54 @@ void IflsService::Execute(PendingQuery item) {
     reply.result = std::move(solved).value();
     // Fold the query's per-thread-attributed memo traffic into the service
     // totals; the sink mechanism guarantees these are exactly this query's.
-    oracle_cache_hits_.fetch_add(reply.result.stats.cache_hits,
-                                 std::memory_order_relaxed);
-    oracle_cache_misses_.fetch_add(reply.result.stats.cache_misses,
+    const QueryStats& stats = reply.result.stats;
+    oracle_cache_hits_.fetch_add(stats.cache_hits, std::memory_order_relaxed);
+    oracle_cache_misses_.fetch_add(stats.cache_misses,
                                    std::memory_order_relaxed);
+    query_distance_computations_->Add(
+        static_cast<std::uint64_t>(stats.distance_computations));
+    query_lower_bound_computations_->Add(
+        static_cast<std::uint64_t>(stats.lower_bound_computations));
+    query_nn_searches_->Add(static_cast<std::uint64_t>(stats.nn_searches));
+    query_clients_pruned_->Add(
+        static_cast<std::uint64_t>(stats.clients_pruned));
+    query_cache_hits_->Add(stats.cache_hits);
+    query_cache_misses_->Add(stats.cache_misses);
   } else {
     reply.status = solved.status();
     failed_.fetch_add(1, std::memory_order_relaxed);
   }
-  latency_.Record(Seconds(Clock::now() - item.admitted_at));
+  const double elapsed = Seconds(Clock::now() - item.admitted_at);
+  latency_.Record(elapsed);
+  if (options_.slow_query_threshold_seconds > 0.0 &&
+      elapsed >= options_.slow_query_threshold_seconds) {
+    LogSlowQuery(reply, item.request.objective, elapsed);
+  }
   item.promise.set_value(std::move(reply));
+}
+
+void IflsService::LogSlowQuery(const ServiceReply& reply,
+                               IflsObjective objective,
+                               double elapsed_seconds) const {
+  char header[256];
+  std::snprintf(
+      header, sizeof(header),
+      "slow query trace_id=%llu objective=%s elapsed=%.3fms "
+      "(threshold=%.3fms) queue=%.3fms solve=%.3fms epoch=%llu overlay=%zu",
+      static_cast<unsigned long long>(reply.trace_id),
+      IflsObjectiveName(objective), elapsed_seconds * 1e3,
+      options_.slow_query_threshold_seconds * 1e3, reply.queue_seconds * 1e3,
+      reply.solve_seconds * 1e3,
+      static_cast<unsigned long long>(reply.snapshot_epoch),
+      reply.overlay_size);
+  std::string message(header);
+  if (reply.trace_id != 0) {
+    // Spans of this query only; rings are per-thread so the whole query's
+    // tree lives in the executing thread's buffer (plus none elsewhere).
+    message += FormatSpanTree(
+        TraceRecorder::Global().SnapshotTrace(reply.trace_id));
+  }
+  IFLS_LOG(WARNING) << message;
 }
 
 // ---------------------------------------------------------------------------
@@ -325,6 +461,8 @@ void IflsService::CompactorLoop() {
 }
 
 void IflsService::CompactOnce() {
+  TraceSpan compaction_span(TraceCategory::kCompaction, "compaction");
+
   // Cut: capture the base snapshot and the net delta under the writer lock.
   // Everything folded into the new snapshot is exactly this cut; mutations
   // racing the build stay in the overlay via the rebase below.
@@ -332,6 +470,7 @@ void IflsService::CompactOnce() {
   FacilityDelta cut;
   std::uint64_t epoch = 0;
   {
+    TraceSpan span(TraceCategory::kCompaction, "overlay_cut");
     std::lock_guard<std::mutex> lock(writer_mu_);
     base = snapshot_;
     cut = overlay_.delta();
@@ -346,10 +485,15 @@ void IflsService::CompactOnce() {
   // The slow part — FacilityIndex (and optionally the VIP-tree) rebuild —
   // runs without any lock: queries and mutations proceed against the old
   // state throughout.
-  Result<std::shared_ptr<const IndexSnapshot>> built = IndexSnapshot::Build(
-      base->shared_venue(), new_existing, new_candidates, epoch,
-      options_.tree,
-      options_.rebuild_tree_on_compact ? nullptr : base->shared_tree());
+  Result<std::shared_ptr<const IndexSnapshot>> built =
+      Status::Internal("snapshot build did not run");
+  {
+    TraceSpan span(TraceCategory::kCompaction, "snapshot_build");
+    built = IndexSnapshot::Build(
+        base->shared_venue(), new_existing, new_candidates, epoch,
+        options_.tree,
+        options_.rebuild_tree_on_compact ? nullptr : base->shared_tree());
+  }
   if (!built.ok()) {
     // Composed sets come from validated mutations, so this is a logic error;
     // keep serving the old snapshot rather than dying mid-flight.
@@ -359,6 +503,7 @@ void IflsService::CompactOnce() {
   }
 
   {
+    TraceSpan span(TraceCategory::kCompaction, "publish_rebase");
     std::lock_guard<std::mutex> lock(writer_mu_);
     snapshot_ = std::move(built).value();
     next_epoch_ = epoch + 1;

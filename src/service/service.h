@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "src/common/metrics.h"
+#include "src/common/metrics_registry.h"
 #include "src/common/status.h"
+#include "src/common/trace.h"
 #include "src/common/versioned.h"
 #include "src/core/solve_dispatch.h"
 #include "src/service/delta_overlay.h"
@@ -52,6 +54,11 @@ struct ServiceOptions {
   /// A request whose deadline passes while still queued is answered with
   /// Status::kDeadlineExceeded without running the solver.
   double default_deadline_seconds = 0.0;
+  /// When > 0, a query whose admission-to-reply latency reaches this many
+  /// seconds is dumped to the log as a span tree (queue wait, snapshot pin,
+  /// solver phases, oracle work) — provided tracing is enabled and the query
+  /// won the sampling draw; otherwise only the summary line is logged.
+  double slow_query_threshold_seconds = 0.0;
   VipTreeOptions tree = DefaultServiceTreeOptions();
   SolverOptionSet solvers;
 };
@@ -76,6 +83,10 @@ struct ServiceReply {
   std::uint64_t snapshot_epoch = 0;
   /// Net overlay size composed on top of that snapshot.
   std::size_t overlay_size = 0;
+  /// Trace id assigned at submission (0 when tracing was disabled); spans
+  /// recorded during the solve carry it, so a reply can be correlated with
+  /// its slice of an exported trace.
+  std::uint64_t trace_id = 0;
   double queue_seconds = 0.0;
   double solve_seconds = 0.0;
 };
@@ -181,6 +192,8 @@ class IflsService {
     std::chrono::steady_clock::time_point admitted_at;
     /// time_point::max() when the request has no deadline.
     std::chrono::steady_clock::time_point deadline;
+    /// 0 when tracing was disabled at submission.
+    std::uint64_t trace_id = 0;
   };
 
   IflsService(ServiceOptions options,
@@ -195,6 +208,12 @@ class IflsService {
   void CompactOnce();
   void Execute(PendingQuery item);
   void PublishStateLocked();
+  /// Exposes the service's counters/gauges/latency histogram plus the
+  /// ifls_query_* solver-work rollups through MetricsRegistry::Global(),
+  /// labeled instance="<n>" so concurrent services don't collide.
+  void RegisterMetrics();
+  void LogSlowQuery(const ServiceReply& reply, IflsObjective objective,
+                    double elapsed_seconds) const;
 
   const ServiceOptions options_;
 
@@ -239,6 +258,18 @@ class IflsService {
   std::atomic<std::uint64_t> compactions_{0};
   std::atomic<std::uint64_t> oracle_cache_hits_{0};
   std::atomic<std::uint64_t> oracle_cache_misses_{0};
+
+  /// Process-wide solver-work rollups (registry-owned, unlabeled): the
+  /// QueryStats of every completed query fold into these.
+  Counter* query_distance_computations_ = nullptr;
+  Counter* query_lower_bound_computations_ = nullptr;
+  Counter* query_nn_searches_ = nullptr;
+  Counter* query_clients_pruned_ = nullptr;
+  Counter* query_cache_hits_ = nullptr;
+  Counter* query_cache_misses_ = nullptr;
+  /// Callback registrations for this instance's series; cleared first thing
+  /// in the destructor, so no scrape can observe a dying service.
+  std::vector<MetricsRegistry::Registration> metric_registrations_;
 };
 
 }  // namespace ifls

@@ -1,0 +1,248 @@
+#include "src/common/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/common/rng.h"
+
+namespace ifls {
+namespace {
+
+// Every test uses metric names unique to this binary ("mrt_" prefix) plus
+// per-test suffixes: MetricsRegistry::Global() is process-wide and
+// registry-owned series are never removed, so name reuse across tests would
+// alias state.
+
+// ------------------------------------------------------ LatencyHistogram
+
+// The histogram's contract is bucketed accuracy: PercentileSeconds returns
+// the upper bound of the quantile's bucket, so the reported value is always
+// >= the true quantile and < 2x it (for samples >= 1us).
+TEST(LatencyHistogramAccuracyTest, QuantilesWithinBucketFactorOfTruth) {
+  LatencyHistogram h;
+  Rng rng(7);
+  std::vector<double> samples;
+  constexpr int kN = 20000;
+  samples.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    // Log-uniform over [2us, ~8ms]: spans many buckets like a real latency
+    // distribution.
+    const double us = std::exp2(1.0 + rng.NextDouble() * 12.0);
+    samples.push_back(us * 1e-6);
+    h.Record(us * 1e-6);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.10, 0.50, 0.90, 0.99}) {
+    const double truth =
+        samples[static_cast<std::size_t>(q * (kN - 1))];
+    const double reported = h.PercentileSeconds(q);
+    EXPECT_GE(reported, truth * (1.0 - 1e-9)) << "q=" << q;
+    EXPECT_LE(reported, truth * 2.0 + 1e-12) << "q=" << q;
+  }
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  EXPECT_NEAR(h.MeanSeconds(), sum / kN, sum / kN * 1e-6);
+}
+
+TEST(LatencyHistogramAccuracyTest, EmptyHistogramReportsZeroes) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.MeanSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(h.total_seconds(), 0.0);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.PercentileSeconds(q), 0.0) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramAccuracyTest, OneSampleDrivesEveryQuantile) {
+  LatencyHistogram h;
+  h.Record(100e-6);  // bucket [64,128)us -> upper bound 128us
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.PercentileSeconds(0.0), 128e-6);
+  EXPECT_DOUBLE_EQ(h.PercentileSeconds(0.5), 128e-6);
+  EXPECT_DOUBLE_EQ(h.PercentileSeconds(1.0), 128e-6);
+  EXPECT_NEAR(h.MeanSeconds(), 100e-6, 1e-12);
+}
+
+TEST(LatencyHistogramAccuracyTest, BucketBoundsMatchBucketCounts) {
+  LatencyHistogram h;
+  h.Record(3e-6);   // [2,4)us -> bucket 1
+  h.Record(3e-6);
+  h.Record(70e-6);  // [64,128)us -> bucket 6
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(6), 1u);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::BucketUpperBoundSeconds(1), 4e-6);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::BucketUpperBoundSeconds(6), 128e-6);
+  std::uint64_t total = 0;
+  for (int b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+    total += h.bucket_count(b);
+  }
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(LatencyHistogramAccuracyTest, ConcurrentMixedRecordsStayConsistent) {
+  LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      // Distinct per-thread magnitudes, so the final bucket layout checks
+      // that no thread's increments were lost or misfiled.
+      const double seconds = std::ldexp(1.5, t) * 1e-6;
+      for (int i = 0; i < kPerThread; ++i) h.Record(seconds);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(h.bucket_count(t), static_cast<std::uint64_t>(kPerThread))
+        << "bucket " << t;
+  }
+}
+
+// ------------------------------------------------------ MetricsRegistry
+
+TEST(MetricsRegistryTest, OwnedInstrumentsAreStableSingletons) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* c1 = reg.GetCounter("mrt_owned_total");
+  Counter* c2 = reg.GetCounter("mrt_owned_total");
+  EXPECT_EQ(c1, c2);  // same series -> same instrument
+  Counter* labeled = reg.GetCounter("mrt_owned_total", "instance=\"1\"");
+  EXPECT_NE(c1, labeled);  // distinct label set -> distinct series
+  c1->Add(3);
+  labeled->Add(4);
+  EXPECT_EQ(c1->value(), 3u);
+  EXPECT_EQ(labeled->value(), 4u);
+
+  Gauge* g = reg.GetGauge("mrt_owned_gauge");
+  g->Set(2.5);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("mrt_owned_gauge")->value(), 2.5);
+
+  LatencyHistogram* hist = reg.GetHistogram("mrt_owned_seconds");
+  hist->Record(5e-6);
+  EXPECT_EQ(reg.GetHistogram("mrt_owned_seconds")->count(), 1u);
+}
+
+TEST(MetricsRegistryTest, CallbackSeriesAppearAndVanishWithRegistration) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  std::atomic<std::uint64_t> backing{41};
+  {
+    MetricsRegistry::Registration r = reg.RegisterCallbackCounter(
+        "mrt_callback_total", "instance=\"7\"",
+        [&backing] { return backing.load(); });
+    backing.store(42);
+    const std::string text = DumpMetricsText();
+    EXPECT_NE(text.find("# TYPE mrt_callback_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("mrt_callback_total{instance=\"7\"} 42"),
+              std::string::npos);
+  }
+  // Registration destroyed: the series (and its empty family) are gone.
+  EXPECT_EQ(DumpMetricsText().find("mrt_callback_total"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, MovedRegistrationKeepsSeriesAlive) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  MetricsRegistry::Registration keeper;
+  {
+    MetricsRegistry::Registration r = reg.RegisterCallbackGauge(
+        "mrt_moved_gauge", "", [] { return 1.0; });
+    keeper = std::move(r);
+  }
+  EXPECT_NE(DumpMetricsText().find("mrt_moved_gauge 1"), std::string::npos);
+  keeper.Reset();
+  EXPECT_EQ(DumpMetricsText().find("mrt_moved_gauge"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusExpositionFormat) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("mrt_expo_total", "kind=\"a\"")->Add(5);
+  reg.GetCounter("mrt_expo_total", "kind=\"b\"")->Add(6);
+  reg.GetGauge("mrt_expo_depth")->Set(3.0);
+  const std::string text = DumpMetricsText();
+
+  // One TYPE line per family, preceding its samples.
+  const std::size_t type_pos =
+      text.find("# TYPE mrt_expo_total counter");
+  const std::size_t a_pos = text.find("mrt_expo_total{kind=\"a\"} 5");
+  const std::size_t b_pos = text.find("mrt_expo_total{kind=\"b\"} 6");
+  ASSERT_NE(type_pos, std::string::npos);
+  ASSERT_NE(a_pos, std::string::npos);
+  ASSERT_NE(b_pos, std::string::npos);
+  EXPECT_LT(type_pos, a_pos);
+  EXPECT_LT(a_pos, b_pos);  // label sets in deterministic (map) order
+  EXPECT_NE(text.find("# TYPE mrt_expo_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("mrt_expo_depth 3"), std::string::npos);
+  // Exactly one TYPE line per family even with multiple series.
+  std::size_t type_count = 0;
+  for (std::size_t p = text.find("# TYPE mrt_expo_total");
+       p != std::string::npos; p = text.find("# TYPE mrt_expo_total", p + 1)) {
+    ++type_count;
+  }
+  EXPECT_EQ(type_count, 1u);
+}
+
+TEST(MetricsRegistryTest, HistogramExpositionIsCumulativeAndSummed) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  LatencyHistogram* h = reg.GetHistogram("mrt_hist_seconds");
+  h->Record(3e-6);   // bucket 1, upper bound 4us
+  h->Record(3e-6);
+  h->Record(70e-6);  // bucket 6, upper bound 128us
+  const std::string text = DumpMetricsText();
+  EXPECT_NE(text.find("# TYPE mrt_hist_seconds histogram"),
+            std::string::npos);
+  // Cumulative counts: the 4us bucket holds 2, every bucket from 128us up
+  // (and +Inf) holds all 3.
+  EXPECT_NE(text.find("mrt_hist_seconds_bucket{le=\"4e-06\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("mrt_hist_seconds_bucket{le=\"0.000128\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("mrt_hist_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("mrt_hist_seconds_count 3"), std::string::npos);
+  // _sum reproduces the recorded total (2*3us + 70us = 76us).
+  const std::size_t sum_pos = text.find("mrt_hist_seconds_sum ");
+  ASSERT_NE(sum_pos, std::string::npos);
+  double sum = 0.0;
+  std::istringstream(text.substr(sum_pos + 21)) >> sum;
+  EXPECT_NEAR(sum, 76e-6, 1e-9);
+}
+
+TEST(MetricsRegistryTest, ConcurrentGetAndDumpSmoke) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      const std::string labels =
+          "shard=\"" + std::to_string(t % 4) + "\"";
+      for (int i = 0; i < 1000; ++i) {
+        reg.GetCounter("mrt_race_total", labels)->Add(1);
+        if (i % 100 == 0) (void)DumpMetricsText();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::uint64_t total = 0;
+  for (int s = 0; s < 4; ++s) {
+    total += reg.GetCounter("mrt_race_total",
+                            "shard=\"" + std::to_string(s) + "\"")
+                 ->value();
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * 1000u);
+}
+
+}  // namespace
+}  // namespace ifls

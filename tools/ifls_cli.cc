@@ -9,15 +9,30 @@
 //                [--top-k K] [--stats]
 //   info         --venue FILE
 //   render       --venue FILE [--workload FILE] [--level L] --out FILE.svg
+//   trace        --preset MC|CH|CPH|MZB [--existing N] [--candidates N]
+//                [--clients N] [--queries N] [--workers N] [--sample N]
+//                [--slow-ms MS] [--seed S] [--metrics] --out FILE.trace.json
+//
+// `trace` runs a traced IflsService session (queries across all three
+// objectives, a facility-mutation + compaction cycle, and a graph-oracle
+// differential solve) and exports the spans as Chrome trace-event JSON for
+// Perfetto / chrome://tracing. --metrics additionally prints the Prometheus
+// text exposition of the telemetry registry.
 //
 // Exit code 0 on success, 1 on any error (message on stderr).
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "src/common/metrics_registry.h"
+#include "src/common/trace.h"
 #include "src/core/brute_force.h"
 #include "src/core/efficient.h"
 #include "src/core/maxsum.h"
@@ -25,10 +40,12 @@
 #include "src/core/minmax_baseline.h"
 #include "src/datasets/presets.h"
 #include "src/datasets/workload.h"
+#include "src/index/graph_oracle.h"
 #include "src/index/vip_tree.h"
 #include "src/io/svg_export.h"
 #include "src/io/venue_io.h"
 #include "src/io/workload_io.h"
+#include "src/service/service.h"
 
 namespace ifls {
 namespace {
@@ -253,10 +270,168 @@ int Render(const Args& args) {
   return 0;
 }
 
+int Trace(const Args& args) {
+  const auto out = args.Get("out");
+  if (!out) return Fail("trace needs --out");
+  const auto preset = ParsePreset(args.GetOr("preset", "MC"));
+  if (!preset) return Fail("unknown preset (use MC, CH, CPH or MZB)");
+  const int queries = static_cast<int>(args.GetInt("queries", 12));
+  if (queries < 1) return Fail("--queries must be >= 1");
+
+  // Built twice on purpose: preset construction is deterministic, so the
+  // second build gives the graph-oracle differential solve an identical
+  // venue without copying the one the service takes ownership of.
+  Result<Venue> venue = BuildPresetVenue(*preset);
+  if (!venue.ok()) return Fail(venue.status());
+  Result<Venue> graph_venue = BuildPresetVenue(*preset);
+  if (!graph_venue.ok()) return Fail(graph_venue.status());
+
+  Rng rng(static_cast<std::uint64_t>(args.GetInt("seed", 1)));
+  Result<FacilitySets> sets = SelectUniformFacilities(
+      *venue, static_cast<std::size_t>(args.GetInt("existing", 8)),
+      static_cast<std::size_t>(args.GetInt("candidates", 16)), &rng);
+  if (!sets.ok()) return Fail(sets.status());
+  const std::vector<Client> clients = GenerateClients(
+      *venue, static_cast<std::size_t>(args.GetInt("clients", 400)), {}, &rng);
+
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.Enable(static_cast<std::uint32_t>(args.GetInt("sample", 1)));
+
+  ServiceOptions options;
+  options.num_workers = static_cast<int>(args.GetInt("workers", 0));
+  options.slow_query_threshold_seconds = args.GetDouble("slow-ms", 0.0) / 1e3;
+  Result<std::unique_ptr<IflsService>> service = IflsService::Create(
+      std::move(venue).value(), sets->existing, sets->candidates, options);
+  if (!service.ok()) return Fail(service.status());
+  IflsService& svc = **service;
+
+  const IflsObjective kObjectives[] = {
+      IflsObjective::kMinMax, IflsObjective::kMinDist, IflsObjective::kMaxSum};
+
+  // Phase 1: the query mix. In admission-only mode (--workers 0) the queue
+  // is pumped inline, which keeps the run single-threaded and deterministic
+  // for CI smokes; with workers the futures resolve concurrently.
+  std::vector<std::future<ServiceReply>> pending;
+  pending.reserve(static_cast<std::size_t>(queries));
+  for (int i = 0; i < queries; ++i) {
+    ServiceRequest request;
+    request.objective = kObjectives[i % 3];
+    request.clients = clients;
+    Result<std::future<ServiceReply>> submitted =
+        svc.SubmitQuery(std::move(request));
+    if (!submitted.ok()) return Fail(submitted.status());
+    pending.push_back(std::move(submitted).value());
+    if (options.num_workers == 0) {
+      while (svc.ProcessOneInline()) {
+      }
+    }
+  }
+  for (std::future<ServiceReply>& f : pending) {
+    const ServiceReply reply = f.get();
+    if (!reply.status.ok()) return Fail(reply.status);
+  }
+
+  // Phase 2: toggle one candidate through the overlay and compact after
+  // each step, so the export carries mutation-epoch service spans plus the
+  // compactor's overlay_cut / snapshot_build / publish_rebase spans. The
+  // second compaction restores the boot facility sets.
+  const PartitionId toggled = sets->candidates.back();
+  if (Status s = svc.Mutate({MutationKind::kRemoveCandidate, toggled});
+      !s.ok()) {
+    return Fail(s);
+  }
+  if (Status s = svc.CompactNow(); !s.ok()) return Fail(s);
+  if (Status s = svc.Mutate({MutationKind::kAddCandidate, toggled}); !s.ok()) {
+    return Fail(s);
+  }
+  if (Status s = svc.CompactNow(); !s.ok()) return Fail(s);
+
+  // Phase 3: one MinMax reply from the compacted snapshot, to certify the
+  // differential solve against.
+  ServiceRequest final_request;
+  final_request.objective = IflsObjective::kMinMax;
+  final_request.clients = clients;
+  Result<std::future<ServiceReply>> final_submitted =
+      svc.SubmitQuery(std::move(final_request));
+  if (!final_submitted.ok()) return Fail(final_submitted.status());
+  if (options.num_workers == 0) {
+    while (svc.ProcessOneInline()) {
+    }
+  }
+  const ServiceReply service_reply = final_submitted->get();
+  if (!service_reply.status.ok()) return Fail(service_reply.status);
+  svc.Drain();
+
+  // Differential solve on the door-graph oracle: exercises the Dijkstra
+  // fallback (so the export carries its named span) and cross-checks the
+  // service's answer on an independent distance backend.
+  std::vector<PartitionId> effective_existing;
+  std::vector<PartitionId> effective_candidates;
+  {
+    const std::shared_ptr<const ServingState> state = svc.AcquireState();
+    effective_existing = state->overlay.effective_existing();
+    effective_candidates = state->overlay.effective_candidates();
+  }
+  GraphDistanceOracle graph(&graph_venue.value());
+  IflsContext ctx;
+  ctx.oracle = &graph;
+  ctx.existing = std::move(effective_existing);
+  ctx.candidates = std::move(effective_candidates);
+  ctx.clients = clients;
+  const std::uint64_t diff_id = recorder.NewTraceId();
+  Result<IflsResult> diff = Status::Internal("differential solve did not run");
+  {
+    TraceIdScope scope(diff_id, recorder.Sampled(diff_id));
+    TraceSpan span(TraceCategory::kService, "differential_solve");
+    diff = SolveEfficient(ctx);
+  }
+  if (!diff.ok()) return Fail(diff.status());
+  const double service_objective = service_reply.result.objective;
+  const double graph_objective = diff->objective;
+  const double scale = std::max(
+      {std::fabs(service_objective), std::fabs(graph_objective), 1.0});
+  if (std::fabs(service_objective - graph_objective) > 1e-6 * scale) {
+    std::fprintf(stderr,
+                 "error: differential mismatch: VIP-tree MinMax objective "
+                 "%.9f vs graph-oracle %.9f\n",
+                 service_objective, graph_objective);
+    return 1;
+  }
+
+  svc.Stop();
+  if (Status s = recorder.ExportChromeTraceToFile(*out); !s.ok()) {
+    return Fail(s);
+  }
+
+  const std::vector<TraceEvent> spans = recorder.Snapshot();
+  bool seen[kNumTraceCategories] = {};
+  for (const TraceEvent& e : spans) {
+    seen[static_cast<int>(e.category)] = true;
+  }
+  std::string categories;
+  for (int c = 0; c < kNumTraceCategories; ++c) {
+    if (!seen[c]) continue;
+    if (!categories.empty()) categories += ",";
+    categories += TraceCategoryName(static_cast<TraceCategory>(c));
+  }
+  std::printf(
+      "wrote %s: %zu spans (categories %s, dropped %llu), "
+      "MinMax answer partition %d objective %.4f (graph oracle agrees)\n",
+      out->c_str(), spans.size(), categories.c_str(),
+      static_cast<unsigned long long>(recorder.dropped_events()),
+      service_reply.result.answer, service_objective);
+  if (args.Has("metrics")) {
+    std::printf("%s", DumpMetricsText().c_str());
+  }
+  recorder.Disable();
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s gen-venue|gen-workload|solve|info|render "
+                 "usage: %s gen-venue|gen-workload|solve|info|render|trace "
                  "[--flags]\n",
                  argv[0]);
     return 1;
@@ -269,6 +444,7 @@ int Run(int argc, char** argv) {
   if (command == "solve") return Solve(args);
   if (command == "info") return Info(args);
   if (command == "render") return Render(args);
+  if (command == "trace") return Trace(args);
   return Fail("unknown command");
 }
 
