@@ -1,19 +1,41 @@
 #include "src/core/continuous.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "src/common/logging.h"
 #include "src/index/nn_search.h"
 
 namespace ifls {
+namespace {
+
+std::vector<PartitionId> Sorted(std::vector<PartitionId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+bool Contains(const std::vector<PartitionId>& v, PartitionId p) {
+  return std::binary_search(v.begin(), v.end(), p);
+}
+
+void SortedInsert(std::vector<PartitionId>* v, PartitionId p) {
+  v->insert(std::upper_bound(v->begin(), v->end(), p), p);
+}
+
+void SortedErase(std::vector<PartitionId>* v, PartitionId p) {
+  v->erase(std::lower_bound(v->begin(), v->end(), p));
+}
+
+}  // namespace
 
 ContinuousIfls::ContinuousIfls(const DistanceOracle* oracle,
                                std::vector<PartitionId> existing,
                                std::vector<PartitionId> candidates,
                                Options options)
     : oracle_(oracle),
-      existing_(std::move(existing)),
-      candidates_(std::move(candidates)),
+      existing_(Sorted(std::move(existing))),
+      candidates_(Sorted(std::move(candidates))),
       options_(options),
       existing_index_(oracle, existing_),
       candidate_index_(oracle, {}) {
@@ -26,22 +48,28 @@ void ContinuousIfls::RefreshStaticBounds(ClientRecord* record) {
   const auto nef = NearestFacility(existing_index_, c.position, c.partition,
                                    FacilityFilter::kExistingOnly, nullptr);
   record->nef = nef.has_value() ? nef->distance : kInfDistance;
+  record->nef_facility = nef.has_value() ? nef->facility : kInvalidPartition;
   const auto nc = NearestFacility(candidate_index_, c.position, c.partition,
                                   FacilityFilter::kCandidateOnly, nullptr);
-  record->floor = std::min(record->nef,
-                           nc.has_value() ? nc->distance : kInfDistance);
+  record->nc = nc.has_value() ? nc->distance : kInfDistance;
+  record->nc_facility = nc.has_value() ? nc->facility : kInvalidPartition;
 }
 
 void ContinuousIfls::RefreshCertificate(ClientRecord* record) {
   if (!has_cached_ || !cached_.found) {
-    record->certificate = record->nef;
+    record->answer_dist = kInfDistance;
     return;
   }
   const Client& c = record->client;
-  record->certificate =
-      std::min(record->nef,
-               oracle_->PointToPartition(c.position, c.partition,
-                                       cached_.answer));
+  record->answer_dist = oracle_->PointToPartition(c.position, c.partition,
+                                                  cached_.answer);
+}
+
+void ContinuousIfls::RecomputeDerived(ClientRecord* record) {
+  record->floor = std::min(record->nef, record->nc);
+  record->certificate = (has_cached_ && cached_.found)
+                            ? std::min(record->nef, record->answer_dist)
+                            : record->nef;
 }
 
 void ContinuousIfls::InsertBounds(const ClientRecord& record) {
@@ -54,6 +82,15 @@ void ContinuousIfls::EraseBounds(const ClientRecord& record) {
   if (cert != certificates_.end()) certificates_.erase(cert);
   auto floor = floors_.find(record.floor);
   if (floor != floors_.end()) floors_.erase(floor);
+}
+
+void ContinuousIfls::RebuildExistingIndex() {
+  existing_index_ = FacilityIndex(oracle_, existing_);
+}
+
+void ContinuousIfls::RebuildCandidateIndex() {
+  candidate_index_ = FacilityIndex(oracle_, {});
+  candidate_index_.AddCandidates(candidates_);
 }
 
 ClientId ContinuousIfls::AddClient(const Point& position,
@@ -69,6 +106,7 @@ ClientId ContinuousIfls::AddClient(const Point& position,
   record.client.partition = partition;
   RefreshStaticBounds(&record);
   RefreshCertificate(&record);
+  RecomputeDerived(&record);
   InsertBounds(record);
   const ClientId id = record.client.id;
   clients_.emplace(id, std::move(record));
@@ -105,8 +143,136 @@ Status ContinuousIfls::MoveClient(ClientId id, const Point& position,
   record.client.partition = partition;
   RefreshStaticBounds(&record);
   RefreshCertificate(&record);
+  RecomputeDerived(&record);
   InsertBounds(record);
   dirty_ = true;
+  return Status::OK();
+}
+
+Status ContinuousIfls::AddExistingFacility(PartitionId p) {
+  if (p < 0 || static_cast<std::size_t>(p) >=
+                   oracle_->venue().num_partitions()) {
+    return Status::InvalidArgument("facility partition out of range: " +
+                                   std::to_string(p));
+  }
+  if (Contains(existing_, p)) {
+    return Status::AlreadyExists("existing facility already open: " +
+                                 std::to_string(p));
+  }
+  if (Contains(candidates_, p)) {
+    return Status::FailedPrecondition(
+        "partition is a candidate location: " + std::to_string(p));
+  }
+  SortedInsert(&existing_, p);
+  RebuildExistingIndex();
+  // A new existing facility can only shrink every NEF: one exact distance
+  // evaluation per client, no search.
+  for (auto& [id, record] : clients_) {
+    EraseBounds(record);
+    const Client& c = record.client;
+    const double d = oracle_->PointToPartition(c.position, c.partition, p);
+    if (d < record.nef) {
+      record.nef = d;
+      record.nef_facility = p;
+    }
+    RecomputeDerived(&record);
+    InsertBounds(record);
+  }
+  dirty_ = true;
+  return Status::OK();
+}
+
+Status ContinuousIfls::RemoveExistingFacility(PartitionId p) {
+  if (!Contains(existing_, p)) {
+    return Status::NotFound("no existing facility at partition " +
+                            std::to_string(p));
+  }
+  SortedErase(&existing_, p);
+  RebuildExistingIndex();
+  // Only clients anchored on the removed facility re-search.
+  for (auto& [id, record] : clients_) {
+    if (record.nef_facility != p) continue;
+    EraseBounds(record);
+    const Client& c = record.client;
+    const auto nef = NearestFacility(existing_index_, c.position, c.partition,
+                                     FacilityFilter::kExistingOnly, nullptr);
+    record.nef = nef.has_value() ? nef->distance : kInfDistance;
+    record.nef_facility = nef.has_value() ? nef->facility : kInvalidPartition;
+    RecomputeDerived(&record);
+    InsertBounds(record);
+  }
+  dirty_ = true;
+  return Status::OK();
+}
+
+Status ContinuousIfls::AddCandidateFacility(PartitionId p) {
+  if (p < 0 || static_cast<std::size_t>(p) >=
+                   oracle_->venue().num_partitions()) {
+    return Status::InvalidArgument("candidate partition out of range: " +
+                                   std::to_string(p));
+  }
+  if (Contains(candidates_, p)) {
+    return Status::AlreadyExists("candidate already present: " +
+                                 std::to_string(p));
+  }
+  if (Contains(existing_, p)) {
+    return Status::FailedPrecondition(
+        "partition is an existing facility: " + std::to_string(p));
+  }
+  SortedInsert(&candidates_, p);
+  RebuildCandidateIndex();
+  for (auto& [id, record] : clients_) {
+    EraseBounds(record);
+    const Client& c = record.client;
+    const double d = oracle_->PointToPartition(c.position, c.partition, p);
+    if (d < record.nc) {
+      record.nc = d;
+      record.nc_facility = p;
+    }
+    RecomputeDerived(&record);
+    InsertBounds(record);
+  }
+  // The cached answer keeps its exact objective, but the new candidate may
+  // beat it; the certified bound (which the new candidate just lowered)
+  // decides whether AnswerWithin must actually re-solve.
+  dirty_ = true;
+  return Status::OK();
+}
+
+Status ContinuousIfls::RemoveCandidateFacility(PartitionId p) {
+  if (!Contains(candidates_, p)) {
+    return Status::NotFound("no candidate at partition " + std::to_string(p));
+  }
+  SortedErase(&candidates_, p);
+  RebuildCandidateIndex();
+  const bool removed_answer =
+      has_cached_ && cached_.found && cached_.answer == p;
+  if (removed_answer) {
+    has_cached_ = false;
+    dirty_ = true;
+  } else if (has_cached_) {
+    // The optimum over a shrunk candidate set can only rise and the cached
+    // answer still achieves its objective, so the cache stays clean — but
+    // drop the removed candidate from the ranked tail.
+    std::erase_if(cached_.ranked,
+                  [p](const auto& entry) { return entry.first == p; });
+  }
+  for (auto& [id, record] : clients_) {
+    const bool answer_changed = removed_answer;
+    if (record.nc_facility != p && !answer_changed) continue;
+    EraseBounds(record);
+    if (record.nc_facility == p) {
+      const Client& c = record.client;
+      const auto nc = NearestFacility(candidate_index_, c.position,
+                                      c.partition,
+                                      FacilityFilter::kCandidateOnly, nullptr);
+      record.nc = nc.has_value() ? nc->distance : kInfDistance;
+      record.nc_facility = nc.has_value() ? nc->facility : kInvalidPartition;
+    }
+    RefreshCertificate(&record);
+    RecomputeDerived(&record);
+    InsertBounds(record);
+  }
   return Status::OK();
 }
 
@@ -128,6 +294,7 @@ Result<IflsResult> ContinuousIfls::Resolve() {
   floors_.clear();
   for (auto& [id, record] : clients_) {
     RefreshCertificate(&record);
+    RecomputeDerived(&record);
     InsertBounds(record);
   }
   return cached_;

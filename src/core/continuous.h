@@ -3,6 +3,7 @@
 
 #include <map>
 #include <set>
+#include <vector>
 
 #include "src/core/efficient.h"
 #include "src/core/query.h"
@@ -25,8 +26,14 @@ namespace ifls {
 ///    re-solve is needed. Updates cost two NN searches plus one distance
 ///    evaluation each; a skip costs O(1).
 ///
-/// Facilities are fixed for the monitor's lifetime (facility updates are a
-/// different maintenance problem); clients are dynamic.
+/// Facility sets are dynamic too (the service's standing queries feed
+/// DeltaOverlay mutations through): Add/Remove of existing facilities and
+/// candidates maintain the per-client bounds incrementally — an add is one
+/// exact distance evaluation per client, a removal re-searches only the
+/// clients whose nearest facility was the removed one. Facility sets are
+/// kept sorted ascending so every re-solve sees the same canonical
+/// (snapshot ⊕ overlay) composition the service solves over, keeping
+/// answers bit-identical to from-scratch solves.
 class ContinuousIfls {
  public:
   struct Options {
@@ -42,7 +49,8 @@ class ContinuousIfls {
     bool refreshed = false;
   };
 
-  /// The oracle must outlive the monitor.
+  /// The oracle must outlive the monitor. The facility sets are sorted
+  /// into canonical ascending order.
   ContinuousIfls(const DistanceOracle* oracle,
                  std::vector<PartitionId> existing,
                  std::vector<PartitionId> candidates, Options options = {});
@@ -61,6 +69,31 @@ class ContinuousIfls {
 
   std::size_t num_clients() const { return clients_.size(); }
 
+  // ---- Facility updates -------------------------------------------------
+
+  /// Opens an existing facility at partition `p`. Every client's NEF can
+  /// only shrink: one exact distance evaluation per client, no search.
+  Status AddExistingFacility(PartitionId p);
+
+  /// Closes the existing facility at `p`. Only clients whose nearest
+  /// existing facility was `p` re-search; everyone else is untouched.
+  Status RemoveExistingFacility(PartitionId p);
+
+  /// Adds a candidate location. Floors can only shrink (one evaluation per
+  /// client); the cached answer keeps its objective but may stop being
+  /// optimal, so the monitor goes dirty and the certified bound decides
+  /// whether a re-solve is actually needed.
+  Status AddCandidateFacility(PartitionId p);
+
+  /// Removes a candidate location. Removing a non-answer candidate cannot
+  /// displace the cached answer (the optimum over a shrunk set can only
+  /// rise, and the answer still achieves its objective), so the cache stays
+  /// clean; removing the answer itself drops the cache.
+  Status RemoveCandidateFacility(PartitionId p);
+
+  const std::vector<PartitionId>& existing() const { return existing_; }
+  const std::vector<PartitionId>& candidates() const { return candidates_; }
+
   // ---- Answers ------------------------------------------------------------
 
   /// Exact current answer; re-solves when dirty.
@@ -78,25 +111,56 @@ class ContinuousIfls {
   /// AnswerWithin calls served from the certified cache.
   std::int64_t skip_count() const { return skip_count_; }
 
+  /// True while a cached *found* answer is held (the skip fast-path's
+  /// precondition).
+  bool has_cached_answer() const { return has_cached_ && cached_.found; }
+
+  /// The cached answer partition; kInvalidPartition without one.
+  PartitionId cached_answer() const {
+    return has_cached_answer() ? cached_.answer : kInvalidPartition;
+  }
+
+  /// Exact current objective of the cached answer, f(A) = max certificate.
+  /// Only meaningful while has_cached_answer(); 0 with no clients.
+  double certified_objective() const {
+    return clients_.empty() ? 0.0 : *certificates_.rbegin();
+  }
+
+  /// The certified lower bound L = max floor: no candidate (current sets,
+  /// current crowd) can achieve an objective below it. 0 with no clients.
+  double certified_lower_bound() const {
+    return clients_.empty() ? 0.0 : *floors_.rbegin();
+  }
+
  private:
   struct ClientRecord {
     Client client;
-    /// Exact nearest-existing-facility distance.
+    /// Exact nearest-existing-facility distance and its facility.
     double nef = 0.0;
-    /// min(nef, distance to the nearest candidate): this client's
-    /// contribution floor when every candidate is open.
+    PartitionId nef_facility = kInvalidPartition;
+    /// Exact nearest-candidate distance and its candidate.
+    double nc = 0.0;
+    PartitionId nc_facility = kInvalidPartition;
+    /// Exact distance to the cached answer (kInfDistance when none).
+    double answer_dist = 0.0;
+    /// min(nef, nc): this client's contribution floor when every candidate
+    /// is open.
     double floor = 0.0;
-    /// min(nef, distance to the cached answer); only meaningful while an
-    /// answer is cached.
+    /// min(nef, answer_dist); only meaningful while an answer is cached.
     double certificate = 0.0;
   };
 
-  /// Recomputes nef/floor for one record (two NN searches).
+  /// Recomputes nef/nc for one record (two NN searches).
   void RefreshStaticBounds(ClientRecord* record);
-  /// Recomputes the record's certificate against the cached answer.
+  /// Recomputes the record's answer distance against the cached answer.
   void RefreshCertificate(ClientRecord* record);
+  /// Rederives floor and certificate from the stored components.
+  void RecomputeDerived(ClientRecord* record);
   void InsertBounds(const ClientRecord& record);
   void EraseBounds(const ClientRecord& record);
+
+  void RebuildExistingIndex();
+  void RebuildCandidateIndex();
 
   Result<IflsResult> Resolve();
 

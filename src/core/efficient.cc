@@ -1,9 +1,12 @@
 #include "src/core/efficient.h"
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/common/logging.h"
@@ -85,47 +88,60 @@ std::int64_t EncodeEntity(std::int32_t entity, bool is_partition) {
 
 class EfficientSolver {
  public:
+  /// `streaming == true` puts the solver under external pacing (RankedStream):
+  /// every candidate is collected with its exact objective (top_k is ignored,
+  /// nothing truncates) and Advance() can pause the traversal between pages.
   EfficientSolver(const IflsContext& ctx, const EfficientOptions& options,
-                  IflsResult* result)
+                  IflsResult* result, bool streaming = false)
       : ctx_(ctx),
         options_(options),
         oracle_(*ctx.oracle),
         venue_(ctx.venue()),
         result_(result),
         stats_(result->stats),
-        index_(ctx.oracle, ctx.existing) {}
+        index_(ctx.oracle, ctx.existing),
+        streaming_(streaming) {}
 
   void Run() {
     TraceSpan run_span(TraceCategory::kSolver, "efficient");
-    {
-      TraceSpan setup_span(TraceCategory::kSolver, "efficient/setup");
-      index_.AddCandidates(ctx_.candidates);
-      candidate_ordinal_.assign(venue_.num_partitions(), -1);
-      for (std::size_t i = 0; i < ctx_.candidates.size(); ++i) {
-        candidate_ordinal_[static_cast<std::size_t>(ctx_.candidates[i])] =
-            static_cast<std::int32_t>(i);
-      }
-      coverage_.assign(ctx_.candidates.size(), 0);
+    Setup();
+    if (!done_) Advance(0);
+  }
 
-      candidate_collected_.assign(ctx_.candidates.size(), 0);
-
-      InitClients();
-      if (alive_count_ == 0) {
-        FinishNoAnswer();
-        return;
-      }
-      // Paper Algorithm 2 lines 1-10: clients located inside facilities are
-      // served (and possibly pruned) before the traversal starts.
-      ProcessEvents(0.0);
-      if (done_) return;
-
-      BuildGroups();
-      SeedQueue();
+  void Setup() {
+    TraceSpan setup_span(TraceCategory::kSolver, "efficient/setup");
+    index_.AddCandidates(ctx_.candidates);
+    candidate_ordinal_.assign(venue_.num_partitions(), -1);
+    for (std::size_t i = 0; i < ctx_.candidates.size(); ++i) {
+      candidate_ordinal_[static_cast<std::size_t>(ctx_.candidates[i])] =
+          static_cast<std::int32_t>(i);
     }
+    coverage_.assign(ctx_.candidates.size(), 0);
 
+    candidate_collected_.assign(ctx_.candidates.size(), 0);
+
+    InitClients();
+    if (alive_count_ == 0) {
+      FinishNoAnswer();
+      return;
+    }
+    // Paper Algorithm 2 lines 1-10: clients located inside facilities are
+    // served (and possibly pruned) before the traversal starts.
+    ProcessEvents(0.0);
+    if (done_) return;
+
+    BuildGroups();
+    SeedQueue();
+  }
+
+  /// Paper Algorithm 3 main loop. In streaming mode the loop pauses (and can
+  /// be resumed by calling Advance again) once `target_certified` collected
+  /// candidates are certified final; the pause point is a loop head, where
+  /// all events with distance <= Gd have been drained.
+  void Advance(std::size_t target_certified) {
     TraceSpan traversal_span(TraceCategory::kSolver, "efficient/traversal");
-    // Paper Algorithm 3 main loop.
     while (!done_ && !queue_.empty()) {
+      if (streaming_ && CertifiedCount() >= target_certified) return;
       const TraversalEntry top = queue_.top();
       queue_.pop();
       ++stats_.queue_pops;
@@ -153,6 +169,27 @@ class EfficientSolver {
       ProcessEvents(kInfDistance);
     }
     if (!done_) FinishNoAnswer();
+  }
+
+  bool done() const { return done_; }
+
+  /// Streaming: collected candidates whose rank can no longer change. A
+  /// collected objective is exact and <= d_low at collection; an uncollected
+  /// candidate still has an alive client whose distance to it is >= Gd, so
+  /// its objective is >= Gd. Strictly-below-Gd entries are therefore final
+  /// (boundary ties at == Gd are not, and stay uncertified until Gd moves).
+  std::size_t CertifiedCount() const {
+    if (done_) return collected_.size();
+    std::size_t certified = 0;
+    for (const auto& entry : collected_) {
+      if (entry.second < gd_) ++certified;
+    }
+    return certified;
+  }
+
+  /// Streaming: the collection log (sorted by FinishRanked once done).
+  const std::vector<std::pair<PartitionId, double>>& collected() const {
+    return collected_;
   }
 
  private:
@@ -399,9 +436,13 @@ class EfficientSolver {
     return worst;
   }
 
+  /// Ranked collection applies in explicit top-k mode and always under
+  /// streaming (a stream ranks the full candidate set).
+  bool ranked_mode() const { return streaming_ || options_.top_k > 1; }
+
   void FinishWithCommonCandidates(const std::vector<PartitionId>& common) {
     IFLS_DCHECK(!common.empty());
-    if (options_.top_k > 1) {
+    if (ranked_mode()) {
       CollectForTopK(common);
       return;
     }
@@ -441,16 +482,23 @@ class EfficientSolver {
       candidate_collected_[ord] = 1;
       collected_.emplace_back(n, ExactObjective(n, AliveMaxDistance(n)));
     }
-    if (collected_.size() >= static_cast<std::size_t>(options_.top_k)) {
+    if (!streaming_ &&
+        collected_.size() >= static_cast<std::size_t>(options_.top_k)) {
       FinishRanked();
     }
   }
 
-  /// Sorts the collected candidates, truncates to k and publishes them.
+  /// Sorts the collected candidates, truncates to k (except under streaming,
+  /// which ranks everything) and publishes them. Equal objectives rank by
+  /// ascending partition id so pagination boundaries are deterministic.
   void FinishRanked() {
     std::sort(collected_.begin(), collected_.end(),
-              [](const auto& a, const auto& b) { return a.second < b.second; });
-    if (collected_.size() > static_cast<std::size_t>(options_.top_k)) {
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second < b.second;
+                return a.first < b.first;
+              });
+    if (!streaming_ &&
+        collected_.size() > static_cast<std::size_t>(options_.top_k)) {
       collected_.resize(static_cast<std::size_t>(options_.top_k));
     }
     result_->ranked.assign(collected_.begin(), collected_.end());
@@ -475,7 +523,7 @@ class EfficientSolver {
   }
 
   void FinishNoAnswer() {
-    if (options_.top_k > 1) {
+    if (ranked_mode()) {
       // Rank whatever became common; when every client is covered the
       // remaining candidates' objectives are fully determined by the
       // pruned clients, so the ranking can be completed exactly.
@@ -555,7 +603,14 @@ class EfficientSolver {
   std::int64_t alive_count_ = 0;
   bool is_first_ = false;
   bool done_ = false;
+  const bool streaming_ = false;
 };
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 }  // namespace
 
@@ -569,5 +624,126 @@ Result<IflsResult> SolveEfficient(const IflsContext& ctx,
   scope.Finish();
   return result;
 }
+
+// ---------------------------------------------------------------------------
+// RankedStream
+// ---------------------------------------------------------------------------
+
+struct RankedStream::Impl {
+  IflsContext ctx;          // owned copy; the oracle pointer is borrowed
+  EfficientOptions options;
+  IflsResult scratch;       // solver publish target; scratch.stats cumulates
+  /// One tracker for the stream's whole lifetime: the solver's tracked
+  /// containers allocate and release across many Next() calls (possibly
+  /// interleaved with other solves on the same thread), so every entry
+  /// point re-installs this tracker instead of using a per-call SolverScope.
+  MemoryTracker tracker;
+  std::unique_ptr<EfficientSolver> solver;
+  /// collected() mirrored in (objective, id) order; certified entries form
+  /// a stable prefix, so emitted pages never reorder.
+  std::vector<std::pair<PartitionId, double>> sorted;
+  std::size_t emitted = 0;
+
+  ~Impl() {
+    if (solver != nullptr) {
+      ScopedMemoryTracking scope(&tracker);
+      solver.reset();
+    }
+  }
+
+  /// A stream is exhausted once the traversal has drained and everything
+  /// collected was emitted — or once |Fn| entries went out: every candidate
+  /// appears exactly once in the full ranking, so a paused traversal can
+  /// have nothing left to certify either.
+  bool Exhausted() const {
+    return emitted >= ctx.candidates.size() ||
+           (solver->done() && emitted >= solver->collected().size());
+  }
+
+  void ResortCollected() {
+    sorted.assign(solver->collected().begin(), solver->collected().end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second < b.second;
+                return a.first < b.first;
+              });
+  }
+
+  /// Stamps one entry's elapsed time, memory high-water mark and oracle
+  /// counters into the cumulative stats (the per-call analogue of
+  /// SolverScope::Finish).
+  void Accumulate(double start_seconds, const OracleCounters& counters) {
+    QueryStats& stats = scratch.stats;
+    stats.elapsed_seconds += NowSeconds() - start_seconds;
+    stats.peak_memory_bytes =
+        std::max(stats.peak_memory_bytes, tracker.peak_bytes());
+    stats.door_distance_evals += counters.door_distance_evals;
+    stats.matrix_lookups += counters.matrix_lookups;
+    stats.cache_hits += counters.cache_hits;
+    stats.cache_misses += counters.cache_misses;
+  }
+};
+
+RankedStream::RankedStream(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+RankedStream::~RankedStream() = default;
+
+Result<std::unique_ptr<RankedStream>> RankedStream::Open(
+    const IflsContext& ctx, const EfficientOptions& options) {
+  IFLS_RETURN_NOT_OK(ValidateContext(ctx));
+  auto impl = std::make_unique<Impl>();
+  impl->ctx = ctx;
+  impl->options = options;
+  const double start = NowSeconds();
+  OracleCounters counters;
+  {
+    ScopedMemoryTracking mem(&impl->tracker);
+    ScopedOracleCounterSink sink(&counters);
+    impl->solver = std::make_unique<EfficientSolver>(
+        impl->ctx, impl->options, &impl->scratch, /*streaming=*/true);
+    impl->solver->Setup();
+  }
+  impl->Accumulate(start, counters);
+  return std::unique_ptr<RankedStream>(new RankedStream(std::move(impl)));
+}
+
+RankedStream::Page RankedStream::Next(std::size_t m) {
+  Impl& impl = *impl_;
+  Page page;
+  if (m == 0) {
+    page.exhausted = impl.Exhausted();
+    return page;
+  }
+  TraceSpan span(TraceCategory::kSolver, "efficient/stream_next");
+  const double start = NowSeconds();
+  OracleCounters counters;
+  {
+    ScopedMemoryTracking mem(&impl.tracker);
+    ScopedOracleCounterSink sink(&counters);
+    if (!impl.solver->done()) impl.solver->Advance(impl.emitted + m);
+  }
+  impl.Accumulate(start, counters);
+
+  impl.ResortCollected();
+  const std::size_t certified =
+      impl.solver->done() ? impl.sorted.size() : impl.solver->CertifiedCount();
+  const std::size_t limit = std::min(certified, impl.emitted + m);
+  page.items.assign(impl.sorted.begin() + static_cast<std::ptrdiff_t>(impl.emitted),
+                    impl.sorted.begin() + static_cast<std::ptrdiff_t>(limit));
+  impl.emitted = limit;
+  page.exhausted = impl.Exhausted();
+  return page;
+}
+
+bool RankedStream::exhausted() const { return impl_->Exhausted(); }
+
+std::size_t RankedStream::emitted() const { return impl_->emitted; }
+
+std::size_t RankedStream::total_candidates() const {
+  return impl_->ctx.candidates.size();
+}
+
+const QueryStats& RankedStream::stats() const { return impl_->scratch.stats; }
 
 }  // namespace ifls

@@ -1,6 +1,11 @@
 #ifndef IFLS_CORE_EFFICIENT_H_
 #define IFLS_CORE_EFFICIENT_H_
 
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "src/core/query.h"
 
 namespace ifls {
@@ -51,6 +56,60 @@ struct EfficientOptions {
 /// (all clients pruned) or Fn is empty.
 Result<IflsResult> SolveEfficient(const IflsContext& ctx,
                                   const EfficientOptions& options = {});
+
+/// A lazily continued ranked MinMax search: "give me the next m candidates"
+/// without re-solving or deciding k up front. The stream keeps the
+/// single-pass traversal of SolveEfficient alive between pages and resumes
+/// it on demand; the concatenation of all pages is bit-identical to
+/// IflsResult::ranked of a one-shot SolveEfficient with top_k = |Fn| over
+/// the same context.
+///
+/// Emission rule (why a page is final): every collected candidate's exact
+/// objective is <= the d_low at its collection, and every not-yet-collected
+/// candidate's objective is >= the current global distance Gd. A collected
+/// entry is therefore *certified* — no later discovery can precede it —
+/// exactly when its objective is strictly below Gd (or the traversal is
+/// exhausted). Next(m) resumes until m more entries are certified. Ties are
+/// deterministic: equal objectives rank by ascending partition id.
+///
+/// The oracle behind the context must outlive the stream (the facility sets
+/// and clients are copied). Not thread-safe; callers serialize Next().
+class RankedStream {
+ public:
+  struct Page {
+    /// (candidate partition, exact objective), ranking order.
+    std::vector<std::pair<PartitionId, double>> items;
+    /// True once the full ranking has been emitted; further Next() calls
+    /// return empty pages.
+    bool exhausted = false;
+  };
+
+  /// Validates the context and runs the solver's setup phase (no traversal
+  /// work beyond distance-zero events).
+  static Result<std::unique_ptr<RankedStream>> Open(
+      const IflsContext& ctx, const EfficientOptions& options = {});
+
+  ~RankedStream();
+  RankedStream(const RankedStream&) = delete;
+  RankedStream& operator=(const RankedStream&) = delete;
+
+  /// Returns the next (up to) m entries of the ranking. m == 0 is a no-op
+  /// probe: empty page, exhaustion flag only.
+  Page Next(std::size_t m);
+
+  bool exhausted() const;
+  /// Entries emitted so far across all pages.
+  std::size_t emitted() const;
+  /// Size of the full ranking (|Fn|).
+  std::size_t total_candidates() const;
+  /// Cumulative solver work across Open and every Next call.
+  const QueryStats& stats() const;
+
+ private:
+  struct Impl;
+  explicit RankedStream(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace ifls
 

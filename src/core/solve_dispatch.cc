@@ -28,4 +28,15 @@ Result<IflsResult> SolveWithObjective(IflsObjective objective,
   return Status::Internal("unknown objective");
 }
 
+Result<std::unique_ptr<RankedStream>> OpenRankedStream(
+    IflsObjective objective, const IflsContext& ctx,
+    const SolverOptionSet& options) {
+  if (objective != IflsObjective::kMinMax) {
+    return Status::InvalidArgument(
+        std::string("no ranked stream for objective ") +
+        IflsObjectiveName(objective));
+  }
+  return RankedStream::Open(ctx, options.minmax);
+}
+
 }  // namespace ifls

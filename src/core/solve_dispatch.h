@@ -32,6 +32,15 @@ Result<IflsResult> SolveWithObjective(IflsObjective objective,
                                       const IflsContext& ctx,
                                       const SolverOptionSet& options = {});
 
+/// Lazy-continuation counterpart of SolveWithObjective: opens a RankedStream
+/// over `ctx` for objectives that define a full ranking. Only MinMax streams
+/// today (the paper's ranked extension); other objectives return
+/// InvalidArgument so service callers fail fast instead of silently
+/// re-solving per page.
+Result<std::unique_ptr<RankedStream>> OpenRankedStream(
+    IflsObjective objective, const IflsContext& ctx,
+    const SolverOptionSet& options = {});
+
 }  // namespace ifls
 
 #endif  // IFLS_CORE_SOLVE_DISPATCH_H_

@@ -1,0 +1,45 @@
+#include "src/service/result_iterator.h"
+
+#include <utility>
+
+#include "src/common/trace.h"
+
+namespace ifls {
+
+ResultIterator::ResultIterator(std::shared_ptr<const ServingState> state,
+                               std::unique_ptr<RankedStream> stream,
+                               std::uint64_t version, Counter* pages)
+    : state_(std::move(state)),
+      version_(version),
+      pages_(pages),
+      stream_(std::move(stream)) {}
+
+ResultIterator::Page ResultIterator::Next(std::size_t m) {
+  TraceSpan span(TraceCategory::kService, "iterator_page");
+  std::lock_guard<std::mutex> lock(mu_);
+  Page page = stream_->Next(m);
+  if (pages_ != nullptr) pages_->Add();
+  return page;
+}
+
+bool ResultIterator::exhausted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stream_->exhausted();
+}
+
+std::size_t ResultIterator::emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stream_->emitted();
+}
+
+std::size_t ResultIterator::total_candidates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stream_->total_candidates();
+}
+
+QueryStats ResultIterator::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stream_->stats();
+}
+
+}  // namespace ifls

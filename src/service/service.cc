@@ -37,12 +37,14 @@ std::string NextInstanceLabel() {
 }  // namespace
 
 std::string ServiceMetrics::ToString() const {
-  char buf[768];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "submitted=%llu admitted=%llu shed=%llu completed=%llu failed=%llu "
       "deadline_expired=%llu mutations=%llu rejected=%llu compactions=%llu "
       "cache_hit=%llu cache_miss=%llu cache_entries=%llu cache_evict=%llu "
+      "iterators=%llu subs=%zu sub_events=%llu sub_pushes=%llu "
+      "sub_solves=%llu sub_skips=%llu "
       "epoch=%llu overlay=%zu queue_depth=%zu p50=%.1fus p99=%.1fus",
       static_cast<unsigned long long>(submitted),
       static_cast<unsigned long long>(admitted),
@@ -57,6 +59,11 @@ std::string ServiceMetrics::ToString() const {
       static_cast<unsigned long long>(oracle_cache_misses),
       static_cast<unsigned long long>(oracle_cache_entries),
       static_cast<unsigned long long>(oracle_cache_evictions),
+      static_cast<unsigned long long>(iterators_opened), subscriptions_active,
+      static_cast<unsigned long long>(subscription_events),
+      static_cast<unsigned long long>(subscription_pushes),
+      static_cast<unsigned long long>(subscription_solves),
+      static_cast<unsigned long long>(subscription_skips),
       static_cast<unsigned long long>(snapshot_epoch), overlay_size,
       queue_depth, latency_p50_seconds * 1e6, latency_p99_seconds * 1e6);
   return buf;
@@ -115,6 +122,9 @@ void IflsService::RegisterMetrics() {
       registry.GetCounter("ifls_query_clients_pruned_total");
   query_cache_hits_ = registry.GetCounter("ifls_query_cache_hits_total");
   query_cache_misses_ = registry.GetCounter("ifls_query_cache_misses_total");
+  iterator_pages_ = registry.GetCounter("ifls_iterator_pages_total");
+  subscription_push_seconds_ =
+      registry.GetHistogram("ifls_subscription_push_seconds");
 
   const std::string label = NextInstanceLabel();
   auto counter = [&](const char* name, const std::atomic<std::uint64_t>* v) {
@@ -132,6 +142,17 @@ void IflsService::RegisterMetrics() {
   counter("ifls_service_compactions_total", &compactions_);
   counter("ifls_service_oracle_cache_hits_total", &oracle_cache_hits_);
   counter("ifls_service_oracle_cache_misses_total", &oracle_cache_misses_);
+  counter("ifls_service_iterators_opened_total", &iterators_opened_);
+  counter("ifls_subscription_events_total", &subscription_events_);
+  counter("ifls_subscription_pushes_total", &subscription_pushes_);
+  counter("ifls_subscription_solves_total", &subscription_solves_);
+  counter("ifls_subscription_skips_total", &subscription_skips_);
+
+  metric_registrations_.push_back(registry.RegisterCallbackGauge(
+      "ifls_subscription_active", label, [this] {
+        std::lock_guard<std::mutex> lock(subs_mu_);
+        return static_cast<double>(subscriptions_.size());
+      }));
 
   metric_registrations_.push_back(registry.RegisterCallbackGauge(
       "ifls_service_queue_depth", label, [this] {
@@ -235,39 +256,84 @@ ServiceReply IflsService::Query(ServiceRequest request) {
 
 bool IflsService::ProcessOneInline() {
   PendingQuery item;
+  std::shared_ptr<Subscription> pump;
+  bool have_query = false;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    if (queue_.empty()) return false;
-    item = std::move(queue_.front());
-    queue_.pop_front();
+    if (!queue_.empty()) {
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      have_query = true;
+    } else if (!sub_pumps_.empty()) {
+      pump = std::move(sub_pumps_.front());
+      sub_pumps_.pop_front();
+      pump->scheduled_ = false;
+    } else {
+      return false;
+    }
     ++executing_;
   }
-  Execute(std::move(item));
+  if (have_query) {
+    Execute(std::move(item));
+  } else {
+    pump->Pump();
+  }
+  FinishOneTask();
+  return true;
+}
+
+bool IflsService::ProcessOnePumpInline() {
+  std::shared_ptr<Subscription> pump;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    --executing_;
-    if (queue_.empty() && executing_ == 0) drained_cv_.notify_all();
+    if (sub_pumps_.empty()) return false;
+    pump = std::move(sub_pumps_.front());
+    sub_pumps_.pop_front();
+    pump->scheduled_ = false;
+    ++executing_;
   }
+  pump->Pump();
+  FinishOneTask();
   return true;
+}
+
+void IflsService::FinishOneTask() {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  --executing_;
+  if (queue_.empty() && sub_pumps_.empty() && executing_ == 0) {
+    drained_cv_.notify_all();
+  }
 }
 
 void IflsService::WorkerLoop() {
   for (;;) {
     PendingQuery item;
+    std::shared_ptr<Subscription> pump;
+    bool have_query = false;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_, queue already drained
-      item = std::move(queue_.front());
-      queue_.pop_front();
+      queue_cv_.wait(lock, [this] {
+        return stopping_ || !queue_.empty() || !sub_pumps_.empty();
+      });
+      // stopping_, both queues already drained
+      if (queue_.empty() && sub_pumps_.empty()) return;
+      if (!queue_.empty()) {
+        item = std::move(queue_.front());
+        queue_.pop_front();
+        have_query = true;
+      } else {
+        pump = std::move(sub_pumps_.front());
+        sub_pumps_.pop_front();
+        pump->scheduled_ = false;
+      }
       ++executing_;
     }
-    Execute(std::move(item));
-    {
-      std::lock_guard<std::mutex> lock(queue_mu_);
-      --executing_;
-      if (queue_.empty() && executing_ == 0) drained_cv_.notify_all();
+    if (have_query) {
+      Execute(std::move(item));
+    } else {
+      pump->Pump();
     }
+    FinishOneTask();
   }
 }
 
@@ -385,8 +451,10 @@ void IflsService::LogSlowQuery(const ServiceReply& reply,
 // Mutation path
 // ---------------------------------------------------------------------------
 
-Status IflsService::Mutate(const Mutation& mutation) {
+Status IflsService::Mutate(const Mutation& mutation,
+                           std::uint64_t* applied_version) {
   bool trigger_compaction = false;
+  std::vector<std::shared_ptr<Subscription>> to_pump;
   {
     std::lock_guard<std::mutex> lock(writer_mu_);
     const Status applied = overlay_.Apply(mutation);
@@ -396,8 +464,29 @@ Status IflsService::Mutate(const Mutation& mutation) {
     }
     PublishStateLocked();
     mutations_applied_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t version = overlay_.mutations_applied();
+    if (applied_version != nullptr) *applied_version = version;
+    // Fan the accepted mutation out to every standing query while still
+    // under writer_mu_: each subscription's event stream then carries the
+    // mutations in exactly the order their versions were assigned.
+    {
+      const Clock::time_point now = Clock::now();
+      std::lock_guard<std::mutex> slock(subs_mu_);
+      to_pump.reserve(subscriptions_.size());
+      for (auto& [id, sub] : subscriptions_) {
+        sub->EnqueueMutation(mutation, version, now);
+        to_pump.push_back(sub);
+      }
+    }
     trigger_compaction = options_.compaction_threshold > 0 &&
                          overlay_.net_size() >= options_.compaction_threshold;
+  }
+  for (const auto& sub : to_pump) SchedulePump(sub);
+  if (!to_pump.empty() && options_.num_workers == 0) {
+    // Admission-only mode: deliver invalidations synchronously, so Mutate
+    // returning means every affected subscription has been pushed/skipped.
+    while (ProcessOnePumpInline()) {
+    }
   }
   if (trigger_compaction) {
     std::lock_guard<std::mutex> lock(compact_mu_);
@@ -411,8 +500,157 @@ Status IflsService::Mutate(const Mutation& mutation) {
 }
 
 void IflsService::PublishStateLocked() {
-  state_.Store(
-      std::make_shared<const ServingState>(snapshot_, overlay_.delta()));
+  state_.Store(std::make_shared<const ServingState>(
+      snapshot_, overlay_.delta(), overlay_.mutations_applied()));
+}
+
+// ---------------------------------------------------------------------------
+// Streaming iterators & standing subscriptions
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<ResultIterator>> IflsService::OpenIterator(
+    ServiceRequest request) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) return Status::Unavailable("service is stopping");
+  }
+  TraceSpan span(TraceCategory::kService, "iterator_open");
+  std::shared_ptr<const ServingState> state = state_.Acquire();
+  const std::uint64_t version = state->version;
+  IflsContext ctx;
+  ctx.oracle = &state->oracle();
+  ctx.existing = state->overlay.effective_existing();
+  ctx.candidates = state->overlay.effective_candidates();
+  ctx.clients = std::move(request.clients);
+  IFLS_ASSIGN_OR_RETURN(
+      std::unique_ptr<RankedStream> stream,
+      OpenRankedStream(request.objective, ctx, options_.solvers));
+  iterators_opened_.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_ptr<ResultIterator>(new ResultIterator(
+      std::move(state), std::move(stream), version, iterator_pages_));
+}
+
+Result<std::shared_ptr<Subscription>> IflsService::Subscribe(
+    const std::vector<Client>& clients, const SubscriptionOptions& options,
+    SubscriptionCallback callback) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) return Status::Unavailable("service is stopping");
+  }
+  if (options.tolerance < 0.0) {
+    return Status::InvalidArgument("tolerance must be non-negative");
+  }
+  if (!callback) {
+    return Status::InvalidArgument("subscription callback must be set");
+  }
+  // Validate up front: the monitor IFLS_CHECKs client placement.
+  {
+    const Venue& venue = state_.Acquire()->snapshot->venue();
+    for (const Client& c : clients) {
+      if (c.partition < 0 ||
+          static_cast<std::size_t>(c.partition) >= venue.num_partitions() ||
+          !venue.partition(c.partition).rect.Contains(c.position)) {
+        return Status::InvalidArgument(
+            "subscription client outside its partition");
+      }
+    }
+  }
+  const Clock::time_point subscribed_at = Clock::now();
+  Subscription::Sink sink;
+  sink.events = &subscription_events_;
+  sink.pushes = &subscription_pushes_;
+  sink.solves = &subscription_solves_;
+  sink.skips = &subscription_skips_;
+  sink.push_seconds = subscription_push_seconds_;
+  std::shared_ptr<Subscription> sub;
+  std::unique_lock<std::mutex> monitor_lock;
+  {
+    // Capture the effective sets, seed the monitor and register — all
+    // atomically with the mutation stream, so no accepted mutation is ever
+    // missed by or double-counted in the monitor.
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    std::uint64_t id = 0;
+    {
+      std::lock_guard<std::mutex> slock(subs_mu_);
+      id = next_subscription_id_++;
+    }
+    sub = std::shared_ptr<Subscription>(
+        new Subscription(id, options, std::move(callback), state_.Acquire(),
+                         options_.solvers.minmax, sink));
+    for (const Client& c : clients) {
+      sub->monitor_.AddClient(c.position, c.partition);
+    }
+    sub->version_ = overlay_.mutations_applied();
+    // Take the processing lock before the subscription becomes visible:
+    // mutations may start queueing events the moment it is registered, but
+    // nothing can fold ahead of the initial answer.
+    monitor_lock = std::unique_lock<std::mutex>(sub->monitor_mu_);
+    {
+      std::lock_guard<std::mutex> slock(subs_mu_);
+      subscriptions_.emplace(sub->id(), sub);
+    }
+  }
+  sub->DeliverInitialLocked(subscribed_at);
+  monitor_lock.unlock();
+  return sub;
+}
+
+Status IflsService::Unsubscribe(std::uint64_t subscription_id) {
+  std::shared_ptr<Subscription> sub;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    auto it = subscriptions_.find(subscription_id);
+    if (it == subscriptions_.end()) {
+      return Status::NotFound("no subscription with id " +
+                              std::to_string(subscription_id));
+    }
+    sub = std::move(it->second);
+    subscriptions_.erase(it);
+  }
+  sub->Close();
+  return Status::OK();
+}
+
+Status IflsService::TickSubscription(std::uint64_t subscription_id,
+                                     ClientId client, const Point& position,
+                                     PartitionId partition) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) return Status::Unavailable("service is stopping");
+  }
+  std::shared_ptr<Subscription> sub;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    auto it = subscriptions_.find(subscription_id);
+    if (it == subscriptions_.end()) {
+      return Status::NotFound("no subscription with id " +
+                              std::to_string(subscription_id));
+    }
+    sub = it->second;
+  }
+  const Venue& venue = sub->pinned_->snapshot->venue();
+  if (partition < 0 ||
+      static_cast<std::size_t>(partition) >= venue.num_partitions() ||
+      !venue.partition(partition).rect.Contains(position)) {
+    return Status::InvalidArgument("tick position outside the partition");
+  }
+  sub->EnqueueTick(client, position, partition, Clock::now());
+  SchedulePump(sub);
+  if (options_.num_workers == 0) {
+    while (ProcessOnePumpInline()) {
+    }
+  }
+  return Status::OK();
+}
+
+void IflsService::SchedulePump(const std::shared_ptr<Subscription>& sub) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_ || sub->scheduled_) return;
+    sub->scheduled_ = true;
+    sub_pumps_.push_back(sub);
+  }
+  queue_cv_.notify_one();
 }
 
 // ---------------------------------------------------------------------------
@@ -519,16 +757,26 @@ void IflsService::CompactOnce() {
 
 void IflsService::Drain() {
   std::unique_lock<std::mutex> lock(queue_mu_);
-  drained_cv_.wait(lock,
-                   [this] { return queue_.empty() && executing_ == 0; });
+  drained_cv_.wait(lock, [this] {
+    return queue_.empty() && sub_pumps_.empty() && executing_ == 0;
+  });
 }
 
 void IflsService::Stop() {
   std::deque<PendingQuery> orphaned;
+  std::deque<std::shared_ptr<Subscription>> orphaned_pumps;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     stopping_ = true;
     orphaned.swap(queue_);
+    orphaned_pumps.swap(sub_pumps_);
+    for (const auto& sub : orphaned_pumps) sub->scheduled_ = false;
+  }
+  // Close intake on every subscription: late ticks/mutations can no longer
+  // queue events, and whatever was pending is dropped.
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    for (auto& [id, sub] : subscriptions_) sub->Close();
   }
   queue_cv_.notify_all();
   for (PendingQuery& item : orphaned) {
@@ -549,7 +797,9 @@ void IflsService::Stop() {
   if (compactor_.joinable()) compactor_.join();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    if (queue_.empty() && executing_ == 0) drained_cv_.notify_all();
+    if (queue_.empty() && sub_pumps_.empty() && executing_ == 0) {
+      drained_cv_.notify_all();
+    }
   }
 }
 
@@ -567,6 +817,18 @@ ServiceMetrics IflsService::Metrics() const {
   m.oracle_cache_hits = oracle_cache_hits_.load(std::memory_order_relaxed);
   m.oracle_cache_misses =
       oracle_cache_misses_.load(std::memory_order_relaxed);
+  m.iterators_opened = iterators_opened_.load(std::memory_order_relaxed);
+  m.subscription_events =
+      subscription_events_.load(std::memory_order_relaxed);
+  m.subscription_pushes =
+      subscription_pushes_.load(std::memory_order_relaxed);
+  m.subscription_solves =
+      subscription_solves_.load(std::memory_order_relaxed);
+  m.subscription_skips = subscription_skips_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    m.subscriptions_active = subscriptions_.size();
+  }
   const std::shared_ptr<const ServingState> state = state_.Acquire();
   m.snapshot_epoch = state->snapshot->epoch();
   m.overlay_size = state->overlay.delta().size();

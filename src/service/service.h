@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -18,7 +19,9 @@
 #include "src/common/versioned.h"
 #include "src/core/solve_dispatch.h"
 #include "src/service/delta_overlay.h"
+#include "src/service/result_iterator.h"
 #include "src/service/snapshot.h"
+#include "src/service/subscription.h"
 
 namespace ifls {
 
@@ -107,9 +110,16 @@ struct ServiceMetrics {
   /// (per-thread sinks -> QueryStats -> these totals).
   std::uint64_t oracle_cache_hits = 0;
   std::uint64_t oracle_cache_misses = 0;
+  /// Streaming/standing-query traffic.
+  std::uint64_t iterators_opened = 0;
+  std::uint64_t subscription_events = 0;  // events folded into monitors
+  std::uint64_t subscription_pushes = 0;  // re-solves delivered
+  std::uint64_t subscription_solves = 0;  // full solves run (incl. initial)
+  std::uint64_t subscription_skips = 0;   // events certified non-invalidating
   std::uint64_t snapshot_epoch = 0;     // gauge
   std::size_t overlay_size = 0;         // gauge
   std::size_t queue_depth = 0;          // gauge
+  std::size_t subscriptions_active = 0; // gauge
   /// Sharded door-distance cache occupancy/evictions of the serving
   /// snapshot's tree (gauges).
   std::uint64_t oracle_cache_entries = 0;
@@ -157,8 +167,41 @@ class IflsService {
 
   /// Applies one facility mutation. On success the change is visible to
   /// every query admitted afterwards (a fresh ServingState is published
-  /// before Mutate returns).
-  Status Mutate(const Mutation& mutation);
+  /// before Mutate returns), every standing subscription gets the mutation
+  /// queued as an invalidation event, and `applied_version` (when non-null)
+  /// receives the service's new mutation version — the value iterator pins
+  /// and subscription pushes report.
+  Status Mutate(const Mutation& mutation,
+                std::uint64_t* applied_version = nullptr);
+
+  /// Opens a streaming iterator over the ranked answer, pinned to the
+  /// serving state current at this call: pages stay mutually consistent no
+  /// matter what mutations or compactions land later. Only MinMax defines a
+  /// full ranking today; other objectives return InvalidArgument.
+  Result<std::unique_ptr<ResultIterator>> OpenIterator(ServiceRequest request);
+
+  /// Registers a standing MinMax query over `clients` (ids within the
+  /// subscription are 0..clients.size()-1 in registration order). The
+  /// initial answer (push sequence 0) is delivered synchronously before
+  /// Subscribe returns; afterwards the subscription receives a push only
+  /// when a mutation or trajectory tick actually invalidates its cached
+  /// answer beyond `options.tolerance` — certified-fresh events are skipped
+  /// without solving. Pushes run on worker threads (or inline from Mutate /
+  /// TickSubscription in admission-only mode).
+  Result<std::shared_ptr<Subscription>> Subscribe(
+      const std::vector<Client>& clients, const SubscriptionOptions& options,
+      SubscriptionCallback callback);
+
+  /// Deregisters and closes a subscription; its pending events are dropped.
+  /// An in-flight push may still complete concurrently.
+  Status Unsubscribe(std::uint64_t subscription_id);
+
+  /// Moves one client of a standing query. The move is queued as an
+  /// invalidation event and processed asynchronously (inline in
+  /// admission-only mode); a push follows only if the move invalidates the
+  /// cached answer.
+  Status TickSubscription(std::uint64_t subscription_id, ClientId client,
+                          const Point& position, PartitionId partition);
 
   /// Forces a synchronous compaction: blocks until the compactor has cut,
   /// built and published a snapshot folding the overlay as of this call.
@@ -173,8 +216,10 @@ class IflsService {
   /// the destructor calls it.
   void Stop();
 
-  /// Pops and executes one queued request on the calling thread (admission-
-  /// only mode or manual pumping). Returns false when the queue is empty.
+  /// Pops and executes one queued request — or, when the query queue is
+  /// empty, one pending subscription pump — on the calling thread
+  /// (admission-only mode or manual pumping). Returns false when there is
+  /// nothing to do.
   bool ProcessOneInline();
 
   /// The state queries currently run against; pins its snapshot until the
@@ -208,6 +253,16 @@ class IflsService {
   void CompactOnce();
   void Execute(PendingQuery item);
   void PublishStateLocked();
+  /// Queues `sub` for pumping unless it is already queued or the service is
+  /// stopping, and wakes a worker.
+  void SchedulePump(const std::shared_ptr<Subscription>& sub);
+  /// Pops and runs one pending subscription pump only (the inline drain used
+  /// by Mutate/TickSubscription in admission-only mode). Returns false when
+  /// none is pending.
+  bool ProcessOnePumpInline();
+  /// Drops the executing_ count taken when a query or pump was popped and
+  /// wakes Drain() when everything ran dry.
+  void FinishOneTask();
   /// Exposes the service's counters/gauges/latency histogram plus the
   /// ifls_query_* solver-work rollups through MetricsRegistry::Global(),
   /// labeled instance="<n>" so concurrent services don't collide.
@@ -221,16 +276,29 @@ class IflsService {
   VersionedPtr<ServingState> state_;
 
   /// Writer side: serializes mutations, compaction folds and publications.
+  /// Lock order: writer_mu_ -> subs_mu_ -> queue_mu_. A subscription's
+  /// monitor_mu_ may be acquired under writer_mu_ (Subscribe) but no service
+  /// lock is ever taken while holding a monitor_mu_ alone.
   mutable std::mutex writer_mu_;
   DeltaOverlay overlay_;
   std::shared_ptr<const IndexSnapshot> snapshot_;  // newest published
   std::uint64_t next_epoch_ = 1;
+
+  /// Standing queries. Registration happens under writer_mu_ -> subs_mu_ so
+  /// each subscription's event stream is atomic with the mutation version it
+  /// was captured at.
+  mutable std::mutex subs_mu_;
+  std::map<std::uint64_t, std::shared_ptr<Subscription>> subscriptions_;
+  std::uint64_t next_subscription_id_ = 1;
 
   // Admission queue.
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;    // workers: work available / stop
   std::condition_variable drained_cv_;  // Drain(): queue empty, none running
   std::deque<PendingQuery> queue_;
+  /// Subscriptions with queued events awaiting a pump; guarded by queue_mu_
+  /// (as is each entry's scheduled_ flag). Workers prefer queries.
+  std::deque<std::shared_ptr<Subscription>> sub_pumps_;
   std::size_t executing_ = 0;
   bool stopping_ = false;
 
@@ -258,6 +326,11 @@ class IflsService {
   std::atomic<std::uint64_t> compactions_{0};
   std::atomic<std::uint64_t> oracle_cache_hits_{0};
   std::atomic<std::uint64_t> oracle_cache_misses_{0};
+  std::atomic<std::uint64_t> iterators_opened_{0};
+  std::atomic<std::uint64_t> subscription_events_{0};
+  std::atomic<std::uint64_t> subscription_pushes_{0};
+  std::atomic<std::uint64_t> subscription_solves_{0};
+  std::atomic<std::uint64_t> subscription_skips_{0};
 
   /// Process-wide solver-work rollups (registry-owned, unlabeled): the
   /// QueryStats of every completed query fold into these.
@@ -267,6 +340,10 @@ class IflsService {
   Counter* query_clients_pruned_ = nullptr;
   Counter* query_cache_hits_ = nullptr;
   Counter* query_cache_misses_ = nullptr;
+  /// Registry-owned streaming/standing-query series (process-wide, like the
+  /// ifls_query_* rollups).
+  Counter* iterator_pages_ = nullptr;
+  LatencyHistogram* subscription_push_seconds_ = nullptr;
   /// Callback registrations for this instance's series; cleared first thing
   /// in the destructor, so no scrape can observe a dying service.
   std::vector<MetricsRegistry::Registration> metric_registrations_;

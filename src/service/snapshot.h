@@ -68,10 +68,12 @@ class IndexSnapshot {
 /// fresh ServingState), so a reader's single atomic acquire yields a
 /// mutually consistent (snapshot, delta) pair — no locking, no torn reads.
 struct ServingState {
-  ServingState(std::shared_ptr<const IndexSnapshot> snap, FacilityDelta d)
+  ServingState(std::shared_ptr<const IndexSnapshot> snap, FacilityDelta d,
+               std::uint64_t version = 0)
       : snapshot(std::move(snap)),
         overlay(&snapshot->tree(), snapshot->existing(),
-                snapshot->candidates(), std::move(d)) {}
+                snapshot->candidates(), std::move(d)),
+        version(version) {}
 
   /// The oracle queries consume: forwards distances to the snapshot tree,
   /// streams the composed facility sets.
@@ -79,6 +81,12 @@ struct ServingState {
 
   std::shared_ptr<const IndexSnapshot> snapshot;
   OverlayOracle overlay;
+  /// Facility mutations the owning service had accepted when this state was
+  /// published. Survives compaction (a rebase republishes the same version
+  /// under a new epoch), so it is the global version iterators and
+  /// subscription pushes are pinned to. 0 for states built outside a
+  /// service.
+  std::uint64_t version = 0;
 };
 
 }  // namespace ifls

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "src/core/brute_force.h"
@@ -215,6 +216,135 @@ TEST(ContinuousIflsTest, ZeroToleranceStillExact) {
     }
   }
   EXPECT_TRUE(monitor.AnswerWithin(-0.5).status().IsInvalidArgument());
+}
+
+// Property: the certified lower bound L = max_i min(nef_i, nc_i) must never
+// exceed what an actual re-solve achieves — for any crowd reached by random
+// moves and any facility sets reached by random mutations. A violation
+// would make AnswerWithin's skip rule unsound (it could certify a stale
+// answer as within-tolerance when a better candidate exists).
+class ContinuousLowerBoundTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ContinuousLowerBoundTest, CertifiedBoundNeverViolatedByResolve) {
+  ContinuousEnv& env = ContinuousEnv::Get();
+  Rng rng(GetParam());
+  FacilitySets sets = env.MakeSets(GetParam(), 3 + rng.NextBounded(3),
+                                   5 + rng.NextBounded(6));
+  ContinuousIfls monitor(&env.tree(), sets.existing, sets.candidates);
+  std::sort(sets.existing.begin(), sets.existing.end());
+  std::sort(sets.candidates.begin(), sets.candidates.end());
+
+  std::vector<Client> mirror;
+  std::vector<ClientId> ids;
+  for (int i = 0; i < 12; ++i) {
+    Client c = RandomClient(env.venue(), &rng, 0);
+    ids.push_back(monitor.AddClient(c.position, c.partition));
+    c.id = ids.back();
+    mirror.push_back(c);
+  }
+  (void)Unwrap(monitor.Answer());
+
+  const auto mirror_insert = [](std::vector<PartitionId>* v, PartitionId p) {
+    v->insert(std::upper_bound(v->begin(), v->end(), p), p);
+  };
+  const auto mirror_erase = [](std::vector<PartitionId>* v, PartitionId p) {
+    v->erase(std::find(v->begin(), v->end(), p));
+  };
+
+  for (int step = 0; step < 40; ++step) {
+    // Random event: move a client or mutate a facility set.
+    switch (rng.NextBounded(5)) {
+      case 0:
+      case 1:
+      case 2: {  // move
+        const std::size_t idx =
+            static_cast<std::size_t>(rng.NextBounded(mirror.size()));
+        const Client moved = RandomClient(env.venue(), &rng, mirror[idx].id);
+        ASSERT_TRUE(
+            monitor.MoveClient(ids[idx], moved.position, moved.partition)
+                .ok());
+        mirror[idx].position = moved.position;
+        mirror[idx].partition = moved.partition;
+        break;
+      }
+      case 3: {  // candidate churn
+        const auto p = static_cast<PartitionId>(
+            rng.NextBounded(env.venue().num_partitions()));
+        if (monitor.AddCandidateFacility(p).ok()) {
+          mirror_insert(&sets.candidates, p);
+        } else if (monitor.RemoveCandidateFacility(p).ok()) {
+          mirror_erase(&sets.candidates, p);
+        }
+        break;
+      }
+      default: {  // existing churn
+        const auto p = static_cast<PartitionId>(
+            rng.NextBounded(env.venue().num_partitions()));
+        if (monitor.AddExistingFacility(p).ok()) {
+          mirror_insert(&sets.existing, p);
+        } else if (monitor.RemoveExistingFacility(p).ok()) {
+          mirror_erase(&sets.existing, p);
+        }
+        break;
+      }
+    }
+
+    // The bound must hold *before* the monitor re-solves: it is what the
+    // skip decision reads.
+    const double bound = monitor.certified_lower_bound();
+    const double optimum = FreshOptimum(env, sets, mirror);
+    EXPECT_LE(bound, optimum + kTol * std::max(1.0, optimum))
+        << "step " << step << ": certified bound above a real re-solve";
+
+    // And the served answer (skip or re-solve) must stay exact: tolerance 0
+    // only skips when f(cached) <= L <= optimum.
+    const auto answer = Unwrap(monitor.AnswerWithin(0.0));
+    if (answer.result.found) {
+      IflsContext ctx;
+      ctx.oracle = &env.tree();
+      ctx.existing = sets.existing;
+      ctx.candidates = sets.candidates;
+      ctx.clients = mirror;
+      EXPECT_NEAR(EvaluateMinMax(ctx, answer.result.answer), optimum,
+                  kTol * std::max(1.0, optimum))
+          << "step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContinuousLowerBoundTest,
+                         ::testing::Range<std::uint64_t>(71, 77));
+
+TEST(ContinuousIflsTest, FacilityMutationsValidateAndStayConsistent) {
+  ContinuousEnv& env = ContinuousEnv::Get();
+  const FacilitySets sets = env.MakeSets(81, 3, 5);
+  ContinuousIfls monitor(&env.tree(), sets.existing, sets.candidates);
+  Rng rng(82);
+  for (int i = 0; i < 8; ++i) {
+    const Client c = RandomClient(env.venue(), &rng, 0);
+    monitor.AddClient(c.position, c.partition);
+  }
+  (void)Unwrap(monitor.Answer());
+
+  const PartitionId existing = sets.existing.front();
+  const PartitionId candidate = sets.candidates.front();
+  EXPECT_TRUE(monitor.AddExistingFacility(existing).IsAlreadyExists());
+  EXPECT_TRUE(monitor.AddCandidateFacility(candidate).IsAlreadyExists());
+  EXPECT_TRUE(monitor.AddExistingFacility(candidate).IsFailedPrecondition());
+  EXPECT_TRUE(monitor.AddCandidateFacility(existing).IsFailedPrecondition());
+  EXPECT_TRUE(monitor.RemoveExistingFacility(candidate).IsNotFound());
+  EXPECT_TRUE(monitor.RemoveCandidateFacility(existing).IsNotFound());
+  EXPECT_TRUE(
+      monitor.AddExistingFacility(kInvalidPartition).IsInvalidArgument());
+
+  // Removing the cached answer itself must invalidate and re-solve.
+  const IflsResult before = Unwrap(monitor.Answer());
+  ASSERT_TRUE(before.found);
+  const std::int64_t solves = monitor.solve_count();
+  ASSERT_TRUE(monitor.RemoveCandidateFacility(before.answer).ok());
+  const IflsResult after = Unwrap(monitor.Answer());
+  EXPECT_GT(monitor.solve_count(), solves);
+  if (after.found) EXPECT_NE(after.answer, before.answer);
 }
 
 TEST(ContinuousIflsTest, DrivesOffTrajectories) {

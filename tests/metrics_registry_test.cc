@@ -219,6 +219,34 @@ TEST(MetricsRegistryTest, HistogramExpositionIsCumulativeAndSummed) {
   EXPECT_NEAR(sum, 76e-6, 1e-9);
 }
 
+TEST(MetricsRegistryTest, SubscriptionPushHistogramRoundTrips) {
+  // The real series IflsService::RegisterMetrics binds its push-latency
+  // histogram to. Recording through the registry handle must round-trip
+  // into the text exposition — and be the same instrument a service would
+  // aggregate into, since GetHistogram returns a stable singleton.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  LatencyHistogram* push_seconds =
+      reg.GetHistogram("ifls_subscription_push_seconds");
+  ASSERT_NE(push_seconds, nullptr);
+  EXPECT_EQ(reg.GetHistogram("ifls_subscription_push_seconds"), push_seconds);
+
+  push_seconds->Record(250e-6);
+  push_seconds->Record(1.5e-3);
+  const std::string text = DumpMetricsText();
+  EXPECT_NE(text.find("# TYPE ifls_subscription_push_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("ifls_subscription_push_seconds_count 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("ifls_subscription_push_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  const std::size_t sum_pos =
+      text.find("ifls_subscription_push_seconds_sum ");
+  ASSERT_NE(sum_pos, std::string::npos);
+  double sum = 0.0;
+  std::istringstream(text.substr(sum_pos + 35)) >> sum;
+  EXPECT_NEAR(sum, 1.75e-3, 1e-9);
+}
+
 TEST(MetricsRegistryTest, ConcurrentGetAndDumpSmoke) {
   MetricsRegistry& reg = MetricsRegistry::Global();
   constexpr int kThreads = 8;

@@ -12,12 +12,21 @@
 //   trace        --preset MC|CH|CPH|MZB [--existing N] [--candidates N]
 //                [--clients N] [--queries N] [--workers N] [--sample N]
 //                [--slow-ms MS] [--seed S] [--metrics] --out FILE.trace.json
+//   subscribe    --preset MC|CH|CPH|MZB [--existing N] [--candidates N]
+//                [--subs N] [--clients N] [--ticks N] [--tolerance T]
+//                [--workers N] [--seed S] [--metrics]
 //
 // `trace` runs a traced IflsService session (queries across all three
 // objectives, a facility-mutation + compaction cycle, and a graph-oracle
 // differential solve) and exports the spans as Chrome trace-event JSON for
 // Perfetto / chrome://tracing. --metrics additionally prints the Prometheus
 // text exposition of the telemetry registry.
+//
+// `subscribe` registers standing IFLS queries over trajectory-driven
+// crowds, drives ticks plus a candidate-mutation/compaction cycle through
+// the service, and prints every push as it is delivered: a line appears
+// only when a move or mutation actually invalidated a standing answer
+// beyond the tolerance — certified-fresh events are skipped silently.
 //
 // Exit code 0 on success, 1 on any error (message on stderr).
 
@@ -26,6 +35,8 @@
 #include <cstring>
 #include <future>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -39,6 +50,7 @@
 #include "src/core/mindist.h"
 #include "src/core/minmax_baseline.h"
 #include "src/datasets/presets.h"
+#include "src/datasets/trajectory_generator.h"
 #include "src/datasets/workload.h"
 #include "src/index/graph_oracle.h"
 #include "src/index/vip_tree.h"
@@ -428,11 +440,161 @@ int Trace(const Args& args) {
   return 0;
 }
 
+int Subscribe(const Args& args) {
+  const auto preset = ParsePreset(args.GetOr("preset", "MC"));
+  if (!preset) return Fail("unknown preset (use MC, CH, CPH or MZB)");
+  const std::size_t num_subs =
+      static_cast<std::size_t>(args.GetInt("subs", 4));
+  const std::size_t clients_per_sub =
+      static_cast<std::size_t>(args.GetInt("clients", 6));
+  const std::size_t ticks = static_cast<std::size_t>(args.GetInt("ticks", 20));
+  const double tolerance = args.GetDouble("tolerance", 0.0);
+  if (num_subs < 1 || clients_per_sub < 1 || ticks < 1) {
+    return Fail("--subs, --clients and --ticks must be >= 1");
+  }
+
+  // Built twice, as in `trace`: preset construction is deterministic, so
+  // the second build drives the trajectory generator while the service owns
+  // the first.
+  Result<Venue> venue = BuildPresetVenue(*preset);
+  if (!venue.ok()) return Fail(venue.status());
+  Result<Venue> walk_venue = BuildPresetVenue(*preset);
+  if (!walk_venue.ok()) return Fail(walk_venue.status());
+  Result<VipTree> walk_tree = VipTree::Build(&walk_venue.value());
+  if (!walk_tree.ok()) return Fail(walk_tree.status());
+
+  Rng rng(static_cast<std::uint64_t>(args.GetInt("seed", 1)));
+  Result<FacilitySets> sets = SelectUniformFacilities(
+      *venue, static_cast<std::size_t>(args.GetInt("existing", 40)),
+      static_cast<std::size_t>(args.GetInt("candidates", 12)), &rng);
+  if (!sets.ok()) return Fail(sets.status());
+
+  TrajectoryOptions topts;
+  topts.ticks = ticks + 1;
+  Result<std::vector<Trajectory>> traj = GenerateTrajectories(
+      *walk_tree, num_subs * clients_per_sub, topts, &rng);
+  if (!traj.ok()) return Fail(traj.status());
+
+  ServiceOptions options;
+  options.num_workers = static_cast<int>(args.GetInt("workers", 0));
+  Result<std::unique_ptr<IflsService>> service = IflsService::Create(
+      std::move(venue).value(), sets->existing, sets->candidates, options);
+  if (!service.ok()) return Fail(service.status());
+  IflsService& svc = **service;
+
+  std::printf("subscribe demo: %zu standing queries x %zu clients, %zu "
+              "ticks, tolerance %g (|Fe|=%zu |Fn|=%zu)\n",
+              num_subs, clients_per_sub, ticks, tolerance,
+              sets->existing.size(), sets->candidates.size());
+
+  std::mutex print_mu;
+  std::vector<std::shared_ptr<Subscription>> subs;
+  subs.reserve(num_subs);
+  for (std::size_t s = 0; s < num_subs; ++s) {
+    std::vector<Client> clients;
+    for (std::size_t c = 0; c < clients_per_sub; ++c) {
+      const TrajectoryPoint& p = (*traj)[s * clients_per_sub + c][0];
+      clients.push_back(
+          Client{static_cast<ClientId>(c), p.position, p.partition});
+    }
+    SubscriptionOptions sopts;
+    sopts.tolerance = tolerance;
+    Result<std::shared_ptr<Subscription>> sub = svc.Subscribe(
+        clients, sopts, [s, &print_mu](const SubscriptionPush& push) {
+          std::lock_guard<std::mutex> lock(print_mu);
+          if (push.result.found) {
+            std::printf("  sub %zu push #%llu (version %llu, ticks %llu): "
+                        "partition %d objective %.4f\n",
+                        s, static_cast<unsigned long long>(push.sequence),
+                        static_cast<unsigned long long>(push.version),
+                        static_cast<unsigned long long>(push.ticks_applied),
+                        push.result.answer, push.result.objective);
+          } else {
+            std::printf("  sub %zu push #%llu (version %llu, ticks %llu): "
+                        "no candidate improves objective %.4f\n",
+                        s, static_cast<unsigned long long>(push.sequence),
+                        static_cast<unsigned long long>(push.version),
+                        static_cast<unsigned long long>(push.ticks_applied),
+                        push.result.objective);
+          }
+        });
+    if (!sub.ok()) return Fail(sub.status());
+    subs.push_back(std::move(*sub));
+  }
+
+  // Drive the fleet: one client of every subscription moves per tick; a
+  // candidate is removed a third of the way in (its standing answers must
+  // re-solve), the overlay is compacted, and the candidate returns later —
+  // subscriptions ride across the snapshot rebase without losing state.
+  const PartitionId toggled = sets->candidates.back();
+  for (std::size_t t = 1; t <= ticks; ++t) {
+    if (t == ticks / 3 + 1) {
+      std::printf("tick %zu: remove candidate %d + compact\n", t, toggled);
+      if (Status s = svc.Mutate({MutationKind::kRemoveCandidate, toggled});
+          !s.ok()) {
+        return Fail(s);
+      }
+      if (Status s = svc.CompactNow(); !s.ok()) return Fail(s);
+    } else if (t == 2 * ticks / 3 + 1) {
+      std::printf("tick %zu: re-add candidate %d\n", t, toggled);
+      if (Status s = svc.Mutate({MutationKind::kAddCandidate, toggled});
+          !s.ok()) {
+        return Fail(s);
+      }
+    }
+    for (std::size_t s = 0; s < num_subs; ++s) {
+      const std::size_t c = (t - 1 + s) % clients_per_sub;
+      const TrajectoryPoint& p = (*traj)[s * clients_per_sub + c][t];
+      if (Status status = svc.TickSubscription(
+              subs[s]->id(), static_cast<ClientId>(c), p.position,
+              p.partition);
+          !status.ok()) {
+        return Fail(status);
+      }
+    }
+  }
+  svc.Drain();
+
+  std::printf("final standing answers:\n");
+  for (std::size_t s = 0; s < num_subs; ++s) {
+    const Subscription::State state = subs[s]->Current();
+    if (state.has_answer) {
+      std::printf("  sub %zu: partition %d objective %.4f", s, state.answer,
+                  state.objective);
+    } else {
+      std::printf("  sub %zu: no improving candidate", s);
+    }
+    std::printf(" (version %llu, ticks %llu, pushes %llu, solves %lld, "
+                "skips %lld)\n",
+                static_cast<unsigned long long>(state.version),
+                static_cast<unsigned long long>(state.ticks_applied),
+                static_cast<unsigned long long>(state.pushes), state.solves,
+                state.skips);
+  }
+  const ServiceMetrics metrics = svc.Metrics();
+  std::printf("service: %llu events, %llu pushes, %llu solves, %llu skips, "
+              "%llu compactions\n",
+              static_cast<unsigned long long>(metrics.subscription_events),
+              static_cast<unsigned long long>(metrics.subscription_pushes),
+              static_cast<unsigned long long>(metrics.subscription_solves),
+              static_cast<unsigned long long>(metrics.subscription_skips),
+              static_cast<unsigned long long>(metrics.compactions));
+  for (std::size_t s = 0; s < num_subs; ++s) {
+    if (Status status = svc.Unsubscribe(subs[s]->id()); !status.ok()) {
+      return Fail(status);
+    }
+  }
+  if (args.Has("metrics")) {
+    std::printf("%s", DumpMetricsText().c_str());
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s gen-venue|gen-workload|solve|info|render|trace "
-                 "[--flags]\n",
+                 "usage: %s gen-venue|gen-workload|solve|info|render|trace|"
+                 "subscribe [--flags]\n",
                  argv[0]);
     return 1;
   }
@@ -445,6 +607,7 @@ int Run(int argc, char** argv) {
   if (command == "info") return Info(args);
   if (command == "render") return Render(args);
   if (command == "trace") return Trace(args);
+  if (command == "subscribe") return Subscribe(args);
   return Fail("unknown command");
 }
 
