@@ -1,0 +1,338 @@
+// Multi-venue fleet serving benchmark (DESIGN.md §12): builds a campus of
+// synthetic venues into a fleet snapshot directory, then measures the three
+// snapshot hydration paths on the exact same index images —
+//
+//   cold build      VipTree::Build from the venue (the no-snapshot world),
+//   parse-load      the v2 text format (the pre-v3 persistence path),
+//   mmap-load       the v3 zero-copy path (map + descriptor fixup),
+//   warm re-map     mmap-load again with the page cache hot (the
+//                   eviction-reload path VenueRouter leans on),
+//
+// cross-checks that a mapped tree answers every objective bit-identically
+// to the heap-built tree, measures eviction + reload latency through a
+// budget-constrained VenueRouter, and finishes with a steady-state
+// concurrent query run across the whole fleet under a budget that keeps
+// roughly half the venues resident (so the LRU churns continuously).
+//
+// Hard assertions (exit 1): mmap-load must beat parse-load by >= 5x in
+// aggregate, mapped answers must equal heap answers exactly, and no steady
+// -state query may fail.
+//
+// Writes BENCH_venue_fleet.json (shared schema, src/benchlib).
+// Scale via IFLS_BENCH_SCALE=smoke|default|full.
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/benchlib/harness.h"
+#include "src/benchlib/json_report.h"
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/common/stopwatch.h"
+#include "src/core/solve_dispatch.h"
+#include "src/datasets/client_generator.h"
+#include "src/datasets/facility_selector.h"
+#include "src/datasets/venue_generator.h"
+#include "src/index/vip_tree.h"
+#include "src/io/venue_io.h"
+#include "src/service/fleet_store.h"
+#include "src/service/service.h"
+#include "src/service/venue_router.h"
+
+namespace ifls {
+namespace {
+
+struct BenchConfig {
+  int num_venues = 16;
+  int total_rooms = 150;
+  int levels = 2;
+  std::size_t existing = 8;
+  std::size_t candidates = 16;
+  std::size_t clients_per_query = 64;
+  int query_threads = 4;
+  std::uint64_t steady_queries_per_thread = 100;
+  double min_mmap_speedup = 5.0;
+};
+
+BenchConfig ConfigForScale(const BenchScale& scale) {
+  BenchConfig cfg;
+  if (scale.name == "smoke") {
+    cfg.num_venues = 4;
+    cfg.total_rooms = 100;
+    cfg.steady_queries_per_thread = 25;
+  } else if (scale.name == "full") {
+    cfg.num_venues = 24;
+    cfg.total_rooms = 250;
+    cfg.steady_queries_per_thread = 400;
+  }
+  return cfg;
+}
+
+std::string VenueId(int i) {
+  char id[16];
+  std::snprintf(id, sizeof(id), "v%03d", i);
+  return id;
+}
+
+int Main() {
+  const BenchScale scale = BenchScale::FromEnv();
+  const BenchConfig cfg = ConfigForScale(scale);
+  namespace fs = std::filesystem;
+
+  const fs::path root =
+      fs::temp_directory_path() / "ifls_bench_venue_fleet";
+  std::error_code ec;
+  fs::remove_all(root, ec);
+
+  // ---- Phase 1: build the fleet snapshot directory. --------------------
+  // Venues vary in size and door jitter so the fleet is not N copies of
+  // one index image.
+  std::vector<Venue> venues;
+  venues.reserve(static_cast<std::size_t>(cfg.num_venues));
+  std::vector<FacilitySets> facility_sets(
+      static_cast<std::size_t>(cfg.num_venues));
+  double build_seconds = 0.0;
+  std::uint64_t v3_bytes_total = 0;
+  std::size_t resident_bytes_total = 0;
+  for (int i = 0; i < cfg.num_venues; ++i) {
+    VenueGeneratorSpec spec;
+    spec.name = VenueId(i);
+    spec.levels = cfg.levels;
+    spec.total_rooms = cfg.total_rooms + 10 * (i % 4);
+    spec.door_jitter_seed = static_cast<std::uint64_t>(1 + i);
+    Result<Venue> venue = GenerateVenue(spec);
+    IFLS_CHECK(venue.ok()) << venue.status().ToString();
+    venues.push_back(std::move(venue).value());
+  }
+  for (int i = 0; i < cfg.num_venues; ++i) {
+    const std::size_t idx = static_cast<std::size_t>(i);
+    Stopwatch build_watch;
+    Result<VipTree> tree =
+        VipTree::Build(&venues[idx], DefaultServiceTreeOptions());
+    IFLS_CHECK(tree.ok()) << tree.status().ToString();
+    build_seconds += build_watch.ElapsedSeconds();
+    resident_bytes_total += tree->MemoryFootprintBytes();
+
+    Rng rng(static_cast<std::uint64_t>(31 + i));
+    Result<FacilitySets> sets = SelectUniformFacilities(
+        venues[idx], cfg.existing, cfg.candidates, &rng);
+    IFLS_CHECK(sets.ok()) << sets.status().ToString();
+    facility_sets[idx] = *sets;
+
+    const std::string dir = (root / VenueId(i)).string();
+    Status written = WriteVenueSnapshot(dir, venues[idx], *tree,
+                                        sets->existing, sets->candidates);
+    IFLS_CHECK(written.ok()) << written.ToString();
+    v3_bytes_total += static_cast<std::uint64_t>(
+        fs::file_size(fs::path(dir) / kFleetIndexV3FileName));
+  }
+
+  // ---- Phase 2: hydration-path comparison on identical images. ---------
+  // Times the index load only (the venue is pre-loaded) so the ratio
+  // isolates v2 text parsing vs v3 map + fixup.
+  double parse_seconds = 0.0;
+  double mmap_seconds = 0.0;
+  double remap_seconds = 0.0;
+  bool answers_identical = true;
+  const IflsObjective kObjectives[] = {
+      IflsObjective::kMinMax, IflsObjective::kMinDist, IflsObjective::kMaxSum};
+  for (int i = 0; i < cfg.num_venues; ++i) {
+    const std::size_t idx = static_cast<std::size_t>(i);
+    const fs::path dir = root / VenueId(i);
+    const std::string v2 = (dir / kFleetIndexV2FileName).string();
+    const std::string v3 = (dir / kFleetIndexV3FileName).string();
+
+    Stopwatch parse_watch;
+    Result<VipTree> parsed = VipTree::LoadFromFile(&venues[idx], v2);
+    parse_seconds += parse_watch.ElapsedSeconds();
+    IFLS_CHECK(parsed.ok()) << parsed.status().ToString();
+
+    Stopwatch mmap_watch;
+    Result<VipTree> mapped = VipTree::LoadV3FromFile(&venues[idx], v3);
+    mmap_seconds += mmap_watch.ElapsedSeconds();
+    IFLS_CHECK(mapped.ok()) << mapped.status().ToString();
+
+    Stopwatch remap_watch;
+    Result<VipTree> remapped = VipTree::LoadV3FromFile(&venues[idx], v3);
+    remap_seconds += remap_watch.ElapsedSeconds();
+    IFLS_CHECK(remapped.ok()) << remapped.status().ToString();
+
+    // Differential: heap-parsed vs mapped arenas must answer identically
+    // (same descriptors, same payload bits, same traversal).
+    Rng crng(static_cast<std::uint64_t>(7000 + i));
+    const std::vector<Client> clients =
+        GenerateClients(venues[idx], cfg.clients_per_query, {}, &crng);
+    for (IflsObjective objective : kObjectives) {
+      IflsContext parse_ctx;
+      parse_ctx.oracle = &parsed.value();
+      parse_ctx.existing = facility_sets[idx].existing;
+      parse_ctx.candidates = facility_sets[idx].candidates;
+      parse_ctx.clients = clients;
+      IflsContext map_ctx = parse_ctx;
+      map_ctx.oracle = &mapped.value();
+      Result<IflsResult> a = SolveWithObjective(objective, parse_ctx);
+      Result<IflsResult> b = SolveWithObjective(objective, map_ctx);
+      IFLS_CHECK(a.ok()) << a.status().ToString();
+      IFLS_CHECK(b.ok()) << b.status().ToString();
+      if (a->found != b->found || a->answer != b->answer ||
+          a->objective != b->objective) {
+        answers_identical = false;
+        std::cerr << "[fleet] MISMATCH venue " << VenueId(i) << " "
+                  << IflsObjectiveName(objective) << ": heap ("
+                  << a->answer << ", " << a->objective << ") vs mapped ("
+                  << b->answer << ", " << b->objective << ")\n";
+      }
+    }
+  }
+  const double mmap_speedup =
+      mmap_seconds > 0.0 ? parse_seconds / mmap_seconds : 0.0;
+
+  // ---- Phase 3: eviction + reload latency through the router. ----------
+  // max_resident_venues=1 makes every venue switch an evict + reload pair.
+  double evict_seconds = 0.0;
+  double reload_seconds = 0.0;
+  std::uint64_t evict_reload_pairs = 0;
+  {
+    VenueRouterOptions ropts;
+    ropts.max_resident_venues = 1;
+    Result<std::unique_ptr<VenueRouter>> router =
+        VenueRouter::Open(root.string(), ropts);
+    IFLS_CHECK(router.ok()) << router.status().ToString();
+    const std::vector<std::string> ids = (*router)->venue_ids();
+    IFLS_CHECK(!ids.empty());
+    IFLS_CHECK((*router)->Preload(ids[0]).ok());
+    for (std::size_t round = 1; round < 2 * ids.size(); ++round) {
+      const std::string& prev = ids[(round - 1) % ids.size()];
+      const std::string& next = ids[round % ids.size()];
+      Stopwatch evict_watch;
+      IFLS_CHECK((*router)->Evict(prev).ok());
+      evict_seconds += evict_watch.ElapsedSeconds();
+      Stopwatch reload_watch;
+      Result<std::shared_ptr<IflsService>> svc = (*router)->Service(next);
+      reload_seconds += reload_watch.ElapsedSeconds();
+      IFLS_CHECK(svc.ok()) << svc.status().ToString();
+      ++evict_reload_pairs;
+    }
+  }
+
+  // ---- Phase 4: steady-state fleet serving under a constrained budget. -
+  // Budget ~ half the fleet's resident bytes: the LRU must keep evicting
+  // cold venues while query threads sweep the whole fleet.
+  const std::size_t budget = resident_bytes_total / 2;
+  VenueRouterOptions ropts;
+  ropts.memory_budget_bytes = budget;
+  ropts.service.num_workers = 2;
+  Result<std::unique_ptr<VenueRouter>> router =
+      VenueRouter::Open(root.string(), ropts);
+  IFLS_CHECK(router.ok()) << router.status().ToString();
+  const std::vector<std::string> ids = (*router)->venue_ids();
+
+  std::vector<std::vector<Client>> steady_clients(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    Rng crng(9000 + i);
+    steady_clients[i] =
+        GenerateClients(venues[i], cfg.clients_per_query, {}, &crng);
+  }
+
+  std::atomic<std::uint64_t> steady_ok{0};
+  std::atomic<std::uint64_t> steady_failed{0};
+  Stopwatch steady_watch;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < cfg.query_threads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng trng(static_cast<std::uint64_t>(100 + t));
+      for (std::uint64_t q = 0; q < cfg.steady_queries_per_thread; ++q) {
+        const std::size_t v = trng.NextBounded(ids.size());
+        ServiceRequest request;
+        request.objective = kObjectives[trng.NextBounded(3)];
+        request.clients = steady_clients[v];
+        const ServiceReply reply =
+            (*router)->Query(ids[v], std::move(request));
+        if (reply.status.ok()) {
+          steady_ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          steady_failed.fetch_add(1, std::memory_order_relaxed);
+          std::cerr << "[fleet] steady query failed: "
+                    << reply.status.ToString() << "\n";
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double steady_seconds = steady_watch.ElapsedSeconds();
+  const VenueRouterMetrics rm = (*router)->Metrics();
+  router->reset();
+  fs::remove_all(root, ec);
+
+  const double steady_qps =
+      steady_seconds > 0.0 ? static_cast<double>(steady_ok.load()) /
+                                 steady_seconds
+                           : 0.0;
+  std::cerr << "[fleet] " << cfg.num_venues << " venues: parse "
+            << parse_seconds << "s vs mmap " << mmap_seconds << "s ("
+            << mmap_speedup << "x), warm re-map " << remap_seconds
+            << "s; steady " << steady_ok.load() << " queries at "
+            << steady_qps << " qps with " << rm.evictions
+            << " evictions under a " << (budget >> 20) << " MiB budget\n";
+
+  Status written = WriteBenchReport("venue_fleet", [&](JsonWriter& w) {
+    w.Field("scale", scale.name);
+    w.Field("num_venues", cfg.num_venues);
+    w.Field("clients_per_query", cfg.clients_per_query);
+    w.Field("v3_bytes_total", v3_bytes_total);
+    w.Field("resident_bytes_total", resident_bytes_total);
+    w.Field("build_seconds_total", build_seconds);
+    w.Field("parse_load_seconds_total", parse_seconds);
+    w.Field("mmap_load_seconds_total", mmap_seconds);
+    w.Field("warm_remap_seconds_total", remap_seconds);
+    w.Field("mmap_speedup_vs_parse", mmap_speedup);
+    w.Field("answers_identical", answers_identical);
+    w.Field("evict_reload_pairs", evict_reload_pairs);
+    w.Field("evict_seconds_mean",
+            evict_reload_pairs > 0
+                ? evict_seconds / static_cast<double>(evict_reload_pairs)
+                : 0.0);
+    w.Field("reload_seconds_mean",
+            evict_reload_pairs > 0
+                ? reload_seconds / static_cast<double>(evict_reload_pairs)
+                : 0.0);
+    w.Field("steady_budget_bytes", budget);
+    w.Field("steady_query_threads", cfg.query_threads);
+    w.Field("steady_queries_ok", steady_ok.load());
+    w.Field("steady_queries_failed", steady_failed.load());
+    w.Field("steady_seconds", steady_seconds);
+    w.Field("steady_qps", steady_qps);
+    w.Field("router_loads", rm.loads);
+    w.Field("router_hits", rm.hits);
+    w.Field("router_evictions", rm.evictions);
+  });
+  IFLS_CHECK(written.ok()) << written.ToString();
+  std::cerr << "[fleet] wrote " << BenchReportPath("venue_fleet") << "\n";
+
+  if (!answers_identical) {
+    std::cerr << "[fleet] FAILURE: mapped answers diverged from heap\n";
+    return 1;
+  }
+  if (mmap_speedup < cfg.min_mmap_speedup) {
+    std::cerr << "[fleet] FAILURE: mmap-load only " << mmap_speedup
+              << "x faster than parse-load (wanted >= "
+              << cfg.min_mmap_speedup << "x)\n";
+    return 1;
+  }
+  if (steady_failed.load() != 0) {
+    std::cerr << "[fleet] FAILURE: " << steady_failed.load()
+              << " steady-state queries errored\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ifls
+
+int main() { return ifls::Main(); }

@@ -1,0 +1,112 @@
+#include "src/common/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/common/memory_tracker.h"
+#include "src/common/metrics_registry.h"
+
+namespace ifls {
+namespace {
+
+std::atomic<std::int64_t> g_total_mapped_bytes{0};
+
+/// The registry-owned gauge mirrors the atomic so fleet dashboards see the
+/// same number eviction decisions exclude from the heap budget.
+void PublishMappedBytes() {
+  MetricsRegistry::Global()
+      .GetGauge("ifls_mapped_bytes")
+      ->Set(static_cast<double>(
+          g_total_mapped_bytes.load(std::memory_order_relaxed)));
+}
+
+void ChargeMappedBytes(std::int64_t bytes) {
+  g_total_mapped_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  if (MemoryTracker* t = ActiveMemoryTracker(); t != nullptr) {
+    t->ChargeMapped(bytes);
+  }
+  PublishMappedBytes();
+}
+
+void ReleaseMappedBytes(std::int64_t bytes) {
+  g_total_mapped_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+  if (MemoryTracker* t = ActiveMemoryTracker(); t != nullptr) {
+    t->ReleaseMapped(bytes);
+  }
+  PublishMappedBytes();
+}
+
+}  // namespace
+
+std::int64_t TotalMappedBytes() {
+  return g_total_mapped_bytes.load(std::memory_order_relaxed);
+}
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open '" + path +
+                           "' for mapping: " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("cannot stat '" + path +
+                           "': " + std::strerror(err));
+  }
+  MappedFile file;
+  file.path_ = path;
+  file.size_ = static_cast<std::size_t>(st.st_size);
+  if (file.size_ > 0) {
+    void* addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_SHARED, fd, 0);
+    if (addr == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IOError("cannot mmap '" + path +
+                             "': " + std::strerror(err));
+    }
+    file.data_ = static_cast<const std::byte*>(addr);
+    ChargeMappedBytes(static_cast<std::int64_t>(file.size_));
+  }
+  // The mapping keeps the pages referenced; the descriptor is not needed.
+  ::close(fd);
+  return file;
+}
+
+MappedFile::~MappedFile() { Unmap(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_), size_(other.size_), path_(std::move(other.path_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+  Unmap();
+  data_ = other.data_;
+  size_ = other.size_;
+  path_ = std::move(other.path_);
+  other.data_ = nullptr;
+  other.size_ = 0;
+  return *this;
+}
+
+void MappedFile::Unmap() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+    ReleaseMappedBytes(static_cast<std::int64_t>(size_));
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace ifls

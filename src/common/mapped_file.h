@@ -1,0 +1,63 @@
+#ifndef IFLS_COMMON_MAPPED_FILE_H_
+#define IFLS_COMMON_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace ifls {
+
+/// A read-only, shared, page-aligned memory mapping of a whole file. The
+/// backing bytes belong to the kernel page cache: mapping costs no resident
+/// heap, dropping the mapping keeps the pages warm for the next map, and two
+/// processes mapping the same snapshot share physical memory. This is the
+/// backing store for mapped ArenaBuffers (zero-copy index loading).
+///
+/// Mapped bytes are charged to the process-wide `ifls_mapped_bytes` gauge
+/// and to the thread's active MemoryTracker mapped-bytes counter (never the
+/// heap peak) for the mapping's lifetime.
+class MappedFile {
+ public:
+  /// Maps `path` read-only in full. Fails with IOError when the file cannot
+  /// be opened, stat-ed or mapped; empty files map successfully with
+  /// size() == 0.
+  static Result<MappedFile> Open(const std::string& path);
+
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// Typed view at a byte offset. The caller is responsible for bounds and
+  /// alignment (v3 snapshot sections are page-aligned, which satisfies any
+  /// scalar T).
+  template <typename T>
+  const T* ViewAt(std::size_t byte_offset) const {
+    return reinterpret_cast<const T*>(data_ + byte_offset);
+  }
+
+ private:
+  void Unmap();
+
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::string path_;
+};
+
+/// Sum of all live MappedFile sizes in this process (the value behind the
+/// `ifls_mapped_bytes` gauge).
+std::int64_t TotalMappedBytes();
+
+}  // namespace ifls
+
+#endif  // IFLS_COMMON_MAPPED_FILE_H_

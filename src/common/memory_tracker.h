@@ -40,6 +40,19 @@ class MemoryTracker {
     current_.fetch_sub(bytes, std::memory_order_relaxed);
   }
 
+  /// Accounts bytes backed by a file mapping rather than the heap. Mapped
+  /// regions are reclaimable by the kernel at any time (the page cache owns
+  /// the data), so they are tracked as a separate gauge and deliberately do
+  /// NOT feed `current_`/`peak_` — the heap peak is what eviction budgets
+  /// and the paper's memory metric reason about, and counting mmap-ed index
+  /// payload there would inflate both.
+  void ChargeMapped(std::int64_t bytes) {
+    mapped_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void ReleaseMapped(std::int64_t bytes) {
+    mapped_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
   /// Currently-held logical bytes.
   std::int64_t current_bytes() const {
     return current_.load(std::memory_order_relaxed);
@@ -48,10 +61,15 @@ class MemoryTracker {
   std::int64_t peak_bytes() const {
     return peak_.load(std::memory_order_relaxed);
   }
+  /// Currently file-mapped bytes (never part of the heap peak).
+  std::int64_t mapped_bytes() const {
+    return mapped_.load(std::memory_order_relaxed);
+  }
 
   void Reset() {
     current_.store(0, std::memory_order_relaxed);
     peak_.store(0, std::memory_order_relaxed);
+    mapped_.store(0, std::memory_order_relaxed);
   }
 
   /// Per-scope high-water reset. On construction the tracker's peak is wound
@@ -91,6 +109,7 @@ class MemoryTracker {
  private:
   std::atomic<std::int64_t> current_{0};
   std::atomic<std::int64_t> peak_{0};
+  std::atomic<std::int64_t> mapped_{0};
 };
 
 /// Thread-local active tracker used by TrackingAllocator. Null when no scope

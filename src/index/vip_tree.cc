@@ -118,7 +118,8 @@ VipTree::VipTree(VipTree&& other) noexcept
       root_(other.root_),
       num_leaves_(other.num_leaves_),
       height_(other.height_),
-      door_cache_(std::move(other.door_cache_)) {
+      door_cache_(std::move(other.door_cache_)),
+      mapping_(std::move(other.mapping_)) {
   // Spans and matrix views in nodes_ point into the arenas' heap blocks,
   // which the vector moves transfer verbatim — no rewiring needed.
   CopyCountersFrom(other);
@@ -141,6 +142,7 @@ VipTree& VipTree::operator=(VipTree&& other) noexcept {
   num_leaves_ = tmp.num_leaves_;
   height_ = tmp.height_;
   door_cache_ = std::move(tmp.door_cache_);
+  mapping_ = std::move(tmp.mapping_);
   CopyCountersFrom(tmp);
   return *this;
 }
@@ -558,6 +560,12 @@ Status VipTree::InitFromStructure(const VipTreeStructure& structure) {
   ids_.Reserve(id_total);
   dist_.Reserve(dist_total);
   if (options_.store_first_hop) hops_.Reserve(dist_total);
+  // Mapped arenas validate the computed totals against their section sizes
+  // instead of allocating; a mismatch means the snapshot's descriptors and
+  // payload disagree, and continuing would hand out spans past the mapping.
+  IFLS_RETURN_NOT_OK(ids_.BackingStatus());
+  IFLS_RETURN_NOT_OK(dist_.BackingStatus());
+  IFLS_RETURN_NOT_OK(hops_.BackingStatus());
   ancestor_views_.clear();
   ancestor_views_.reserve(anc_view_total);
   nodes_.assign(n_nodes, VipNode{});
@@ -612,6 +620,11 @@ Status VipTree::InitFromStructure(const VipTreeStructure& structure) {
           ancestor_views_.data() + first, ancestor_views_.size() - first);
     }
   }
+  // Mapped arenas replayed the passes as verification: any content mismatch
+  // between the mapped ids section and the derived layout is sticky here.
+  IFLS_RETURN_NOT_OK(ids_.BackingStatus());
+  IFLS_RETURN_NOT_OK(dist_.BackingStatus());
+  IFLS_RETURN_NOT_OK(hops_.BackingStatus());
   return Status::OK();
 }
 
@@ -683,6 +696,10 @@ std::size_t VipTree::MemoryFootprintBytes() const {
   return total;
 }
 
+std::size_t VipTree::MappedFootprintBytes() const {
+  return mapping_ != nullptr ? mapping_->size() : 0;
+}
+
 VipTreeLayoutStats VipTree::LayoutStats() const {
   VipTreeLayoutStats s;
   s.num_nodes = nodes_.size();
@@ -691,9 +708,13 @@ VipTreeLayoutStats VipTree::LayoutStats() const {
   s.dist_bytes = dist_.size() * sizeof(double);
   s.hop_bytes = hops_.size() * sizeof(DoorId);
   s.arena_used_bytes = s.id_bytes + s.dist_bytes + s.hop_bytes;
-  s.arena_capacity_bytes = ids_.MemoryFootprintBytes() +
-                           dist_.MemoryFootprintBytes() +
-                           hops_.MemoryFootprintBytes();
+  // capacity() covers both backings (heap reservation or mapped section
+  // size), so utilization stays meaningful for mapped trees too.
+  s.arena_capacity_bytes = ids_.capacity() * sizeof(std::int32_t) +
+                           dist_.capacity() * sizeof(double) +
+                           hops_.capacity() * sizeof(DoorId);
+  s.mapped_bytes =
+      ids_.MappedBytes() + dist_.MappedBytes() + hops_.MappedBytes();
   s.arena_utilization =
       s.arena_capacity_bytes == 0
           ? 1.0
@@ -711,7 +732,12 @@ std::string VipTree::ToString() const {
   os << (options_.build_leaf_to_ancestor ? "VIP-tree" : "IP-tree") << "{"
      << nodes_.size() << " nodes, " << num_leaves_ << " leaves, height "
      << height_ << ", "
-     << MemoryFootprintBytes() / 1024.0 / 1024.0 << " MiB}";
+     << MemoryFootprintBytes() / 1024.0 / 1024.0 << " MiB resident"
+     << (is_mapped()
+             ? ", " + std::to_string(MappedFootprintBytes() / 1024 / 1024) +
+                   " MiB mapped"
+             : "")
+     << "}";
   return os.str();
 }
 

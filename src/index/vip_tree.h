@@ -10,6 +10,7 @@
 
 #include "src/common/arena.h"
 #include "src/common/concurrent_cache.h"
+#include "src/common/mapped_file.h"
 #include "src/common/status.h"
 #include "src/index/distance_oracle.h"
 #include "src/index/door_matrix.h"
@@ -141,6 +142,11 @@ struct VipTreeLayoutStats {
   double arena_utilization = 1.0;
   /// Total index bytes (MemoryFootprintBytes) divided by node count.
   double bytes_per_node = 0.0;
+  /// File-mapped arena bytes (0 for heap-backed trees). Counted in
+  /// arena_capacity_bytes but not in MemoryFootprintBytes: dropping a
+  /// mapped tree frees only its resident descriptors, the page cache keeps
+  /// these bytes warm.
+  std::size_t mapped_bytes = 0;
 };
 
 /// The VIP-tree (Shao et al., PVLDB'16): a bottom-up hierarchical
@@ -237,12 +243,33 @@ class VipTree : public DistanceOracle {
   /// migration path stays testable against freshly built trees.
   Status SaveLegacyV1(std::ostream* out) const;
 
-  /// Loads an index previously saved for (a venue identical to) `venue`.
-  /// Accepts both format v2 and legacy v1 (migrated into the arena layout
-  /// on load). Validates structural consistency against the venue.
+  /// Writes the complete index in the binary snapshot format v3
+  /// (page-aligned, checksummed, directly mappable; see vip_tree_io_v3.h).
+  /// Deterministic and backing-agnostic: heap-built and mapped trees of the
+  /// same index serialize byte-identically.
+  Status SaveV3ToFile(const std::string& path) const;
+
+  /// Loads an index previously saved for (a venue identical to) `venue`
+  /// from a text stream. Accepts format v2 and legacy v1 (migrated into the
+  /// arena layout on load). Validates structural consistency against the
+  /// venue.
   static Result<VipTree> Load(const Venue* venue, std::istream* in);
+
+  /// Loads from a file of any supported format, sniffing the magic: v3
+  /// files are mmap-ed zero-copy (arenas stay file-backed for the tree's
+  /// lifetime), v1/v2 files take the legacy parse path, bit-identically to
+  /// before v3 existed.
   static Result<VipTree> LoadFromFile(const Venue* venue,
                                       const std::string& path);
+
+  /// Maps a format-v3 snapshot: validates magic/version/checksums/venue,
+  /// adopts the payload sections as read-only mapped arenas, and replays
+  /// the layout pass as a descriptor fixup that re-derives and verifies
+  /// every span. All corruption modes (short map, bad magic, checksum
+  /// mismatch, truncated descriptor table, payload/structure disagreement)
+  /// surface as proper Status errors.
+  static Result<VipTree> LoadV3FromFile(const Venue* venue,
+                                        const std::string& path);
 
   // ---- Introspection ---------------------------------------------------
 
@@ -254,8 +281,18 @@ class VipTree : public DistanceOracle {
   /// Occupancy/eviction gauges of the sharded door-distance memo.
   ConcurrentDoorCache::Stats door_cache_stats() const;
 
-  /// Total bytes held by arenas, node descriptors and auxiliary tables.
+  /// Resident heap bytes held by arenas, node descriptors and auxiliary
+  /// tables. For a mapped tree this is only the descriptor/fixup state (and
+  /// the door cache when enabled) — the payload bytes live in the page
+  /// cache and are reported by MappedFootprintBytes(). Eviction budgets use
+  /// this value: it is what dropping the tree actually frees.
   std::size_t MemoryFootprintBytes() const;
+
+  /// File-mapped bytes kept alive by this tree (0 for heap-backed trees).
+  std::size_t MappedFootprintBytes() const;
+
+  /// True when the arenas view an mmap-ed snapshot instead of the heap.
+  bool is_mapped() const { return mapping_ != nullptr; }
 
   /// Arena sizes and utilization of the flat layout.
   VipTreeLayoutStats LayoutStats() const;
@@ -315,6 +352,10 @@ class VipTree : public DistanceOracle {
   std::size_t num_leaves_ = 0;
   int height_ = 0;
   mutable std::unique_ptr<ConcurrentDoorCache> door_cache_;
+  /// Keeps the v3 snapshot mapping alive while arenas view it; null for
+  /// heap-backed trees. Shared so future readers of the same file could
+  /// share one mapping.
+  std::shared_ptr<const MappedFile> mapping_;
 };
 
 /// The materialized-index implementation of DistanceOracle.

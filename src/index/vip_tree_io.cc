@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <istream>
@@ -7,6 +8,7 @@
 
 #include "src/common/logging.h"
 #include "src/index/vip_tree.h"
+#include "src/index/vip_tree_io_v3.h"
 
 // Serialization of a built VIP-tree in the line-oriented IFLS_VIPTREE text
 // format. The venue itself is serialized separately (io/venue_io); a loaded
@@ -337,10 +339,21 @@ Result<VipTree> VipTree::Load(const Venue* venue, std::istream* in) {
 
 Result<VipTree> VipTree::LoadFromFile(const Venue* venue,
                                       const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) {
     return Status::IOError("cannot open '" + path + "' for reading");
   }
+  // Sniff the binary v3 magic; anything else takes the legacy text path
+  // (v1/v2), bit-identically to before v3 existed.
+  char magic[sizeof(kV3Magic)] = {};
+  in.read(magic, sizeof(magic));
+  if (in.gcount() == static_cast<std::streamsize>(sizeof(magic)) &&
+      std::memcmp(magic, kV3Magic, sizeof(magic)) == 0) {
+    in.close();
+    return LoadV3FromFile(venue, path);
+  }
+  in.clear();
+  in.seekg(0);
   return Load(venue, &in);
 }
 

@@ -72,17 +72,32 @@ std::string ServiceMetrics::ToString() const {
 Result<std::unique_ptr<IflsService>> IflsService::Create(
     Venue venue, std::vector<PartitionId> existing,
     std::vector<PartitionId> candidates, const ServiceOptions& options) {
+  return CreateFromParts(std::make_shared<const Venue>(std::move(venue)),
+                         /*tree=*/nullptr, std::move(existing),
+                         std::move(candidates), options);
+}
+
+Result<std::unique_ptr<IflsService>> IflsService::CreateFromParts(
+    std::shared_ptr<const Venue> venue, std::shared_ptr<const VipTree> tree,
+    std::vector<PartitionId> existing, std::vector<PartitionId> candidates,
+    const ServiceOptions& options) {
   if (options.num_workers < 0) {
     return Status::InvalidArgument("num_workers must be >= 0");
   }
   if (options.queue_capacity == 0) {
     return Status::InvalidArgument("queue_capacity must be >= 1");
   }
-  auto shared_venue = std::make_shared<const Venue>(std::move(venue));
-  const std::size_t num_partitions = shared_venue->num_partitions();
+  if (venue == nullptr) {
+    return Status::InvalidArgument("venue must not be null");
+  }
+  if (tree != nullptr && &tree->venue() != venue.get()) {
+    return Status::InvalidArgument(
+        "pre-built tree does not reference the supplied venue");
+  }
+  const std::size_t num_partitions = venue->num_partitions();
   Result<std::shared_ptr<const IndexSnapshot>> boot = IndexSnapshot::Build(
-      std::move(shared_venue), std::move(existing), std::move(candidates),
-      /*epoch=*/0, options.tree);
+      std::move(venue), std::move(existing), std::move(candidates),
+      /*epoch=*/0, options.tree, std::move(tree));
   if (!boot.ok()) return boot.status();
   std::unique_ptr<IflsService> service(new IflsService(
       options, std::move(boot).value(), num_partitions));

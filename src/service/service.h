@@ -151,6 +151,15 @@ class IflsService {
       Venue venue, std::vector<PartitionId> existing,
       std::vector<PartitionId> candidates, const ServiceOptions& options = {});
 
+  /// Boots from pre-hydrated parts: a shared venue and — when `tree` is
+  /// non-null — a pre-built VIP-tree (typically an mmap-loaded v3 snapshot,
+  /// see fleet_store/VenueRouter), skipping the index build entirely. With
+  /// a null tree this behaves like Create over the shared venue.
+  static Result<std::unique_ptr<IflsService>> CreateFromParts(
+      std::shared_ptr<const Venue> venue, std::shared_ptr<const VipTree> tree,
+      std::vector<PartitionId> existing, std::vector<PartitionId> candidates,
+      const ServiceOptions& options = {});
+
   ~IflsService();
 
   IflsService(const IflsService&) = delete;

@@ -201,6 +201,24 @@ TEST(MemoryTrackerTest, TracksPeak) {
   EXPECT_EQ(t.peak_bytes(), 0);
 }
 
+TEST(MemoryTrackerTest, MappedBytesAreTrackedApartFromHeap) {
+  // Mapped (mmap-backed) bytes must not inflate the heap figures: eviction
+  // budgets reason about resident heap, and dropping a mapping releases no
+  // heap. They get their own gauge instead.
+  MemoryTracker t;
+  t.Charge(100);
+  t.ChargeMapped(4096);
+  EXPECT_EQ(t.current_bytes(), 100);
+  EXPECT_EQ(t.peak_bytes(), 100);
+  EXPECT_EQ(t.mapped_bytes(), 4096);
+  t.ReleaseMapped(4096);
+  EXPECT_EQ(t.mapped_bytes(), 0);
+  EXPECT_EQ(t.peak_bytes(), 100);
+  t.ChargeMapped(512);
+  t.Reset();
+  EXPECT_EQ(t.mapped_bytes(), 0);
+}
+
 TEST(MemoryTrackerTest, ScopedPeakIsolatesScopeHighWater) {
   MemoryTracker t;
   t.Charge(500);

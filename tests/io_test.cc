@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstring>
+#include <fstream>
 #include <sstream>
+#include <string>
 
 #include "src/datasets/presets.h"
 #include "src/datasets/workload.h"
+#include "src/index/vip_tree_io_v3.h"
 #include "src/io/venue_io.h"
 #include "src/io/workload_io.h"
 #include "tests/test_util.h"
@@ -122,6 +127,132 @@ TEST(WorkloadIoTest, RejectsGarbage) {
   EXPECT_TRUE(LoadWorkload(&stream).status().IsInvalidArgument());
   std::stringstream truncated("IFLS_WORKLOAD 1\nexisting 5 1 2\n");
   EXPECT_FALSE(LoadWorkload(&truncated).ok());
+}
+
+// ---------------------------------------------------------------------------
+// v3 mmap snapshot: corrupted-file regressions. Every failure mode must
+// surface as a proper Status from the mapping/validation pipeline — never
+// a crash, an abort, or a silently wrong index.
+// ---------------------------------------------------------------------------
+
+class V3CorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    venue_ = testing_util::Unwrap(
+        GenerateVenue(testing_util::SmallVenueSpec()));
+    VipTree tree = testing_util::Unwrap(VipTree::Build(&venue_));
+    path_ = ::testing::TempDir() + "/ifls_corrupt.v3.ifls";
+    ASSERT_TRUE(tree.SaveV3ToFile(path_).ok());
+  }
+
+  std::string ReadBytes() {
+    std::ifstream in(path_, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  void WriteBytes(const std::string& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  Status Load() { return VipTree::LoadV3FromFile(&venue_, path_).status(); }
+
+  Venue venue_;
+  std::string path_;
+};
+
+TEST_F(V3CorruptionTest, IntactFileLoads) {
+  EXPECT_TRUE(VipTree::LoadV3FromFile(&venue_, path_).ok());
+}
+
+TEST_F(V3CorruptionTest, ShortMapSmallerThanHeader) {
+  WriteBytes(ReadBytes().substr(0, 64));
+  const Status s = Load();
+  ASSERT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("short map"), std::string::npos);
+}
+
+TEST_F(V3CorruptionTest, ShortMapTruncatedTail) {
+  const std::string bytes = ReadBytes();
+  WriteBytes(bytes.substr(0, bytes.size() - 1024));
+  const Status s = Load();
+  ASSERT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("short map"), std::string::npos);
+}
+
+TEST_F(V3CorruptionTest, BadMagic) {
+  std::string bytes = ReadBytes();
+  bytes[0] ^= 0x5a;
+  WriteBytes(bytes);
+  const Status s = Load();
+  ASSERT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("bad magic"), std::string::npos);
+}
+
+TEST_F(V3CorruptionTest, HeaderChecksumMismatch) {
+  std::string bytes = ReadBytes();
+  // Flip a bit inside the header (leaf_capacity) without re-checksumming.
+  bytes[offsetof(V3Header, leaf_capacity)] ^= 1;
+  WriteBytes(bytes);
+  const Status s = Load();
+  ASSERT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("header checksum"), std::string::npos);
+}
+
+TEST_F(V3CorruptionTest, PayloadChecksumMismatch) {
+  std::string bytes = ReadBytes();
+  V3Header h;
+  std::memcpy(&h, bytes.data(), sizeof(h));
+  // Flip one distance byte; the continued ids->dist->hops checksum catches
+  // it before any query can read the poisoned cell.
+  bytes[h.dist_offset + 3] ^= 0xff;
+  WriteBytes(bytes);
+  const Status s = Load();
+  ASSERT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("payload checksum"), std::string::npos);
+}
+
+TEST_F(V3CorruptionTest, DescriptorTableChecksumMismatch) {
+  std::string bytes = ReadBytes();
+  V3Header h;
+  std::memcpy(&h, bytes.data(), sizeof(h));
+  bytes[h.structure_offset + offsetof(V3NodeRecord, num_doors)] ^= 1;
+  WriteBytes(bytes);
+  const Status s = Load();
+  ASSERT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("descriptor table checksum"), std::string::npos);
+}
+
+TEST_F(V3CorruptionTest, TruncatedDescriptorTable) {
+  std::string bytes = ReadBytes();
+  V3Header h;
+  std::memcpy(&h, bytes.data(), sizeof(h));
+  // Claim one more node than the table holds, re-checksumming the header so
+  // the size check itself (not the checksum) must catch the lie.
+  h.num_nodes += 1;
+  h.header_checksum = 0;
+  h.header_checksum = Fnv1a64(&h, sizeof(h));
+  std::memcpy(bytes.data(), &h, sizeof(h));
+  WriteBytes(bytes);
+  const Status s = Load();
+  ASSERT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("descriptor table is truncated"),
+            std::string::npos);
+}
+
+TEST_F(V3CorruptionTest, WrongVenueRejected) {
+  VenueGeneratorSpec other_spec = testing_util::SmallVenueSpec();
+  other_spec.rooms_per_level = 30;
+  Venue other = testing_util::Unwrap(GenerateVenue(other_spec));
+  const Status s = VipTree::LoadV3FromFile(&other, path_).status();
+  ASSERT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("different venue"), std::string::npos);
+}
+
+TEST_F(V3CorruptionTest, MissingFileIsIOError) {
+  EXPECT_TRUE(VipTree::LoadV3FromFile(&venue_, "/no/such/file.v3.ifls")
+                  .status()
+                  .IsIOError());
 }
 
 }  // namespace

@@ -15,6 +15,10 @@
 //   subscribe    --preset MC|CH|CPH|MZB [--existing N] [--candidates N]
 //                [--subs N] [--clients N] [--ticks N] [--tolerance T]
 //                [--workers N] [--seed S] [--metrics]
+//   fleet        --dir DIR [--build] [--venues N] [--rooms N] [--levels N]
+//                [--existing N] [--candidates N] [--clients N] [--queries N]
+//                [--budget-mb MB] [--max-resident N] [--workers N]
+//                [--parse-load] [--seed S] [--metrics]
 //
 // `trace` runs a traced IflsService session (queries across all three
 // objectives, a facility-mutation + compaction cycle, and a graph-oracle
@@ -28,11 +32,21 @@
 // only when a move or mutation actually invalidated a standing answer
 // beyond the tolerance — certified-fresh events are skipped silently.
 //
+// `fleet` is the multi-venue serving demo (DESIGN.md §12). With --build it
+// first generates N distinct synthetic venues, builds their VIP-trees and
+// writes a fleet snapshot directory (v3 mmap images + v2 text + facility
+// sets) under --dir. It then opens a VenueRouter over the directory —
+// optionally under a resident-memory budget (--budget-mb / --max-resident,
+// which force LRU eviction of cold venues) or in --parse-load mode (v2
+// text parsing instead of zero-copy mmap) — and round-robins queries
+// across the whole fleet, printing per-venue residency and router totals.
+//
 // Exit code 0 on success, 1 on any error (message on stderr).
 
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -51,13 +65,16 @@
 #include "src/core/minmax_baseline.h"
 #include "src/datasets/presets.h"
 #include "src/datasets/trajectory_generator.h"
+#include "src/datasets/venue_generator.h"
 #include "src/datasets/workload.h"
 #include "src/index/graph_oracle.h"
 #include "src/index/vip_tree.h"
 #include "src/io/svg_export.h"
 #include "src/io/venue_io.h"
 #include "src/io/workload_io.h"
+#include "src/service/fleet_store.h"
 #include "src/service/service.h"
+#include "src/service/venue_router.h"
 
 namespace ifls {
 namespace {
@@ -590,11 +607,132 @@ int Subscribe(const Args& args) {
   return 0;
 }
 
+int Fleet(const Args& args) {
+  const auto dir = args.Get("dir");
+  if (!dir) return Fail("fleet needs --dir");
+  const int num_venues = static_cast<int>(args.GetInt("venues", 4));
+  const std::size_t clients_per_query =
+      static_cast<std::size_t>(args.GetInt("clients", 200));
+  const int queries = static_cast<int>(args.GetInt("queries", 24));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  if (num_venues < 1 || queries < 1) {
+    return Fail("--venues and --queries must be >= 1");
+  }
+
+  if (args.Has("build")) {
+    // Venue i differs in size and door jitter, so the fleet exercises
+    // different index shapes rather than N copies of one snapshot.
+    const int base_rooms = static_cast<int>(args.GetInt("rooms", 120));
+    const int levels = static_cast<int>(args.GetInt("levels", 2));
+    for (int i = 0; i < num_venues; ++i) {
+      char id[16];
+      std::snprintf(id, sizeof(id), "v%03d", i);
+      VenueGeneratorSpec spec;
+      spec.name = id;
+      spec.levels = levels;
+      spec.total_rooms = base_rooms + 10 * (i % 4);
+      spec.door_jitter_seed = seed + static_cast<std::uint64_t>(i);
+      Result<Venue> venue = GenerateVenue(spec);
+      if (!venue.ok()) return Fail(venue.status());
+      Result<VipTree> tree =
+          VipTree::Build(&venue.value(), DefaultServiceTreeOptions());
+      if (!tree.ok()) return Fail(tree.status());
+      Rng rng(seed + static_cast<std::uint64_t>(i));
+      Result<FacilitySets> sets = SelectUniformFacilities(
+          *venue, static_cast<std::size_t>(args.GetInt("existing", 8)),
+          static_cast<std::size_t>(args.GetInt("candidates", 16)), &rng);
+      if (!sets.ok()) return Fail(sets.status());
+      const std::string venue_dir = *dir + "/" + id;
+      if (Status s = WriteVenueSnapshot(venue_dir, *venue, *tree,
+                                        sets->existing, sets->candidates);
+          !s.ok()) {
+        return Fail(s);
+      }
+      std::printf("built %s: %s\n", venue_dir.c_str(),
+                  venue->ToString().c_str());
+    }
+  }
+
+  VenueRouterOptions ropts;
+  ropts.memory_budget_bytes =
+      static_cast<std::size_t>(args.GetInt("budget-mb", 0)) * (1 << 20);
+  ropts.max_resident_venues =
+      static_cast<std::size_t>(args.GetInt("max-resident", 0));
+  ropts.load_mode = args.Has("parse-load") ? SnapshotLoadMode::kParse
+                                           : SnapshotLoadMode::kMmap;
+  ropts.service.num_workers = static_cast<int>(args.GetInt("workers", 2));
+  Result<std::unique_ptr<VenueRouter>> router = VenueRouter::Open(*dir, ropts);
+  if (!router.ok()) return Fail(router.status());
+  const std::vector<std::string> ids = (*router)->venue_ids();
+  std::printf("fleet %s: %zu venues (%s load, budget %ld MiB, "
+              "max resident %zu)\n",
+              dir->c_str(), ids.size(),
+              ropts.load_mode == SnapshotLoadMode::kMmap ? "mmap" : "parse",
+              args.GetInt("budget-mb", 0), ropts.max_resident_venues);
+
+  // Round-robin the fleet. Client sets are generated per venue (partition
+  // ids are venue-local) and reused across that venue's queries.
+  const IflsObjective kObjectives[] = {
+      IflsObjective::kMinMax, IflsObjective::kMinDist, IflsObjective::kMaxSum};
+  std::map<std::string, std::vector<Client>> fleet_clients;
+  for (int q = 0; q < queries; ++q) {
+    const std::string& id = ids[static_cast<std::size_t>(q) % ids.size()];
+    auto it = fleet_clients.find(id);
+    if (it == fleet_clients.end()) {
+      Result<Venue> venue =
+          LoadVenueFromFile(*dir + "/" + id + "/" + kFleetVenueFileName);
+      if (!venue.ok()) return Fail(venue.status());
+      Rng rng(seed ^ std::hash<std::string>{}(id));
+      it = fleet_clients
+               .emplace(id, GenerateClients(*venue, clients_per_query, {},
+                                            &rng))
+               .first;
+    }
+    ServiceRequest request;
+    request.objective = kObjectives[q % 3];
+    request.clients = it->second;
+    const ServiceReply reply = (*router)->Query(id, std::move(request));
+    if (!reply.status.ok()) return Fail(reply.status);
+    if (reply.result.found) {
+      std::printf("  %s %s: partition %d objective %.4f\n", id.c_str(),
+                  IflsObjectiveName(request.objective), reply.result.answer,
+                  reply.result.objective);
+    } else {
+      std::printf("  %s %s: no improving candidate\n", id.c_str(),
+                  IflsObjectiveName(request.objective));
+    }
+  }
+
+  for (const VenueEntryStats& s : (*router)->VenueStats()) {
+    std::printf("venue %s: %s, %.2f MiB resident, %.2f MiB mapped, "
+                "%llu loads, %llu evictions\n",
+                s.venue_id.c_str(), s.resident ? "resident" : "cold",
+                s.resident_bytes / (1024.0 * 1024.0),
+                s.mapped_bytes / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(s.loads),
+                static_cast<unsigned long long>(s.evictions));
+  }
+  const VenueRouterMetrics m = (*router)->Metrics();
+  std::printf("router: %llu loads, %llu hits, %llu evictions, %zu/%zu "
+              "resident, %.2f MiB resident, %.2f MiB mapped\n",
+              static_cast<unsigned long long>(m.loads),
+              static_cast<unsigned long long>(m.hits),
+              static_cast<unsigned long long>(m.evictions),
+              m.resident_venues, m.known_venues,
+              m.resident_bytes / (1024.0 * 1024.0),
+              m.mapped_bytes / (1024.0 * 1024.0));
+  if (args.Has("metrics")) {
+    std::printf("%s", DumpMetricsText().c_str());
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s gen-venue|gen-workload|solve|info|render|trace|"
-                 "subscribe [--flags]\n",
+                 "subscribe|fleet [--flags]\n",
                  argv[0]);
     return 1;
   }
@@ -608,6 +746,7 @@ int Run(int argc, char** argv) {
   if (command == "render") return Render(args);
   if (command == "trace") return Trace(args);
   if (command == "subscribe") return Subscribe(args);
+  if (command == "fleet") return Fleet(args);
   return Fail("unknown command");
 }
 
