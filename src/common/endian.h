@@ -1,0 +1,50 @@
+#ifndef IFLS_COMMON_ENDIAN_H_
+#define IFLS_COMMON_ENDIAN_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <type_traits>
+
+namespace ifls {
+
+// Little-endian read/write helpers shared by the on-disk snapshot codec
+// (index/vip_tree_io_v3) and the network wire codec (net/wire). Both formats
+// are defined as little-endian; the library targets LE hosts only (x86-64,
+// arm64), so "encode LE" is a memcpy — the static_assert turns a silent
+// byte-order corruption on an exotic port into a compile error, and every
+// helper funnels through one place a BE port would have to fix.
+static_assert(__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__,
+              "IFLS binary formats are little-endian; big-endian hosts need "
+              "byte-swapping added to src/common/endian.h");
+
+/// Reads a trivially-copyable T from a (possibly unaligned) little-endian
+/// byte buffer holding at least sizeof(T) bytes.
+template <typename T>
+inline T LoadLE(const void* p) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "LoadLE requires a trivially copyable type");
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+/// Writes `v` to a (possibly unaligned) byte buffer in little-endian order.
+template <typename T>
+inline void StoreLE(void* p, T v) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "StoreLE requires a trivially copyable type");
+  std::memcpy(p, &v, sizeof(T));
+}
+
+/// Appends `v` in little-endian order to a byte string (wire encoding).
+template <typename T>
+inline void AppendLE(std::string* out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AppendLE requires a trivially copyable type");
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+}  // namespace ifls
+
+#endif  // IFLS_COMMON_ENDIAN_H_

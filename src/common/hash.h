@@ -1,0 +1,36 @@
+#ifndef IFLS_COMMON_HASH_H_
+#define IFLS_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ifls {
+
+// FNV-1a 64-bit: the checksum primitive shared by the v3 snapshot codec
+// (index/vip_tree_io_v3) and the network wire protocol (net/wire) — fast,
+// dependency-free, and plenty for detecting torn writes, bit rot and
+// truncated frames. These are integrity checks, not authentication.
+
+inline constexpr std::uint64_t kFnv1a64OffsetBasis = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnv1a64Prime = 1099511628211ull;
+
+/// Continues a running FNV-1a 64 state over `bytes` more bytes (for
+/// multi-section checksums fed incrementally).
+inline std::uint64_t Fnv1a64Continue(std::uint64_t state, const void* data,
+                                     std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    state ^= static_cast<std::uint64_t>(p[i]);
+    state *= kFnv1a64Prime;
+  }
+  return state;
+}
+
+/// FNV-1a 64-bit over one byte range.
+inline std::uint64_t Fnv1a64(const void* data, std::size_t bytes) {
+  return Fnv1a64Continue(kFnv1a64OffsetBasis, data, bytes);
+}
+
+}  // namespace ifls
+
+#endif  // IFLS_COMMON_HASH_H_

@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/endian.h"
+#include "src/common/hash.h"
 #include "src/common/mapped_file.h"
 #include "src/index/vip_tree.h"
 
@@ -18,20 +20,6 @@
 // corruption mode surfaces as a proper Status.
 
 namespace ifls {
-
-std::uint64_t Fnv1a64Continue(std::uint64_t state, const void* data,
-                              std::size_t bytes) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < bytes; ++i) {
-    state ^= static_cast<std::uint64_t>(p[i]);
-    state *= 1099511628211ull;
-  }
-  return state;
-}
-
-std::uint64_t Fnv1a64(const void* data, std::size_t bytes) {
-  return Fnv1a64Continue(14695981039346656037ull, data, bytes);
-}
 
 namespace {
 
@@ -155,8 +143,7 @@ Result<VipTree> VipTree::LoadV3FromFile(const Venue* venue,
         "v3 snapshot '" + path + "' is too short for its header (short "
         "map: " + std::to_string(mapping->size()) + " bytes)");
   }
-  V3Header h{};
-  std::memcpy(&h, mapping->data(), sizeof(h));
+  V3Header h = LoadLE<V3Header>(mapping->data());
   if (std::memcmp(h.magic, kV3Magic, sizeof(h.magic)) != 0) {
     return Status::InvalidArgument("'" + path +
                                    "' is not an IFLS v3 snapshot (bad magic)");

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "src/common/hash.h"
+
 namespace ifls {
 
 // On-disk layout of the IFLS VIP-tree snapshot format v3 (binary,
@@ -97,13 +99,10 @@ struct V3NodeRecord {
 };
 static_assert(sizeof(V3NodeRecord) == 32, "v3 node record layout drifted");
 
-/// FNV-1a 64-bit over a byte range (the v3 checksum primitive — fast,
-/// dependency-free, and plenty for detecting torn writes and bit rot; v3
-/// checksums are integrity checks, not authentication).
-std::uint64_t Fnv1a64(const void* data, std::size_t bytes);
-/// Continues a running FNV-1a 64 state (for multi-section checksums).
-std::uint64_t Fnv1a64Continue(std::uint64_t state, const void* data,
-                              std::size_t bytes);
+// The v3 checksum primitive is the shared FNV-1a 64 from src/common/hash.h
+// (re-exported through the include above); the wire codec (net/wire) uses
+// the same one, so a frame checksum and a snapshot checksum are computed by
+// one implementation.
 
 /// Rounds `offset` up to the next kV3SectionAlignment boundary.
 inline constexpr std::uint64_t V3AlignUp(std::uint64_t offset) {

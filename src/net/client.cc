@@ -1,0 +1,251 @@
+#include "src/net/client.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace ifls {
+
+Result<std::unique_ptr<IflsClient>> IflsClient::Connect(std::uint16_t port) {
+  IFLS_ASSIGN_OR_RETURN(OwnedFd fd, ConnectTcp(port));
+  return std::unique_ptr<IflsClient>(new IflsClient(std::move(fd)));
+}
+
+Status IflsClient::Poison(Status status) {
+  if (poisoned_.ok()) poisoned_ = status;
+  fd_.Reset();
+  return status;
+}
+
+Status IflsClient::SendBytes(const std::string& bytes) {
+  if (!poisoned_.ok()) return poisoned_;
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::write(fd_.get(), bytes.data() + sent, bytes.size() - sent);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Poison(Status::Unavailable(std::string("send failed: ") +
+                                      std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status IflsClient::ReadMore() {
+  char buf[64 * 1024];
+  while (true) {
+    ssize_t n = ::read(fd_.get(), buf, sizeof(buf));
+    if (n > 0) {
+      ring_.Append(buf, static_cast<std::size_t>(n));
+      return Status::OK();
+    }
+    if (n == 0) {
+      return Poison(Status::Unavailable("connection closed by server"));
+    }
+    if (errno == EINTR) continue;
+    return Poison(Status::Unavailable(std::string("recv failed: ") +
+                                      std::strerror(errno)));
+  }
+}
+
+Result<WireFrame> IflsClient::WaitFrame(std::uint64_t request_id) {
+  if (!poisoned_.ok()) return poisoned_;
+  while (true) {
+    auto it = pending_.find(request_id);
+    if (it != pending_.end()) {
+      WireFrame frame = std::move(it->second);
+      pending_.erase(it);
+      return frame;
+    }
+    Result<std::optional<WireFrame>> decoded = TryDecodeFrame(&ring_);
+    if (!decoded.ok()) return Poison(decoded.status());
+    if (!decoded.value().has_value()) {
+      IFLS_RETURN_NOT_OK(ReadMore());
+      continue;
+    }
+    WireFrame frame = std::move(*decoded.value());
+    if (frame.opcode == WireOpcode::kSubscriptionPush) {
+      Result<WireSubscriptionPush> push = DecodePush(frame.payload);
+      // A push we cannot decode means the stream is not trustworthy.
+      if (!push.ok()) return Poison(push.status());
+      pushes_.push_back(
+          ReceivedPush{frame.request_id, std::move(push).value()});
+      continue;
+    }
+    if (frame.request_id == request_id) return frame;
+    pending_.emplace(frame.request_id, std::move(frame));
+  }
+}
+
+Result<std::uint64_t> IflsClient::SendQuery(IflsObjective objective,
+                                            const WireQueryRequest& request) {
+  const std::uint64_t id = next_request_id_++;
+  IFLS_RETURN_NOT_OK(SendBytes(EncodeQueryFrame(id, objective, request)));
+  return id;
+}
+
+Result<WireQueryResponse> IflsClient::WaitQuery(std::uint64_t request_id) {
+  IFLS_ASSIGN_OR_RETURN(WireFrame frame, WaitFrame(request_id));
+  if (frame.opcode == WireOpcode::kError) {
+    return DecodeErrorPayload(frame.payload);
+  }
+  if (frame.opcode != WireOpcode::kQueryResult) {
+    return Poison(Status::Internal(
+        std::string("expected QueryResult, got ") +
+        WireOpcodeName(frame.opcode)));
+  }
+  return DecodeQueryResponse(frame.payload);
+}
+
+Result<WireQueryResponse> IflsClient::Query(IflsObjective objective,
+                                            const WireQueryRequest& request) {
+  IFLS_ASSIGN_OR_RETURN(std::uint64_t id, SendQuery(objective, request));
+  return WaitQuery(id);
+}
+
+Result<WireMutateResponse> IflsClient::Mutate(
+    const WireMutateRequest& request) {
+  const std::uint64_t id = next_request_id_++;
+  IFLS_RETURN_NOT_OK(SendBytes(EncodeMutateFrame(id, request)));
+  IFLS_ASSIGN_OR_RETURN(WireFrame frame, WaitFrame(id));
+  if (frame.opcode == WireOpcode::kError) {
+    return DecodeErrorPayload(frame.payload);
+  }
+  if (frame.opcode != WireOpcode::kMutateResult) {
+    return Poison(Status::Internal(
+        std::string("expected MutateResult, got ") +
+        WireOpcodeName(frame.opcode)));
+  }
+  return DecodeMutateResponse(frame.payload);
+}
+
+Result<WireSubscription> IflsClient::Subscribe(
+    const WireSubscribeRequest& request) {
+  const std::uint64_t id = next_request_id_++;
+  IFLS_RETURN_NOT_OK(SendBytes(EncodeSubscribeFrame(id, request)));
+  IFLS_ASSIGN_OR_RETURN(WireFrame frame, WaitFrame(id));
+  if (frame.opcode == WireOpcode::kError) {
+    return DecodeErrorPayload(frame.payload);
+  }
+  if (frame.opcode != WireOpcode::kSubscribeResult) {
+    return Poison(Status::Internal(
+        std::string("expected SubscribeResult, got ") +
+        WireOpcodeName(frame.opcode)));
+  }
+  IFLS_ASSIGN_OR_RETURN(WireSubscribeResponse response,
+                        DecodeSubscribeResponse(frame.payload));
+  WireSubscription sub;
+  sub.request_id = id;
+  sub.subscription_id = response.subscription_id;
+  return sub;
+}
+
+Status IflsClient::Tick(const WireTickRequest& request) {
+  const std::uint64_t id = next_request_id_++;
+  IFLS_RETURN_NOT_OK(SendBytes(EncodeTickFrame(id, request)));
+  IFLS_ASSIGN_OR_RETURN(WireFrame frame, WaitFrame(id));
+  if (frame.opcode == WireOpcode::kError) {
+    return DecodeErrorPayload(frame.payload);
+  }
+  if (frame.opcode != WireOpcode::kAck) {
+    return Poison(Status::Internal(std::string("expected Ack, got ") +
+                                   WireOpcodeName(frame.opcode)));
+  }
+  return Status::OK();
+}
+
+Status IflsClient::Unsubscribe(const WireUnsubscribeRequest& request) {
+  const std::uint64_t id = next_request_id_++;
+  IFLS_RETURN_NOT_OK(SendBytes(EncodeUnsubscribeFrame(id, request)));
+  IFLS_ASSIGN_OR_RETURN(WireFrame frame, WaitFrame(id));
+  if (frame.opcode == WireOpcode::kError) {
+    return DecodeErrorPayload(frame.payload);
+  }
+  if (frame.opcode != WireOpcode::kAck) {
+    return Poison(Status::Internal(std::string("expected Ack, got ") +
+                                   WireOpcodeName(frame.opcode)));
+  }
+  return Status::OK();
+}
+
+Result<std::string> IflsClient::PullMetrics() {
+  const std::uint64_t id = next_request_id_++;
+  IFLS_RETURN_NOT_OK(
+      SendBytes(EncodeEmptyFrame(WireOpcode::kMetricsPull, id)));
+  IFLS_ASSIGN_OR_RETURN(WireFrame frame, WaitFrame(id));
+  if (frame.opcode == WireOpcode::kError) {
+    return DecodeErrorPayload(frame.payload);
+  }
+  if (frame.opcode != WireOpcode::kMetricsText) {
+    return Poison(Status::Internal(
+        std::string("expected MetricsText, got ") +
+        WireOpcodeName(frame.opcode)));
+  }
+  IFLS_ASSIGN_OR_RETURN(WireTextResponse text,
+                        DecodeTextResponse(frame.payload));
+  return std::move(text.text);
+}
+
+Result<std::string> IflsClient::PullTrace() {
+  const std::uint64_t id = next_request_id_++;
+  IFLS_RETURN_NOT_OK(SendBytes(EncodeEmptyFrame(WireOpcode::kTracePull, id)));
+  IFLS_ASSIGN_OR_RETURN(WireFrame frame, WaitFrame(id));
+  if (frame.opcode == WireOpcode::kError) {
+    return DecodeErrorPayload(frame.payload);
+  }
+  if (frame.opcode != WireOpcode::kTraceJson) {
+    return Poison(Status::Internal(
+        std::string("expected TraceJson, got ") +
+        WireOpcodeName(frame.opcode)));
+  }
+  IFLS_ASSIGN_OR_RETURN(WireTextResponse text,
+                        DecodeTextResponse(frame.payload));
+  return std::move(text.text);
+}
+
+Status IflsClient::Ping() {
+  const std::uint64_t id = next_request_id_++;
+  IFLS_RETURN_NOT_OK(SendBytes(EncodeEmptyFrame(WireOpcode::kPing, id)));
+  IFLS_ASSIGN_OR_RETURN(WireFrame frame, WaitFrame(id));
+  if (frame.opcode == WireOpcode::kError) {
+    return DecodeErrorPayload(frame.payload);
+  }
+  if (frame.opcode != WireOpcode::kPong) {
+    return Poison(Status::Internal(std::string("expected Pong, got ") +
+                                   WireOpcodeName(frame.opcode)));
+  }
+  return Status::OK();
+}
+
+std::optional<ReceivedPush> IflsClient::TakePush() {
+  if (pushes_.empty()) return std::nullopt;
+  ReceivedPush push = std::move(pushes_.front());
+  pushes_.pop_front();
+  return push;
+}
+
+Result<ReceivedPush> IflsClient::WaitPush() {
+  while (true) {
+    if (auto push = TakePush(); push.has_value()) return *std::move(push);
+    if (!poisoned_.ok()) return poisoned_;
+    Result<std::optional<WireFrame>> decoded = TryDecodeFrame(&ring_);
+    if (!decoded.ok()) return Poison(decoded.status());
+    if (!decoded.value().has_value()) {
+      IFLS_RETURN_NOT_OK(ReadMore());
+      continue;
+    }
+    WireFrame frame = std::move(*decoded.value());
+    if (frame.opcode == WireOpcode::kSubscriptionPush) {
+      Result<WireSubscriptionPush> push = DecodePush(frame.payload);
+      if (!push.ok()) return Poison(push.status());
+      return ReceivedPush{frame.request_id, std::move(push).value()};
+    }
+    pending_.emplace(frame.request_id, std::move(frame));
+  }
+}
+
+}  // namespace ifls

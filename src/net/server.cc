@@ -1,0 +1,833 @@
+#include "src/net/server.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "src/common/trace.h"
+#include "src/core/batch_engine.h"
+
+namespace ifls {
+
+/// One accepted connection. The event-loop thread owns the receive side
+/// (ring, epoll registration) without locks; the outbound buffer is the one
+/// shared piece — dispatcher threads and service callbacks append under
+/// out_mu, the loop flushes.
+struct IflsServer::Connection {
+  OwnedFd fd;
+
+  // Loop thread only.
+  ByteRing ring;
+  bool want_write = false;  // EPOLLOUT armed
+
+  std::mutex out_mu;
+  std::string out;          // encoded frames awaiting the socket
+  std::size_t out_head = 0; // bytes of `out` already written
+  bool closed = false;
+
+  /// Wire subscriptions living on this connection: id -> routing venue.
+  /// The Subscription shared_ptr pins nothing extra (the service owns it
+  /// too); it is kept for observability and dropped on close/unsubscribe.
+  std::mutex subs_mu;
+  std::map<std::uint64_t,
+           std::pair<std::string, std::shared_ptr<Subscription>>>
+      subs;
+};
+
+struct IflsServer::NetShared {
+  /// Dispatcher/callback -> loop handshake: append under mu, then poke the
+  /// eventfd so the loop wakes and flushes.
+  std::mutex mu;
+  std::vector<std::shared_ptr<Connection>> flush_queue;
+  OwnedFd wake;
+
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> connections_active{0};
+  std::atomic<std::uint64_t> frames_received{0};
+  std::atomic<std::uint64_t> queries{0};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> batched_queries{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> pushes_sent{0};
+};
+
+void IflsServer::EnqueueFrame(const std::shared_ptr<NetShared>& shared,
+                              const std::shared_ptr<Connection>& conn,
+                              std::string frame) {
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (conn->closed) return;
+    conn->out.append(frame);
+  }
+  {
+    std::lock_guard<std::mutex> lock(shared->mu);
+    shared->flush_queue.push_back(conn);
+  }
+  std::uint64_t one = 1;
+  // A full eventfd counter (never in practice) only delays the flush to the
+  // next natural wake; ignore the short-write case.
+  [[maybe_unused]] ssize_t n =
+      ::write(shared->wake.get(), &one, sizeof(one));
+}
+
+void IflsServer::EnqueueError(const std::shared_ptr<NetShared>& shared,
+                              const std::shared_ptr<Connection>& conn,
+                              std::uint64_t request_id, const Status& status) {
+  shared->errors.fetch_add(1, std::memory_order_relaxed);
+  if (status.code() == StatusCode::kUnavailable) {
+    shared->rejected.fetch_add(1, std::memory_order_relaxed);
+  }
+  EnqueueFrame(shared, conn, EncodeErrorFrame(request_id, status));
+}
+
+namespace {
+
+WireQueryResponse MakeQueryResponse(const IflsResult& result,
+                                    std::uint64_t snapshot_epoch,
+                                    std::uint64_t overlay_size, bool batched,
+                                    std::uint32_t batch_size) {
+  WireQueryResponse response;
+  response.found = result.found;
+  response.answer = result.answer;
+  response.objective = result.objective;
+  response.snapshot_epoch = snapshot_epoch;
+  response.overlay_size = overlay_size;
+  response.batched = batched;
+  response.batch_size = batch_size;
+  return response;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<IflsServer>> IflsServer::Create(
+    std::shared_ptr<IflsService> service, const ServerOptions& options) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("IflsServer::Create: null service");
+  }
+  std::unique_ptr<IflsServer> server(
+      new IflsServer(std::move(service), nullptr, options));
+  IFLS_RETURN_NOT_OK(server->Start());
+  return server;
+}
+
+Result<std::unique_ptr<IflsServer>> IflsServer::CreateFleet(
+    std::shared_ptr<VenueRouter> router, const ServerOptions& options) {
+  if (router == nullptr) {
+    return Status::InvalidArgument("IflsServer::CreateFleet: null router");
+  }
+  std::unique_ptr<IflsServer> server(
+      new IflsServer(nullptr, std::move(router), options));
+  IFLS_RETURN_NOT_OK(server->Start());
+  return server;
+}
+
+IflsServer::IflsServer(std::shared_ptr<IflsService> service,
+                       std::shared_ptr<VenueRouter> router,
+                       ServerOptions options)
+    : service_(std::move(service)),
+      router_(std::move(router)),
+      options_(std::move(options)),
+      shared_(std::make_shared<NetShared>()) {}
+
+IflsServer::~IflsServer() { Stop(); }
+
+Status IflsServer::Start() {
+  shared_->wake = OwnedFd(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+  if (!shared_->wake.valid()) {
+    return Status::Internal(std::string("eventfd: ") + std::strerror(errno));
+  }
+  IFLS_ASSIGN_OR_RETURN(listener_, CreateTcpListener(options_.port, &port_));
+  epoll_ = OwnedFd(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_.valid()) {
+    return Status::Internal(std::string("epoll_create1: ") +
+                            std::strerror(errno));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listener_.get();
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, listener_.get(), &ev) < 0) {
+    return Status::Internal(std::string("epoll_ctl(listener): ") +
+                            std::strerror(errno));
+  }
+  ev.data.fd = shared_->wake.get();
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, shared_->wake.get(), &ev) <
+      0) {
+    return Status::Internal(std::string("epoll_ctl(wake): ") +
+                            std::strerror(errno));
+  }
+  RegisterMetrics();
+  int dispatchers = options_.num_dispatchers > 0 ? options_.num_dispatchers : 1;
+  dispatchers_.reserve(static_cast<std::size_t>(dispatchers));
+  for (int i = 0; i < dispatchers; ++i) {
+    dispatchers_.emplace_back([this] { DispatcherThread(); });
+  }
+  loop_ = std::thread([this] { LoopThread(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void IflsServer::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  stopping_.store(true, std::memory_order_release);
+  std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n =
+      ::write(shared_->wake.get(), &one, sizeof(one));
+  if (loop_.joinable()) loop_.join();
+  // Cleanup jobs posted by the loop's teardown (unsubscribes) drain before
+  // the stop flag lets the dispatchers exit.
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    dispatch_stop_ = true;
+  }
+  dispatch_cv_.notify_all();
+  for (std::thread& t : dispatchers_) {
+    if (t.joinable()) t.join();
+  }
+  dispatchers_.clear();
+  metric_registrations_.clear();
+}
+
+ServerMetrics IflsServer::Metrics() const {
+  ServerMetrics m;
+  m.connections_accepted =
+      shared_->connections_accepted.load(std::memory_order_relaxed);
+  m.connections_active =
+      shared_->connections_active.load(std::memory_order_relaxed);
+  m.frames_received = shared_->frames_received.load(std::memory_order_relaxed);
+  m.queries = shared_->queries.load(std::memory_order_relaxed);
+  m.batches = shared_->batches.load(std::memory_order_relaxed);
+  m.batched_queries = shared_->batched_queries.load(std::memory_order_relaxed);
+  m.rejected = shared_->rejected.load(std::memory_order_relaxed);
+  m.errors = shared_->errors.load(std::memory_order_relaxed);
+  m.pushes_sent = shared_->pushes_sent.load(std::memory_order_relaxed);
+  return m;
+}
+
+void IflsServer::RegisterMetrics() {
+  // Process-wide series (no instance label): multiple servers in one
+  // process accumulate, like the ifls_query_* rollups.
+  auto& registry = MetricsRegistry::Global();
+  std::shared_ptr<NetShared> shared = shared_;
+  metric_registrations_.push_back(registry.RegisterCallbackCounter(
+      "ifls_net_rejected_total", "", [shared] {
+        return shared->rejected.load(std::memory_order_relaxed);
+      }));
+  metric_registrations_.push_back(registry.RegisterCallbackCounter(
+      "ifls_net_frames_total", "", [shared] {
+        return shared->frames_received.load(std::memory_order_relaxed);
+      }));
+  metric_registrations_.push_back(registry.RegisterCallbackCounter(
+      "ifls_net_batches_total", "", [shared] {
+        return shared->batches.load(std::memory_order_relaxed);
+      }));
+  metric_registrations_.push_back(registry.RegisterCallbackCounter(
+      "ifls_net_pushes_total", "", [shared] {
+        return shared->pushes_sent.load(std::memory_order_relaxed);
+      }));
+  metric_registrations_.push_back(registry.RegisterCallbackGauge(
+      "ifls_net_connections", "", [shared] {
+        return static_cast<double>(
+            shared->connections_active.load(std::memory_order_relaxed));
+      }));
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+void IflsServer::LoopThread() {
+  constexpr int kMaxEvents = 256;
+  epoll_event events[kMaxEvents];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(epoll_.get(), events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listener_.get()) {
+        AcceptReady();
+        continue;
+      }
+      if (fd == shared_->wake.get()) {
+        std::uint64_t drained;
+        while (::read(shared_->wake.get(), &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // closed earlier this cycle
+      std::shared_ptr<Connection> conn = it->second;
+      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0) {
+        CloseConnection(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) HandleReadable(conn);
+      if ((events[i].events & EPOLLOUT) != 0 &&
+          conns_.count(fd) != 0) {
+        FlushOut(conn);
+      }
+    }
+    // End of cycle: everything decoded above coalesces here — the whole
+    // point of socket-layer batching is that concurrently-arrived queries
+    // share one batch run.
+    FlushCycleQueries();
+    FlushPendingWrites();
+  }
+  // Teardown: close every connection and queue their unsubscribes.
+  std::vector<std::shared_ptr<Connection>> open;
+  open.reserve(conns_.size());
+  for (auto& [fd, conn] : conns_) open.push_back(conn);
+  for (auto& conn : open) CloseConnection(conn);
+  conns_.clear();
+}
+
+void IflsServer::AcceptReady() {
+  while (true) {
+    int fd = ::accept4(listener_.get(), nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept failure; the listener stays armed
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = OwnedFd(fd);
+    (void)SetNoDelay(fd);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+      continue;  // conn (and fd) die here
+    }
+    conns_.emplace(fd, std::move(conn));
+    shared_->connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    shared_->connections_active.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void IflsServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  char buf[64 * 1024];
+  while (true) {
+    ssize_t n = ::read(conn->fd.get(), buf, sizeof(buf));
+    if (n > 0) {
+      conn->ring.Append(buf, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {
+      CloseConnection(conn);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConnection(conn);
+    return;
+  }
+  DrainFrames(conn);
+}
+
+void IflsServer::DrainFrames(const std::shared_ptr<Connection>& conn) {
+  while (true) {
+    Result<std::optional<WireFrame>> decoded = TryDecodeFrame(&conn->ring);
+    if (!decoded.ok()) {
+      // Unsynchronized stream: best-effort typed error, then drop the
+      // connection (the error may or may not flush before the RST).
+      EnqueueError(shared_, conn, 0, decoded.status());
+      FlushOut(conn);
+      CloseConnection(conn);
+      return;
+    }
+    if (!decoded.value().has_value()) return;  // incomplete: wait for bytes
+    shared_->frames_received.fetch_add(1, std::memory_order_relaxed);
+    HandleFrame(conn, std::move(*decoded.value()));
+    // HandleFrame may close the connection (protocol violation).
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (conn->closed) return;
+  }
+}
+
+void IflsServer::HandleFrame(const std::shared_ptr<Connection>& conn,
+                             WireFrame frame) {
+  const std::uint64_t id = frame.request_id;
+  if (IsQueryOpcode(frame.opcode)) {
+    Result<WireQueryRequest> request = DecodeQueryRequest(frame.payload);
+    if (!request.ok()) {
+      EnqueueError(shared_, conn, id, request.status());
+      return;
+    }
+    shared_->queries.fetch_add(1, std::memory_order_relaxed);
+    PendingNetQuery pending;
+    pending.conn = conn;
+    pending.request_id = id;
+    pending.objective = ObjectiveForQueryOpcode(frame.opcode);
+    pending.request = std::move(request).value();
+    cycle_queries_.push_back(std::move(pending));
+    return;
+  }
+  switch (frame.opcode) {
+    case WireOpcode::kPing:
+      EnqueueFrame(shared_, conn, EncodeEmptyFrame(WireOpcode::kPong, id));
+      return;
+    case WireOpcode::kMetricsPull:
+      // Exposition is a registry walk — cheap enough to stay on the loop.
+      EnqueueFrame(shared_, conn,
+                   EncodeTextFrame(WireOpcode::kMetricsText, id,
+                                   DumpMetricsText()));
+      return;
+    case WireOpcode::kTracePull: {
+      std::ostringstream out;
+      Status status = TraceRecorder::Global().ExportChromeTrace(out);
+      if (!status.ok()) {
+        EnqueueError(shared_, conn, id, status);
+      } else {
+        EnqueueFrame(shared_, conn,
+                     EncodeTextFrame(WireOpcode::kTraceJson, id, out.str()));
+      }
+      return;
+    }
+    case WireOpcode::kMutate: {
+      Result<WireMutateRequest> request = DecodeMutateRequest(frame.payload);
+      if (!request.ok()) {
+        EnqueueError(shared_, conn, id, request.status());
+        return;
+      }
+      if (!Dispatch([this, conn, id, req = std::move(request).value()]() mutable {
+            RunMutate(conn, id, std::move(req));
+          })) {
+        EnqueueError(shared_, conn, id,
+                     Status::Unavailable("dispatch queue full"));
+      }
+      return;
+    }
+    case WireOpcode::kSubscribe: {
+      Result<WireSubscribeRequest> request =
+          DecodeSubscribeRequest(frame.payload);
+      if (!request.ok()) {
+        EnqueueError(shared_, conn, id, request.status());
+        return;
+      }
+      if (!Dispatch([this, conn, id, req = std::move(request).value()]() mutable {
+            RunSubscribe(conn, id, std::move(req));
+          })) {
+        EnqueueError(shared_, conn, id,
+                     Status::Unavailable("dispatch queue full"));
+      }
+      return;
+    }
+    case WireOpcode::kSubscriptionTick: {
+      Result<WireTickRequest> request = DecodeTickRequest(frame.payload);
+      if (!request.ok()) {
+        EnqueueError(shared_, conn, id, request.status());
+        return;
+      }
+      if (!Dispatch([this, conn, id, req = std::move(request).value()]() mutable {
+            RunTick(conn, id, std::move(req));
+          })) {
+        EnqueueError(shared_, conn, id,
+                     Status::Unavailable("dispatch queue full"));
+      }
+      return;
+    }
+    case WireOpcode::kUnsubscribe: {
+      Result<WireUnsubscribeRequest> request =
+          DecodeUnsubscribeRequest(frame.payload);
+      if (!request.ok()) {
+        EnqueueError(shared_, conn, id, request.status());
+        return;
+      }
+      if (!Dispatch([this, conn, id, req = std::move(request).value()]() mutable {
+            RunUnsubscribe(conn, id, std::move(req));
+          })) {
+        EnqueueError(shared_, conn, id,
+                     Status::Unavailable("dispatch queue full"));
+      }
+      return;
+    }
+    default:
+      // Response opcodes (or future request kinds) are not valid here; the
+      // envelope was sound, so answer typed and keep the stream.
+      EnqueueError(shared_, conn, id,
+                   Status::InvalidArgument(
+                       std::string("unexpected opcode at server: ") +
+                       WireOpcodeName(frame.opcode)));
+      return;
+  }
+}
+
+void IflsServer::FlushCycleQueries() {
+  if (cycle_queries_.empty()) return;
+  std::vector<PendingNetQuery> cycle;
+  cycle.swap(cycle_queries_);
+  if (!options_.coalesce_batches) {
+    for (PendingNetQuery& q : cycle) {
+      std::shared_ptr<Connection> conn = q.conn;
+      std::uint64_t id = q.request_id;
+      if (!Dispatch([this, query = std::move(q)]() mutable {
+            RunSingleQuery(std::move(query));
+          })) {
+        EnqueueError(shared_, conn, id,
+                     Status::Unavailable("dispatch queue full"));
+      }
+    }
+    return;
+  }
+  // Coalesce per venue: a batch only ever touches one venue's service, so
+  // routing happens once and the solver batch shares its pinned state.
+  std::map<std::string, std::vector<PendingNetQuery>> by_venue;
+  for (PendingNetQuery& q : cycle) {
+    by_venue[q.request.venue_id].push_back(std::move(q));
+  }
+  for (auto& [venue_id, batch] : by_venue) {
+    // Keep conn/id pairs for the rejection path before the batch moves.
+    std::vector<std::pair<std::shared_ptr<Connection>, std::uint64_t>> who;
+    who.reserve(batch.size());
+    for (const PendingNetQuery& q : batch) who.emplace_back(q.conn, q.request_id);
+    if (!Dispatch([this, vid = venue_id, b = std::move(batch)]() mutable {
+          RunBatch(std::move(vid), std::move(b));
+        })) {
+      for (auto& [conn, id] : who) {
+        EnqueueError(shared_, conn, id,
+                     Status::Unavailable("dispatch queue full"));
+      }
+    }
+  }
+}
+
+void IflsServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (conn->closed) return;
+    conn->closed = true;
+  }
+  shared_->connections_active.fetch_sub(1, std::memory_order_relaxed);
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, conn->fd.get(), nullptr);
+  conns_.erase(conn->fd.get());
+  conn->fd.Reset();
+  // Tear down the connection's standing subscriptions so the service stops
+  // pushing into a dead stream. Forced past the capacity bound: cleanup
+  // must not be sheddable.
+  std::map<std::uint64_t, std::pair<std::string, std::shared_ptr<Subscription>>>
+      subs;
+  {
+    std::lock_guard<std::mutex> lock(conn->subs_mu);
+    subs.swap(conn->subs);
+  }
+  for (auto& [sub_id, entry] : subs) {
+    std::string venue_id = entry.first;
+    std::uint64_t id = sub_id;
+    (void)Dispatch(
+        [this, venue_id = std::move(venue_id), id] {
+          Result<std::shared_ptr<IflsService>> svc = Route(venue_id);
+          if (svc.ok()) (void)svc.value()->Unsubscribe(id);
+        },
+        /*force=*/true);
+  }
+}
+
+void IflsServer::FlushPendingWrites() {
+  std::vector<std::shared_ptr<Connection>> pending;
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    pending.swap(shared_->flush_queue);
+  }
+  for (const auto& conn : pending) {
+    if (conns_.count(conn->fd.get()) != 0) FlushOut(conn);
+  }
+}
+
+void IflsServer::FlushOut(const std::shared_ptr<Connection>& conn) {
+  bool drained = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (conn->closed) return;
+    while (conn->out_head < conn->out.size()) {
+      ssize_t n = ::write(conn->fd.get(), conn->out.data() + conn->out_head,
+                          conn->out.size() - conn->out_head);
+      if (n > 0) {
+        conn->out_head += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      break;  // EAGAIN (socket full) or a real error surfacing via epoll
+    }
+    if (conn->out_head >= conn->out.size()) {
+      conn->out.clear();
+      conn->out_head = 0;
+      drained = true;
+    }
+  }
+  if (drained == conn->want_write) {
+    // Toggle EPOLLOUT: armed while a partial write is pending, off once the
+    // buffer drains (level-triggered EPOLLOUT would spin otherwise).
+    conn->want_write = !drained;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (conn->want_write ? static_cast<std::uint32_t>(EPOLLOUT) : 0u);
+    ev.data.fd = conn->fd.get();
+    ::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, conn->fd.get(), &ev);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatchers
+// ---------------------------------------------------------------------------
+
+bool IflsServer::Dispatch(std::function<void()> job, bool force) {
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    if (dispatch_stop_) return false;
+    if (!force && (stopping_.load(std::memory_order_acquire) ||
+                   dispatch_jobs_.size() >= options_.dispatch_queue_capacity)) {
+      return false;
+    }
+    dispatch_jobs_.push_back(std::move(job));
+  }
+  dispatch_cv_.notify_one();
+  return true;
+}
+
+void IflsServer::DispatcherThread() {
+  while (true) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(dispatch_mu_);
+      dispatch_cv_.wait(lock, [this] {
+        return dispatch_stop_ || !dispatch_jobs_.empty();
+      });
+      if (dispatch_jobs_.empty()) return;  // stop && drained
+      job = std::move(dispatch_jobs_.front());
+      dispatch_jobs_.pop_front();
+    }
+    job();
+  }
+}
+
+Result<std::shared_ptr<IflsService>> IflsServer::Route(
+    const std::string& venue_id) {
+  if (service_ != nullptr) {
+    if (!venue_id.empty()) {
+      return Status::InvalidArgument(
+          "single-venue server: venue_id must be empty, got \"" + venue_id +
+          "\"");
+    }
+    return service_;
+  }
+  return router_->Service(venue_id);
+}
+
+void IflsServer::RunBatch(std::string venue_id,
+                          std::vector<PendingNetQuery> batch) {
+  Result<std::shared_ptr<IflsService>> routed = Route(venue_id);
+  if (!routed.ok()) {
+    for (const PendingNetQuery& q : batch) {
+      EnqueueError(shared_, q.conn, q.request_id, routed.status());
+    }
+    return;
+  }
+  std::shared_ptr<IflsService> service = std::move(routed).value();
+  // Pin one state for the whole batch — mirrors Execute()'s single acquire,
+  // and the engine's solver options are copied from the service, so every
+  // answer is bit-identical to the in-process path.
+  std::shared_ptr<const ServingState> state = service->AcquireState();
+  BatchEngineOptions engine_options;
+  engine_options.num_threads = options_.batch_threads;
+  engine_options.minmax = service->options().solvers.minmax;
+  engine_options.mindist = service->options().solvers.mindist;
+  engine_options.maxsum = service->options().solvers.maxsum;
+  BatchQueryEngine engine(engine_options);
+
+  std::vector<BatchQuery> queries;
+  queries.reserve(batch.size());
+  for (PendingNetQuery& q : batch) {
+    BatchQuery bq;
+    bq.objective = q.objective;
+    bq.context.oracle = &state->oracle();
+    bq.context.existing = state->overlay.effective_existing();
+    bq.context.candidates = state->overlay.effective_candidates();
+    bq.context.clients = std::move(q.request.clients);
+    queries.push_back(std::move(bq));
+  }
+  std::vector<BatchQueryOutcome> outcomes = engine.Run(queries);
+  shared_->batches.fetch_add(1, std::memory_order_relaxed);
+  shared_->batched_queries.fetch_add(batch.size(), std::memory_order_relaxed);
+
+  const std::uint64_t epoch = state->snapshot->epoch();
+  const std::uint64_t overlay_size =
+      static_cast<std::uint64_t>(state->overlay.delta().size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!outcomes[i].status.ok()) {
+      EnqueueError(shared_, batch[i].conn, batch[i].request_id,
+                   outcomes[i].status);
+      continue;
+    }
+    EnqueueFrame(shared_, batch[i].conn,
+                 EncodeQueryResultFrame(
+                     batch[i].request_id,
+                     MakeQueryResponse(outcomes[i].result, epoch, overlay_size,
+                                       /*batched=*/true,
+                                       static_cast<std::uint32_t>(
+                                           batch.size()))));
+  }
+}
+
+void IflsServer::RunSingleQuery(PendingNetQuery query) {
+  Result<std::shared_ptr<IflsService>> routed = Route(query.request.venue_id);
+  if (!routed.ok()) {
+    EnqueueError(shared_, query.conn, query.request_id, routed.status());
+    return;
+  }
+  std::shared_ptr<IflsService> service = std::move(routed).value();
+  ServiceRequest request;
+  request.objective = query.objective;
+  request.clients = std::move(query.request.clients);
+  request.deadline_seconds = query.request.deadline_seconds;
+  std::shared_ptr<NetShared> shared = shared_;
+  std::shared_ptr<Connection> conn = query.conn;
+  const std::uint64_t id = query.request_id;
+  // The completion callback owns everything it touches via shared_ptr: it
+  // may fire on a service worker after this server object is gone.
+  Status admitted = service->SubmitQueryAsync(
+      std::move(request), [shared, conn, id](ServiceReply reply) {
+        if (!reply.status.ok()) {
+          EnqueueError(shared, conn, id, reply.status);
+          return;
+        }
+        EnqueueFrame(shared, conn,
+                     EncodeQueryResultFrame(
+                         id, MakeQueryResponse(
+                                 reply.result, reply.snapshot_epoch,
+                                 static_cast<std::uint64_t>(reply.overlay_size),
+                                 /*batched=*/false, /*batch_size=*/0)));
+      });
+  if (!admitted.ok()) {
+    // Shed at admission: the callback did not and will not fire.
+    EnqueueError(shared_, conn, id, admitted);
+  }
+}
+
+void IflsServer::RunMutate(std::shared_ptr<Connection> conn,
+                           std::uint64_t request_id,
+                           WireMutateRequest request) {
+  Result<std::shared_ptr<IflsService>> routed = Route(request.venue_id);
+  if (!routed.ok()) {
+    EnqueueError(shared_, conn, request_id, routed.status());
+    return;
+  }
+  Mutation mutation;
+  mutation.kind = request.kind;
+  mutation.partition = request.partition;
+  std::uint64_t applied_version = 0;
+  Status status = routed.value()->Mutate(mutation, &applied_version);
+  if (!status.ok()) {
+    EnqueueError(shared_, conn, request_id, status);
+    return;
+  }
+  WireMutateResponse response;
+  response.applied_version = applied_version;
+  EnqueueFrame(shared_, conn, EncodeMutateResultFrame(request_id, response));
+}
+
+void IflsServer::RunSubscribe(std::shared_ptr<Connection> conn,
+                              std::uint64_t request_id,
+                              WireSubscribeRequest request) {
+  Result<std::shared_ptr<IflsService>> routed = Route(request.venue_id);
+  if (!routed.ok()) {
+    EnqueueError(shared_, conn, request_id, routed.status());
+    return;
+  }
+  SubscriptionOptions sub_options;
+  sub_options.tolerance = request.tolerance;
+  std::shared_ptr<NetShared> shared = shared_;
+  // Runs on service pump threads with the monitor lock held: encode and
+  // enqueue only, never re-enter the service, never touch `this`.
+  SubscriptionCallback callback = [shared, conn,
+                                   request_id](const SubscriptionPush& push) {
+    WireSubscriptionPush wire;
+    wire.subscription_id = push.subscription_id;
+    wire.sequence = push.sequence;
+    wire.version = push.version;
+    wire.ticks_applied = push.ticks_applied;
+    wire.latency_seconds = push.latency_seconds;
+    wire.found = push.result.found;
+    wire.answer = push.result.answer;
+    wire.objective = push.result.objective;
+    shared->pushes_sent.fetch_add(1, std::memory_order_relaxed);
+    EnqueueFrame(shared, conn, EncodePushFrame(request_id, wire));
+  };
+  Result<std::shared_ptr<Subscription>> subscribed = routed.value()->Subscribe(
+      request.clients, sub_options, std::move(callback));
+  if (!subscribed.ok()) {
+    EnqueueError(shared_, conn, request_id, subscribed.status());
+    return;
+  }
+  std::shared_ptr<Subscription> sub = std::move(subscribed).value();
+  {
+    std::lock_guard<std::mutex> lock(conn->subs_mu);
+    conn->subs.emplace(sub->id(),
+                       std::make_pair(request.venue_id, sub));
+  }
+  {
+    // The connection may have closed between Subscribe and registration;
+    // sweep immediately instead of leaking the standing query.
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (conn->closed) {
+      (void)routed.value()->Unsubscribe(sub->id());
+      std::lock_guard<std::mutex> subs_lock(conn->subs_mu);
+      conn->subs.erase(sub->id());
+      return;
+    }
+  }
+  WireSubscribeResponse response;
+  response.subscription_id = sub->id();
+  EnqueueFrame(shared_, conn,
+               EncodeSubscribeResultFrame(request_id, response));
+}
+
+void IflsServer::RunTick(std::shared_ptr<Connection> conn,
+                         std::uint64_t request_id, WireTickRequest request) {
+  Result<std::shared_ptr<IflsService>> routed = Route(request.venue_id);
+  if (!routed.ok()) {
+    EnqueueError(shared_, conn, request_id, routed.status());
+    return;
+  }
+  Status status = routed.value()->TickSubscription(
+      request.subscription_id, request.client, request.position,
+      request.partition);
+  if (!status.ok()) {
+    EnqueueError(shared_, conn, request_id, status);
+    return;
+  }
+  EnqueueFrame(shared_, conn,
+               EncodeEmptyFrame(WireOpcode::kAck, request_id));
+}
+
+void IflsServer::RunUnsubscribe(std::shared_ptr<Connection> conn,
+                                std::uint64_t request_id,
+                                WireUnsubscribeRequest request) {
+  Result<std::shared_ptr<IflsService>> routed = Route(request.venue_id);
+  if (!routed.ok()) {
+    EnqueueError(shared_, conn, request_id, routed.status());
+    return;
+  }
+  Status status = routed.value()->Unsubscribe(request.subscription_id);
+  {
+    std::lock_guard<std::mutex> lock(conn->subs_mu);
+    conn->subs.erase(request.subscription_id);
+  }
+  if (!status.ok()) {
+    EnqueueError(shared_, conn, request_id, status);
+    return;
+  }
+  EnqueueFrame(shared_, conn,
+               EncodeEmptyFrame(WireOpcode::kAck, request_id));
+}
+
+}  // namespace ifls

@@ -1,0 +1,123 @@
+#include "src/net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace ifls {
+namespace {
+
+std::string ErrnoText(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void OwnedFd::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Status::Internal(ErrnoText("fcntl(F_GETFL)"));
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(ErrnoText("fcntl(F_SETFL, O_NONBLOCK)"));
+  }
+  return Status::OK();
+}
+
+Status SetNoDelay(int fd) {
+  int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    return Status::Internal(ErrnoText("setsockopt(TCP_NODELAY)"));
+  }
+  return Status::OK();
+}
+
+Result<OwnedFd> CreateTcpListener(std::uint16_t port,
+                                  std::uint16_t* bound_port) {
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::Internal(ErrnoText("socket"));
+  int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    return Status::Internal(ErrnoText("setsockopt(SO_REUSEADDR)"));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return Status::Internal(ErrnoText("bind"));
+  }
+  // Backlog sized for bench ramps that open ~1k connections in a burst.
+  if (::listen(fd.get(), 4096) < 0) {
+    return Status::Internal(ErrnoText("listen"));
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual), &len) <
+        0) {
+      return Status::Internal(ErrnoText("getsockname"));
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  IFLS_RETURN_NOT_OK(SetNonBlocking(fd.get()));
+  return fd;
+}
+
+Result<OwnedFd> ConnectTcp(std::uint16_t port) {
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::Internal(ErrnoText("socket"));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    return Status::Unavailable(ErrnoText("connect"));
+  }
+  IFLS_RETURN_NOT_OK(SetNoDelay(fd.get()));
+  return fd;
+}
+
+Status EnsureFdLimit(std::uint64_t want) {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) {
+    return Status::Internal(ErrnoText("getrlimit(RLIMIT_NOFILE)"));
+  }
+  if (lim.rlim_cur != RLIM_INFINITY && lim.rlim_cur >= want) {
+    return Status::OK();
+  }
+  rlimit raised = lim;
+  raised.rlim_cur = (lim.rlim_max == RLIM_INFINITY)
+                        ? want
+                        : (want < lim.rlim_max ? want : lim.rlim_max);
+  if (raised.rlim_cur <= lim.rlim_cur) return Status::OK();
+  if (::setrlimit(RLIMIT_NOFILE, &raised) != 0) {
+    return Status::Internal(ErrnoText("setrlimit(RLIMIT_NOFILE)"));
+  }
+  if (raised.rlim_cur < want) {
+    return Status::Unavailable("fd limit capped at " +
+                               std::to_string(raised.rlim_cur) + " (wanted " +
+                               std::to_string(want) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace ifls

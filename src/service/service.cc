@@ -216,8 +216,7 @@ std::uint64_t IflsService::snapshot_epoch() const {
 // Query path
 // ---------------------------------------------------------------------------
 
-Result<std::future<ServiceReply>> IflsService::SubmitQuery(
-    ServiceRequest request) {
+IflsService::PendingQuery IflsService::MakePending(ServiceRequest request) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
   PendingQuery item;
   item.request = std::move(request);
@@ -229,7 +228,10 @@ Result<std::future<ServiceReply>> IflsService::SubmitQuery(
   }
   item.deadline = DeadlineFor(item.admitted_at, item.request.deadline_seconds,
                               options_.default_deadline_seconds);
-  std::future<ServiceReply> future = item.promise.get_future();
+  return item;
+}
+
+Status IflsService::Admit(PendingQuery item) {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (stopping_) {
@@ -246,7 +248,30 @@ Result<std::future<ServiceReply>> IflsService::SubmitQuery(
     admitted_.fetch_add(1, std::memory_order_relaxed);
   }
   queue_cv_.notify_one();
+  return Status::OK();
+}
+
+void IflsService::Deliver(PendingQuery* item, ServiceReply reply) {
+  if (item->done) {
+    item->done(std::move(reply));
+  } else {
+    item->promise.set_value(std::move(reply));
+  }
+}
+
+Result<std::future<ServiceReply>> IflsService::SubmitQuery(
+    ServiceRequest request) {
+  PendingQuery item = MakePending(std::move(request));
+  std::future<ServiceReply> future = item.promise.get_future();
+  IFLS_RETURN_NOT_OK(Admit(std::move(item)));
   return future;
+}
+
+Status IflsService::SubmitQueryAsync(ServiceRequest request,
+                                     std::function<void(ServiceReply)> done) {
+  PendingQuery item = MakePending(std::move(request));
+  item.done = std::move(done);
+  return Admit(std::move(item));
 }
 
 ServiceReply IflsService::Query(ServiceRequest request) {
@@ -375,7 +400,7 @@ void IflsService::Execute(PendingQuery item) {
         "deadline passed after " + std::to_string(reply.queue_seconds) +
         "s in queue");
     latency_.Record(reply.queue_seconds);
-    item.promise.set_value(std::move(reply));
+    Deliver(&item, std::move(reply));
     return;
   }
 
@@ -435,7 +460,7 @@ void IflsService::Execute(PendingQuery item) {
       elapsed >= options_.slow_query_threshold_seconds) {
     LogSlowQuery(reply, item.request.objective, elapsed);
   }
-  item.promise.set_value(std::move(reply));
+  Deliver(&item, std::move(reply));
 }
 
 void IflsService::LogSlowQuery(const ServiceReply& reply,
@@ -798,7 +823,7 @@ void IflsService::Stop() {
     ServiceReply reply;
     reply.status = Status::Unavailable("service stopped before execution");
     shed_.fetch_add(1, std::memory_order_relaxed);
-    item.promise.set_value(std::move(reply));
+    Deliver(&item, std::move(reply));
   }
   {
     std::lock_guard<std::mutex> lock(compact_mu_);

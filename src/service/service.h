@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -170,6 +171,16 @@ class IflsService {
   /// stopping; otherwise the future carries the reply.
   Result<std::future<ServiceReply>> SubmitQuery(ServiceRequest request);
 
+  /// Callback-completion variant of SubmitQuery for event-driven fronts (the
+  /// network server): on admission, `done` fires exactly once — on the
+  /// worker thread that executed the query (or the pumping thread in
+  /// admission-only mode), or on the Stop() caller for requests orphaned in
+  /// the queue. Returns kUnavailable *without invoking the callback* when
+  /// the request is shed at admission, so the caller can map backpressure to
+  /// its own error path synchronously. `done` must not re-enter the service.
+  Status SubmitQueryAsync(ServiceRequest request,
+                          std::function<void(ServiceReply)> done);
+
   /// Submit + wait convenience. Shed/stopped submissions surface in the
   /// reply's status.
   ServiceReply Query(ServiceRequest request);
@@ -242,13 +253,24 @@ class IflsService {
  private:
   struct PendingQuery {
     ServiceRequest request;
+    /// Exactly one completion channel is armed: `done` when submitted via
+    /// SubmitQueryAsync, the promise otherwise. Deliver() routes the reply.
     std::promise<ServiceReply> promise;
+    std::function<void(ServiceReply)> done;
     std::chrono::steady_clock::time_point admitted_at;
     /// time_point::max() when the request has no deadline.
     std::chrono::steady_clock::time_point deadline;
     /// 0 when tracing was disabled at submission.
     std::uint64_t trace_id = 0;
   };
+
+  /// Routes `reply` to the item's completion channel (callback or promise).
+  static void Deliver(PendingQuery* item, ServiceReply reply);
+  /// Stamps admission time, trace id and deadline; shared by both submit
+  /// fronts.
+  PendingQuery MakePending(ServiceRequest request);
+  /// Bounded admission under queue_mu_: kUnavailable when full or stopping.
+  Status Admit(PendingQuery item);
 
   IflsService(ServiceOptions options,
               std::shared_ptr<const IndexSnapshot> boot,

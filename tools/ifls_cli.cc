@@ -19,6 +19,12 @@
 //                [--existing N] [--candidates N] [--clients N] [--queries N]
 //                [--budget-mb MB] [--max-resident N] [--workers N]
 //                [--parse-load] [--seed S] [--metrics]
+//   serve        [--preset MC|CH|CPH|MZB] [--port P] [--workers N]
+//                [--existing N] [--candidates N] [--no-coalesce]
+//                [--smoke N] [--seed S] [--metrics]
+//   bench-net    [--preset MC|CH|CPH|MZB] [--connections N] [--threads N]
+//                [--pipeline D] [--queries N] [--clients N] [--distinct N]
+//                [--workers N] [--dispatchers N] [--no-coalesce] [--seed S]
 //
 // `trace` runs a traced IflsService session (queries across all three
 // objectives, a facility-mutation + compaction cycle, and a graph-oracle
@@ -41,7 +47,20 @@
 // text parsing instead of zero-copy mmap) — and round-robins queries
 // across the whole fleet, printing per-venue residency and router totals.
 //
+// `serve` starts the binary wire-protocol server (DESIGN.md §13) over a
+// preset-backed service on a loopback TCP port (--port 0 picks one and
+// prints it) and serves until SIGINT/SIGTERM. --smoke N instead runs an
+// N-query loopback self-test — every wire answer differentially checked
+// against the same in-process service — and exits, which is what CI runs.
+//
+// `bench-net` is the command-line front end of the network load generator:
+// N concurrent loopback connections replay a pool of pre-answered queries
+// against a fresh server and every response is verified bit-identically.
+// See bench/bench_network_throughput.cc for the JSON-reporting variant.
+//
 // Exit code 0 on success, 1 on any error (message on stderr).
+
+#include <csignal>
 
 #include <cmath>
 #include <cstdio>
@@ -72,6 +91,10 @@
 #include "src/io/svg_export.h"
 #include "src/io/venue_io.h"
 #include "src/io/workload_io.h"
+#include "src/net/client.h"
+#include "src/net/load_gen.h"
+#include "src/net/server.h"
+#include "src/net/wire.h"
 #include "src/service/fleet_store.h"
 #include "src/service/service.h"
 #include "src/service/venue_router.h"
@@ -585,8 +608,9 @@ int Subscribe(const Args& args) {
                 "skips %lld)\n",
                 static_cast<unsigned long long>(state.version),
                 static_cast<unsigned long long>(state.ticks_applied),
-                static_cast<unsigned long long>(state.pushes), state.solves,
-                state.skips);
+                static_cast<unsigned long long>(state.pushes),
+                static_cast<long long>(state.solves),
+                static_cast<long long>(state.skips));
   }
   const ServiceMetrics metrics = svc.Metrics();
   std::printf("service: %llu events, %llu pushes, %llu solves, %llu skips, "
@@ -728,11 +752,194 @@ int Fleet(const Args& args) {
   return 0;
 }
 
+/// Builds the preset-backed service the network commands serve. The venue,
+/// facility sets and client pool are deterministic for a given seed, so a
+/// `serve --smoke` differential check has stable ground truth.
+Result<std::shared_ptr<IflsService>> BuildServeService(const Args& args) {
+  const auto preset = ParsePreset(args.GetOr("preset", "MC"));
+  if (!preset) return Status::InvalidArgument("unknown preset");
+  Result<Venue> venue = BuildPresetVenue(*preset);
+  if (!venue.ok()) return venue.status();
+  Rng rng(static_cast<std::uint64_t>(args.GetInt("seed", 1)));
+  Result<FacilitySets> sets = SelectUniformFacilities(
+      *venue, static_cast<std::size_t>(args.GetInt("existing", 8)),
+      static_cast<std::size_t>(args.GetInt("candidates", 16)), &rng);
+  if (!sets.ok()) return sets.status();
+  ServiceOptions options;
+  options.num_workers = static_cast<int>(args.GetInt("workers", 2));
+  options.queue_capacity =
+      static_cast<std::size_t>(args.GetInt("queue", 1024));
+  Result<std::unique_ptr<IflsService>> service = IflsService::Create(
+      std::move(venue).value(), sets->existing, sets->candidates, options);
+  if (!service.ok()) return service.status();
+  return std::shared_ptr<IflsService>(std::move(service).value());
+}
+
+int Serve(const Args& args) {
+  Result<std::shared_ptr<IflsService>> service = BuildServeService(args);
+  if (!service.ok()) return Fail(service.status());
+
+  ServerOptions sopts;
+  sopts.port = static_cast<std::uint16_t>(args.GetInt("port", 0));
+  sopts.coalesce_batches = !args.Has("no-coalesce");
+  Result<std::unique_ptr<IflsServer>> server =
+      IflsServer::Create(*service, sopts);
+  if (!server.ok()) return Fail(server.status());
+  std::printf("serving %s on 127.0.0.1:%u (%s batching, %ld workers)\n",
+              args.GetOr("preset", "MC").c_str(), (*server)->port(),
+              sopts.coalesce_batches ? "coalesced" : "per-query",
+              args.GetInt("workers", 2));
+  std::fflush(stdout);
+
+  if (args.Has("smoke")) {
+    // Self-test: N wire queries differentially checked against the same
+    // in-process service, then a metrics pull over the wire.
+    const int n = static_cast<int>(args.GetInt("smoke", 6));
+    Result<std::unique_ptr<IflsClient>> client =
+        IflsClient::Connect((*server)->port());
+    if (!client.ok()) return Fail(client.status());
+    const IflsObjective kObjectives[] = {IflsObjective::kMinMax,
+                                         IflsObjective::kMinDist,
+                                         IflsObjective::kMaxSum};
+    const std::shared_ptr<const ServingState> state =
+        (*service)->AcquireState();
+    for (int i = 0; i < n; ++i) {
+      Rng qrng(static_cast<std::uint64_t>(7000 + i));
+      WireQueryRequest request;
+      request.clients =
+          GenerateClients(state->snapshot->venue(), 64, {}, &qrng);
+      ServiceRequest truth;
+      truth.objective = kObjectives[i % 3];
+      truth.clients = request.clients;
+      const ServiceReply expected = (*service)->Query(std::move(truth));
+      if (!expected.status.ok()) return Fail(expected.status);
+      Result<WireQueryResponse> response =
+          (*client)->Query(kObjectives[i % 3], request);
+      if (!response.ok()) return Fail(response.status());
+      if (response->found != expected.result.found ||
+          response->answer != expected.result.answer ||
+          std::memcmp(&response->objective, &expected.result.objective,
+                      sizeof(double)) != 0) {
+        return Fail("smoke: wire answer differs from in-process service");
+      }
+    }
+    Result<std::string> metrics = (*client)->PullMetrics();
+    if (!metrics.ok()) return Fail(metrics.status());
+    if (metrics->find("ifls_net_frames_total") == std::string::npos) {
+      return Fail("smoke: wire metrics pull missing ifls_net_ series");
+    }
+    std::printf("smoke ok: %d queries bit-identical over the wire\n", n);
+    if (args.Has("metrics")) std::printf("%s", DumpMetricsText().c_str());
+    (*server)->Stop();
+    (*service)->Stop();
+    return 0;
+  }
+
+  // Foreground serving: block until SIGINT/SIGTERM, then drain and exit.
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+  int sig = 0;
+  sigwait(&set, &sig);
+  std::printf("signal %d: shutting down\n", sig);
+  (*server)->Stop();
+  if (args.Has("metrics")) std::printf("%s", DumpMetricsText().c_str());
+  (*service)->Stop();
+  return 0;
+}
+
+int BenchNet(const Args& args) {
+  Result<std::shared_ptr<IflsService>> service = BuildServeService(args);
+  if (!service.ok()) return Fail(service.status());
+
+  const std::size_t connections =
+      static_cast<std::size_t>(args.GetInt("connections", 1024));
+  const std::size_t clients_per_query =
+      static_cast<std::size_t>(args.GetInt("clients", 32));
+  const std::size_t distinct =
+      static_cast<std::size_t>(args.GetInt("distinct", 24));
+  const int pipeline = static_cast<int>(args.GetInt("pipeline", 2));
+
+  // Ground truth pool the load generator replays and checks against.
+  const std::shared_ptr<const ServingState> state = (*service)->AcquireState();
+  Rng rng(static_cast<std::uint64_t>(args.GetInt("seed", 1)) ^ 0x9e3779b9u);
+  const std::vector<Client> pool =
+      GenerateClients(state->snapshot->venue(), 8192, {}, &rng);
+  const IflsObjective kObjectives[] = {IflsObjective::kMinMax,
+                                       IflsObjective::kMinDist,
+                                       IflsObjective::kMaxSum};
+  std::vector<NetExpectation> expectations;
+  for (std::size_t q = 0; q < distinct; ++q) {
+    NetExpectation exp;
+    exp.objective = kObjectives[q % 3];
+    const std::size_t start =
+        rng.NextBounded(pool.size() - clients_per_query);
+    exp.clients.assign(
+        pool.begin() + static_cast<std::ptrdiff_t>(start),
+        pool.begin() + static_cast<std::ptrdiff_t>(start + clients_per_query));
+    ServiceRequest request;
+    request.objective = exp.objective;
+    request.clients = exp.clients;
+    const ServiceReply reply = (*service)->Query(std::move(request));
+    if (!reply.status.ok()) return Fail(reply.status);
+    exp.found = reply.result.found;
+    exp.answer = reply.result.answer;
+    exp.objective_value = reply.result.objective;
+    expectations.push_back(std::move(exp));
+  }
+
+  ServerOptions sopts;
+  sopts.coalesce_batches = !args.Has("no-coalesce");
+  sopts.num_dispatchers = static_cast<int>(args.GetInt("dispatchers", 4));
+  sopts.dispatch_queue_capacity =
+      connections * (static_cast<std::size_t>(pipeline) + 1);
+  Result<std::unique_ptr<IflsServer>> server =
+      IflsServer::Create(*service, sopts);
+  if (!server.ok()) return Fail(server.status());
+
+  LoadGenOptions load;
+  load.port = (*server)->port();
+  load.num_connections = connections;
+  load.num_threads = static_cast<int>(args.GetInt("threads", 8));
+  load.pipeline_depth = pipeline;
+  load.queries_per_connection =
+      static_cast<std::size_t>(args.GetInt("queries", 16));
+  Result<LoadGenReport> report = RunNetworkLoad(load, expectations);
+  if (!report.ok()) return Fail(report.status());
+
+  const ServerMetrics sm = (*server)->Metrics();
+  std::printf(
+      "bench-net (%s batching): %llu ok / %llu err / %llu mismatch across "
+      "%zu connections in %.3fs\n"
+      "  %.0f qps, p50 %.3fms, p99 %.3fms, p999 %.3fms\n"
+      "  server: %llu frames, %llu batches (%llu queries batched), "
+      "%llu rejected\n",
+      sopts.coalesce_batches ? "coalesced" : "per-query",
+      static_cast<unsigned long long>(report->completed),
+      static_cast<unsigned long long>(report->errors),
+      static_cast<unsigned long long>(report->mismatches),
+      report->connections, report->wall_seconds, report->qps,
+      report->p50_seconds * 1e3, report->p99_seconds * 1e3,
+      report->p999_seconds * 1e3,
+      static_cast<unsigned long long>(sm.frames_received),
+      static_cast<unsigned long long>(sm.batches),
+      static_cast<unsigned long long>(sm.batched_queries),
+      static_cast<unsigned long long>(sm.rejected));
+  (*server)->Stop();
+  (*service)->Stop();
+  if (report->mismatches != 0) {
+    return Fail("bench-net: differential mismatches against the service");
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s gen-venue|gen-workload|solve|info|render|trace|"
-                 "subscribe|fleet [--flags]\n",
+                 "subscribe|fleet|serve|bench-net [--flags]\n",
                  argv[0]);
     return 1;
   }
@@ -747,6 +954,8 @@ int Run(int argc, char** argv) {
   if (command == "trace") return Trace(args);
   if (command == "subscribe") return Subscribe(args);
   if (command == "fleet") return Fleet(args);
+  if (command == "serve") return Serve(args);
+  if (command == "bench-net") return BenchNet(args);
   return Fail("unknown command");
 }
 
