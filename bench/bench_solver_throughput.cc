@@ -2,8 +2,9 @@
 // measured at three layers:
 //
 //   1. kernel microbench — the blocked min-plus kernels timed under forced
-//      scalar and forced AVX2 dispatch on identical inputs (the headline
-//      single-thread kernel speedup);
+//      scalar and best-supported-tier dispatch on identical inputs (the
+//      headline single-thread kernel speedup; bench_kernel_micro sweeps
+//      every tier of the ladder);
 //   2. cache microbench — the legacy mutex + unordered_map door memo
 //      (reconstructed here) vs the sharded seqlock ConcurrentDoorCache,
 //      mixed lookup/insert at 1 and 8 threads;
@@ -90,16 +91,18 @@ struct KernelRow {
   double speedup = 0.0;
 };
 
-/// Times one kernel under both forced dispatch modes on the same instances.
+/// Times one kernel pinned to the scalar reference and to the best
+/// supported SIMD tier on the same instances. (bench_kernel_micro sweeps
+/// the full tier ladder; this report keeps the headline before/after pair.)
 template <typename Fn>
 KernelRow BenchKernel(const std::string& name, int iters, Fn&& fn) {
   KernelRow row;
   row.name = name;
-  kernels::SetKernelMode(kernels::KernelMode::kScalar);
+  IFLS_CHECK_OK(kernels::PinKernelTier(kernels::KernelTier::kScalar));
   row.scalar_ns = TimeNs(iters, fn);
-  kernels::SetKernelMode(kernels::KernelMode::kSimd);
+  IFLS_CHECK_OK(kernels::PinKernelTier(kernels::BestKernelTier()));
   row.simd_ns = TimeNs(iters, fn);
-  kernels::SetKernelMode(kernels::KernelMode::kAuto);
+  kernels::ResetKernelTierAuto();
   row.speedup = row.simd_ns > 0.0 ? row.scalar_ns / row.simd_ns : 0.0;
   return row;
 }
@@ -242,12 +245,12 @@ int Main() {
   std::printf(
       "# solver throughput before/after kernels+cache (scale=%s, "
       "simd=%s, hardware threads=%u)\n\n",
-      scale.name.c_str(), kernels::SimdAvailable() ? "avx2" : "unavailable",
+      scale.name.c_str(), kernels::KernelTierName(kernels::BestKernelTier()),
       std::thread::hardware_concurrency());
 
   // --- Layer 1.
   const std::vector<KernelRow> kernel_rows = RunKernelMicrobench(scale);
-  TextTable ktable({"kernel", "scalar ns/op", "avx2 ns/op", "speedup"});
+  TextTable ktable({"kernel", "scalar ns/op", "best ns/op", "speedup"});
   double min_speedup = kernel_rows.empty() ? 0.0 : kernel_rows[0].speedup;
   double log_sum = 0.0;
   for (const KernelRow& row : kernel_rows) {
@@ -325,9 +328,9 @@ int Main() {
     // of the cache; the cold fill is measured implicitly by layer 2).
     {
       BatchQueryEngine warm{BatchEngineOptions{}};
-      kernels::SetKernelMode(kernels::KernelMode::kSimd);
+      IFLS_CHECK_OK(kernels::PinKernelTier(kernels::BestKernelTier()));
       (void)warm.RunSequential(after_batch);
-      kernels::SetKernelMode(kernels::KernelMode::kAuto);
+      kernels::ResetKernelTierAuto();
     }
 
     std::vector<BatchQueryOutcome> reference;  // before-config answers, 1t
@@ -339,11 +342,12 @@ int Main() {
         BatchEngineOptions opts;
         opts.num_threads = threads;
         BatchQueryEngine engine(opts);
-        kernels::SetKernelMode(after ? kernels::KernelMode::kSimd
-                                     : kernels::KernelMode::kScalar);
+        IFLS_CHECK_OK(kernels::PinKernelTier(after
+                                                 ? kernels::BestKernelTier()
+                                                 : kernels::KernelTier::kScalar));
         const std::vector<BatchQueryOutcome> outcomes =
             engine.Run(after ? after_batch : before_batch);
-        kernels::SetKernelMode(kernels::KernelMode::kAuto);
+        kernels::ResetKernelTierAuto();
         const double qps = engine.last_report().queries_per_second;
         if (after) {
           row.after_qps = qps;
@@ -383,11 +387,14 @@ int Main() {
   const Status written = WriteBenchReport(
       "solver_throughput", [&](JsonWriter& w) {
         w.Field("scale", scale.name);
-        w.Field("simd_available", kernels::SimdAvailable());
+        w.Field("simd_available",
+                kernels::BestKernelTier() != kernels::KernelTier::kScalar);
+        w.Field("best_tier",
+                kernels::KernelTierName(kernels::BestKernelTier()));
         w.Field("venue", std::string(
                              VenuePresetName(VenuePreset::kMelbourneCentral)));
         w.Field("before_config", "scalar kernels, door cache off");
-        w.Field("after_config", "avx2 kernels, sharded door cache");
+        w.Field("after_config", "best-tier kernels, sharded door cache");
         w.Key("kernel_microbench");
         w.BeginArray();
         for (const KernelRow& row : kernel_rows) {

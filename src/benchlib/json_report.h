@@ -70,13 +70,15 @@ class JsonWriter {
 std::string BenchReportPath(const std::string& name);
 
 /// Writes the shared bench-report schema to BenchReportPath(name):
-///   { "benchmark": <name>, "schema_version": 2,
+///   { "benchmark": <name>, "schema_version": 3,
 ///     "git_sha": ..., "build_type": ..., "kernel_dispatch": ...,
-///     ...body fields... }
+///     "kernel_tiers_compiled": [...], ...body fields... }
 /// Schema v2 added the attribution fields (commit, CMAKE_BUILD_TYPE, active
-/// min-plus kernel backend); v1 readers that ignore unknown fields are
-/// unaffected. `body` receives the writer positioned inside the envelope
-/// object and adds its fields via Field()/Key() + nested containers.
+/// min-plus kernel backend); v3 widened kernel_dispatch to the tier ladder
+/// ("scalar|sse4|avx2|avx512") and added the compiled-tier list. Readers
+/// that ignore unknown fields are unaffected. `body` receives the writer
+/// positioned inside the envelope object and adds its fields via
+/// Field()/Key() + nested containers.
 Status WriteBenchReport(const std::string& name,
                         const std::function<void(JsonWriter&)>& body);
 

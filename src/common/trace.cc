@@ -309,10 +309,37 @@ void WriteChromeEvent(std::ostream& out, bool* first, const char* ph,
 
 }  // namespace
 
+void TraceRecorder::SetMetadata(const std::string& key,
+                                const std::string& value) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (auto& entry : metadata_) {
+    if (entry.first == key) {
+      entry.second = value;
+      return;
+    }
+  }
+  metadata_.emplace_back(key, value);
+  std::sort(metadata_.begin(), metadata_.end());
+}
+
 Status TraceRecorder::ExportChromeTrace(std::ostream& out) const {
   const std::vector<TraceEvent> events = Snapshot();  // (tid, start) order
+  std::vector<std::pair<std::string, std::string>> metadata;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    metadata = metadata_;
+  }
 
-  out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {";
+  bool first_meta = true;
+  for (const auto& [key, value] : metadata) {
+    out << (first_meta ? "\n    " : ",\n    ");
+    first_meta = false;
+    WriteJsonString(out, key.c_str());
+    out << ": ";
+    WriteJsonString(out, value.c_str());
+  }
+  out << (first_meta ? "},\n" : "\n  },\n") << "  \"traceEvents\": [\n";
   bool first = true;
 
   // Complete spans become balanced B/E pairs per thread: within one tid the

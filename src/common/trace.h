@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
@@ -121,9 +122,15 @@ class TraceRecorder {
   /// Spans lost to ring wrap-around (or buffer reuse) since the last Clear.
   std::uint64_t dropped_events() const;
 
+  /// Process-level metadata stamped into every export's "otherData" block
+  /// (Chrome trace viewers show it under "Metadata"). Last write per key
+  /// wins. Used for run attribution that is not a span — e.g. the kernel
+  /// dispatch layer records the active min-plus backend tier here.
+  void SetMetadata(const std::string& key, const std::string& value);
+
   /// Writes the current snapshot as Chrome trace-event JSON ("traceEvents"
-  /// array of balanced B/E pairs, microsecond timestamps), loadable in
-  /// Perfetto / chrome://tracing.
+  /// array of balanced B/E pairs, microsecond timestamps, plus the
+  /// "otherData" metadata block), loadable in Perfetto / chrome://tracing.
   Status ExportChromeTrace(std::ostream& out) const;
   Status ExportChromeTraceToFile(const std::string& path) const;
 
@@ -142,6 +149,9 @@ class TraceRecorder {
 
   mutable std::mutex registry_mu_;
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  /// Export metadata (key -> value), guarded by registry_mu_. A sorted
+  /// vector keeps the exported block deterministic.
+  std::vector<std::pair<std::string, std::string>> metadata_;
   std::atomic<std::uint64_t> next_trace_id_{1};
   std::atomic<std::uint32_t> sample_every_{1};
   std::atomic<std::uint64_t> dropped_{0};

@@ -1,0 +1,197 @@
+// SSE4.2 backend: 2-lane __m128d blocked reductions, scalar tails. SSE has
+// no vector gather, so indexed reads assemble each pair with _mm_set_pd —
+// still a win on pre-AVX serving hardware because the min/add reduction
+// tree halves the dependent-compare chain. This translation unit is
+// compiled with a per-file -msse4.2 (cmake/cpu_features.cmake) and only
+// dispatched to when __builtin_cpu_supports("sse4.2") holds.
+//
+// Bit-identity: every candidate is the same left-associated IEEE sum as the
+// scalar reference, _mm_min_pd returns one of its operands, and the
+// horizontal fold compares with `<` exactly like the reference loop, so no
+// reduction-order choice can change a bit (tests/minplus_kernels_test.cc).
+
+#include <limits>
+
+#include <smmintrin.h>
+
+#include "src/index/kernels/kernel_table.h"
+
+namespace ifls {
+namespace kernels {
+namespace internal {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Below one 2-lane block the vector main loops do no work and the
+/// broadcast/horizontal-fold overhead makes this tier slower than the
+/// reference, so such calls defer to the scalar table (bit-identical by
+/// construction — it IS the reference).
+inline const KernelTable& Scalar() { return *GetScalarKernelTable(); }
+
+/// min over the 2 lanes, folded against `tail` (value-exact: every operand
+/// is one of the candidate sums, so picking between equals is bit-neutral).
+inline double HorizontalMin(__m128d acc, double tail) {
+  alignas(16) double lanes[2];
+  _mm_store_pd(lanes, acc);
+  double best = tail;
+  if (lanes[0] < best) best = lanes[0];
+  if (lanes[1] < best) best = lanes[1];
+  return best;
+}
+
+/// row[idx[j]], row[idx[j+1]] as a 2-lane vector.
+inline __m128d Gather2(const double* row, const std::int32_t* idx) {
+  return _mm_set_pd(row[idx[1]], row[idx[0]]);
+}
+
+double MinPlusJoin(const double* a, const std::int32_t* rows, std::size_t nr,
+                   const double* b, const std::int32_t* cols, std::size_t nc,
+                   const double* m, std::size_t stride) {
+  if (nc < 2) return Scalar().min_plus_join(a, rows, nr, b, cols, nc, m, stride);
+  __m128d acc = _mm_set1_pd(kInf);
+  double tail_best = kInf;
+  const std::size_t nc2 = nc & ~std::size_t{1};
+  for (std::size_t i = 0; i < nr; ++i) {
+    const double ai = a[i];
+    const double* row = m + static_cast<std::size_t>(rows[i]) * stride;
+    const __m128d va = _mm_set1_pd(ai);
+    for (std::size_t j = 0; j < nc2; j += 2) {
+      const __m128d g = Gather2(row, cols + j);
+      const __m128d vb = _mm_loadu_pd(b + j);
+      const __m128d cand = _mm_add_pd(_mm_add_pd(va, g), vb);
+      acc = _mm_min_pd(acc, cand);
+    }
+    for (std::size_t j = nc2; j < nc; ++j) {
+      const double cand = (ai + row[cols[j]]) + b[j];
+      if (cand < tail_best) tail_best = cand;
+    }
+  }
+  return HorizontalMin(acc, tail_best);
+}
+
+void MinPlusCompose(const double* a, const std::int32_t* rows, std::size_t nr,
+                    const std::int32_t* cols, std::size_t nc, const double* m,
+                    std::size_t stride, double* out) {
+  if (nc < 2) return Scalar().min_plus_compose(a, rows, nr, cols, nc, m, stride, out);
+  const std::size_t nc2 = nc & ~std::size_t{1};
+  for (std::size_t j = 0; j < nc2; j += 2) {
+    __m128d acc = _mm_set1_pd(kInf);
+    for (std::size_t i = 0; i < nr; ++i) {
+      const double* row = m + static_cast<std::size_t>(rows[i]) * stride;
+      const __m128d g = Gather2(row, cols + j);
+      const __m128d cand = _mm_add_pd(_mm_set1_pd(a[i]), g);
+      acc = _mm_min_pd(acc, cand);
+    }
+    _mm_storeu_pd(out + j, acc);
+  }
+  for (std::size_t j = nc2; j < nc; ++j) {
+    double best = kInf;
+    for (std::size_t i = 0; i < nr; ++i) {
+      const double cand =
+          a[i] + m[static_cast<std::size_t>(rows[i]) * stride + cols[j]];
+      if (cand < best) best = cand;
+    }
+    out[j] = best;
+  }
+}
+
+double MinPlusGather(double s, const double* row, const std::int32_t* idx,
+                     std::size_t n) {
+  if (n < 2) return Scalar().min_plus_gather(s, row, idx, n);
+  __m128d acc = _mm_set1_pd(kInf);
+  const __m128d vs = _mm_set1_pd(s);
+  const std::size_t n2 = n & ~std::size_t{1};
+  for (std::size_t j = 0; j < n2; j += 2) {
+    acc = _mm_min_pd(acc, _mm_add_pd(vs, Gather2(row, idx + j)));
+  }
+  double tail_best = kInf;
+  for (std::size_t j = n2; j < n; ++j) {
+    const double cand = s + row[idx[j]];
+    if (cand < tail_best) tail_best = cand;
+  }
+  return HorizontalMin(acc, tail_best);
+}
+
+double MinPlusGatherAdd(double s, const double* row, const std::int32_t* idx,
+                        const double* b, std::size_t n) {
+  if (n < 2) return Scalar().min_plus_gather_add(s, row, idx, b, n);
+  __m128d acc = _mm_set1_pd(kInf);
+  const __m128d vs = _mm_set1_pd(s);
+  const std::size_t n2 = n & ~std::size_t{1};
+  for (std::size_t j = 0; j < n2; j += 2) {
+    const __m128d g = Gather2(row, idx + j);
+    const __m128d vb = _mm_loadu_pd(b + j);
+    acc = _mm_min_pd(acc, _mm_add_pd(_mm_add_pd(vs, g), vb));
+  }
+  double tail_best = kInf;
+  for (std::size_t j = n2; j < n; ++j) {
+    const double cand = (s + row[idx[j]]) + b[j];
+    if (cand < tail_best) tail_best = cand;
+  }
+  return HorizontalMin(acc, tail_best);
+}
+
+double MinPlusPairwise(const double* a, const double* b, std::size_t n) {
+  if (n < 2) return Scalar().min_plus_pairwise(a, b, n);
+  __m128d acc = _mm_set1_pd(kInf);
+  const std::size_t n2 = n & ~std::size_t{1};
+  for (std::size_t k = 0; k < n2; k += 2) {
+    const __m128d cand = _mm_add_pd(_mm_loadu_pd(a + k), _mm_loadu_pd(b + k));
+    acc = _mm_min_pd(acc, cand);
+  }
+  double tail_best = kInf;
+  for (std::size_t k = n2; k < n; ++k) {
+    const double cand = a[k] + b[k];
+    if (cand < tail_best) tail_best = cand;
+  }
+  return HorizontalMin(acc, tail_best);
+}
+
+/// Two passes: a vectorized min over the sums, then a scalar scan for the
+/// first index attaining it — trivially reproduces the reference tie-break.
+std::size_t MinPlusArgmin(double s, const double* row, std::size_t n) {
+  if (n < 2) return Scalar().min_plus_argmin(s, row, n);
+  __m128d acc = _mm_set1_pd(kInf);
+  const __m128d vs = _mm_set1_pd(s);
+  const std::size_t n2 = n & ~std::size_t{1};
+  for (std::size_t k = 0; k < n2; k += 2) {
+    acc = _mm_min_pd(acc, _mm_add_pd(vs, _mm_loadu_pd(row + k)));
+  }
+  double best = kInf;
+  for (std::size_t k = n2; k < n; ++k) {
+    const double cand = s + row[k];
+    if (cand < best) best = cand;
+  }
+  best = HorizontalMin(acc, best);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (s + row[k] == best) return k;
+  }
+  // best == +inf with every sum +inf (or NaN inputs, which the distance
+  // arrays never contain): the reference scan returns index 0.
+  return 0;
+}
+
+void GatherCells(const double* row, const std::int32_t* idx, std::size_t n,
+                 double* out) {
+  if (n < 2) return Scalar().gather_cells(row, idx, n, out);
+  const std::size_t n2 = n & ~std::size_t{1};
+  for (std::size_t i = 0; i < n2; i += 2) {
+    _mm_storeu_pd(out + i, Gather2(row, idx + i));
+  }
+  for (std::size_t i = n2; i < n; ++i) out[i] = row[idx[i]];
+}
+
+constexpr KernelTable kTable = {
+    KernelTier::kSse4, "sse4",           MinPlusJoin, MinPlusCompose,
+    MinPlusGather,     MinPlusGatherAdd, MinPlusPairwise,
+    MinPlusArgmin,     GatherCells,
+};
+
+}  // namespace
+
+const KernelTable* GetSse4KernelTable() { return &kTable; }
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace ifls

@@ -1,18 +1,24 @@
-// Equivalence suite for the min-plus kernels: the scalar reference loops are
-// the specification, and the SIMD backend must reproduce them bit for bit —
-// EXPECT_EQ on doubles throughout, never EXPECT_NEAR. CI runs this under
-// ASan in both dispatch modes (Release job: once with IFLS_KERNELS=scalar,
-// once with IFLS_KERNELS=simd).
+// Equivalence suite for the min-plus kernels: the scalar reference loops
+// are the specification, and every SIMD tier (sse4 / avx2 / avx512) must
+// reproduce them bit for bit — EXPECT_EQ on doubles throughout, never
+// EXPECT_NEAR. The tier product runs over every tier this binary compiled
+// in AND this CPU supports; compiled-but-unsupported tiers are skipped with
+// a logged reason instead of failing, so the suite is green on SSE4-only
+// serving hardware and on AVX-512 machines alike. CI additionally reruns
+// the whole suite under each supported IFLS_KERNELS pin.
 
 #include "src/index/minplus_kernels.h"
 
 #include <cstdint>
+#include <cstdlib>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"
+#include "src/common/status.h"
 
 namespace ifls {
 namespace kernels {
@@ -20,21 +26,53 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Runs `fn` under both dispatch modes and returns the pair of results.
-/// When the machine cannot run AVX2 both runs are scalar, which keeps the
-/// test green (vacuously) instead of flaky.
+/// Every tier the running machine can actually execute, scalar first.
+/// Logs (once) each compiled tier the CPU lacks, so a skip is visible in
+/// the test output rather than silent.
+std::vector<KernelTier> SupportedTiers() {
+  static const std::vector<KernelTier> tiers = [] {
+    std::vector<KernelTier> out;
+    for (int t = 0; t < kNumKernelTiers; ++t) {
+      const KernelTier tier = static_cast<KernelTier>(t);
+      if (KernelTierSupported(tier)) {
+        out.push_back(tier);
+      } else if (KernelTierCompiled(tier)) {
+        std::printf("[ SKIP     ] tier %s compiled in but unsupported by "
+                    "this CPU; excluded from the tier product\n",
+                    KernelTierName(tier));
+      }
+    }
+    return out;
+  }();
+  return tiers;
+}
+
+/// Runs `fn` pinned to every supported tier and returns the results in
+/// SupportedTiers() order (scalar — the reference — is always index 0).
 template <typename Fn>
-auto BothModes(Fn&& fn) {
-  SetKernelMode(KernelMode::kScalar);
-  EXPECT_EQ(ActiveKernelMode(), KernelMode::kScalar);
-  auto scalar_result = fn();
-  SetKernelMode(KernelMode::kSimd);
-  if (SimdAvailable()) {
-    EXPECT_EQ(ActiveKernelMode(), KernelMode::kSimd);
+auto AllTiers(Fn&& fn) {
+  std::vector<decltype(fn())> results;
+  for (const KernelTier tier : SupportedTiers()) {
+    const Status pinned = PinKernelTier(tier);
+    EXPECT_TRUE(pinned.ok()) << pinned.ToString();
+    if (!pinned.ok()) continue;  // already failed the test above
+    EXPECT_EQ(ActiveKernelTier(), tier);
+    results.push_back(fn());
   }
-  auto simd_result = fn();
-  SetKernelMode(KernelMode::kAuto);
-  return std::make_pair(scalar_result, simd_result);
+  ResetKernelTierAuto();
+  return results;
+}
+
+/// EXPECT_EQ of every tier's result against the scalar reference (index 0).
+template <typename T>
+void ExpectAllTiersEqual(const std::vector<T>& results,
+                         const std::string& what) {
+  ASSERT_EQ(results.size(), SupportedTiers().size());
+  for (std::size_t t = 1; t < results.size(); ++t) {
+    EXPECT_EQ(results[0], results[t])
+        << what << ": tier " << KernelTierName(SupportedTiers()[t])
+        << " diverged from scalar";
+  }
 }
 
 struct RandomInstance {
@@ -47,15 +85,17 @@ struct RandomInstance {
 };
 
 /// Random door-matrix-shaped instance: distances in [0, 1000], a sprinkle
-/// of +inf cells (disconnected components) and duplicated indices (access
-/// doors repeat across levels).
+/// of +inf cells (disconnected components), duplicated indices (access
+/// doors repeat across levels) and coarse quantization on request (exact
+/// ties across lanes).
 RandomInstance MakeInstance(Rng& rng, std::size_t matrix_dim, std::size_t nr,
-                            std::size_t nc) {
+                            std::size_t nc, bool quantized = false) {
   RandomInstance inst;
   inst.stride = matrix_dim;
   inst.matrix.resize(matrix_dim * matrix_dim);
   for (double& v : inst.matrix) {
-    v = rng.NextUniform(0.0, 1000.0);
+    v = quantized ? static_cast<double>(rng.NextInt(0, 8)) * 0.5
+                  : rng.NextUniform(0.0, 1000.0);
     if (rng.NextUniform(0.0, 1.0) < 0.05) v = kInf;
   }
   const auto rand_idx = [&] {
@@ -69,105 +109,203 @@ RandomInstance MakeInstance(Rng& rng, std::size_t matrix_dim, std::size_t nr,
   inst.a.resize(nr);
   inst.b.resize(nc);
   for (double& v : inst.a) {
-    v = rng.NextUniform(0.0, 500.0);
+    v = quantized ? static_cast<double>(rng.NextInt(0, 4)) * 0.25
+                  : rng.NextUniform(0.0, 500.0);
     if (rng.NextUniform(0.0, 1.0) < 0.05) v = kInf;
   }
-  for (double& v : inst.b) v = rng.NextUniform(0.0, 500.0);
+  for (double& v : inst.b) {
+    v = quantized ? static_cast<double>(rng.NextInt(0, 4)) * 0.25
+                  : rng.NextUniform(0.0, 500.0);
+  }
   return inst;
 }
 
-TEST(MinPlusKernelsTest, SimdCompiledMatchesBuildFlag) {
-#if defined(IFLS_KERNEL_SIMD) && defined(__x86_64__)
-  // The build compiled the AVX2 backend; whether it dispatches depends on
-  // the CPU. On any x86-64 CI runner of this project AVX2 is present.
-  EXPECT_TRUE(SimdAvailable());
+// Sizes straddle every lane-block boundary in the ladder (2 for sse4, 4
+// for avx2, 8 for avx512): empty, tiny, each remainder class mod 8, and a
+// couple of larger shapes.
+const std::size_t kSizes[] = {0u, 1u,  2u,  3u,  4u,  5u,  6u, 7u,
+                              8u, 9u,  13u, 16u, 17u, 33u, 64u};
+
+TEST(MinPlusKernelsTest, TierLadderIsConsistent) {
+  // scalar is unconditionally compiled and supported.
+  EXPECT_TRUE(KernelTierCompiled(KernelTier::kScalar));
+  EXPECT_TRUE(KernelTierSupported(KernelTier::kScalar));
+  // Support implies compiled; the best tier is supported; auto dispatch
+  // never leaves the active tier unsupported.
+  for (int t = 0; t < kNumKernelTiers; ++t) {
+    const KernelTier tier = static_cast<KernelTier>(t);
+    if (KernelTierSupported(tier)) {
+      EXPECT_TRUE(KernelTierCompiled(tier));
+    }
+  }
+  EXPECT_TRUE(KernelTierSupported(BestKernelTier()));
+  ResetKernelTierAuto();
+  EXPECT_TRUE(KernelTierSupported(ActiveKernelTier()));
+#if defined(IFLS_HAVE_AVX2) && defined(__x86_64__)
+  // The build compiled the AVX2 backend; on any x86-64 CI runner of this
+  // project AVX2 is present, so the choose-best ladder must reach it.
+  EXPECT_TRUE(KernelTierSupported(KernelTier::kAvx2));
+  EXPECT_GE(static_cast<int>(BestKernelTier()),
+            static_cast<int>(KernelTier::kAvx2));
 #endif
-  SetKernelMode(KernelMode::kAuto);
-  EXPECT_NE(ActiveKernelMode(), KernelMode::kAuto);
 }
 
-TEST(MinPlusKernelsTest, JoinBitIdenticalAcrossBackends) {
+TEST(MinPlusKernelsTest, PinAndNamesRoundTrip) {
+  for (const KernelTier tier : SupportedTiers()) {
+    ASSERT_TRUE(PinKernelTier(tier).ok());
+    EXPECT_EQ(ActiveKernelTier(), tier);
+    EXPECT_STREQ(ActiveKernelName(), KernelTierName(tier));
+    const Result<KernelTier> parsed = ParseKernelTier(KernelTierName(tier));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, tier);
+  }
+  // Auto dispatch resolves to the best tier — unless the suite itself runs
+  // under a valid IFLS_KERNELS pin (the CI matrix does exactly that), which
+  // auto mode honors.
+  ResetKernelTierAuto();
+  KernelTier expected = BestKernelTier();
+  if (const char* env = std::getenv("IFLS_KERNELS")) {
+    const Result<KernelTier> pinned = ParseKernelTier(env);
+    if (pinned.ok() && KernelTierSupported(*pinned)) expected = *pinned;
+  }
+  EXPECT_EQ(ActiveKernelTier(), expected);
+}
+
+TEST(MinPlusKernelsTest, ParseRejectsUnknownTierWithTypedStatus) {
+  for (const char* bogus : {"", "avx", "AVX2", "scalar ", "neon", "turbo"}) {
+    const Result<KernelTier> parsed = ParseKernelTier(bogus);
+    ASSERT_FALSE(parsed.ok()) << "'" << bogus << "' unexpectedly parsed";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+    // The message should name the offender and the valid values.
+    EXPECT_NE(parsed.status().message().find("valid:"), std::string::npos);
+  }
+  // Aliases: avx512f is the cmake/GCC spelling, simd the legacy pin.
+  const Result<KernelTier> f = ParseKernelTier("avx512f");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(*f, KernelTier::kAvx512);
+  const Result<KernelTier> legacy = ParseKernelTier("simd");
+  if (BestKernelTier() != KernelTier::kScalar) {
+    ASSERT_TRUE(legacy.ok());
+    EXPECT_EQ(*legacy, BestKernelTier());
+  } else {
+    EXPECT_EQ(legacy.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(MinPlusKernelsTest, PinRejectsUnavailableTierAndKeepsDispatch) {
+  ASSERT_TRUE(PinKernelTier(KernelTier::kScalar).ok());
+  for (int t = 0; t < kNumKernelTiers; ++t) {
+    const KernelTier tier = static_cast<KernelTier>(t);
+    if (KernelTierSupported(tier)) continue;
+    const Status pinned = PinKernelTier(tier);
+    EXPECT_EQ(pinned.code(), StatusCode::kFailedPrecondition)
+        << KernelTierName(tier);
+    // A failed pin must not move the active table.
+    EXPECT_EQ(ActiveKernelTier(), KernelTier::kScalar);
+  }
+  ResetKernelTierAuto();
+}
+
+TEST(MinPlusKernelsTest, EnvOverrideAppliesAndRejectsTyped) {
+  // The env override is read by ApplyKernelEnvOverride/ResetKernelTierAuto;
+  // exercise valid, unknown and unset values, restoring the variable after.
+  const char* saved = std::getenv("IFLS_KERNELS");
+  const std::string saved_value = saved ? saved : "";
+
+  ASSERT_EQ(setenv("IFLS_KERNELS", "scalar", 1), 0);
+  EXPECT_TRUE(ApplyKernelEnvOverride().ok());
+  EXPECT_EQ(ActiveKernelTier(), KernelTier::kScalar);
+
+  ASSERT_EQ(setenv("IFLS_KERNELS", "warp9", 1), 0);
+  const Status unknown = ApplyKernelEnvOverride();
+  EXPECT_EQ(unknown.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ActiveKernelTier(), KernelTier::kScalar);  // unchanged
+  // ResetKernelTierAuto under a bogus override falls back to best (and
+  // logs; never dispatches to a garbage table).
+  ResetKernelTierAuto();
+  EXPECT_EQ(ActiveKernelTier(), BestKernelTier());
+
+  ASSERT_EQ(unsetenv("IFLS_KERNELS"), 0);
+  EXPECT_TRUE(ApplyKernelEnvOverride().ok());  // unset = no-op, OK
+
+  if (!saved_value.empty()) {
+    ASSERT_EQ(setenv("IFLS_KERNELS", saved_value.c_str(), 1), 0);
+  }
+  ResetKernelTierAuto();
+}
+
+TEST(MinPlusKernelsTest, JoinBitIdenticalAcrossTiers) {
   Rng rng(20260806);
-  // Sizes straddle the 4-lane block boundary: tails of 0..3 plus tiny and
-  // empty shapes.
   for (const std::size_t nr : {0u, 1u, 3u, 4u, 5u, 8u, 17u}) {
-    for (const std::size_t nc : {0u, 1u, 2u, 4u, 7u, 16u, 33u}) {
-      for (int trial = 0; trial < 8; ++trial) {
-        const RandomInstance in = MakeInstance(rng, 64, nr, nc);
-        const auto [s, v] = BothModes([&] {
+    for (const std::size_t nc : kSizes) {
+      for (int trial = 0; trial < 4; ++trial) {
+        const RandomInstance in =
+            MakeInstance(rng, 64, nr, nc, /*quantized=*/trial % 2 == 1);
+        const auto results = AllTiers([&] {
           return MinPlusJoin(in.a.data(), in.row_idx.data(), nr, in.b.data(),
                              in.col_idx.data(), nc, in.matrix.data(),
                              in.stride);
         });
-        EXPECT_EQ(s, v) << "nr=" << nr << " nc=" << nc << " trial=" << trial;
+        ExpectAllTiersEqual(results, "join nr=" + std::to_string(nr) +
+                                         " nc=" + std::to_string(nc));
         if (nr == 0 || nc == 0) {
-          EXPECT_EQ(s, kInf);
+          EXPECT_EQ(results[0], kInf);
         }
       }
     }
   }
 }
 
-TEST(MinPlusKernelsTest, ComposeBitIdenticalAcrossBackends) {
+TEST(MinPlusKernelsTest, ComposeBitIdenticalAcrossTiers) {
   Rng rng(20260807);
   for (const std::size_t nr : {0u, 1u, 4u, 9u}) {
-    for (const std::size_t nc : {0u, 1u, 3u, 4u, 6u, 21u}) {
+    for (const std::size_t nc : kSizes) {
       const RandomInstance in = MakeInstance(rng, 48, nr, nc);
-      const auto [s, v] = BothModes([&] {
+      const auto results = AllTiers([&] {
         std::vector<double> out(nc, -1.0);
         MinPlusCompose(in.a.data(), in.row_idx.data(), nr, in.col_idx.data(),
                        nc, in.matrix.data(), in.stride, out.data());
         return out;
       });
-      ASSERT_EQ(s.size(), v.size());
-      for (std::size_t j = 0; j < s.size(); ++j) {
-        EXPECT_EQ(s[j], v[j]) << "nr=" << nr << " nc=" << nc << " j=" << j;
-        if (nr == 0) {
-          EXPECT_EQ(s[j], kInf);
-        }
+      ExpectAllTiersEqual(results, "compose nr=" + std::to_string(nr) +
+                                       " nc=" + std::to_string(nc));
+      if (nr == 0) {
+        for (const double v : results[0]) EXPECT_EQ(v, kInf);
       }
     }
   }
 }
 
-TEST(MinPlusKernelsTest, GatherFamilyBitIdenticalAcrossBackends) {
+TEST(MinPlusKernelsTest, GatherFamilyBitIdenticalAcrossTiers) {
   Rng rng(20260808);
-  for (const std::size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 8u, 13u, 64u, 100u}) {
-    for (int trial = 0; trial < 8; ++trial) {
-      const RandomInstance in = MakeInstance(rng, 128, n, n);
+  for (const std::size_t n : kSizes) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const RandomInstance in =
+          MakeInstance(rng, 128, n, n, /*quantized=*/trial % 2 == 1);
       const double s0 = rng.NextUniform(0.0, 100.0);
       const double* row = in.matrix.data();  // any row works
-      {
-        const auto [s, v] = BothModes(
-            [&] { return MinPlusGather(s0, row, in.col_idx.data(), n); });
-        EXPECT_EQ(s, v) << "gather n=" << n;
-      }
-      {
-        const auto [s, v] = BothModes([&] {
-          return MinPlusGatherAdd(s0, row, in.col_idx.data(), in.b.data(), n);
-        });
-        EXPECT_EQ(s, v) << "gather_add n=" << n;
-      }
-      {
-        const auto [s, v] = BothModes(
-            [&] { return MinPlusPairwise(in.a.data(), in.b.data(), n); });
-        EXPECT_EQ(s, v) << "pairwise n=" << n;
-      }
-      {
-        const auto [s, v] = BothModes([&] {
-          std::vector<double> out(n, -1.0);
-          GatherCells(row, in.col_idx.data(), n, out.data());
-          return out;
-        });
-        EXPECT_EQ(s, v) << "gather_cells n=" << n;
-      }
+      const std::string suffix = " n=" + std::to_string(n);
+      ExpectAllTiersEqual(
+          AllTiers([&] { return MinPlusGather(s0, row, in.col_idx.data(), n); }),
+          "gather" + suffix);
+      ExpectAllTiersEqual(AllTiers([&] {
+        return MinPlusGatherAdd(s0, row, in.col_idx.data(), in.b.data(), n);
+      }), "gather_add" + suffix);
+      ExpectAllTiersEqual(AllTiers([&] {
+        return MinPlusPairwise(in.a.data(), in.b.data(), n);
+      }), "pairwise" + suffix);
+      ExpectAllTiersEqual(AllTiers([&] {
+        std::vector<double> out(n, -1.0);
+        GatherCells(row, in.col_idx.data(), n, out.data());
+        return out;
+      }), "gather_cells" + suffix);
     }
   }
 }
 
 TEST(MinPlusKernelsTest, ArgminBitIdenticalAndLowestIndexTieBreak) {
   Rng rng(20260809);
-  for (const std::size_t n : {1u, 2u, 4u, 5u, 9u, 32u, 77u}) {
+  for (const std::size_t n : {1u, 2u, 4u, 5u, 8u, 9u, 16u, 32u, 77u}) {
     for (int trial = 0; trial < 16; ++trial) {
       std::vector<double> row(n);
       for (double& v : row) {
@@ -175,9 +313,9 @@ TEST(MinPlusKernelsTest, ArgminBitIdenticalAndLowestIndexTieBreak) {
         v = static_cast<double>(rng.NextInt(0, 8)) * 0.5;
       }
       const double s0 = rng.NextUniform(0.0, 4.0);
-      const auto [si, vi] =
-          BothModes([&] { return MinPlusArgmin(s0, row.data(), n); });
-      EXPECT_EQ(si, vi) << "argmin n=" << n;
+      const auto results =
+          AllTiers([&] { return MinPlusArgmin(s0, row.data(), n); });
+      ExpectAllTiersEqual(results, "argmin n=" + std::to_string(n));
       // Lowest-index contract, checked against a fresh scan.
       double best = kInf;
       std::size_t best_k = 0;
@@ -187,17 +325,16 @@ TEST(MinPlusKernelsTest, ArgminBitIdenticalAndLowestIndexTieBreak) {
           best_k = k;
         }
       }
-      EXPECT_EQ(si, best_k);
+      EXPECT_EQ(results[0], best_k);
     }
   }
 }
 
 TEST(MinPlusKernelsTest, ArgminAllInfinityReturnsIndexZero) {
-  std::vector<double> row(7, kInf);
-  const auto [si, vi] =
-      BothModes([&] { return MinPlusArgmin(3.0, row.data(), row.size()); });
-  EXPECT_EQ(si, 0u);
-  EXPECT_EQ(vi, 0u);
+  std::vector<double> row(11, kInf);
+  const auto results =
+      AllTiers([&] { return MinPlusArgmin(3.0, row.data(), row.size()); });
+  for (const std::size_t k : results) EXPECT_EQ(k, 0u);
 }
 
 TEST(MinPlusKernelsTest, InfinityRowsNeverBeatFiniteCandidates) {
@@ -208,27 +345,12 @@ TEST(MinPlusKernelsTest, InfinityRowsNeverBeatFiniteCandidates) {
   const std::vector<std::int32_t> rows = {0, 1};
   const std::vector<std::int32_t> cols = {0, 1};
   const std::vector<double> m = {0.5, kInf, 1.5, 2.5};  // 2x2, stride 2
-  const auto [s, v] = BothModes([&] {
+  const auto results = AllTiers([&] {
     return MinPlusJoin(a.data(), rows.data(), 2, b.data(), cols.data(), 2,
                        m.data(), 2);
   });
-  EXPECT_EQ(s, (2.0 + 1.5) + 1.0);
-  EXPECT_EQ(s, v);
-}
-
-TEST(MinPlusKernelsTest, EnvOverrideSelectsBackend) {
-  // SetKernelMode(kAuto) re-reads IFLS_KERNELS; the explicit modes ignore
-  // it. The test leaves the environment untouched and only checks the
-  // explicit-mode half unless the variable happens to be set.
-  SetKernelMode(KernelMode::kScalar);
-  EXPECT_STREQ(ActiveKernelName(), "scalar");
-  SetKernelMode(KernelMode::kSimd);
-  if (SimdAvailable()) {
-    EXPECT_STREQ(ActiveKernelName(), "avx2");
-  } else {
-    EXPECT_STREQ(ActiveKernelName(), "scalar");
-  }
-  SetKernelMode(KernelMode::kAuto);
+  ExpectAllTiersEqual(results, "inf-join");
+  EXPECT_EQ(results[0], (2.0 + 1.5) + 1.0);
 }
 
 }  // namespace

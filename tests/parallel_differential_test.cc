@@ -18,6 +18,7 @@
 #include "src/core/efficient.h"
 #include "src/core/maxsum.h"
 #include "src/core/mindist.h"
+#include "src/common/logging.h"
 #include "src/index/minplus_kernels.h"
 #include "tests/test_util.h"
 
@@ -231,11 +232,17 @@ void ExpectSameAnswer(const BatchQueryOutcome& a, const BatchQueryOutcome& b,
 }
 
 // The tentpole's contract, checked end to end: solver answers must be
-// bit-identical across the kernel-dispatch axis (scalar reference vs AVX2)
-// and the door-cache axis (sharded memo on vs off), in every combination.
-// The dispatch axis must preserve even the per-query work counters; the
-// cache axis preserves answers while (intentionally) changing the counters.
+// bit-identical across the kernel-dispatch axis (scalar reference vs every
+// supported SIMD tier of the ladder) and the door-cache axis (sharded memo
+// on vs off), in every combination. The dispatch axis must preserve even
+// the per-query work counters; the cache axis preserves answers while
+// (intentionally) changing the counters.
 TEST(DispatchCacheDifferentialTest, AnswersBitIdenticalAcrossBothAxes) {
+  std::vector<kernels::KernelTier> tiers;
+  for (int t = 0; t < kernels::kNumKernelTiers; ++t) {
+    const auto tier = static_cast<kernels::KernelTier>(t);
+    if (kernels::KernelTierSupported(tier)) tiers.push_back(tier);
+  }
   for (const std::uint64_t seed : {3, 11, 19}) {
     Scenario s = BuildScenario(seed);  // default tree: door cache OFF
     VipTreeOptions cached_opts;
@@ -248,26 +255,32 @@ TEST(DispatchCacheDifferentialTest, AnswersBitIdenticalAcrossBothAxes) {
     opts.num_threads = 4;
     BatchQueryEngine engine(opts);
 
-    kernels::SetKernelMode(kernels::KernelMode::kScalar);
-    const std::vector<BatchQueryOutcome> scalar_plain = engine.Run(s.batch);
-    const std::vector<BatchQueryOutcome> scalar_cached =
-        engine.Run(cached_batch);  // cold cache, 4 threads racing to fill it
-    kernels::SetKernelMode(kernels::KernelMode::kSimd);
-    const std::vector<BatchQueryOutcome> simd_plain = engine.Run(s.batch);
-    const std::vector<BatchQueryOutcome> simd_cached =
-        engine.Run(cached_batch);  // warm cache
-    kernels::SetKernelMode(kernels::KernelMode::kAuto);
+    // tiers[0] is always the scalar reference; run it first so every later
+    // tier (and the cache axis) compares against it.
+    std::vector<std::vector<BatchQueryOutcome>> plain_by_tier;
+    std::vector<std::vector<BatchQueryOutcome>> cached_by_tier;
+    for (const kernels::KernelTier tier : tiers) {
+      IFLS_CHECK_OK(kernels::PinKernelTier(tier));
+      plain_by_tier.push_back(engine.Run(s.batch));
+      // First tier hits a cold cache with 4 threads racing to fill it;
+      // later tiers see it warm — both must agree with the plain answers.
+      cached_by_tier.push_back(engine.Run(cached_batch));
+    }
+    kernels::ResetKernelTierAuto();
 
-    ASSERT_EQ(scalar_plain.size(), s.batch.size());
+    ASSERT_EQ(plain_by_tier[0].size(), s.batch.size());
     for (std::size_t i = 0; i < s.batch.size(); ++i) {
-      // Dispatch axis, cache off: identical down to the work counters.
-      ExpectIdentical(scalar_plain[i], simd_plain[i], "scalar-vs-simd", i);
+      for (std::size_t t = 1; t < tiers.size(); ++t) {
+        // Dispatch axis, cache off: identical down to the work counters.
+        ExpectIdentical(plain_by_tier[0][i], plain_by_tier[t][i],
+                        kernels::KernelTierName(tiers[t]), i);
+      }
       // Cache axis (and cold-vs-warm cache): answers identical to the last
       // bit even though the counters differ.
-      ExpectSameAnswer(scalar_plain[i], scalar_cached[i],
-                       "plain-vs-cold-cache", i);
-      ExpectSameAnswer(scalar_plain[i], simd_cached[i],
-                       "plain-vs-warm-cache-simd", i);
+      for (std::size_t t = 0; t < tiers.size(); ++t) {
+        ExpectSameAnswer(plain_by_tier[0][i], cached_by_tier[t][i],
+                         "plain-vs-cache", i);
+      }
     }
   }
 }
