@@ -15,6 +15,14 @@
 // "after_qps" figures are parsed back in and the disabled-mode delta against
 // that baseline is reported, locking in the "<2% when off" budget.
 //
+// A second, networked phase (report v2, DESIGN.md §15) runs the same
+// measurement end to end over the wire server: client-side RPC spans, the
+// trace-context frame extension, server-side context adoption and the
+// per-query cost ledger all engaged, at three sampling settings — off
+// (context-free frames, the steady-state config), 1-in-64, and full. The
+// "off" row quantifies the cost of the always-on ledger plus the disabled
+// trace checks; the sampled rows price the propagation machinery itself.
+//
 // Writes BENCH_trace_overhead.json (shared schema, src/benchlib).
 // Scale via IFLS_BENCH_SCALE=smoke|default|full.
 
@@ -24,9 +32,11 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/benchlib/harness.h"
@@ -36,8 +46,14 @@
 #include "src/common/stopwatch.h"
 #include "src/common/trace.h"
 #include "src/core/solve_dispatch.h"
+#include "src/datasets/client_generator.h"
+#include "src/datasets/facility_selector.h"
+#include "src/datasets/presets.h"
 #include "src/datasets/workload.h"
 #include "src/index/vip_tree.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/service/service.h"
 
 namespace ifls {
 namespace {
@@ -131,6 +147,73 @@ std::vector<std::pair<std::string, double>> LoadBaselineQps(
     }
   }
   return baseline;
+}
+
+// ------------------------------------------------------- networked phase
+
+struct NetModeRow {
+  std::string mode;
+  double qps = 0.0;
+  double overhead_pct = 0.0;  // vs the "off" row
+};
+
+/// One query of the networked pool with its in-process ground truth.
+struct NetPoolEntry {
+  IflsObjective objective = IflsObjective::kMinMax;
+  WireQueryRequest request;
+  IflsResult expected;
+};
+
+/// Drives `threads` connections of blocking RPCs over the query pool, each
+/// query under the same mint-id/scope idiom `ifls_cli trace --remote` uses
+/// (so sampled modes attach the trace-context frame extension and the server
+/// adopts it). Returns wall-clock queries/sec; clears `identical` on any
+/// answer that diverges from the in-process ground truth.
+double RunNetworkedQueries(std::uint16_t port,
+                           const std::vector<NetPoolEntry>& pool, int threads,
+                           std::size_t queries_per_thread, bool* identical) {
+  std::vector<std::unique_ptr<IflsClient>> clients;
+  for (int t = 0; t < threads; ++t) {
+    Result<std::unique_ptr<IflsClient>> client = IflsClient::Connect(port);
+    IFLS_CHECK(client.ok()) << client.status().ToString();
+    clients.push_back(std::move(*client));
+  }
+  TraceRecorder& recorder = TraceRecorder::Global();
+  std::atomic<bool> all_identical{true};
+  Stopwatch watch;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::size_t q = 0; q < queries_per_thread; ++q) {
+        const NetPoolEntry& entry =
+            pool[(static_cast<std::size_t>(t) * queries_per_thread + q) %
+                 pool.size()];
+        std::uint64_t trace_id = 0;
+        bool sampled = false;
+        if (TraceEnabled()) {
+          trace_id = recorder.NewTraceId();
+          sampled = recorder.Sampled(trace_id);
+        }
+        TraceIdScope scope(trace_id, sampled);
+        Result<WireQueryResponse> response =
+            clients[static_cast<std::size_t>(t)]->Query(entry.objective,
+                                                        entry.request);
+        IFLS_CHECK(response.ok()) << response.status().ToString();
+        if (response->found != entry.expected.found ||
+            response->answer != entry.expected.answer ||
+            response->objective != entry.expected.objective) {
+          all_identical.store(false, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double seconds = watch.ElapsedSeconds();
+  if (!all_identical.load()) *identical = false;
+  const std::size_t total =
+      static_cast<std::size_t>(threads) * queries_per_thread;
+  return seconds > 0.0 ? static_cast<double>(total) / seconds : 0.0;
 }
 
 int Main() {
@@ -258,7 +341,107 @@ int Main() {
                 "comparison skipped)\n");
   }
 
+  // ---------------------------------------------------- networked phase
+  // End-to-end over the wire server: RPC spans, the trace-context frame
+  // extension, server-side adoption and the cost ledger all in the loop.
+  // Coalescing is off — per-query context adoption lives on the admission
+  // path, the same configuration `ifls_cli serve --no-coalesce` documents
+  // for merged traces.
+  std::printf("\n# networked: propagation + ledger over the wire server\n\n");
+  Result<Venue> net_venue = BuildPresetVenue(VenuePreset::kMelbourneCentral);
+  IFLS_CHECK(net_venue.ok()) << net_venue.status().ToString();
+  Rng net_rng(4242);
+  Result<FacilitySets> net_sets = SelectUniformFacilities(
+      *net_venue, grid.default_existing, grid.default_candidates, &net_rng);
+  IFLS_CHECK(net_sets.ok()) << net_sets.status().ToString();
+  const std::vector<Client> net_clients =
+      GenerateClients(*net_venue, 4096, {}, &net_rng);
+
+  ServiceOptions net_service_options;
+  net_service_options.num_workers = 4;
+  net_service_options.queue_capacity = 4096;
+  net_service_options.venue_label = "bench";
+  Result<std::unique_ptr<IflsService>> net_built =
+      IflsService::Create(std::move(*net_venue), net_sets->existing,
+                          net_sets->candidates, net_service_options);
+  IFLS_CHECK(net_built.ok()) << net_built.status().ToString();
+  std::shared_ptr<IflsService> net_service = std::move(*net_built);
+
+  constexpr std::size_t kPoolSize = 12;
+  constexpr std::size_t kClientsPerQuery = 32;
+  std::vector<NetPoolEntry> pool;
+  for (std::size_t q = 0; q < kPoolSize; ++q) {
+    NetPoolEntry entry;
+    entry.objective = objectives[q % 3];
+    const std::size_t start =
+        net_rng.NextBounded(net_clients.size() - kClientsPerQuery);
+    entry.request.clients.assign(
+        net_clients.begin() + static_cast<std::ptrdiff_t>(start),
+        net_clients.begin() +
+            static_cast<std::ptrdiff_t>(start + kClientsPerQuery));
+    ServiceRequest request;
+    request.objective = entry.objective;
+    request.clients = entry.request.clients;
+    const ServiceReply reply = net_service->Query(std::move(request));
+    IFLS_CHECK(reply.status.ok()) << reply.status.ToString();
+    entry.expected = reply.result;
+    pool.push_back(std::move(entry));
+  }
+
+  ServerOptions net_server_options;
+  net_server_options.coalesce_batches = false;
+  net_server_options.num_dispatchers = 2;
+  net_server_options.dispatch_queue_capacity = 4096;
+  Result<std::unique_ptr<IflsServer>> net_server =
+      IflsServer::Create(net_service, net_server_options);
+  IFLS_CHECK(net_server.ok()) << net_server.status().ToString();
+
+  const int net_threads = 4;
+  const std::size_t net_queries_per_thread =
+      (scale.name == "smoke" ? 50u : 250u) *
+      static_cast<std::size_t>(scale.repeats);
+  constexpr TraceMode kNetModes[] = {
+      {"off", false, 1},
+      {"sampled_64", true, 64},
+      {"full", true, 1},
+  };
+  std::vector<NetModeRow> net_rows;
+  {
+    // Warm pass: door cache + connection setup out of the timed region.
+    bool warm_identical = true;
+    recorder.Disable();
+    (void)RunNetworkedQueries((*net_server)->port(), pool, net_threads, 25,
+                              &warm_identical);
+    for (const TraceMode& mode : kNetModes) {
+      if (mode.enabled) {
+        recorder.Enable(mode.sample_every);
+      } else {
+        recorder.Disable();
+      }
+      recorder.Clear();
+      NetModeRow row;
+      row.mode = mode.name;
+      row.qps = RunNetworkedQueries((*net_server)->port(), pool, net_threads,
+                                    net_queries_per_thread, &all_identical);
+      recorder.Disable();
+      if (!net_rows.empty() && row.qps > 0.0) {
+        row.overhead_pct = (net_rows.front().qps / row.qps - 1.0) * 100.0;
+      }
+      net_rows.push_back(std::move(row));
+    }
+  }
+  TextTable net_table({"mode", "rpc q/s", "overhead % vs off"});
+  for (const NetModeRow& row : net_rows) {
+    net_table.AddRow({row.mode, TextTable::Num(row.qps),
+                      TextTable::Num(row.overhead_pct)});
+  }
+  net_table.Print(&std::cout);
+  std::printf("\n");
+  (*net_server)->Stop();
+  net_service->Stop();
+
   const Status written = WriteBenchReport("trace_overhead", [&](JsonWriter& w) {
+    w.Field("schema_version", 2);
     w.Field("scale", scale.name);
     w.Field("venue",
             std::string(VenuePresetName(VenuePreset::kMelbourneCentral)));
@@ -292,6 +475,19 @@ int Main() {
     if (have_baseline) {
       w.Field("worst_disabled_vs_baseline_pct", worst_vs_baseline_pct);
     }
+    w.Key("networked");
+    w.BeginArray();
+    for (const NetModeRow& row : net_rows) {
+      w.BeginObject();
+      w.Field("mode", row.mode);
+      w.Field("rpc_qps", row.qps);
+      w.Field("overhead_pct_vs_off", row.overhead_pct);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Field("networked_threads", net_threads);
+    w.Field("networked_queries_per_thread", net_queries_per_thread);
+    w.Field("networked_clients_per_query", kClientsPerQuery);
   });
   IFLS_CHECK(written.ok()) << written.ToString();
   std::cerr << "wrote " << BenchReportPath("trace_overhead") << "\n";

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cctype>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -384,6 +385,193 @@ Status TraceRecorder::ExportChromeTraceToFile(const std::string& path) const {
   if (!status.ok()) return status;
   out.flush();
   if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+TraceContext CurrentTraceContext() {
+  const trace_internal::ThreadTraceState& state = trace_internal::ThreadState();
+  TraceContext context;
+  context.trace_id = state.trace_id;
+  context.sampled = !state.suppressed;
+  context.client_send_nanos = TraceNowNanos();
+  return context;
+}
+
+namespace {
+
+/// One Chrome trace export split back into its parts. Parsing leans on the
+/// exporter's deterministic layout (ExportChromeTrace writes one event per
+/// line, strings never contain raw newlines — control characters are
+/// \u-escaped), so line anchors are unambiguous.
+struct ParsedChromeTrace {
+  std::vector<std::string> other_data;  // "key": "value" fragments
+  std::vector<std::string> events;      // {...} fragments, no trailing comma
+};
+
+void SplitJoinedLines(const std::string& body, const char* separator,
+                      std::vector<std::string>* out) {
+  if (body.empty()) return;
+  std::size_t start = 0;
+  const std::size_t sep_len = std::strlen(separator);
+  while (true) {
+    const std::size_t next = body.find(separator, start);
+    if (next == std::string::npos) {
+      out->push_back(body.substr(start));
+      return;
+    }
+    out->push_back(body.substr(start, next - start));
+    start = next + sep_len;
+  }
+}
+
+Status ParseExportedTrace(const std::string& json, const char* what,
+                          ParsedChromeTrace* out) {
+  const std::size_t events_pos = json.find("\n  \"traceEvents\": [");
+  const std::size_t meta_pos = json.find("\"otherData\": {");
+  if (events_pos == std::string::npos || meta_pos == std::string::npos ||
+      meta_pos > events_pos) {
+    return Status::InvalidArgument(
+        std::string(what) + " trace is not an ifls Chrome trace export");
+  }
+
+  // otherData body: between the opening '{' and the '}' that closes the
+  // block right before the traceEvents anchor.
+  const std::size_t meta_begin = meta_pos + std::strlen("\"otherData\": {");
+  const std::size_t meta_end = json.rfind('}', events_pos);
+  if (meta_end == std::string::npos || meta_end < meta_begin) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " trace has a malformed otherData block");
+  }
+  std::string meta_body = json.substr(meta_begin, meta_end - meta_begin);
+  // Strip the surrounding layout whitespace, leaving the ",\n    "-joined
+  // entry list (empty for "otherData": {}).
+  while (!meta_body.empty() &&
+         (meta_body.front() == '\n' || meta_body.front() == ' ')) {
+    meta_body.erase(meta_body.begin());
+  }
+  while (!meta_body.empty() &&
+         (meta_body.back() == '\n' || meta_body.back() == ' ')) {
+    meta_body.pop_back();
+  }
+  std::vector<std::string> meta_entries;
+  SplitJoinedLines(meta_body, ",\n    ", &meta_entries);
+  for (std::string& entry : meta_entries) {
+    if (!entry.empty()) out->other_data.push_back(std::move(entry));
+  }
+
+  // traceEvents body: between "[\n" and the closing "\n  ]".
+  const std::size_t body_begin =
+      events_pos + std::strlen("\n  \"traceEvents\": [\n");
+  const std::size_t body_end = json.find("\n  ]", body_begin);
+  if (body_end == std::string::npos) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " trace has an unterminated event array");
+  }
+  std::vector<std::string> event_lines;
+  SplitJoinedLines(json.substr(body_begin, body_end - body_begin), ",\n",
+                   &event_lines);
+  for (std::string& line : event_lines) {
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\n')) {
+      line.erase(line.begin());
+    }
+    if (!line.empty()) out->events.push_back(std::move(line));
+  }
+  return Status::OK();
+}
+
+/// Shifts an event line's "ts" (µs with 3 ns decimals) by `offset_nanos`,
+/// clamping at zero, and moves the event from pid 1 to pid 2.
+Status RehomeServerEvent(std::string* line, std::int64_t offset_nanos) {
+  const std::size_t pid_pos = line->find("\"pid\": 1");
+  if (pid_pos == std::string::npos) {
+    return Status::InvalidArgument("server trace event without pid 1: " +
+                                   *line);
+  }
+  (*line)[pid_pos + std::strlen("\"pid\": ")] = '2';
+
+  const std::size_t ts_key = line->find("\"ts\": ");
+  if (ts_key == std::string::npos) {
+    return Status::InvalidArgument("server trace event without ts: " + *line);
+  }
+  const std::size_t num_begin = ts_key + std::strlen("\"ts\": ");
+  std::size_t num_end = num_begin;
+  while (num_end < line->size() &&
+         (std::isdigit(static_cast<unsigned char>((*line)[num_end])) ||
+          (*line)[num_end] == '.')) {
+    ++num_end;
+  }
+  unsigned long long micros = 0;
+  unsigned frac = 0;
+  if (std::sscanf(line->c_str() + num_begin, "%llu.%u", &micros, &frac) != 2) {
+    return Status::InvalidArgument("unparseable ts in server trace event: " +
+                                   *line);
+  }
+  std::int64_t nanos =
+      static_cast<std::int64_t>(micros) * 1000 + static_cast<std::int64_t>(frac);
+  nanos += offset_nanos;
+  if (nanos < 0) nanos = 0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u",
+                static_cast<std::uint64_t>(nanos) / 1000,
+                static_cast<unsigned>(static_cast<std::uint64_t>(nanos) % 1000));
+  line->replace(num_begin, num_end - num_begin, buf);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status MergeChromeTraces(const std::string& client_json,
+                         const std::string& server_json,
+                         std::int64_t server_clock_offset_nanos,
+                         std::string* merged) {
+  ParsedChromeTrace client;
+  ParsedChromeTrace server;
+  Status status = ParseExportedTrace(client_json, "client", &client);
+  if (!status.ok()) return status;
+  status = ParseExportedTrace(server_json, "server", &server);
+  if (!status.ok()) return status;
+
+  std::string out;
+  out += "{\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {";
+  bool first = true;
+  for (const std::string& entry : client.other_data) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += entry;
+  }
+  for (const std::string& entry : server.other_data) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    // `entry` is `"key": "value"`; prefix the key so client and server
+    // metadata never collide in the merged block.
+    if (entry.empty() || entry.front() != '"') {
+      return Status::InvalidArgument("malformed server otherData entry: " +
+                                     entry);
+    }
+    out += "\"server.";
+    out += entry.substr(1);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"traceEvents\": [\n";
+  out +=
+      "    {\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", "
+      "\"args\": {\"name\": \"ifls_client\"}},\n";
+  out +=
+      "    {\"ph\": \"M\", \"pid\": 2, \"name\": \"process_name\", "
+      "\"args\": {\"name\": \"ifls_server\"}}";
+  for (const std::string& event : client.events) {
+    out += ",\n    ";
+    out += event;
+  }
+  for (std::string event : server.events) {
+    status = RehomeServerEvent(&event, server_clock_offset_nanos);
+    if (!status.ok()) return status;
+    out += ",\n    ";
+    out += event;
+  }
+  out += "\n  ]\n}\n";
+  *merged = std::move(out);
   return Status::OK();
 }
 

@@ -220,6 +220,43 @@ class TraceIdScope {
 std::string FormatSpanTree(const std::vector<TraceEvent>& events,
                            std::size_t max_lines = 64);
 
+/// Trace context as it crosses a process boundary (DESIGN.md §15): the wire
+/// layer serializes this into the optional frame extension, the server
+/// installs it via TraceIdScope so its spans land under the caller's trace
+/// id, and the sampling verdict travels with it — the server must never
+/// re-roll the 1-in-N draw for a propagated context.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  /// Id of the client-side RPC span this request hangs under (the client
+  /// uses the RPC's request id). Purely for correlation in ledger entries
+  /// and logs; the span recorder itself nests by containment, not by id.
+  std::uint64_t parent_span_id = 0;
+  bool sampled = false;
+  /// Client trace-clock reading when the frame was sent, for debugging
+  /// one-way delay once the clock offset is known.
+  std::uint64_t client_send_nanos = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// The calling thread's current trace attribution as a wire-ready context
+/// (trace id + sampling verdict from the enclosing TraceIdScope, send
+/// timestamp stamped now). `valid()` is false outside any scope.
+TraceContext CurrentTraceContext();
+
+/// Stitches a client-side and a server-side Chrome trace export (both
+/// produced by ExportChromeTrace) into one Perfetto-loadable timeline:
+/// server timestamps are shifted by `server_clock_offset_nanos` (the
+/// NTP-style estimate from the ping opcode: client_clock ≈ server_clock +
+/// offset), server events are moved to pid 2 (named "ifls_server"; the
+/// client keeps pid 1, named "ifls_client"), and the otherData blocks are
+/// merged with server keys prefixed "server.". Returns InvalidArgument when
+/// either input does not look like this repo's exporter output.
+Status MergeChromeTraces(const std::string& client_json,
+                         const std::string& server_json,
+                         std::int64_t server_clock_offset_nanos,
+                         std::string* merged);
+
 }  // namespace ifls
 
 #endif  // IFLS_COMMON_TRACE_H_

@@ -323,6 +323,7 @@ class EfficientSolver {
         }
         const double dist = kernels::MinPlusPairwise(
             client_legs_.data(), base_distances_.data(), n_doors);
+        CountKernelInvocation();
         RecordRetrieval(ci, facility, dist);
       }
       return;
@@ -681,6 +682,8 @@ struct RankedStream::Impl {
     stats.matrix_lookups += counters.matrix_lookups;
     stats.cache_hits += counters.cache_hits;
     stats.cache_misses += counters.cache_misses;
+    stats.kernel_invocations += counters.kernel_invocations;
+    stats.dijkstra_fallbacks += counters.dijkstra_fallbacks;
   }
 };
 

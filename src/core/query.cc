@@ -96,6 +96,8 @@ void SolverScope::Finish() {
   stats_->matrix_lookups += counters_.matrix_lookups;
   stats_->cache_hits += counters_.cache_hits;
   stats_->cache_misses += counters_.cache_misses;
+  stats_->kernel_invocations += counters_.kernel_invocations;
+  stats_->dijkstra_fallbacks += counters_.dijkstra_fallbacks;
 }
 
 SolverScope::~SolverScope() {

@@ -68,6 +68,11 @@ struct QueryStats {
   std::uint64_t matrix_lookups = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  /// Blocked min-plus kernel invocations and full-graph Dijkstra fallbacks
+  /// attributed to this query (same per-thread sink as the fields above);
+  /// the per-query cost ledger keys its production attribution on these.
+  std::uint64_t kernel_invocations = 0;
+  std::uint64_t dijkstra_fallbacks = 0;
 
   void AddNnStats(const NnSearchStats& nn) {
     queue_pushes += nn.queue_pushes;

@@ -6,6 +6,8 @@ namespace ifls {
 
 namespace {
 thread_local OracleCounters* g_counter_sink = nullptr;
+std::atomic<std::uint64_t> g_shared_kernel_invocations{0};
+std::atomic<std::uint64_t> g_shared_dijkstra_fallbacks{0};
 }  // namespace
 
 ScopedOracleCounterSink::ScopedOracleCounterSink(OracleCounters* sink)
@@ -18,6 +20,30 @@ ScopedOracleCounterSink::~ScopedOracleCounterSink() {
 }
 
 OracleCounters* ScopedOracleCounterSink::Active() { return g_counter_sink; }
+
+void CountKernelInvocation() {
+  if (OracleCounters* sink = g_counter_sink) {
+    ++sink->kernel_invocations;
+    return;
+  }
+  g_shared_kernel_invocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CountDijkstraFallback() {
+  if (OracleCounters* sink = g_counter_sink) {
+    ++sink->dijkstra_fallbacks;
+    return;
+  }
+  g_shared_dijkstra_fallbacks.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t SharedKernelInvocations() {
+  return g_shared_kernel_invocations.load(std::memory_order_relaxed);
+}
+
+std::uint64_t SharedDijkstraFallbacks() {
+  return g_shared_dijkstra_fallbacks.load(std::memory_order_relaxed);
+}
 
 DistanceOracle::~DistanceOracle() = default;
 

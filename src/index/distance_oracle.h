@@ -22,6 +22,8 @@ struct OracleCounters {
   std::uint64_t matrix_lookups = 0;       // individual matrix cell reads
   std::uint64_t cache_hits = 0;           // memoized DoorToDoor answers
   std::uint64_t cache_misses = 0;         // memo lookups that fell through
+  std::uint64_t kernel_invocations = 0;   // blocked min-plus kernel calls
+  std::uint64_t dijkstra_fallbacks = 0;   // full graph expansions run
 };
 /// Historical name from when the VIP-tree was the only counted backend.
 using VipTreeCounters = OracleCounters;
@@ -51,6 +53,17 @@ class ScopedOracleCounterSink {
 };
 /// Historical name; see OracleCounters.
 using ScopedVipTreeCounterSink = ScopedOracleCounterSink;
+
+/// Counts one blocked min-plus kernel invocation on the calling thread's
+/// sink (process-wide atomic fallback otherwise). A free function because
+/// kernel call sites (vip_distance, path, graph_oracle, solver hot loops)
+/// do not all flow through a DistanceOracle instance.
+void CountKernelInvocation();
+/// Counts one full-graph Dijkstra fallback (graph oracle miss path).
+void CountDijkstraFallback();
+/// The process-wide fallback aggregates (work done without a sink).
+std::uint64_t SharedKernelInvocations();
+std::uint64_t SharedDijkstraFallbacks();
 
 /// Uniform indoor-distance interface every solver consumes, so index
 /// backends (materialized VIP-tree, memoized graph oracle, per-call brute

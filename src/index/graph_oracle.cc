@@ -20,6 +20,7 @@ const ShortestPaths& GraphDistanceOracle::PathsFrom(DoorId source) const {
     // fell through every cheaper path — exactly the "why was this query
     // slow" signal traces exist for.
     TraceSpan trace_span(TraceCategory::kOracle, "dijkstra_fallback");
+    CountDijkstraFallback();
     WorkspacePool<DijkstraWorkspace>::Lease ws = workspaces_.Acquire();
     // Copy out of the workspace: the slot needs exact-size persistent
     // storage while the workspace's buffers go back to the pool.
@@ -72,6 +73,7 @@ double GraphDistanceOracle::PointToPoint(const Point& a, PartitionId pa,
         kernels::MinPlusGatherAdd(leg_a, paths.distance.data(),
                                   doors_b.data(), legs_b.data(),
                                   doors_b.size());
+    CountKernelInvocation();
     if (cand < best) best = cand;
   }
   return best;
@@ -87,6 +89,7 @@ double GraphDistanceOracle::PointToPartition(const Point& a, PartitionId pa,
     const ShortestPaths& paths = PathsFrom(d1);
     const double cand = kernels::MinPlusGather(leg, paths.distance.data(),
                                                doors_t.data(), doors_t.size());
+    CountKernelInvocation();
     if (cand < best) best = cand;
   }
   return best;
@@ -103,6 +106,7 @@ double GraphDistanceOracle::PartitionToPartition(PartitionId p,
     // and for +inf.
     const double cand = kernels::MinPlusGather(0.0, paths.distance.data(),
                                                doors_q.data(), doors_q.size());
+    CountKernelInvocation();
     if (cand < best) best = cand;
   }
   return best;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/index/distance_oracle.h"
 #include "src/index/minplus_kernels.h"
 
 namespace ifls {
@@ -89,6 +90,7 @@ Result<IndoorPath> PathReconstructor::PointToPoint(const Point& a,
     }
     if (sums.empty()) continue;
     const std::size_t j = kernels::MinPlusArgmin(0.0, sums.data(), sums.size());
+    CountKernelInvocation();
     if (sums[j] < best) {
       best = sums[j];
       best_a = d1;
@@ -134,6 +136,7 @@ Result<IndoorPath> PathReconstructor::PointToPartition(
     // First-index argmin over leg + row[j]; strict update keeps the
     // original flattened-scan tie-break (see PointToPoint above).
     const std::size_t j = kernels::MinPlusArgmin(leg, row.data(), row.size());
+    CountKernelInvocation();
     const double cand = leg + row[j];
     if (cand < best) {
       best = cand;

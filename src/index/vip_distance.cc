@@ -38,6 +38,7 @@ void VipTree::DistancesToAncestorAccessDoors(DoorId a, NodeId leaf,
         leaf_node.matrix.dist_data() +
             static_cast<std::size_t>(row) * leaf_node.matrix.num_cols(),
         leaf_node.access_door_idx.data(), n, out->data());
+    CountKernelInvocation();
     BumpMatrixLookups(n);
     return;
   }
@@ -78,6 +79,7 @@ void VipTree::DistancesToAncestorAccessDoors(DoorId a, NodeId leaf,
     kernels::MinPlusCompose(dist.data(), rows.data(), rows.size(), cols.data(),
                             cols.size(), parent.matrix.dist_data(),
                             parent.matrix.num_cols(), next.data());
+    CountKernelInvocation();
     BumpMatrixLookups(rows.size() * cols.size());
     dist = std::move(next);
     cur = parent_id;
@@ -173,6 +175,7 @@ double VipTree::DoorToDoor(DoorId a, DoorId b) const {
   const double best = kernels::MinPlusJoin(
       dist_a.data(), rows.data(), rows.size(), dist_b.data(), cols.data(),
       cols.size(), lca.matrix.dist_data(), lca.matrix.num_cols());
+  CountKernelInvocation();
   BumpMatrixLookups(rows.size() * cols.size());
   if (options_.enable_door_distance_cache) {
     StoreDoorDistance(cache_key, best);

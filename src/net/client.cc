@@ -84,7 +84,19 @@ Result<WireFrame> IflsClient::WaitFrame(std::uint64_t request_id) {
 Result<std::uint64_t> IflsClient::SendQuery(IflsObjective objective,
                                             const WireQueryRequest& request) {
   const std::uint64_t id = next_request_id_++;
-  IFLS_RETURN_NOT_OK(SendBytes(EncodeQueryFrame(id, objective, request)));
+  // Trace propagation (DESIGN.md §15): when the calling thread is inside a
+  // TraceIdScope, the query frame carries its context so the server-side
+  // spans land under the same trace id with the same sampling verdict. The
+  // RPC's request id doubles as the parent span id — it is the one value
+  // both halves of the trace already share.
+  TraceContext context = CurrentTraceContext();
+  const TraceContext* attached = nullptr;
+  if (context.valid()) {
+    context.parent_span_id = id;
+    attached = &context;
+  }
+  IFLS_RETURN_NOT_OK(
+      SendBytes(EncodeQueryFrame(id, objective, request, attached)));
   return id;
 }
 
@@ -103,6 +115,10 @@ Result<WireQueryResponse> IflsClient::WaitQuery(std::uint64_t request_id) {
 
 Result<WireQueryResponse> IflsClient::Query(IflsObjective objective,
                                             const WireQueryRequest& request) {
+  // The client half of the distributed trace: one span covering the whole
+  // RPC (serialize, send, server turnaround, receive, decode). The server
+  // half nests under the same trace id via the propagated context.
+  TraceSpan span(TraceCategory::kService, "rpc_query");
   IFLS_ASSIGN_OR_RETURN(std::uint64_t id, SendQuery(objective, request));
   return WaitQuery(id);
 }
@@ -219,6 +235,52 @@ Status IflsClient::Ping() {
                                    WireOpcodeName(frame.opcode)));
   }
   return Status::OK();
+}
+
+Result<std::int64_t> IflsClient::EstimateClockOffset(int rounds) {
+  if (rounds < 1) rounds = 1;
+  std::int64_t best_offset = 0;
+  std::uint64_t best_rtt = 0;
+  bool have_sample = false;
+  for (int i = 0; i < rounds; ++i) {
+    const std::uint64_t id = next_request_id_++;
+    const std::uint64_t t0 = TraceNowNanos();
+    IFLS_RETURN_NOT_OK(SendBytes(EncodeEmptyFrame(WireOpcode::kPing, id)));
+    IFLS_ASSIGN_OR_RETURN(WireFrame frame, WaitFrame(id));
+    const std::uint64_t t3 = TraceNowNanos();
+    if (frame.opcode == WireOpcode::kError) {
+      return DecodeErrorPayload(frame.payload);
+    }
+    if (frame.opcode != WireOpcode::kPong) {
+      return Poison(Status::Internal(std::string("expected Pong, got ") +
+                                     WireOpcodeName(frame.opcode)));
+    }
+    IFLS_ASSIGN_OR_RETURN(WirePongResponse pong, DecodePong(frame.payload));
+    if (pong.server_recv_nanos == 0 && pong.server_send_nanos == 0) {
+      return Status::InvalidArgument(
+          "server pong carries no timestamps (pre-§15 server); cannot "
+          "estimate clock offset");
+    }
+    // NTP two-way exchange: with symmetric network delay, the server clock
+    // reads client + theta where theta = ((t1-t0)+(t2-t3))/2. We return
+    // -theta — the value that maps server trace timestamps onto the client
+    // trace clock (MergeChromeTraces' offset argument). The round with the
+    // smallest network-only RTT bounds the asymmetry error tightest.
+    const auto t1 = static_cast<std::int64_t>(pong.server_recv_nanos);
+    const auto t2 = static_cast<std::int64_t>(pong.server_send_nanos);
+    const std::int64_t offset =
+        ((static_cast<std::int64_t>(t0) - t1) +
+         (static_cast<std::int64_t>(t3) - t2)) /
+        2;
+    const std::uint64_t rtt =
+        (t3 - t0) - static_cast<std::uint64_t>(t2 - t1);
+    if (!have_sample || rtt < best_rtt) {
+      have_sample = true;
+      best_rtt = rtt;
+      best_offset = offset;
+    }
+  }
+  return best_offset;
 }
 
 std::optional<ReceivedPush> IflsClient::TakePush() {

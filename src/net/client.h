@@ -60,6 +60,15 @@ class IflsClient {
   Result<std::string> PullTrace();
   Status Ping();
 
+  /// Estimates the clock offset between this process and the server from
+  /// `rounds` NTP-style ping exchanges (client stamps t0/t3 around each
+  /// ping, the pong carries the server's recv/send stamps t1/t2; the
+  /// round with the smallest network-only RTT wins). The returned value is
+  /// ready for MergeChromeTraces: add it to a server trace timestamp to
+  /// express that instant on this process's trace clock. Fails against a
+  /// PR 8 server whose pongs carry no timestamps.
+  Result<std::int64_t> EstimateClockOffset(int rounds = 5);
+
   // ---- Pipelining ------------------------------------------------------
 
   /// Sends a query frame without waiting; returns its request id.

@@ -6,12 +6,15 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <sstream>
+#include <string_view>
 #include <utility>
 
 #include "src/common/trace.h"
 #include "src/core/batch_engine.h"
+#include "src/service/cost_ledger.h"
 
 namespace ifls {
 
@@ -25,6 +28,13 @@ struct IflsServer::Connection {
   // Loop thread only.
   ByteRing ring;
   bool want_write = false;  // EPOLLOUT armed
+  /// Protocol sniffed from the connection's first four bytes: binary wire
+  /// frames (magic "IFLW") or the HTTP admin plane ("GET ").
+  enum class Mode { kUnknown, kBinary, kHttp };
+  Mode mode = Mode::kUnknown;
+  /// HTTP connections serve one response then close; set before the
+  /// response is enqueued, honored by FlushOut once the buffer drains.
+  bool close_when_drained = false;
 
   std::mutex out_mu;
   std::string out;          // encoded frames awaiting the socket
@@ -56,6 +66,7 @@ struct IflsServer::NetShared {
   std::atomic<std::uint64_t> rejected{0};
   std::atomic<std::uint64_t> errors{0};
   std::atomic<std::uint64_t> pushes_sent{0};
+  std::atomic<std::uint64_t> http_requests{0};
 };
 
 void IflsServer::EnqueueFrame(const std::shared_ptr<NetShared>& shared,
@@ -102,6 +113,34 @@ WireQueryResponse MakeQueryResponse(const IflsResult& result,
   response.batched = batched;
   response.batch_size = batch_size;
   return response;
+}
+
+std::string HttpResponse(int code, const char* reason,
+                         const char* content_type, const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " + reason +
+                    "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size()) +
+         "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
 }
 
 }  // namespace
@@ -208,6 +247,7 @@ ServerMetrics IflsServer::Metrics() const {
   m.rejected = shared_->rejected.load(std::memory_order_relaxed);
   m.errors = shared_->errors.load(std::memory_order_relaxed);
   m.pushes_sent = shared_->pushes_sent.load(std::memory_order_relaxed);
+  m.http_requests = shared_->http_requests.load(std::memory_order_relaxed);
   return m;
 }
 
@@ -236,6 +276,10 @@ void IflsServer::RegisterMetrics() {
       "ifls_net_connections", "", [shared] {
         return static_cast<double>(
             shared->connections_active.load(std::memory_order_relaxed));
+      }));
+  metric_registrations_.push_back(registry.RegisterCallbackCounter(
+      "ifls_net_http_requests_total", "", [shared] {
+        return shared->http_requests.load(std::memory_order_relaxed);
       }));
 }
 
@@ -336,6 +380,19 @@ void IflsServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
 }
 
 void IflsServer::DrainFrames(const std::shared_ptr<Connection>& conn) {
+  // Protocol sniff on the first four bytes: binary frames always start with
+  // the magic "IFLW", so `GET ` can only be an HTTP admin request. Anything
+  // else falls to the binary decoder, which rejects it as a bad envelope.
+  if (conn->mode == Connection::Mode::kUnknown) {
+    if (conn->ring.size() < 4) return;  // not enough to sniff yet
+    conn->mode = std::memcmp(conn->ring.data(), "GET ", 4) == 0
+                     ? Connection::Mode::kHttp
+                     : Connection::Mode::kBinary;
+  }
+  if (conn->mode == Connection::Mode::kHttp) {
+    HandleHttp(conn);
+    return;
+  }
   while (true) {
     Result<std::optional<WireFrame>> decoded = TryDecodeFrame(&conn->ring);
     if (!decoded.ok()) {
@@ -370,13 +427,24 @@ void IflsServer::HandleFrame(const std::shared_ptr<Connection>& conn,
     pending.request_id = id;
     pending.objective = ObjectiveForQueryOpcode(frame.opcode);
     pending.request = std::move(request).value();
+    pending.has_trace = frame.has_trace_context;
+    pending.trace = frame.trace_context;
     cycle_queries_.push_back(std::move(pending));
     return;
   }
   switch (frame.opcode) {
-    case WireOpcode::kPing:
-      EnqueueFrame(shared_, conn, EncodeEmptyFrame(WireOpcode::kPong, id));
+    case WireOpcode::kPing: {
+      // The pong carries receive/send stamps for the client's NTP-style
+      // clock-offset estimate. Ping handling is synchronous on the loop
+      // thread, so the two stamps bracket only the encode; the client
+      // attributes the rest of the RTT to the network, which is exactly
+      // what the offset math assumes.
+      WirePongResponse pong;
+      pong.server_recv_nanos = TraceNowNanos();
+      pong.server_send_nanos = TraceNowNanos();
+      EnqueueFrame(shared_, conn, EncodePongFrame(id, pong));
       return;
+    }
     case WireOpcode::kMetricsPull:
       // Exposition is a registry walk — cheap enough to stay on the loop.
       EnqueueFrame(shared_, conn,
@@ -461,6 +529,90 @@ void IflsServer::HandleFrame(const std::shared_ptr<Connection>& conn,
                        WireOpcodeName(frame.opcode)));
       return;
   }
+}
+
+void IflsServer::HandleHttp(const std::shared_ptr<Connection>& conn) {
+  // One request per connection, HTTP/1.0 style: wait for the header
+  // terminator, answer, close. Everything served here is a registry walk
+  // or a small JSON render — cheap enough to stay on the loop thread, like
+  // the binary kMetricsPull path.
+  const std::string_view buf(conn->ring.data(), conn->ring.size());
+  const std::size_t end = buf.find("\r\n\r\n");
+  if (end == std::string_view::npos) {
+    constexpr std::size_t kMaxRequestBytes = 8192;
+    if (buf.size() > kMaxRequestBytes) {
+      conn->ring.Clear();
+      conn->close_when_drained = true;
+      EnqueueFrame(shared_, conn,
+                   HttpResponse(400, "Bad Request", "text/plain",
+                                "request too large\n"));
+      FlushOut(conn);
+    }
+    return;  // incomplete request: wait for more bytes
+  }
+  shared_->http_requests.fetch_add(1, std::memory_order_relaxed);
+  const std::string_view request_line = buf.substr(0, buf.find("\r\n"));
+  std::string response;
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 = request_line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1 ||
+      request_line.substr(0, sp1) != "GET" ||
+      request_line.substr(sp2 + 1, 5) != "HTTP/") {
+    response = HttpResponse(400, "Bad Request", "text/plain",
+                            "malformed request line\n");
+  } else {
+    std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    target = target.substr(0, target.find('?'));
+    if (target == "/metrics") {
+      response = HttpResponse(
+          200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+          DumpMetricsText());
+    } else if (target == "/healthz") {
+      response = HttpResponse(200, "OK", "text/plain", "ok\n");
+    } else if (target == "/venues") {
+      response = HttpResponse(200, "OK", "application/json", VenuesJson());
+    } else if (target == "/slow") {
+      response = HttpResponse(200, "OK", "application/json",
+                              QueryCostLedger::Global().SlowQueriesJson());
+    } else {
+      response =
+          HttpResponse(404, "Not Found", "text/plain", "not found\n");
+    }
+  }
+  conn->ring.Clear();
+  conn->close_when_drained = true;
+  EnqueueFrame(shared_, conn, std::move(response));
+  FlushOut(conn);
+}
+
+std::string IflsServer::VenuesJson() const {
+  std::string out = "{\n  \"venues\": [";
+  bool first = true;
+  const auto emit = [&out, &first](const VenueEntryStats& v) {
+    out += first ? "\n    {" : ",\n    {";
+    first = false;
+    out += "\"venue_id\": ";
+    AppendJsonEscaped(&out, v.venue_id);
+    out += v.resident ? ", \"resident\": true" : ", \"resident\": false";
+    out += ", \"resident_bytes\": " + std::to_string(v.resident_bytes);
+    out += ", \"mapped_bytes\": " + std::to_string(v.mapped_bytes);
+    out += ", \"loads\": " + std::to_string(v.loads);
+    out += ", \"evictions\": " + std::to_string(v.evictions);
+    out += "}";
+  };
+  if (router_ != nullptr) {
+    for (const VenueEntryStats& v : router_->VenueStats()) emit(v);
+  } else {
+    // Single-venue mode: synthesize one always-resident entry so the
+    // endpoint's shape does not depend on the serving mode.
+    VenueEntryStats v;
+    v.venue_id = service_->options().venue_label;
+    v.resident = true;
+    v.loads = 1;
+    emit(v);
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
 }
 
 void IflsServer::FlushCycleQueries() {
@@ -565,6 +717,11 @@ void IflsServer::FlushOut(const std::shared_ptr<Connection>& conn) {
       drained = true;
     }
   }
+  if (drained && conn->close_when_drained) {
+    // HTTP admin plane: the whole response is out, honor Connection: close.
+    CloseConnection(conn);
+    return;
+  }
   if (drained == conn->want_write) {
     // Toggle EPOLLOUT: armed while a partial write is pending, off once the
     // buffer drains (level-triggered EPOLLOUT would spin otherwise).
@@ -662,12 +819,32 @@ void IflsServer::RunBatch(std::string venue_id,
   const std::uint64_t epoch = state->snapshot->epoch();
   const std::uint64_t overlay_size =
       static_cast<std::uint64_t>(state->overlay.delta().size());
+  // The ledger label: the explicit routing id in fleet mode, the service's
+  // own label in single-venue mode (where venue_id is required empty).
+  const std::string& ledger_venue =
+      venue_id.empty() ? service->options().venue_label : venue_id;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (!outcomes[i].status.ok()) {
       EnqueueError(shared_, batch[i].conn, batch[i].request_id,
                    outcomes[i].status);
       continue;
     }
+    // Coalesced queries bypass the admission queue, so the service's own
+    // ledger hook never sees them; attribute them here. queue_seconds stays
+    // 0 (dispatch-queue wait is not measured per query on this path) and no
+    // spans are captured — batch runs don't adopt per-query trace scopes;
+    // callers who want a merged distributed trace run against a
+    // no-coalesce server (DESIGN.md §15).
+    QueryCostSample sample;
+    sample.venue = ledger_venue;
+    sample.objective = batch[i].objective;
+    if (batch[i].has_trace) {
+      sample.trace_id = batch[i].trace.trace_id;
+      sample.parent_span_id = batch[i].trace.parent_span_id;
+    }
+    sample.solve_seconds = outcomes[i].result.stats.elapsed_seconds;
+    sample.stats = outcomes[i].result.stats;
+    QueryCostLedger::Global().RecordQuery(sample, /*capture_spans=*/false);
     EnqueueFrame(shared_, batch[i].conn,
                  EncodeQueryResultFrame(
                      batch[i].request_id,
@@ -689,6 +866,13 @@ void IflsServer::RunSingleQuery(PendingNetQuery query) {
   request.objective = query.objective;
   request.clients = std::move(query.request.clients);
   request.deadline_seconds = query.request.deadline_seconds;
+  if (query.has_trace) {
+    // Adopt the caller's context: the service's queue/solve spans land
+    // under the client's trace id with the client's sampling verdict.
+    request.trace_id = query.trace.trace_id;
+    request.trace_sampled = query.trace.sampled;
+    request.parent_span_id = query.trace.parent_span_id;
+  }
   std::shared_ptr<NetShared> shared = shared_;
   std::shared_ptr<Connection> conn = query.conn;
   const std::uint64_t id = query.request_id;

@@ -57,12 +57,18 @@ struct ServerMetrics {
   std::uint64_t rejected = 0;         // kUnavailable backpressure replies
   std::uint64_t errors = 0;           // kError frames sent (incl. rejected)
   std::uint64_t pushes_sent = 0;      // subscription pushes streamed out
+  std::uint64_t http_requests = 0;    // admin-plane requests served
 };
 
 /// The epoll event-loop network server (DESIGN.md §13): multiplexes
 /// thousands of non-blocking loopback connections speaking the IFLS wire
 /// protocol onto one IflsService (single-venue mode) or a VenueRouter
-/// (fleet mode).
+/// (fleet mode). A connection whose first four bytes are `GET ` (binary
+/// frames start with the magic "IFLW", so the sniff is unambiguous) is
+/// served as a minimal HTTP/1.0 admin plane on the same port instead:
+/// /metrics (Prometheus exposition), /healthz, /venues, /slow
+/// (DESIGN.md §15) — stock curl and a Prometheus scrape config work with
+/// zero extra ports.
 ///
 /// Threading model: one event-loop thread owns the listener, the epoll set
 /// and every connection's receive side — reads, frame reassembly
@@ -119,6 +125,10 @@ class IflsServer {
     std::uint64_t request_id = 0;
     IflsObjective objective = IflsObjective::kMinMax;
     WireQueryRequest request;
+    /// Trace context propagated on the query frame (DESIGN.md §15);
+    /// has_trace false = context-free frame, server mints locally.
+    bool has_trace = false;
+    TraceContext trace;
   };
 
   IflsServer(std::shared_ptr<IflsService> service,
@@ -132,6 +142,13 @@ class IflsServer {
   /// Query frames land in cycle_queries_ for end-of-cycle coalescing.
   void DrainFrames(const std::shared_ptr<Connection>& conn);
   void HandleFrame(const std::shared_ptr<Connection>& conn, WireFrame frame);
+  /// Serves the HTTP admin plane (DESIGN.md §15) on a connection whose
+  /// first bytes sniffed as `GET `: one request, one response, close. Loop
+  /// thread only.
+  void HandleHttp(const std::shared_ptr<Connection>& conn);
+  /// The /venues JSON document: per-venue residency/eviction stats (fleet
+  /// mode) or one synthetic always-resident entry (single-venue mode).
+  std::string VenuesJson() const;
   /// End-of-epoll-cycle: groups cycle_queries_ per venue and dispatches
   /// batch jobs (or per-query admission jobs with coalescing off).
   void FlushCycleQueries();

@@ -152,15 +152,29 @@ void AppendClients(std::string* out, const std::vector<Client>& clients) {
 // ---------------------------------------------------------------------------
 
 void AppendFrame(std::string* out, WireOpcode opcode, std::uint64_t request_id,
-                 std::string_view payload) {
+                 std::string_view payload, const TraceContext* trace_context) {
+  const bool with_context =
+      trace_context != nullptr && trace_context->valid();
+  std::string context_bytes;
+  if (with_context) {
+    context_bytes.reserve(kWireTraceContextBytes);
+    AppendLE(&context_bytes, trace_context->trace_id);
+    AppendLE(&context_bytes, trace_context->parent_span_id);
+    AppendLE(&context_bytes,
+             static_cast<std::uint8_t>(trace_context->sampled ? 1 : 0));
+    AppendLE(&context_bytes, trace_context->client_send_nanos);
+  }
   AppendLE(out, kWireMagic);
   AppendLE(out, kWireVersion);
   AppendLE(out, static_cast<std::uint16_t>(opcode));
   AppendLE(out, request_id);
-  AppendLE(out, static_cast<std::uint32_t>(payload.size()));
-  AppendLE(out, std::uint32_t{0});  // reserved
-  AppendLE(out, Fnv1a64(payload.data(), payload.size()));
+  AppendLE(out,
+           static_cast<std::uint32_t>(payload.size() + context_bytes.size()));
+  AppendLE(out, with_context ? kWireFlagTraceContext : std::uint32_t{0});
+  AppendLE(out, Fnv1a64Continue(Fnv1a64(payload.data(), payload.size()),
+                                context_bytes.data(), context_bytes.size()));
   out->append(payload.data(), payload.size());
+  out->append(context_bytes);
 }
 
 Result<std::optional<WireFrame>> TryDecodeFrame(ByteRing* ring) {
@@ -185,6 +199,19 @@ Result<std::optional<WireFrame>> TryDecodeFrame(ByteRing* ring) {
         " bytes exceeds the " + std::to_string(kWireMaxPayloadBytes) +
         "-byte frame bound (oversized)");
   }
+  const std::uint32_t flags = LoadLE<std::uint32_t>(p + 20);
+  if ((flags & ~kWireFlagTraceContext) != 0) {
+    return Status::InvalidArgument(
+        "wire frame carries unknown extension flags 0x" +
+        std::to_string(flags & ~kWireFlagTraceContext) +
+        " (cannot determine frame layout)");
+  }
+  if ((flags & kWireFlagTraceContext) != 0 &&
+      payload_bytes < kWireTraceContextBytes) {
+    return Status::InvalidArgument(
+        "wire frame flags a trace context but the payload region holds only " +
+        std::to_string(payload_bytes) + " bytes");
+  }
   const std::uint64_t checksum = LoadLE<std::uint64_t>(p + 24);
   if (ring->size() < kWireHeaderBytes + payload_bytes) {
     return std::optional<WireFrame>();  // incomplete; wait for more bytes
@@ -195,7 +222,21 @@ Result<std::optional<WireFrame>> TryDecodeFrame(ByteRing* ring) {
   WireFrame frame;
   frame.opcode = static_cast<WireOpcode>(opcode);
   frame.request_id = request_id;
-  frame.payload.assign(p + kWireHeaderBytes, payload_bytes);
+  std::uint32_t message_bytes = payload_bytes;
+  if ((flags & kWireFlagTraceContext) != 0) {
+    // The context rides as a payload suffix so the checksum above already
+    // vouched for it; peel it off before message decoders (which reject
+    // trailing bytes) see the payload.
+    const char* ctx =
+        p + kWireHeaderBytes + payload_bytes - kWireTraceContextBytes;
+    frame.trace_context.trace_id = LoadLE<std::uint64_t>(ctx);
+    frame.trace_context.parent_span_id = LoadLE<std::uint64_t>(ctx + 8);
+    frame.trace_context.sampled = LoadLE<std::uint8_t>(ctx + 16) != 0;
+    frame.trace_context.client_send_nanos = LoadLE<std::uint64_t>(ctx + 17);
+    frame.has_trace_context = true;
+    message_bytes -= static_cast<std::uint32_t>(kWireTraceContextBytes);
+  }
+  frame.payload.assign(p + kWireHeaderBytes, message_bytes);
   ring->Consume(kWireHeaderBytes + payload_bytes);
   return std::optional<WireFrame>(std::move(frame));
 }
@@ -230,13 +271,15 @@ void ByteRing::Clear() {
 // ---------------------------------------------------------------------------
 
 std::string EncodeQueryFrame(std::uint64_t request_id, IflsObjective objective,
-                             const WireQueryRequest& request) {
+                             const WireQueryRequest& request,
+                             const TraceContext* trace_context) {
   std::string payload;
   AppendString(&payload, request.venue_id);
   AppendLE(&payload, request.deadline_seconds);
   AppendClients(&payload, request.clients);
   std::string frame;
-  AppendFrame(&frame, QueryOpcodeFor(objective), request_id, payload);
+  AppendFrame(&frame, QueryOpcodeFor(objective), request_id, payload,
+              trace_context);
   return frame;
 }
 
@@ -357,6 +400,16 @@ std::string EncodeTextFrame(WireOpcode opcode, std::uint64_t request_id,
 std::string EncodeEmptyFrame(WireOpcode opcode, std::uint64_t request_id) {
   std::string frame;
   AppendFrame(&frame, opcode, request_id, {});
+  return frame;
+}
+
+std::string EncodePongFrame(std::uint64_t request_id,
+                            const WirePongResponse& response) {
+  std::string payload;
+  AppendLE(&payload, response.server_recv_nanos);
+  AppendLE(&payload, response.server_send_nanos);
+  std::string frame;
+  AppendFrame(&frame, WireOpcode::kPong, request_id, payload);
   return frame;
 }
 
@@ -484,6 +537,18 @@ Result<WireTextResponse> DecodeTextResponse(std::string_view payload) {
   WireTextResponse response;
   IFLS_RETURN_NOT_OK(reader.ReadString("text", &response.text));
   IFLS_RETURN_NOT_OK(reader.ExpectEnd("text response"));
+  return response;
+}
+
+Result<WirePongResponse> DecodePong(std::string_view payload) {
+  WirePongResponse response;
+  if (payload.empty()) return response;  // PR 8 servers pong with no payload
+  PayloadReader reader(payload);
+  IFLS_RETURN_NOT_OK(
+      reader.Read("server recv nanos", &response.server_recv_nanos));
+  IFLS_RETURN_NOT_OK(
+      reader.Read("server send nanos", &response.server_send_nanos));
+  IFLS_RETURN_NOT_OK(reader.ExpectEnd("pong response"));
   return response;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/trace.h"
 #include "src/core/solve_dispatch.h"
 #include "src/indoor/types.h"
 #include "src/service/delta_overlay.h"
@@ -27,7 +28,7 @@ namespace ifls {
 //                                  subscription pushes carry the id of the
 //                                  Subscribe request that created them
 //       16     4  payload_bytes    length of the payload that follows
-//       20     4  reserved         0
+//       20     4  flags            extension bits (0 before PR 10)
 //       24     8  payload_checksum FNV-1a-64 of the payload bytes
 //
 // Payload integers/doubles are little-endian (src/common/endian.h); strings
@@ -36,6 +37,17 @@ namespace ifls {
 // order: a pipelined connection may receive replies out of submission order
 // (socket-layer batching and worker scheduling reorder freely), and
 // subscription pushes interleave with responses on the same stream.
+//
+// Frame extensions (DESIGN.md §15): the former reserved word at offset 20 is
+// a flags field. kWireFlagTraceContext marks a fixed-size trace-context
+// block (trace id, parent span id, sampling verdict, client send timestamp)
+// appended as a *suffix of the payload region* — payload_bytes and the
+// checksum cover it, so pre-extension decoders that treated the word as
+// reserved-zero never see a flagged frame, and flag-free frames are
+// byte-identical to what PR 8 produced. TryDecodeFrame strips the suffix
+// into WireFrame::trace_context before any message decoder (all of which
+// reject trailing bytes) sees the payload. Unknown flag bits are a corrupt
+// envelope: the decoder cannot know how many trailing bytes they claim.
 //
 // Error handling contract: a syntactically valid frame with a bad payload is
 // answered with a kError frame echoing its request id and the stream stays
@@ -51,6 +63,13 @@ inline constexpr std::uint16_t kWireVersion = 1;
 /// a giant buffer. Generous enough for ~400k-client query payloads.
 inline constexpr std::uint32_t kWireMaxPayloadBytes = 16u << 20;
 inline constexpr std::size_t kWireHeaderBytes = 32;
+
+/// Header flag bits (offset 20). Bits without a constant here are unknown
+/// extensions and make the envelope undecodable.
+inline constexpr std::uint32_t kWireFlagTraceContext = 0x1u;
+/// Serialized TraceContext suffix: trace_id u64 + parent_span_id u64 +
+/// sampled u8 + client_send_nanos u64.
+inline constexpr std::size_t kWireTraceContextBytes = 25;
 
 /// Frame opcodes. Requests are < 128, responses >= 128; kSubscriptionPush is
 /// the one server-initiated opcode, kError the one failure envelope.
@@ -92,11 +111,15 @@ inline bool IsQueryOpcode(WireOpcode op) {
 WireOpcode QueryOpcodeFor(IflsObjective objective);
 IflsObjective ObjectiveForQueryOpcode(WireOpcode opcode);
 
-/// One decoded frame: the envelope fields plus the raw payload bytes.
+/// One decoded frame: the envelope fields plus the raw payload bytes. When
+/// the sender attached a trace context (kWireFlagTraceContext), the decoder
+/// has already stripped it from `payload` into `trace_context`.
 struct WireFrame {
   WireOpcode opcode = WireOpcode::kPing;
   std::uint64_t request_id = 0;
   std::string payload;
+  bool has_trace_context = false;
+  TraceContext trace_context;
 };
 
 // ---------------------------------------------------------------------------
@@ -196,17 +219,30 @@ struct WireTextResponse {
   std::string text;
 };
 
+/// kPong response. PR 8 pongs were empty; PR 10 stamps the server's trace
+/// clock at frame receipt and at reply encode, giving the client the t1/t2
+/// legs of an NTP-style clock-offset estimate (DESIGN.md §15). An empty
+/// pong payload still decodes (both fields zero) for mixed-version runs.
+struct WirePongResponse {
+  std::uint64_t server_recv_nanos = 0;
+  std::uint64_t server_send_nanos = 0;
+};
+
 // ---------------------------------------------------------------------------
 // Encoding
 // ---------------------------------------------------------------------------
 
-/// Appends one complete frame (header + payload) to `out`.
+/// Appends one complete frame (header + payload) to `out`. A valid
+/// `trace_context` (non-null, trace_id != 0) rides along as the flagged
+/// payload suffix; null or invalid contexts produce a PR 8-identical frame.
 void AppendFrame(std::string* out, WireOpcode opcode, std::uint64_t request_id,
-                 std::string_view payload);
+                 std::string_view payload,
+                 const TraceContext* trace_context = nullptr);
 
 /// Convenience frame builders: encode the message and wrap it in a frame.
 std::string EncodeQueryFrame(std::uint64_t request_id, IflsObjective objective,
-                             const WireQueryRequest& request);
+                             const WireQueryRequest& request,
+                             const TraceContext* trace_context = nullptr);
 std::string EncodeQueryResultFrame(std::uint64_t request_id,
                                    const WireQueryResponse& response);
 std::string EncodeMutateFrame(std::uint64_t request_id,
@@ -227,6 +263,8 @@ std::string EncodeErrorFrame(std::uint64_t request_id, const Status& status);
 std::string EncodeTextFrame(WireOpcode opcode, std::uint64_t request_id,
                             std::string_view text);
 std::string EncodeEmptyFrame(WireOpcode opcode, std::uint64_t request_id);
+std::string EncodePongFrame(std::uint64_t request_id,
+                            const WirePongResponse& response);
 
 // ---------------------------------------------------------------------------
 // Decoding
@@ -274,6 +312,8 @@ Result<WireUnsubscribeRequest> DecodeUnsubscribeRequest(
     std::string_view payload);
 Result<WireSubscriptionPush> DecodePush(std::string_view payload);
 Result<WireTextResponse> DecodeTextResponse(std::string_view payload);
+/// Empty payloads (PR 8 pongs) decode as {0, 0}.
+Result<WirePongResponse> DecodePong(std::string_view payload);
 /// Decodes a kError payload into the Status it carries (non-ok by
 /// construction; a malformed error payload decodes as kInternal).
 Status DecodeErrorPayload(std::string_view payload);

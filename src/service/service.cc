@@ -6,6 +6,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/stopwatch.h"
+#include "src/service/cost_ledger.h"
 
 namespace ifls {
 namespace {
@@ -223,7 +224,14 @@ IflsService::PendingQuery IflsService::MakePending(ServiceRequest request) {
   item.admitted_at = Clock::now();
   // The admission stamp doubles as the queue-wait span start, so tracing
   // adds no clock read here; the id is one relaxed fetch_add.
-  if (TraceEnabled()) {
+  if (item.request.trace_id != 0) {
+    // Propagated context (a networked query): adopt the caller's trace id
+    // and carry its sampling verdict — the server never re-rolls the draw
+    // for a query the client already decided to sample (or not).
+    item.trace_id = item.request.trace_id;
+    item.trace_propagated = true;
+    item.trace_sampled = item.request.trace_sampled;
+  } else if (TraceEnabled()) {
     item.trace_id = TraceRecorder::Global().NewTraceId();
   }
   item.deadline = DeadlineFor(item.admitted_at, item.request.deadline_seconds,
@@ -384,10 +392,16 @@ void IflsService::Execute(PendingQuery item) {
   reply.queue_seconds = Seconds(start - item.admitted_at);
 
   // Spans below this point carry the query's trace id; a query that lost
-  // the 1-in-N sampling draw records nothing at all.
+  // the 1-in-N sampling draw records nothing at all. Propagated contexts
+  // carry the caller's verdict instead of a fresh local draw: a client that
+  // sampled its RPC must see the server half of the trace, and a client
+  // that didn't must not pay for one (DESIGN.md §15).
   TraceRecorder& recorder = TraceRecorder::Global();
   const bool sampled =
-      TraceEnabled() && item.trace_id != 0 && recorder.Sampled(item.trace_id);
+      item.trace_propagated
+          ? (TraceEnabled() && item.trace_sampled)
+          : (TraceEnabled() && item.trace_id != 0 &&
+             recorder.Sampled(item.trace_id));
   TraceIdScope trace_scope(item.trace_id, sampled);
   if (sampled) {
     recorder.Record(TraceCategory::kService, "queue_wait", item.trace_id,
@@ -450,6 +464,19 @@ void IflsService::Execute(PendingQuery item) {
         static_cast<std::uint64_t>(stats.clients_pruned));
     query_cache_hits_->Add(stats.cache_hits);
     query_cache_misses_->Add(stats.cache_misses);
+    // Cost ledger (DESIGN.md §15): fold this query into the per-{venue,
+    // objective, tier} decayed aggregates and offer it to the slow-query
+    // ring. Span capture follows the sampling verdict — an unsampled query
+    // has no spans to retain.
+    QueryCostSample sample;
+    sample.venue = options_.venue_label;
+    sample.objective = item.request.objective;
+    sample.trace_id = item.trace_id;
+    sample.parent_span_id = item.request.parent_span_id;
+    sample.queue_seconds = reply.queue_seconds;
+    sample.solve_seconds = reply.solve_seconds;
+    sample.stats = stats;
+    QueryCostLedger::Global().RecordQuery(sample, sampled);
   } else {
     reply.status = solved.status();
     failed_.fetch_add(1, std::memory_order_relaxed);

@@ -65,6 +65,10 @@ struct ServiceOptions {
   double slow_query_threshold_seconds = 0.0;
   VipTreeOptions tree = DefaultServiceTreeOptions();
   SolverOptionSet solvers;
+  /// Venue label stamped on this service's per-query cost-ledger samples
+  /// (the `venue` dimension of the ifls_ledger_* series). Empty is fine for
+  /// single-venue deployments; the fleet front fills it from the store.
+  std::string venue_label;
 };
 
 /// One query submitted to the service: an objective plus its client set.
@@ -75,6 +79,17 @@ struct ServiceRequest {
   /// Per-request deadline override; 0 uses the service default, < 0 forces
   /// no deadline.
   double deadline_seconds = 0.0;
+  /// Propagated trace context (DESIGN.md §15). When `trace_id` is non-zero
+  /// the query adopts it — spans recorded during the solve land under the
+  /// caller's trace id and the caller's sampling verdict (`trace_sampled`)
+  /// is honored verbatim instead of re-rolling the server-side 1-in-N draw,
+  /// so a sampled client RPC is never dropped by the server. A zero
+  /// `trace_id` keeps the local behavior: mint an id, roll the draw.
+  std::uint64_t trace_id = 0;
+  bool trace_sampled = false;
+  /// The caller-side span the adopted spans nest under (the RPC's request
+  /// id on networked queries); recorded on ledger samples for correlation.
+  std::uint64_t parent_span_id = 0;
 };
 
 /// Outcome of one request. `status` is kOk with `result` filled, or the
@@ -262,6 +277,10 @@ class IflsService {
     std::chrono::steady_clock::time_point deadline;
     /// 0 when tracing was disabled at submission.
     std::uint64_t trace_id = 0;
+    /// True when the request carried a propagated trace context; the
+    /// propagated sampling verdict then overrides the local draw.
+    bool trace_propagated = false;
+    bool trace_sampled = false;
   };
 
   /// Routes `reply` to the item's completion channel (callback or promise).

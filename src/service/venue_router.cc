@@ -64,11 +64,16 @@ Result<std::shared_ptr<IflsService>> VenueRouter::Service(
     } else {
       resident_bytes = snapshot.value().tree->MemoryFootprintBytes();
       mapped_bytes = snapshot.value().tree->MappedFootprintBytes();
+      // Stamp the routing id on the per-venue service so its cost-ledger
+      // samples carry venue="<id>" (the template label, if any, would make
+      // every venue's traffic indistinguishable).
+      ServiceOptions service_options = options_.service;
+      service_options.venue_label = venue_id;
       Result<std::unique_ptr<IflsService>> service =
           IflsService::CreateFromParts(
               snapshot.value().venue, snapshot.value().tree,
               std::move(snapshot.value().existing),
-              std::move(snapshot.value().candidates), options_.service);
+              std::move(snapshot.value().candidates), service_options);
       if (!service.ok()) {
         load_status = service.status();
       } else {

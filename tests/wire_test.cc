@@ -2,7 +2,11 @@
 // opcode, envelope corruption (magic/version/oversized/checksum) rejected
 // with typed Status, payload truncation naming the missing field, and
 // fuzz-style partial-read reassembly — frames split at every byte boundary
-// must decode identically.
+// must decode identically. The trace-context frame extension (DESIGN.md §15)
+// is covered both ways: flagged frames round-trip the context and strip the
+// suffix before payload decoding, flag-free frames stay byte-identical to
+// the pre-extension encoding, and unknown flag bits or an impossible suffix
+// length are corrupt envelopes.
 
 #include <gtest/gtest.h>
 
@@ -205,6 +209,130 @@ TEST(WireRoundTripTest, TextAndEmptyFrames) {
     EXPECT_EQ(frame.opcode, opcode);
     EXPECT_TRUE(frame.payload.empty());
   }
+}
+
+// ------------------------------------------------- trace-context extension
+
+TEST(WireTraceContextTest, QueryFrameRoundTripsContext) {
+  for (bool sampled : {true, false}) {
+    WireQueryRequest request;
+    request.venue_id = "venue7";
+    request.clients = TwoClients();
+    TraceContext context;
+    context.trace_id = 0x1122'3344'5566'7788ull;
+    context.parent_span_id = 42;
+    context.sampled = sampled;
+    context.client_send_nanos = 987'654'321;
+    WireFrame frame = DecodeOne(
+        EncodeQueryFrame(5, IflsObjective::kMinMax, request, &context));
+    ASSERT_TRUE(frame.has_trace_context);
+    EXPECT_EQ(frame.trace_context.trace_id, context.trace_id);
+    EXPECT_EQ(frame.trace_context.parent_span_id, 42u);
+    EXPECT_EQ(frame.trace_context.sampled, sampled);
+    EXPECT_EQ(frame.trace_context.client_send_nanos, 987'654'321u);
+    // The decoder stripped the suffix: the payload decodes as the plain
+    // message (all payload decoders reject trailing bytes, so this also
+    // proves no suffix leaked through).
+    auto decoded = DecodeQueryRequest(frame.payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().venue_id, "venue7");
+    ASSERT_EQ(decoded.value().clients.size(), 2u);
+    EXPECT_EQ(decoded.value().clients[1].partition, 4);
+  }
+}
+
+TEST(WireTraceContextTest, ContextFreeFramesStayByteIdentical) {
+  // No context and an invalid context (trace_id 0) must both produce the
+  // exact pre-extension frame bytes: zero flags word, no payload suffix.
+  WireQueryRequest request;
+  request.venue_id = "venue7";
+  request.clients = TwoClients();
+  const std::string plain =
+      EncodeQueryFrame(5, IflsObjective::kMinMax, request);
+  TraceContext invalid;  // trace_id == 0 -> valid() is false
+  const std::string with_invalid =
+      EncodeQueryFrame(5, IflsObjective::kMinMax, request, &invalid);
+  EXPECT_EQ(plain, with_invalid);
+  EXPECT_EQ(LoadLE<std::uint32_t>(plain.data() + 20), 0u);
+  WireFrame frame = DecodeOne(plain);
+  EXPECT_FALSE(frame.has_trace_context);
+  EXPECT_EQ(frame.trace_context.trace_id, 0u);
+}
+
+TEST(WireTraceContextTest, UnknownFlagBitsAreACorruptEnvelope) {
+  std::string bytes = EncodeEmptyFrame(WireOpcode::kPing, 1);
+  StoreLE<std::uint32_t>(bytes.data() + 20, kWireFlagTraceContext << 1);
+  ByteRing ring;
+  ring.Append(bytes.data(), bytes.size());
+  Result<std::optional<WireFrame>> decoded = TryDecodeFrame(&ring);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.status().message().find("unknown extension flags"),
+            std::string::npos);
+}
+
+TEST(WireTraceContextTest, FlaggedFrameTooShortForSuffixRejected) {
+  // A ping has an empty payload region; flagging a trace context on it
+  // claims 25 suffix bytes that cannot exist.
+  std::string bytes = EncodeEmptyFrame(WireOpcode::kPing, 1);
+  StoreLE<std::uint32_t>(bytes.data() + 20, kWireFlagTraceContext);
+  ByteRing ring;
+  ring.Append(bytes.data(), bytes.size());
+  Result<std::optional<WireFrame>> decoded = TryDecodeFrame(&ring);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireTraceContextTest, FlaggedFrameReassemblesAtEveryBoundary) {
+  TraceContext context;
+  context.trace_id = 7;
+  context.sampled = true;
+  WireQueryRequest request;
+  request.venue_id = "split";
+  request.clients = TwoClients();
+  const std::string stream =
+      EncodeQueryFrame(1, IflsObjective::kMaxSum, request, &context);
+  for (std::size_t split = 0; split <= stream.size(); ++split) {
+    ByteRing ring;
+    std::optional<WireFrame> frame;
+    auto feed = [&](const char* data, std::size_t n) {
+      ring.Append(data, n);
+      Result<std::optional<WireFrame>> decoded = TryDecodeFrame(&ring);
+      ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+      if (decoded.value().has_value()) frame = std::move(*decoded.value());
+    };
+    feed(stream.data(), split);
+    feed(stream.data() + split, stream.size() - split);
+    ASSERT_TRUE(frame.has_value()) << "split at " << split;
+    EXPECT_TRUE(frame->has_trace_context);
+    EXPECT_EQ(frame->trace_context.trace_id, 7u);
+    EXPECT_TRUE(DecodeQueryRequest(frame->payload).ok());
+  }
+}
+
+TEST(WireTraceContextTest, PongCarriesServerTimestamps) {
+  WirePongResponse pong;
+  pong.server_recv_nanos = 1'000'000'111;
+  pong.server_send_nanos = 1'000'000'222;
+  WireFrame frame = DecodeOne(EncodePongFrame(9, pong));
+  EXPECT_EQ(frame.opcode, WireOpcode::kPong);
+  auto decoded = DecodePong(frame.payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().server_recv_nanos, 1'000'000'111u);
+  EXPECT_EQ(decoded.value().server_send_nanos, 1'000'000'222u);
+
+  // A PR 8 pong has no payload: decodes as {0, 0} rather than failing, so
+  // mixed-version ping keeps working (offset estimation then rejects it
+  // explicitly at the client layer).
+  auto legacy = DecodePong(std::string_view());
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(legacy.value().server_recv_nanos, 0u);
+  EXPECT_EQ(legacy.value().server_send_nanos, 0u);
+
+  // Any other truncation is malformed.
+  auto truncated = DecodePong(std::string_view(frame.payload).substr(0, 7));
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), StatusCode::kInvalidArgument);
 }
 
 // --------------------------------------------------------- envelope errors

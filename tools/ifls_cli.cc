@@ -12,6 +12,8 @@
 //   trace        --preset MC|CH|CPH|MZB [--existing N] [--candidates N]
 //                [--clients N] [--queries N] [--workers N] [--sample N]
 //                [--slow-ms MS] [--seed S] [--metrics] --out FILE.trace.json
+//   trace        --remote [HOST:]PORT [--preset MC|CH|CPH|MZB] [--queries N]
+//                [--clients N] [--sample N] [--seed S] --out FILE.trace.json
 //   subscribe    --preset MC|CH|CPH|MZB [--existing N] [--candidates N]
 //                [--subs N] [--clients N] [--ticks N] [--tolerance T]
 //                [--workers N] [--seed S] [--metrics]
@@ -31,6 +33,17 @@
 // differential solve) and exports the spans as Chrome trace-event JSON for
 // Perfetto / chrome://tracing. --metrics additionally prints the Prometheus
 // text exposition of the telemetry registry.
+//
+// `trace --remote` instead runs a traced client session against a live
+// `ifls_cli serve` process (DESIGN.md §15): it estimates the client/server
+// clock offset from timestamped pings, issues traced queries whose frames
+// carry the trace context, pulls the server's trace half over the wire, and
+// writes ONE merged Chrome timeline — client RPC spans (pid 1) over server
+// queue/solve/oracle spans (pid 2) under the same trace ids. The --preset
+// and --seed must match the serve invocation (the client pool is
+// regenerated locally and must be valid in the server's venue). Start the
+// server with --no-coalesce: per-query server spans are recorded on the
+// admission path, which coalesced batches bypass.
 //
 // `subscribe` registers standing IFLS queries over trajectory-driven
 // crowds, drives ticks plus a candidate-mutation/compaction cycle through
@@ -64,6 +77,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <future>
@@ -71,6 +85,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -323,7 +338,99 @@ int Render(const Args& args) {
   return 0;
 }
 
+/// `trace --remote`: a traced client session against a live server, merged
+/// into one Chrome timeline. See the usage comment at the top of the file.
+int TraceRemote(const Args& args) {
+  const auto out = args.Get("out");
+  if (!out) return Fail("trace needs --out");
+  const std::string remote = args.GetOr("remote", "");
+  const std::size_t colon = remote.rfind(':');
+  const std::string port_text =
+      colon == std::string::npos ? remote : remote.substr(colon + 1);
+  const long port = std::strtol(port_text.c_str(), nullptr, 10);
+  if (port <= 0 || port > 65535) {
+    return Fail("trace --remote needs [HOST:]PORT (loopback serving only)");
+  }
+  const auto preset = ParsePreset(args.GetOr("preset", "MC"));
+  if (!preset) return Fail("unknown preset (use MC, CH, CPH or MZB)");
+  const int queries = static_cast<int>(args.GetInt("queries", 9));
+  if (queries < 1) return Fail("--queries must be >= 1");
+
+  // The client pool must lie inside the server's venue; preset + seed
+  // rebuild it bit-identically to what `serve` constructed.
+  Result<Venue> venue = BuildPresetVenue(*preset);
+  if (!venue.ok()) return Fail(venue.status());
+  Rng rng(static_cast<std::uint64_t>(args.GetInt("seed", 1)) ^ 0x51ed2701u);
+  const std::vector<Client> clients = GenerateClients(
+      *venue, static_cast<std::size_t>(args.GetInt("clients", 64)), {}, &rng);
+
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.Enable(static_cast<std::uint32_t>(args.GetInt("sample", 1)));
+
+  Result<std::unique_ptr<IflsClient>> client =
+      IflsClient::Connect(static_cast<std::uint16_t>(port));
+  if (!client.ok()) return Fail(client.status());
+
+  // Timestamped pings pin the server's trace clock to ours before any
+  // query traffic disturbs the loop thread.
+  Result<std::int64_t> offset = (*client)->EstimateClockOffset();
+  if (!offset.ok()) return Fail(offset.status());
+
+  const IflsObjective kObjectives[] = {
+      IflsObjective::kMinMax, IflsObjective::kMinDist, IflsObjective::kMaxSum};
+  int sampled_queries = 0;
+  for (int i = 0; i < queries; ++i) {
+    WireQueryRequest request;
+    request.clients = clients;
+    // One trace id per RPC; the scope makes IflsClient::Query attach the
+    // context to the frame, so the server half adopts the same id and the
+    // same sampling verdict.
+    const std::uint64_t trace_id = recorder.NewTraceId();
+    const bool sampled = recorder.Sampled(trace_id);
+    TraceIdScope scope(trace_id, sampled);
+    Result<WireQueryResponse> response =
+        (*client)->Query(kObjectives[i % 3], request);
+    if (!response.ok()) return Fail(response.status());
+    if (sampled) ++sampled_queries;
+  }
+
+  Result<std::string> server_json = (*client)->PullTrace();
+  if (!server_json.ok()) return Fail(server_json.status());
+
+  std::ostringstream client_json;
+  if (Status s = recorder.ExportChromeTrace(client_json); !s.ok()) {
+    return Fail(s);
+  }
+  recorder.Disable();
+
+  std::string merged;
+  if (Status s = MergeChromeTraces(client_json.str(), *server_json, *offset,
+                                   &merged);
+      !s.ok()) {
+    return Fail(s);
+  }
+  std::FILE* file = std::fopen(out->c_str(), "wb");
+  if (file == nullptr) {
+    return Fail(Status::Internal("cannot open " + *out + " for writing"));
+  }
+  const std::size_t written =
+      std::fwrite(merged.data(), 1, merged.size(), file);
+  std::fclose(file);
+  if (written != merged.size()) {
+    return Fail(Status::Internal("short write to " + *out));
+  }
+
+  std::printf(
+      "wrote %s: merged client+server trace, %d queries (%d sampled), "
+      "clock offset %+.3fms\n",
+      out->c_str(), queries, sampled_queries,
+      static_cast<double>(*offset) / 1e6);
+  return 0;
+}
+
 int Trace(const Args& args) {
+  if (args.Has("remote")) return TraceRemote(args);
   const auto out = args.Get("out");
   if (!out) return Fail("trace needs --out");
   const auto preset = ParsePreset(args.GetOr("preset", "MC"));
@@ -770,6 +877,9 @@ Result<std::shared_ptr<IflsService>> BuildServeService(const Args& args) {
   options.num_workers = static_cast<int>(args.GetInt("workers", 2));
   options.queue_capacity =
       static_cast<std::size_t>(args.GetInt("queue", 1024));
+  // The preset name doubles as the cost-ledger venue label, so the served
+  // ifls_ledger_* series carry venue="MC" etc. out of the box.
+  options.venue_label = args.GetOr("preset", "MC");
   Result<std::unique_ptr<IflsService>> service = IflsService::Create(
       std::move(venue).value(), sets->existing, sets->candidates, options);
   if (!service.ok()) return service.status();
